@@ -1,0 +1,173 @@
+//! One criterion bench per table/figure of the paper's evaluation.
+//!
+//! Each bench runs a miniature of the corresponding experiment (the full
+//! reproductions live in the `experiments` binary: `cargo run --release -p
+//! deepsea-bench --bin experiments`). Benchmarked here is the end-to-end
+//! harness cost — data already generated, pool rebuilt per iteration — so
+//! regressions in matching/selection/materialization show up per figure.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use deepsea_bench::harness::run_workload;
+use deepsea_core::baselines;
+use deepsea_engine::Catalog;
+use deepsea_workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
+use deepsea_workload::sdss::{sdss_like_histogram, SdssTrace};
+use deepsea_workload::sequences::{
+    fig10_workload, fig5_workload, fig6_workload, fig7_workload, fig8a_workload, fig8b_workload,
+    fig9_workload, item_domain,
+};
+use deepsea_workload::{Selectivity, Skew};
+
+fn uniform_catalog() -> Arc<Catalog> {
+    Arc::new(BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 9).catalog)
+}
+
+fn sdss_catalog() -> Arc<Catalog> {
+    let (lo, hi) = item_domain();
+    Arc::new(
+        BigBenchData::generate(
+            InstanceSize::Gb100,
+            &ItemDistribution::Histogram(sdss_like_histogram(lo, hi)),
+            9,
+        )
+        .catalog,
+    )
+}
+
+fn fig1_sdss_hist(c: &mut Criterion) {
+    let (lo, hi) = item_domain();
+    let trace = SdssTrace::new(lo, hi);
+    c.bench_function("fig1_trace_and_histogram", |b| {
+        b.iter(|| {
+            let ranges = trace.generate(2_000, 9);
+            black_box(trace.hit_histogram(&ranges, 42))
+        })
+    });
+}
+
+fn fig5_baselines(c: &mut Criterion) {
+    let catalog = sdss_catalog();
+    let plans = fig5_workload(12, 9);
+    c.bench_function("fig5_ds_sdss_workload", |b| {
+        b.iter(|| run_workload("DS", &catalog, baselines::deepsea().with_phi(0.05), &plans))
+    });
+    c.bench_function("fig5_np_sdss_workload", |b| {
+        b.iter(|| run_workload("NP", &catalog, baselines::non_partitioned(), &plans))
+    });
+    let smax = catalog.total_base_bytes() / 10;
+    c.bench_function("fig5b_nectar_small_pool", |b| {
+        b.iter(|| {
+            run_workload(
+                "N",
+                &catalog,
+                baselines::nectar().with_phi(0.05).with_smax(smax),
+                &plans,
+            )
+        })
+    });
+}
+
+fn fig6_equidepth(c: &mut Criterion) {
+    let catalog = uniform_catalog();
+    let plans = fig6_workload(9);
+    c.bench_function("fig6_ds_adaptive", |b| {
+        b.iter(|| run_workload("DS", &catalog, baselines::deepsea(), &plans))
+    });
+    c.bench_function("fig6_e15_equidepth", |b| {
+        b.iter(|| run_workload("E-15", &catalog, baselines::equi_depth(15), &plans))
+    });
+}
+
+fn fig7_selectivity_skew(c: &mut Criterion) {
+    let catalog = uniform_catalog();
+    let plans = fig7_workload(Selectivity::Small, Skew::Heavy, 9)[..10].to_vec();
+    c.bench_function("fig7_sh_ds", |b| {
+        b.iter(|| run_workload("DS", &catalog, baselines::deepsea().with_phi(1.0 / 15.0), &plans))
+    });
+}
+
+fn fig8_correlation(c: &mut Criterion) {
+    let catalog = uniform_catalog();
+    let plans = fig8a_workload(9);
+    let smax = 7_000_000_000;
+    c.bench_function("fig8a_ds_mle_small_pool", |b| {
+        b.iter(|| {
+            run_workload(
+                "DS",
+                &catalog,
+                baselines::deepsea().with_phi(0.05).with_smax(smax),
+                &plans,
+            )
+        })
+    });
+    let zipf = fig8b_workload(10, 9);
+    c.bench_function("fig8b_ds_zipf", |b| {
+        b.iter(|| {
+            run_workload(
+                "DS",
+                &catalog,
+                baselines::deepsea().with_phi(0.05).with_smax(smax),
+                &zipf,
+            )
+        })
+    });
+}
+
+fn fig9_overlapping(c: &mut Criterion) {
+    let catalog = uniform_catalog();
+    let plans = fig9_workload(9);
+    c.bench_function("fig9_overlapping", |b| {
+        b.iter(|| run_workload("OVL", &catalog, baselines::deepsea(), &plans))
+    });
+    c.bench_function("fig9_horizontal", |b| {
+        b.iter(|| run_workload("HOR", &catalog, baselines::horizontal_only(), &plans))
+    });
+}
+
+fn fig10_adaptation(c: &mut Criterion) {
+    let catalog = uniform_catalog();
+    let plans = fig10_workload(9)[..40].to_vec();
+    c.bench_function("fig10_ds_shifting", |b| {
+        b.iter(|| run_workload("DS", &catalog, baselines::deepsea(), &plans))
+    });
+    c.bench_function("fig10_nr_shifting", |b| {
+        b.iter(|| run_workload("NR", &catalog, baselines::no_repartitioning(), &plans))
+    });
+}
+
+fn ablations(c: &mut Criterion) {
+    let catalog = uniform_catalog();
+    let plans = fig8a_workload(9);
+    let smax = 7_000_000_000;
+    // MLE on/off — the fragment-correlation ablation.
+    c.bench_function("ablation_no_mle", |b| {
+        b.iter(|| {
+            run_workload(
+                "DS-noMLE",
+                &catalog,
+                baselines::deepsea_no_mle().with_phi(0.05).with_smax(smax),
+                &plans,
+            )
+        })
+    });
+    // φ bound on/off.
+    let p6 = fig6_workload(9);
+    c.bench_function("ablation_phi_bound", |b| {
+        b.iter(|| run_workload("DS-phi", &catalog, baselines::deepsea().with_phi(0.05), &p6))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = fig1_sdss_hist, fig5_baselines, fig6_equidepth, fig7_selectivity_skew,
+              fig8_correlation, fig9_overlapping, fig10_adaptation, ablations
+);
+criterion_main!(figures);

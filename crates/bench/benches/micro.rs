@@ -1,0 +1,122 @@
+//! Microbenchmarks for DeepSea's hot per-query operations: the matching,
+//! candidate-generation, statistics, and selection code that runs for every
+//! query of a workload (Algorithm 1's non-execution overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use deepsea_core::candidates::partition_candidates;
+use deepsea_core::filter_tree::{FilterTree, ViewId};
+use deepsea_core::fragment::FragmentId;
+use deepsea_core::interval::Interval;
+use deepsea_core::matching::partition_matching;
+use deepsea_core::mle::{adjusted_hits, fit_normal};
+use deepsea_core::selection::{select_configuration, CandidateKind, RankedItem};
+use deepsea_engine::plan::AggExpr;
+use deepsea_engine::signature::{matches, Signature};
+use deepsea_engine::LogicalPlan;
+use deepsea_relation::Predicate;
+
+fn bench_signature(c: &mut Criterion) {
+    let plan = LogicalPlan::scan("store_sales")
+        .join(LogicalPlan::scan("item"), vec![("ss_item_sk", "i_item_sk")])
+        .join(
+            LogicalPlan::scan("customer"),
+            vec![("ss_customer_sk", "c_customer_sk")],
+        )
+        .select(Predicate::range("ss_item_sk", 100, 500))
+        .aggregate(vec!["i_category"], vec![AggExpr::count("cnt")]);
+    c.bench_function("signature_of_3way_join", |b| {
+        b.iter(|| Signature::of(black_box(&plan)))
+    });
+    let vsig = Signature::of(&plan).unwrap();
+    let qsig = Signature::of(
+        &LogicalPlan::scan("store_sales")
+            .join(LogicalPlan::scan("item"), vec![("ss_item_sk", "i_item_sk")])
+            .join(
+                LogicalPlan::scan("customer"),
+                vec![("ss_customer_sk", "c_customer_sk")],
+            )
+            .select(Predicate::range("ss_item_sk", 200, 400))
+            .aggregate(vec!["i_category"], vec![AggExpr::count("cnt")]),
+    )
+    .unwrap();
+    c.bench_function("sufficient_condition_match", |b| {
+        b.iter(|| matches(black_box(&vsig), black_box(&qsig)))
+    });
+}
+
+fn bench_filter_tree(c: &mut Criterion) {
+    let mut ft = FilterTree::new();
+    for i in 0..200 {
+        let plan = LogicalPlan::scan(format!("t{i}"))
+            .join(LogicalPlan::scan("item"), vec![("a", "b")]);
+        ft.insert(&Signature::of(&plan).unwrap(), ViewId(i));
+    }
+    let probe = Signature::of(
+        &LogicalPlan::scan("t100").join(LogicalPlan::scan("item"), vec![("a", "b")]),
+    )
+    .unwrap();
+    c.bench_function("filter_tree_lookup_200_views", |b| {
+        b.iter(|| ft.lookup(black_box(&probe)))
+    });
+}
+
+fn bench_partition_ops(c: &mut Criterion) {
+    // 64 fragments over [0, 400_000].
+    let domain = Interval::new(0, 400_000);
+    let frags: Vec<Interval> = domain.chop(64);
+    let pairs: Vec<(FragmentId, Interval)> = frags
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| (FragmentId(i as u64), *iv))
+        .collect();
+    let theta = Interval::new(123_456, 234_567);
+    c.bench_function("algorithm2_cover_64_fragments", |b| {
+        b.iter(|| partition_matching(black_box(&theta), black_box(&pairs)))
+    });
+    c.bench_function("def7_candidates_64_fragments", |b| {
+        b.iter(|| partition_candidates(black_box(&frags), &domain, black_box(&theta)))
+    });
+}
+
+fn bench_mle(c: &mut Criterion) {
+    let frags: Vec<(Interval, f64)> = (0..64)
+        .map(|i| {
+            let iv = Interval::new(i * 1_000, i * 1_000 + 999);
+            let d = (i - 32) as f64;
+            (iv, 1_000.0 * (-d * d / 50.0).exp())
+        })
+        .collect();
+    c.bench_function("mle_fit_64_fragments", |b| {
+        b.iter(|| fit_normal(black_box(&frags)))
+    });
+    let fit = fit_normal(&frags).unwrap();
+    c.bench_function("mle_adjusted_hits", |b| {
+        b.iter(|| adjusted_hits(1_000.0, black_box(&fit), &Interval::new(30_000, 31_000)))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let items: Vec<RankedItem> = (0..500)
+        .map(|i| RankedItem {
+            kind: CandidateKind::WholeView(ViewId(i)),
+            phi: (i as f64 * 37.0) % 101.0,
+            size: 1_000 + (i % 97) * 13,
+            materialized: i % 3 == 0,
+        })
+        .collect();
+    c.bench_function("greedy_knapsack_500_items", |b| {
+        b.iter(|| select_configuration(black_box(items.clone()), Some(100_000)))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_signature, bench_filter_tree, bench_partition_ops, bench_mle, bench_selection
+);
+criterion_main!(micro);

@@ -1,0 +1,53 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations]...
+//! ```
+//!
+//! With no experiment arguments, runs everything. `--quick` scales workloads
+//! down (used by CI/smoke runs); the default is paper scale.
+
+use std::io::Write;
+
+use deepsea_bench::experiments::{self, ExperimentReport, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let reports: Vec<ExperimentReport> = if wanted.is_empty() || wanted.iter().any(|w| *w == "all")
+    {
+        experiments::all(scale)
+    } else {
+        wanted
+            .iter()
+            .map(|w| match w.as_str() {
+                "fig1" => experiments::fig1(),
+                "fig2" => experiments::fig2(),
+                "table1" => experiments::table1(),
+                "fig5a" => experiments::fig5a(scale),
+                "fig5b" => experiments::fig5b(scale),
+                "fig6" => experiments::fig6(scale),
+                "fig7" => experiments::fig7(scale),
+                "fig8a" => experiments::fig8a(scale),
+                "fig8b" => experiments::fig8b(scale),
+                "fig9" => experiments::fig9(scale),
+                "fig10" => experiments::fig10(scale),
+                "ablations" => experiments::ablations(scale),
+                other => {
+                    eprintln!("unknown experiment {other:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for r in &reports {
+        writeln!(out, "## {} — {}\n", r.id, r.title).unwrap();
+        writeln!(out, "{}", r.body).unwrap();
+    }
+}

@@ -1,0 +1,305 @@
+//! Workload runner: execute a query sequence under a system variant and
+//! collect per-query statistics.
+
+use std::sync::Arc;
+
+use deepsea_core::{DeepSea, DeepSeaConfig};
+use deepsea_engine::{Catalog, ClusterSim, LogicalPlan};
+use deepsea_relation::Table;
+use deepsea_storage::{BlockConfig, SimFs};
+
+/// Per-query measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRecord {
+    /// Total simulated seconds charged to the query (execution + creation).
+    pub elapsed: f64,
+    /// Execution-only seconds.
+    pub query: f64,
+    /// Materialization/repartition overhead seconds.
+    pub creation: f64,
+    /// Map tasks launched by the chosen plan.
+    pub map_tasks: u64,
+    /// Simulated bytes read by the chosen plan.
+    pub bytes_read: u64,
+    /// Whether a view answered the query.
+    pub used_view: bool,
+    /// Number of views/fragments materialized during this query.
+    pub materialized: usize,
+    /// Number of evictions performed during this query.
+    pub evicted: usize,
+}
+
+/// The result of running one workload under one variant.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Variant label (`H`, `NP`, `DS`, …).
+    pub label: String,
+    /// Per-query records in submission order.
+    pub per_query: Vec<QueryRecord>,
+    /// Pool bytes at the end of the run.
+    pub final_pool_bytes: u64,
+}
+
+impl RunResult {
+    /// Total simulated elapsed seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.per_query.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Cumulative elapsed series (one point per query).
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.per_query
+            .iter()
+            .map(|r| {
+                acc += r.elapsed;
+                acc
+            })
+            .collect()
+    }
+
+    /// Mean elapsed over a range of query indices.
+    pub fn avg_secs(&self, range: std::ops::Range<usize>) -> f64 {
+        let slice = &self.per_query[range];
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().map(|r| r.elapsed).sum::<f64>() / slice.len() as f64
+    }
+
+    /// Total map tasks over a range of queries.
+    pub fn map_tasks(&self, range: std::ops::Range<usize>) -> u64 {
+        self.per_query[range].iter().map(|r| r.map_tasks).sum()
+    }
+
+    /// Projected total time for `n` queries (§9 "Simulator" / Figure 7a):
+    /// the measured cumulative time plus the *steady-state* per-query rate
+    /// (mean over the second half of the workload, after view creation and
+    /// progressive refinement have settled) extrapolated to `n`.
+    pub fn projected_total(&self, n: usize) -> f64 {
+        let cum = self.cumulative();
+        let m = cum.len();
+        if m == 0 {
+            return 0.0;
+        }
+        if n <= m {
+            return cum[n - 1];
+        }
+        let half = m / 2;
+        let steady = if half == 0 {
+            cum[m - 1] / m as f64
+        } else {
+            (cum[m - 1] - cum[half - 1]) / (m - half) as f64
+        };
+        cum[m - 1] + steady * (n - m) as f64
+    }
+}
+
+/// Least-squares fit of `y = a + b·x` over `(1..=len, ys)` evaluated at `x=n`.
+pub fn linear_projection(cumulative: &[f64], n: usize) -> f64 {
+    let m = cumulative.len();
+    if m == 0 {
+        return 0.0;
+    }
+    if m == 1 {
+        return cumulative[0] * n as f64;
+    }
+    let xs: Vec<f64> = (1..=m).map(|i| i as f64).collect();
+    let xbar = xs.iter().sum::<f64>() / m as f64;
+    let ybar = cumulative.iter().sum::<f64>() / m as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(cumulative) {
+        num += (x - xbar) * (y - ybar);
+        den += (x - xbar) * (x - xbar);
+    }
+    let slope = if den > 0.0 { num / den } else { 0.0 };
+    let intercept = ybar - slope * xbar;
+    intercept + slope * n as f64
+}
+
+/// Index (1-based) of the first query where `variant`'s cumulative time drops
+/// to or below `baseline`'s — the "queries needed to recoup materialization
+/// cost" of Figure 7b. `None` if it never recoups within the workload.
+pub fn recoup_point(variant: &RunResult, baseline: &RunResult) -> Option<usize> {
+    let v = variant.cumulative();
+    let b = baseline.cumulative();
+    v.iter()
+        .zip(&b)
+        .position(|(x, y)| x <= y)
+        .map(|i| i + 1)
+}
+
+/// Run one workload under one variant configuration. Every variant gets a
+/// fresh simulated file system (its own pool); the catalog is shared.
+pub fn run_workload(
+    label: impl Into<String>,
+    catalog: &Arc<Catalog>,
+    config: DeepSeaConfig,
+    plans: &[LogicalPlan],
+) -> RunResult {
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::new(BlockConfig::default(), cluster.weights));
+    run_workload_on(label, catalog, fs, cluster, config, plans)
+}
+
+/// Like [`run_workload`] with explicit substrates.
+pub fn run_workload_on(
+    label: impl Into<String>,
+    catalog: &Arc<Catalog>,
+    fs: Arc<SimFs<Table>>,
+    cluster: ClusterSim,
+    config: DeepSeaConfig,
+    plans: &[LogicalPlan],
+) -> RunResult {
+    let mut ds = DeepSea::with_parts(Arc::clone(catalog), fs, cluster, config);
+    let mut per_query = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let out = ds
+            .process_query(plan)
+            .unwrap_or_else(|e| panic!("query failed under {:?}: {e}", config));
+        per_query.push(QueryRecord {
+            elapsed: out.elapsed_secs,
+            query: out.query_secs,
+            creation: out.creation_secs,
+            map_tasks: out.metrics.map_tasks,
+            bytes_read: out.metrics.bytes_read,
+            used_view: out.used_view.is_some(),
+            materialized: out.materialized.len(),
+            evicted: out.evicted.len(),
+        });
+    }
+    RunResult {
+        label: label.into(),
+        per_query,
+        final_pool_bytes: ds.pool_bytes(),
+    }
+}
+
+/// Run the same workload under several variants in parallel (one thread per
+/// variant; each has an independent pool).
+pub fn run_variants(
+    catalog: &Arc<Catalog>,
+    variants: &[(&str, DeepSeaConfig)],
+    plans: &[LogicalPlan],
+) -> Vec<RunResult> {
+    let mut results: Vec<Option<RunResult>> = Vec::new();
+    results.resize_with(variants.len(), || None);
+    crossbeam::thread::scope(|s| {
+        for (slot, (label, cfg)) in results.iter_mut().zip(variants) {
+            let catalog = Arc::clone(catalog);
+            s.spawn(move |_| {
+                *slot = Some(run_workload(*label, &catalog, *cfg, plans));
+            });
+        }
+    })
+    .expect("variant thread panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsea_core::baselines;
+    use deepsea_workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
+    use deepsea_workload::sequences::fixed_template_workload;
+    use deepsea_workload::{Selectivity, Skew, TemplateId};
+
+    fn small_setup() -> (Arc<Catalog>, Vec<LogicalPlan>) {
+        let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 11);
+        let plans = fixed_template_workload(
+            TemplateId::Q30,
+            6,
+            Selectivity::Medium,
+            Skew::Heavy,
+            11,
+        );
+        (Arc::new(data.catalog), plans)
+    }
+
+    #[test]
+    fn hive_vs_deepsea_ordering() {
+        let (catalog, plans) = small_setup();
+        let h = run_workload("H", &catalog, baselines::hive(), &plans);
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        assert_eq!(h.per_query.len(), 6);
+        assert!(
+            ds.total_secs() < h.total_secs(),
+            "DeepSea must beat Hive on a reuse-friendly workload: {} vs {}",
+            ds.total_secs(),
+            h.total_secs()
+        );
+        assert!(ds.final_pool_bytes > 0);
+        assert_eq!(h.final_pool_bytes, 0);
+    }
+
+    #[test]
+    fn run_variants_parallel_matches_serial() {
+        let (catalog, plans) = small_setup();
+        let serial = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let par = run_variants(
+            &catalog,
+            &[("H", baselines::hive()), ("DS", baselines::deepsea())],
+            &plans,
+        );
+        assert_eq!(par.len(), 2);
+        assert_eq!(par[1].label, "DS");
+        // Determinism: simulated times are identical run to run.
+        assert_eq!(serial.total_secs(), par[1].total_secs());
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let (catalog, plans) = small_setup();
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let c = ds.cumulative();
+        assert!(c.windows(2).all(|w| w[1] >= w[0]));
+        assert!((c.last().unwrap() - ds.total_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_projection_extrapolates() {
+        // Perfectly linear: 10s per query.
+        let cum: Vec<f64> = (1..=10).map(|i| 10.0 * i as f64).collect();
+        let p = linear_projection(&cum, 100);
+        assert!((p - 1000.0).abs() < 1e-6);
+        assert_eq!(linear_projection(&[], 100), 0.0);
+        assert_eq!(linear_projection(&[5.0], 10), 50.0);
+    }
+
+    #[test]
+    fn recoup_point_detects_crossover() {
+        let mk = |elapsed: Vec<f64>| RunResult {
+            label: "x".into(),
+            per_query: elapsed
+                .into_iter()
+                .map(|e| QueryRecord {
+                    elapsed: e,
+                    query: e,
+                    creation: 0.0,
+                    map_tasks: 0,
+                    bytes_read: 0,
+                    used_view: false,
+                    materialized: 0,
+                    evicted: 0,
+                })
+                .collect(),
+            final_pool_bytes: 0,
+        };
+        // Variant pays 30 up front then 1/query; baseline pays 10/query.
+        let variant = mk(vec![30.0, 1.0, 1.0, 1.0, 1.0]);
+        let base = mk(vec![10.0, 10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(recoup_point(&variant, &base), Some(4));
+        let never = mk(vec![100.0; 5]);
+        assert_eq!(recoup_point(&never, &base), None);
+    }
+
+    #[test]
+    fn avg_and_map_tasks_ranges() {
+        let (catalog, plans) = small_setup();
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let avg_tail = ds.avg_secs(1..ds.per_query.len());
+        assert!(avg_tail > 0.0);
+        assert!(ds.map_tasks(0..ds.per_query.len()) > 0);
+    }
+}

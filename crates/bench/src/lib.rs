@@ -1,0 +1,14 @@
+//! # deepsea-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of the
+//! DeepSea paper's evaluation (§10). [`harness`] runs a workload under one or
+//! more system variants and collects per-query simulated elapsed times;
+//! [`report`] renders paper-style tables and series; [`experiments`] wires
+//! both into the figure-by-figure reproductions driven by the `experiments`
+//! binary and the criterion benches.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_variants, run_workload, QueryRecord, RunResult};

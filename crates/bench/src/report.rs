@@ -1,0 +1,119 @@
+//! Paper-style table and series rendering for experiment reports.
+
+/// Render an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>width$}", width = widths[i]));
+        }
+        line
+    };
+    let hcells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&hcells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render labeled values as an ASCII bar chart (largest bar = 40 chars).
+pub fn bar_chart(items: &[(String, f64)], unit: &str) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let lw = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let bar = if max > 0.0 {
+            "█".repeat(((v / max) * 40.0).round().max(if *v > 0.0 { 1.0 } else { 0.0 }) as usize)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:<lw$}  {bar} {v:.1} {unit}\n"));
+    }
+    out
+}
+
+/// Render an `(x, y)` series, one point per line.
+pub fn series(points: &[(usize, f64)], x_label: &str, y_label: &str) -> String {
+    let mut out = format!("{x_label:>10}  {y_label}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x:>10}  {y:.1}\n"));
+    }
+    out
+}
+
+/// Format seconds compactly.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "secs"],
+            &[
+                vec!["H".into(), "1000.0".into()],
+                vec!["DS".into(), "64.2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1000.0"));
+        assert!(lines[3].ends_with("64.2"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let c = bar_chart(
+            &[("H".into(), 100.0), ("DS".into(), 50.0), ("Z".into(), 0.0)],
+            "s",
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.matches('█').count())
+            .collect();
+        assert_eq!(bars[0], 40);
+        assert_eq!(bars[1], 20);
+        assert_eq!(bars[2], 0);
+    }
+
+    #[test]
+    fn series_prints_points() {
+        let s = series(&[(1, 10.0), (2, 20.5)], "query", "cumulative");
+        assert!(s.contains("query"));
+        assert!(s.contains("20.5"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.26), "1.3");
+        assert_eq!(pct(0.642), "64%");
+    }
+}

@@ -1,0 +1,91 @@
+//! Factory functions for the paper's system variants.
+//!
+//! | Abbrev. | System | Where used |
+//! |---|---|---|
+//! | `H`  | vanilla Hive, no materialization        | Fig. 5a, 7 |
+//! | `NP` | materialization without partitioning    | Fig. 5a, 7, 10 |
+//! | `N`  | Nectar selection strategy               | Fig. 5b, 8 |
+//! | `N+` | Nectar + accumulated benefit            | Fig. 5b |
+//! | `E-k`| equi-depth partitioning, k fragments    | Fig. 6, 7, 10 |
+//! | `NR` | DeepSea without repartitioning          | Fig. 10 |
+//! | `DS` | full DeepSea                            | everywhere |
+
+use crate::config::DeepSeaConfig;
+use crate::policy::{PartitionPolicy, ValueModel};
+
+/// Vanilla Hive: every query runs from base tables.
+pub fn hive() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_policy(PartitionPolicy::NoMaterialization)
+}
+
+/// `NP`: materialize whole views, never partition (ReStore-like, but with
+/// DeepSea's logical matching).
+pub fn non_partitioned() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_policy(PartitionPolicy::NoPartition)
+}
+
+/// `DS`: full DeepSea — progressive, overlapping, MLE-smoothed.
+pub fn deepsea() -> DeepSeaConfig {
+    DeepSeaConfig::default()
+}
+
+/// `DS` without the probabilistic fragment-benefit model (ablation).
+pub fn deepsea_no_mle() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_value_model(ValueModel::DeepSea { use_mle: false })
+}
+
+/// `NR`: DeepSea whose initial partitioning is final (§10.4).
+pub fn no_repartitioning() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_policy(PartitionPolicy::Progressive {
+        overlapping: true,
+        repartition: false,
+    })
+}
+
+/// DeepSea restricted to strictly horizontal (non-overlapping) refinement.
+pub fn horizontal_only() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_policy(PartitionPolicy::Progressive {
+        overlapping: false,
+        repartition: true,
+    })
+}
+
+/// `E-k`: equi-depth partitioning with `k` fragments per view (§10.2).
+pub fn equi_depth(k: usize) -> DeepSeaConfig {
+    DeepSeaConfig::default().with_policy(PartitionPolicy::EquiDepth { fragments: k })
+}
+
+/// `N`: Nectar's selection strategy over the same partitioned infrastructure.
+pub fn nectar() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_value_model(ValueModel::Nectar)
+}
+
+/// `N+`: Nectar extended with accumulated benefit (§10.1).
+pub fn nectar_plus() -> DeepSeaConfig {
+    DeepSeaConfig::default().with_value_model(ValueModel::NectarPlus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_have_expected_flags() {
+        assert!(!hive().partition_policy.materializes());
+        assert!(non_partitioned().partition_policy.materializes());
+        assert!(!non_partitioned().partition_policy.partitions());
+        assert!(deepsea().partition_policy.repartitions());
+        assert!(!no_repartitioning().partition_policy.repartitions());
+        assert!(!horizontal_only().partition_policy.overlapping());
+        assert!(matches!(
+            equi_depth(15).partition_policy,
+            PartitionPolicy::EquiDepth { fragments: 15 }
+        ));
+        assert_eq!(nectar().value_model, ValueModel::Nectar);
+        assert_eq!(nectar_plus().value_model, ValueModel::NectarPlus);
+        assert_eq!(
+            deepsea_no_mle().value_model,
+            ValueModel::DeepSea { use_mle: false }
+        );
+    }
+}

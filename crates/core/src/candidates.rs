@@ -1,0 +1,173 @@
+//! Partition-candidate generation — the five cases of Definition 7.
+//!
+//! Given the intervals of an existing (or statistics-only) partitioning and
+//! the interval `[l, u]` of an incoming query's range selection, each
+//! existing interval `I' = [l', u']` contributes candidates:
+//!
+//! 1. `I' ∩ I = ∅` — nothing;
+//! 2. `I' ⊆ I` — nothing (the query wants the whole fragment);
+//! 3. query overlaps from the left (`l < l' ≤ u < u'`) — `[l', u]`, `(u, u']`;
+//! 4. query overlaps from the right (`l' < l ≤ u' < u`) — `[l', l)`, `[l, u']`;
+//! 5. `I ⊂ I'` — `[l', l)`, `[l, u]`, `(u, u']`.
+//!
+//! Open endpoints are normalized to closed integer intervals (see
+//! [`crate::interval`]). Candidates produced for a query are exactly the
+//! pieces obtained by splitting each overlapped interval at the query's
+//! endpoints.
+
+use crate::interval::Interval;
+
+/// Candidates contributed by one existing interval for a query range.
+/// Implements the five cases of Definition 7; returns pieces in domain order.
+pub fn candidates_for_interval(existing: &Interval, query: &Interval) -> Vec<Interval> {
+    // Case 1: no overlap.
+    if !existing.overlaps(query) {
+        return Vec::new();
+    }
+    // Case 2: the query covers the whole interval.
+    if query.contains(existing) {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(3);
+    let l = query.lo;
+    let u = query.hi;
+    // A left part exists when the query starts strictly inside: [l', l-1].
+    if existing.lo < l {
+        out.push(Interval::new(existing.lo, l - 1));
+    }
+    // The middle part is the intersection.
+    if let Some(mid) = existing.intersect(query) {
+        out.push(mid);
+    }
+    // A right part exists when the query ends strictly inside: [u+1, u'].
+    if u < existing.hi {
+        out.push(Interval::new(u + 1, existing.hi));
+    }
+    out
+}
+
+/// Candidates for a whole fragmentation (union over its intervals,
+/// Definition 7). `existing` may be empty, in which case the partition is
+/// initialized with the single fragment covering `domain` first (§6.2 case 1:
+/// "we initialize the partition with a single fragment {D(V,A)}").
+pub fn partition_candidates(
+    existing: &[Interval],
+    domain: &Interval,
+    query: &Interval,
+) -> Vec<Interval> {
+    let init = [*domain];
+    let base: &[Interval] = if existing.is_empty() { &init } else { existing };
+    let mut out = Vec::new();
+    for iv in base {
+        for c in candidates_for_interval(iv, query) {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Clamp a raw query range to the attribute domain (the paper's "replace `l`
+/// with `A̲` and similarly for `u`"). Returns `None` when the range misses
+/// the domain entirely.
+pub fn clamp_to_domain(range: (i64, i64), domain: &Interval) -> Option<Interval> {
+    let lo = range.0.max(domain.lo);
+    let hi = range.1.min(domain.hi);
+    (lo <= hi).then(|| Interval::new(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn case1_disjoint_produces_nothing() {
+        assert!(candidates_for_interval(&iv(0, 10), &iv(20, 30)).is_empty());
+    }
+
+    #[test]
+    fn case2_contained_interval_produces_nothing() {
+        assert!(candidates_for_interval(&iv(11, 20), &iv(5, 25)).is_empty());
+        // Equal intervals are also case 2.
+        assert!(candidates_for_interval(&iv(5, 25), &iv(5, 25)).is_empty());
+    }
+
+    #[test]
+    fn case3_left_overlap() {
+        // I' = (20,30] → [21,30] here; I = [5,25]: candidates (20,25] and (25,30].
+        let cands = candidates_for_interval(&iv(21, 30), &iv(5, 25));
+        assert_eq!(cands, vec![iv(21, 25), iv(26, 30)]);
+    }
+
+    #[test]
+    fn case4_right_overlap() {
+        // I' = [0,10]; I = [5,25]: candidates [0,5) and [5,10].
+        let cands = candidates_for_interval(&iv(0, 10), &iv(5, 25));
+        assert_eq!(cands, vec![iv(0, 4), iv(5, 10)]);
+    }
+
+    #[test]
+    fn case5_query_inside_interval() {
+        let cands = candidates_for_interval(&iv(0, 100), &iv(40, 60));
+        assert_eq!(cands, vec![iv(0, 39), iv(40, 60), iv(61, 100)]);
+    }
+
+    #[test]
+    fn paper_example_3() {
+        // V partitioned with I1=[0,10], I2=(10,20]→[11,20], I3=(20,30]→[21,30];
+        // Q = σ_{5≤A≤25}: expect [0,5)→[0,4], [5,10], nothing for I2,
+        // (20,25]→[21,25], (25,30]→[26,30].
+        let existing = vec![iv(0, 10), iv(11, 20), iv(21, 30)];
+        let cands = partition_candidates(&existing, &iv(0, 30), &iv(5, 25));
+        assert_eq!(cands, vec![iv(0, 4), iv(5, 10), iv(21, 25), iv(26, 30)]);
+    }
+
+    #[test]
+    fn empty_partition_initialized_with_domain() {
+        // §6.2 case 1: PSTAT empty → initialize {D(A)} then split at l and u.
+        let cands = partition_candidates(&[], &iv(0, 100), &iv(40, 60));
+        assert_eq!(cands, vec![iv(0, 39), iv(40, 60), iv(61, 100)]);
+    }
+
+    #[test]
+    fn query_touching_domain_edge() {
+        let cands = partition_candidates(&[], &iv(0, 100), &iv(0, 60));
+        assert_eq!(cands, vec![iv(0, 60), iv(61, 100)]);
+        let cands2 = partition_candidates(&[], &iv(0, 100), &iv(40, 100));
+        assert_eq!(cands2, vec![iv(0, 39), iv(40, 100)]);
+        let whole = partition_candidates(&[], &iv(0, 100), &iv(0, 100));
+        assert!(whole.is_empty(), "whole-domain query is case 2");
+    }
+
+    #[test]
+    fn candidates_partition_their_source_interval() {
+        // Split pieces of each overlapped interval reunite to that interval.
+        let existing = iv(0, 100);
+        let cands = candidates_for_interval(&existing, &iv(40, 60));
+        let total: u64 = cands.iter().map(Interval::width).sum();
+        assert_eq!(total, existing.width());
+        assert!(crate::interval::is_horizontal_partition(&cands, &existing));
+    }
+
+    #[test]
+    fn duplicate_candidates_deduped() {
+        // Two overlapping existing intervals can yield identical pieces.
+        let existing = vec![iv(0, 100), iv(0, 100)];
+        let cands = partition_candidates(&existing, &iv(0, 100), &iv(40, 60));
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn clamp_to_domain_behaviour() {
+        let d = iv(0, 100);
+        assert_eq!(clamp_to_domain((-50, 30), &d), Some(iv(0, 30)));
+        assert_eq!(clamp_to_domain((90, 500), &d), Some(iv(90, 100)));
+        assert_eq!(clamp_to_domain((200, 300), &d), None);
+        assert_eq!(clamp_to_domain((30, 20), &d), None);
+    }
+}

@@ -1,0 +1,1670 @@
+//! The online driver — Algorithm 1 (`ProcessQuery`) of the paper.
+//!
+//! For every incoming query the driver:
+//!
+//! 1. computes the possible **rewritings** against every tracked view
+//!    (materialized or not) via signature matching and, for partitioned
+//!    views, Algorithm-2 fragment covers;
+//! 2. **updates statistics** — every view/fragment that could answer the
+//!    query records a (potential) benefit event;
+//! 3. picks the **cheapest rewriting** among those backed by the pool (or
+//!    the original plan);
+//! 4. derives **view candidates** (Definition 6) and **partition candidates**
+//!    (Definition 7) from the chosen plan;
+//! 5. runs **selection** — admission filters (`COST ≤ B`), Φ-ranked greedy
+//!    knapsack under `Smax` — deciding what to materialize and what to evict;
+//! 6. executes the (instrumented) plan, materializing the selected views and
+//!    fragments as a by-product (only the write/repartition overhead is
+//!    charged to the query, §7.2);
+//! 7. replaces estimated sizes/costs with measured ones.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use deepsea_engine::catalog::Catalog;
+use deepsea_engine::cost::CostEstimator;
+use deepsea_engine::exec::{execute, ExecError, ExecMetrics};
+use deepsea_engine::plan::{LogicalPlan, ViewScanInfo};
+use deepsea_engine::rewrite::rewrite_with_view;
+use deepsea_engine::signature::{matches, Compensation, Signature};
+use deepsea_engine::subquery::{all_subplans, view_candidate_subplans};
+use deepsea_engine::ClusterSim;
+use deepsea_relation::Table;
+use deepsea_storage::{BlockConfig, FileId, SimFs};
+
+use crate::candidates::{clamp_to_domain, partition_candidates};
+use crate::config::DeepSeaConfig;
+use crate::filter_tree::ViewId;
+use crate::fragment::FragmentId;
+use crate::interval::Interval;
+use crate::matching::partition_matching;
+use crate::policy::PartitionPolicy;
+use crate::registry::{PartitionState, ViewRegistry};
+use crate::selection::{
+    apply_size_bounds, equi_depth_intervals, select_configuration, CandidateKind, RankedItem,
+};
+use crate::stats::LogicalTime;
+
+/// The result of processing one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query's result table.
+    pub result: Table,
+    /// Total simulated elapsed seconds charged to this query
+    /// (`query_secs + creation_secs`).
+    pub elapsed_secs: f64,
+    /// Execution time of the (possibly rewritten) query.
+    pub query_secs: f64,
+    /// Overhead of materialization / repartitioning performed by this query.
+    pub creation_secs: f64,
+    /// Name of the view used to answer the query, if any.
+    pub used_view: Option<String>,
+    /// Human-readable descriptions of views/fragments materialized.
+    pub materialized: Vec<String>,
+    /// Human-readable descriptions of views/fragments evicted.
+    pub evicted: Vec<String>,
+    /// Execution metrics of the chosen plan.
+    pub metrics: ExecMetrics,
+}
+
+/// A matched (sub)query/view pair.
+struct MatchHit {
+    path: Vec<usize>,
+    view: ViewId,
+    comp: Compensation,
+    /// Estimated cost of computing the subquery from scratch.
+    sub_cost: f64,
+    /// Fragment files to scan if the view is materialized and covers the
+    /// needed range.
+    access: Option<Access>,
+}
+
+struct Access {
+    files: Vec<FileId>,
+    bytes: u64,
+}
+
+/// A materialized source fragment: id, interval, file, size.
+type SourceFrag = (FragmentId, Interval, FileId, u64);
+
+/// Accumulated I/O of the materializations a query performs; converted to
+/// seconds once per query (all writes of one query run as a single
+/// instrumented MapReduce job).
+#[derive(Debug, Clone, Copy, Default)]
+struct CreationCharge {
+    read_bytes: u64,
+    write_bytes: u64,
+    files: u64,
+}
+
+impl CreationCharge {
+    fn absorb(&mut self, other: CreationCharge) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.files += other.files;
+    }
+}
+
+/// A DeepSea instance: the materialized-view pool manager wrapped around a
+/// catalog, a simulated file system and a cluster model.
+pub struct DeepSea {
+    config: DeepSeaConfig,
+    catalog: Arc<Catalog>,
+    fs: Arc<SimFs<Table>>,
+    cluster: ClusterSim,
+    registry: ViewRegistry,
+    clock: LogicalTime,
+}
+
+impl DeepSea {
+    /// Create an instance with the paper-default cluster and block size.
+    pub fn new(catalog: Catalog, config: DeepSeaConfig) -> Self {
+        let cluster = ClusterSim::paper_default();
+        let fs = SimFs::new(BlockConfig::default(), cluster.weights);
+        Self::with_parts(Arc::new(catalog), Arc::new(fs), cluster, config)
+    }
+
+    /// Create an instance over existing substrates.
+    pub fn with_parts(
+        catalog: Arc<Catalog>,
+        fs: Arc<SimFs<Table>>,
+        cluster: ClusterSim,
+        config: DeepSeaConfig,
+    ) -> Self {
+        Self {
+            config,
+            catalog,
+            fs,
+            cluster,
+            registry: ViewRegistry::new(),
+            clock: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DeepSeaConfig {
+        &self.config
+    }
+
+    /// The statistics registry (views, partitions, fragments).
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// Current logical time (number of queries processed).
+    pub fn clock(&self) -> LogicalTime {
+        self.clock
+    }
+
+    /// Simulated bytes currently held by the pool.
+    pub fn pool_bytes(&self) -> u64 {
+        self.registry.pool_bytes()
+    }
+
+    /// The underlying simulated file system.
+    pub fn fs(&self) -> &SimFs<Table> {
+        &self.fs
+    }
+
+    /// The cluster model.
+    pub fn cluster(&self) -> &ClusterSim {
+        &self.cluster
+    }
+
+    /// Process one query — Algorithm 1.
+    pub fn process_query(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
+        self.clock += 1;
+        let tnow = self.clock;
+
+        // The Hive baseline: no matching, no materialization — and, unlike
+        // DeepSea's instrumented plans, full predicate pushdown ("most
+        // optimizers will push down selections", §10.2).
+        if !self.config.partition_policy.materializes() {
+            let optimized = deepsea_engine::optimize::push_down_selections(plan, &self.catalog);
+            let (result, metrics) = execute(&optimized, &self.catalog, &self.fs)?;
+            let query_secs = self.cluster.elapsed_secs(&metrics);
+            return Ok(QueryOutcome {
+                result,
+                elapsed_secs: query_secs,
+                query_secs,
+                creation_secs: 0.0,
+                used_view: None,
+                materialized: Vec::new(),
+                evicted: Vec::new(),
+                metrics,
+            });
+        }
+
+        // ── 1. COMPUTEREWRITINGS ────────────────────────────────────────
+        let hits = self.compute_rewritings(plan);
+
+        // ── 2. UPDATESTATS for every (potential) match ───────────────────
+        self.record_match_stats(plan, &hits, tnow);
+
+        // ── 3. SELECTREWRITING ───────────────────────────────────────────
+        let estimator = CostEstimator::new(&self.catalog, &self.fs, &self.cluster);
+        let base_cost = estimator.estimated_secs(plan);
+        let mut qbest = plan.clone();
+        let mut best_cost = base_cost;
+        let mut used_view = None;
+        for hit in &hits {
+            let Some(access) = &hit.access else { continue };
+            let view = self.registry.view(hit.view);
+            let Some(schema) = view.schema.clone() else { continue };
+            let info = ViewScanInfo {
+                view_name: view.name.clone(),
+                files: access.files.clone(),
+                schema,
+            };
+            if let Some(rewritten) =
+                rewrite_with_view(plan, &hit.path, info, &hit.comp, &self.catalog)
+            {
+                let cost = estimator.estimated_secs(&rewritten);
+                if cost < best_cost {
+                    best_cost = cost;
+                    qbest = rewritten;
+                    used_view = Some(view.name.clone());
+                }
+            }
+        }
+
+        // ── 4. COMPUTEVIEWCAND / ADDCANDIDATES ───────────────────────────
+        let new_cands = self.register_candidates(&qbest, tnow);
+        self.register_partition_candidates(&qbest, tnow);
+
+        // ── 5. VIEWSELECTION ─────────────────────────────────────────────
+        let items = self.build_allcand(&new_cands, tnow);
+        let selection = select_configuration(items, self.config.smax);
+
+        // ── 6. INSTRUMENT + EXECUTE ──────────────────────────────────────
+        let (result, metrics) = execute(&qbest, &self.catalog, &self.fs)?;
+        let query_secs = self.cluster.elapsed_secs(&metrics);
+
+        let mut evicted = Vec::new();
+        for item in &selection.to_evict {
+            if let Some(desc) = self.evict(&item.kind) {
+                evicted.push(desc);
+            }
+        }
+        let mut charge = CreationCharge::default();
+        let mut materialized = Vec::new();
+        // Views computed once per query for multi-fragment materialization.
+        let mut view_cache: std::collections::HashMap<ViewId, Arc<Table>> =
+            std::collections::HashMap::new();
+        for item in &selection.to_create {
+            match &item.kind {
+                CandidateKind::WholeView(vid) => {
+                    let (c, desc) = self.materialize_view(*vid, tnow)?;
+                    charge.absorb(c);
+                    materialized.extend(desc);
+                }
+                CandidateKind::Fragment(vid, attr, fid) => {
+                    if let Some((c, desc)) =
+                        self.materialize_fragment(*vid, attr, *fid, &mut view_cache)?
+                    {
+                        charge.absorb(c);
+                        materialized.push(desc);
+                    }
+                }
+            }
+        }
+        // One combined instrumented job per query: reads for repartitioning,
+        // writes for all new views/fragments.
+        let block = self.fs.block_config().block_bytes;
+        let mut creation_secs = 0.0;
+        if charge.read_bytes > 0 {
+            creation_secs += self.cluster.scan_secs(charge.read_bytes, block);
+        }
+        if charge.files > 0 {
+            creation_secs += self.cluster.write_secs(charge.write_bytes, charge.files);
+        }
+        // Actual sizes may exceed the estimates selection used.
+        evicted.extend(self.enforce_limit(tnow));
+
+        Ok(QueryOutcome {
+            result,
+            elapsed_secs: query_secs + creation_secs,
+            query_secs,
+            creation_secs,
+            used_view,
+            materialized,
+            evicted,
+            metrics,
+        })
+    }
+
+    // ── Matching ─────────────────────────────────────────────────────────
+
+    /// Subplans a view may be matched against: Definition 6 shapes, plus any
+    /// chain of selections directly above one (the enclosing range selection
+    /// must take part in matching so it can become fragment-selecting
+    /// compensation, §8.2).
+    fn match_roots(plan: &LogicalPlan) -> Vec<(Vec<usize>, &LogicalPlan)> {
+        fn is_root(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Join { .. }
+                | LogicalPlan::Aggregate { .. }
+                | LogicalPlan::Project { .. } => true,
+                LogicalPlan::Select { input, .. } => is_root(input),
+                _ => false,
+            }
+        }
+        all_subplans(plan)
+            .into_iter()
+            .filter(|(_, p)| is_root(p))
+            .collect()
+    }
+
+    fn compute_rewritings(&self, plan: &LogicalPlan) -> Vec<MatchHit> {
+        let estimator = CostEstimator::new(&self.catalog, &self.fs, &self.cluster);
+        let mut hits = Vec::new();
+        for (path, sub) in Self::match_roots(plan) {
+            let Some(qsig) = Signature::of(sub) else { continue };
+            for &vid in self.registry.lookup_bucket(&qsig) {
+                let view = self.registry.view(vid);
+                let Some(comp) = matches(&view.sig, &qsig) else { continue };
+                let access = self.find_access(vid, &qsig);
+                hits.push(MatchHit {
+                    path: path.clone(),
+                    view: vid,
+                    comp,
+                    sub_cost: estimator.estimated_secs(sub),
+                    access,
+                });
+            }
+        }
+        hits
+    }
+
+    /// Cheapest way to read the view for this query: the whole file, or an
+    /// Algorithm-2 fragment cover of the needed range on some partition.
+    fn find_access(&self, vid: ViewId, qsig: &Signature) -> Option<Access> {
+        let view = self.registry.view(vid);
+        let mut best: Option<Access> = None;
+        if let Some(f) = view.whole_file {
+            best = Some(Access {
+                files: vec![f],
+                bytes: view.stats.size,
+            });
+        }
+        for ps in view.partitions.values() {
+            let mats = ps.materialized();
+            if mats.is_empty() {
+                continue;
+            }
+            let needed = match qsig.range_on_attr(&ps.attr) {
+                Some(r) => match clamp_to_domain(r, &ps.domain) {
+                    Some(iv) => iv,
+                    None => continue, // query range misses the domain
+                },
+                None => ps.domain,
+            };
+            let Some(cover) = partition_matching(&needed, &mats) else {
+                continue;
+            };
+            let mut files = Vec::with_capacity(cover.len());
+            let mut bytes = 0;
+            for fid in &cover {
+                let frag = ps.frag(*fid).expect("cover returns tracked fragments");
+                files.push(frag.file.expect("cover returns materialized fragments"));
+                bytes += frag.size;
+            }
+            if best.as_ref().is_none_or(|b| bytes < b.bytes) {
+                best = Some(Access { files, bytes });
+            }
+        }
+        best
+    }
+
+    /// Record benefit events for matched views and hits for overlapped
+    /// fragments — "no matter whether the view or fragment is currently in
+    /// the pool or not" (§8.4).
+    fn record_match_stats(&mut self, plan: &LogicalPlan, hits: &[MatchHit], tnow: LogicalTime) {
+        let block = self.fs.block_config().block_bytes;
+        // Pre-compute (view, saving, needed-range) outside the mutable loop;
+        // several subqueries can match the same view — keep the hit with the
+        // largest saving (the most specific, e.g. the one carrying the range
+        // selection).
+        let mut updates: std::collections::BTreeMap<ViewId, (f64, Vec<(String, Interval)>)> =
+            std::collections::BTreeMap::new();
+        for hit in hits {
+            let view = self.registry.view(hit.view);
+            let scan_bytes = match &hit.access {
+                Some(a) => a.bytes,
+                // Not materialized yet: COST(Q/V) anticipates *partitioned*
+                // access — a future query only reads the fragments its range
+                // needs (this is the whole point of partitioned views).
+                None => {
+                    let mut bytes = view.stats.size;
+                    if self.config.partition_policy.partitions() {
+                        let frac = self.comp_range_fraction(view, &hit.comp);
+                        bytes = ((bytes as f64 * frac) as u64).max(1);
+                    }
+                    bytes
+                }
+            };
+            let saving = (hit.sub_cost - self.cluster.scan_secs(scan_bytes, block)).max(0.0);
+            // Which fragments were (or would have been) hit, per partition.
+            let sub = deepsea_engine::subquery::subplan_at(plan, &hit.path);
+            let qsig = sub.and_then(Signature::of);
+            let mut ranges = Vec::new();
+            for ps in view.partitions.values() {
+                let needed = qsig
+                    .as_ref()
+                    .and_then(|s| s.range_on_attr(&ps.attr))
+                    .and_then(|r| clamp_to_domain(r, &ps.domain))
+                    .unwrap_or(ps.domain);
+                ranges.push((ps.attr.clone(), needed));
+            }
+            match updates.get_mut(&hit.view) {
+                Some(prev) if prev.0 >= saving => {}
+                slot => {
+                    let update = (saving, ranges);
+                    match slot {
+                        Some(prev) => *prev = update,
+                        None => {
+                            updates.insert(hit.view, update);
+                        }
+                    }
+                }
+            }
+        }
+        for (vid, (saving, ranges)) in updates {
+            let tmax = self.config.tmax;
+            let view = self.registry.view_mut(vid);
+            view.stats.record_use(tnow, saving);
+            view.stats.prune(tnow, tmax);
+            for (attr, needed) in ranges {
+                if let Some(ps) = view.partitions.get_mut(&attr) {
+                    for frag in &mut ps.fragments {
+                        if frag.interval.overlaps(&needed) {
+                            frag.stats.record_hit(tnow);
+                            frag.stats.prune(tnow, tmax);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fraction of the view a partitioned access needs for the given
+    /// compensation ranges (1.0 when no applicable range is known).
+    fn comp_range_fraction(&self, view: &crate::registry::ViewMeta, comp: &Compensation) -> f64 {
+        let mut frac: f64 = 1.0;
+        for (col, lo, hi) in &comp.ranges {
+            let domain = view
+                .partitions
+                .values()
+                .find(|p| attr_matches(&p.attr, col))
+                .map(|p| p.domain)
+                .or_else(|| self.attr_domain(&view.plan, col));
+            if let Some(d) = domain {
+                if let Some(iv) = clamp_to_domain((*lo, *hi), &d) {
+                    frac = frac.min(iv.width() as f64 / d.width() as f64);
+                }
+            }
+        }
+        frac
+    }
+
+    // ── Candidate generation ─────────────────────────────────────────────
+
+    /// Definition 6: register view candidates for the chosen plan's
+    /// subqueries. Returns the ids of candidates relevant to this query.
+    fn register_candidates(&mut self, qbest: &LogicalPlan, tnow: LogicalTime) -> Vec<ViewId> {
+        let mut out = Vec::new();
+        // Range selections anywhere in the chosen plan, used to anticipate
+        // partitioned access when estimating first-use savings.
+        let query_ranges: Vec<(String, (i64, i64))> = all_subplans(qbest)
+            .into_iter()
+            .filter_map(|(_, p)| match p {
+                LogicalPlan::Select { pred, .. } => Some(collect_ranges(pred)),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let mut registrations: Vec<(LogicalPlan, Signature, u64, f64, f64, f64)> = Vec::new();
+        {
+            let estimator = CostEstimator::new(&self.catalog, &self.fs, &self.cluster);
+            for (_, sub) in view_candidate_subplans(qbest) {
+                let Some(sig) = Signature::of(sub) else { continue };
+                let est = estimator.estimate(sub);
+                let est_size = est.out_bytes.max(1.0) as u64;
+                let block = self.fs.block_config().block_bytes;
+                // Reducers write the view in parallel as one output wave; the
+                // per-file dispatch penalty only applies to the real fragment
+                // count, which is measured at materialization time.
+                let files = 1;
+                let compute = estimator.estimated_secs(sub);
+                // Marginal overhead of materializing during this query (the
+                // computation is a by-product); used by the admission filter.
+                let overhead = self.cluster.write_secs(est_size, files);
+                // Recreation cost (recompute + write); used in Φ (§7.1).
+                let recreate = compute + overhead;
+                // First-use saving: computing the subquery vs scanning the
+                // view — anticipating partitioned access (only the fragments
+                // the query's range needs) when the policy partitions.
+                let mut scan_bytes = est_size;
+                if self.config.partition_policy.partitions() {
+                    let mut frac: f64 = 1.0;
+                    for (col, (lo, hi)) in &query_ranges {
+                        if let Some(d) = self.attr_domain(sub, col) {
+                            if let Some(iv) = clamp_to_domain((*lo, *hi), &d) {
+                                frac = frac.min(iv.width() as f64 / d.width() as f64);
+                            }
+                        }
+                    }
+                    scan_bytes = ((est_size as f64 * frac) as u64).max(1);
+                }
+                let saving = (compute - self.cluster.scan_secs(scan_bytes, block)).max(0.0);
+                registrations.push((sub.clone(), sig, est_size, recreate, overhead, saving));
+            }
+        }
+        for (plan, sig, est_size, recreate, overhead, saving) in registrations {
+            let key = sig.canonical_key();
+            let is_new = self.registry.by_key(&key).is_none();
+            let vid = self.registry.register(plan, sig, est_size, recreate, overhead);
+            if is_new {
+                // The view could have been used by this very query.
+                self.registry.view_mut(vid).stats.record_use(tnow, saving);
+            }
+            out.push(vid);
+        }
+        out
+    }
+
+    /// Definition 7: derive partition candidates from the range selections of
+    /// the chosen plan.
+    fn register_partition_candidates(&mut self, qbest: &LogicalPlan, tnow: LogicalTime) {
+        if !self.config.partition_policy.partitions() {
+            return;
+        }
+        // Collect (view id, attr, domain, query interval) tuples first.
+        let mut work: Vec<(ViewId, String, Interval, Interval)> = Vec::new();
+        for (_, sub) in all_subplans(qbest) {
+            let LogicalPlan::Select { pred, input } = sub else { continue };
+            let is_shape = matches!(
+                **input,
+                LogicalPlan::Join { .. }
+                    | LogicalPlan::Aggregate { .. }
+                    | LogicalPlan::Project { .. }
+            );
+            if let Some(sig) = is_shape.then(|| Signature::of(input)).flatten() {
+                // σ over a view-shaped subquery (Definition 7 on a tracked view).
+                let Some(vid) = self.registry.by_key(&sig.canonical_key()) else {
+                    continue;
+                };
+                for (col, (lo, hi)) in collect_ranges(pred) {
+                    let Some(domain) = self.attr_domain(input, &col) else { continue };
+                    let Some(qiv) = clamp_to_domain((lo, hi), &domain) else { continue };
+                    work.push((vid, col, domain, qiv));
+                }
+            } else if let Some(view_name) = viewscan_name(input) {
+                // σ over a (rewritten) view scan: refine the partitions of
+                // the reused view — this is how progressive refinement keeps
+                // happening once queries are answered from the pool.
+                let Some(vid) = self.registry.by_name(view_name) else { continue };
+                for (col, (lo, hi)) in collect_ranges(pred) {
+                    // Refine the existing partition on this attribute, or —
+                    // since a view may hold partitions on several attributes —
+                    // start tracking a new one from the base-table domain.
+                    let existing = self
+                        .registry
+                        .view(vid)
+                        .partitions
+                        .values()
+                        .find(|p| attr_matches(&p.attr, &col))
+                        .map(|p| (p.attr.clone(), p.domain));
+                    let (attr, domain) = match existing {
+                        Some(x) => x,
+                        None => {
+                            let plan = self.registry.view(vid).plan.clone();
+                            match self.attr_domain(&plan, &col) {
+                                Some(d) => (col.clone(), d),
+                                None => continue,
+                            }
+                        }
+                    };
+                    let Some(qiv) = clamp_to_domain((lo, hi), &domain) else { continue };
+                    work.push((vid, attr, domain, qiv));
+                }
+            }
+        }
+        for (vid, col, domain, qiv) in work {
+            let tmax = self.config.tmax;
+            let view = self.registry.view_mut(vid);
+            let view_size = view.stats.size;
+            let ps = view
+                .partitions
+                .entry(col.clone())
+                .or_insert_with(|| PartitionState::new(col.clone(), domain));
+            ps.add_boundary(qiv.lo);
+            if qiv.hi < ps.domain.hi {
+                ps.add_boundary(qiv.hi + 1);
+            }
+            let base = ps.candidate_base();
+            let mut cands = partition_candidates(&base, &ps.domain, &qiv);
+            // §9 "Bounding Fragment Size": chop candidates larger than
+            // φ·S(V) into equal pieces so cold regions never become one
+            // monolithic fragment.
+            if let Some(phi) = self.config.phi_max_fraction {
+                let limit = (phi * view_size as f64).max(1.0);
+                cands = cands
+                    .into_iter()
+                    .flat_map(|c| {
+                        let est = ps.estimate_size(&c, view_size) as f64;
+                        if est > limit {
+                            c.chop((est / limit).ceil() as usize)
+                        } else {
+                            vec![c]
+                        }
+                    })
+                    .collect();
+            }
+            for cand in cands {
+                let est = ps.estimate_size(&cand, view_size);
+                let is_new = ps.find(&cand).is_none();
+                let fid = ps.track(cand, est);
+                // Freshly-tracked candidates inside the query range would
+                // have been used by this query; existing fragments already
+                // recorded their hit during the matching phase.
+                if is_new && qiv.contains(&cand) {
+                    let frag = ps.frag_mut(fid).expect("just tracked");
+                    frag.stats.record_hit(tnow);
+                    frag.stats.prune(tnow, tmax);
+                }
+            }
+        }
+    }
+
+    /// The domain `D(A)` of an attribute, from base-table statistics.
+    fn attr_domain(&self, plan: &LogicalPlan, col: &str) -> Option<Interval> {
+        for t in plan.base_tables() {
+            if let Some(s) = self.catalog.column_stats(t, col) {
+                return Some(Interval::new(s.min, s.max));
+            }
+        }
+        None
+    }
+
+    // ── Selection ────────────────────────────────────────────────────────
+
+    /// Build `ALLCAND = Vsel ∪ Psel ∪ {materialized views and fragments}`.
+    fn build_allcand(&self, new_cands: &[ViewId], tnow: LogicalTime) -> Vec<RankedItem> {
+        let tmax = self.config.tmax;
+        let vm = self.config.value_model;
+        let mut items = Vec::new();
+        let mut included: BTreeSet<ViewId> = BTreeSet::new();
+
+        // Vsel: this query's unmaterialized view candidates passing COST ≤ B.
+        for &vid in new_cands {
+            if !included.insert(vid) {
+                continue;
+            }
+            let view = self.registry.view(vid);
+            if view.is_materialized() {
+                continue;
+            }
+            let benefit = vm.view_benefit(&view.stats, tnow, tmax);
+            if view.creation_overhead > benefit {
+                continue;
+            }
+            // Under the progressive policy a new partitioned view's *initial
+            // fragments* are admitted individually — "candidate views and
+            // fragments are treated alike" (§7.3). A pool far smaller than
+            // the view can still admit its hot fragments.
+            let progressive = matches!(
+                self.config.partition_policy,
+                PartitionPolicy::Progressive { .. }
+            );
+            let hinted = view
+                .partitions
+                .values()
+                .max_by_key(|p| (p.boundaries.len(), p.fragments.len()))
+                .filter(|p| !p.fragments.is_empty());
+            match hinted {
+                Some(ps) if progressive => {
+                    let values =
+                        vm.fragment_values(ps, view.stats.size, view.stats.cost, tnow, tmax);
+                    // Tracked candidates can overlap (pieces from different
+                    // queries' splits); the initial materialization keeps a
+                    // greedy Φ-ranked *disjoint* subset so the view is not
+                    // written multiple times over.
+                    let mut ranked: Vec<(&crate::fragment::FragmentMeta, f64)> =
+                        ps.fragments.iter().zip(values).collect();
+                    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    let mut taken: Vec<Interval> = Vec::new();
+                    for (frag, phi) in ranked {
+                        if taken.iter().any(|iv| iv.overlaps(&frag.interval)) {
+                            continue;
+                        }
+                        taken.push(frag.interval);
+                        items.push(RankedItem {
+                            kind: CandidateKind::Fragment(view.id, ps.attr.clone(), frag.id),
+                            phi,
+                            size: frag.size,
+                            materialized: false,
+                        });
+                    }
+                }
+                _ => items.push(RankedItem {
+                    kind: CandidateKind::WholeView(vid),
+                    phi: vm.view_value(&view.stats, tnow, tmax),
+                    size: view.stats.size,
+                    materialized: false,
+                }),
+            }
+        }
+
+        for view in self.registry.iter() {
+            // Materialized whole views partake (needed for NP-style pools).
+            if view.whole_file.is_some() {
+                items.push(RankedItem {
+                    kind: CandidateKind::WholeView(view.id),
+                    phi: vm.view_value(&view.stats, tnow, tmax),
+                    size: view.stats.size,
+                    materialized: true,
+                });
+            }
+            for ps in view.partitions.values() {
+                if !ps.any_materialized() {
+                    continue;
+                }
+                let values = vm.fragment_values(ps, view.stats.size, view.stats.cost, tnow, tmax);
+                for (frag, phi) in ps.fragments.iter().zip(values) {
+                    if frag.is_materialized() {
+                        items.push(RankedItem {
+                            kind: CandidateKind::Fragment(view.id, ps.attr.clone(), frag.id),
+                            phi,
+                            size: frag.size,
+                            materialized: true,
+                        });
+                    } else if self.config.partition_policy.repartitions() {
+                        // Psel: refinement candidates passing COST(Icand) ≤ B(I)
+                        // (§7.2 — only for partitions already in the pool).
+                        // A candidate that is already covered nearly as
+                        // cheaply by materialized fragments brings no marginal
+                        // benefit — skip it (the cost-based refinement
+                        // decision of §2).
+                        let block = self.fs.block_config().block_bytes;
+                        let mats = ps.materialized();
+                        let cover_bytes = partition_matching(&frag.interval, &mats).map(|cover| {
+                            cover
+                                .iter()
+                                .filter_map(|id| ps.frag(*id))
+                                .map(|f| f.size)
+                                .sum::<u64>()
+                        });
+                        if let Some(cb) = cover_bytes {
+                            if cb <= frag.size.saturating_mul(5) / 4 {
+                                continue;
+                            }
+                        }
+                        // COST(Icand) = wwrite·S(Icand) + Σ wread·S(I), here at
+                        // cluster-effective rates so the units match benefits.
+                        let read_bytes: u64 = ps
+                            .fragments
+                            .iter()
+                            .filter(|f| f.is_materialized() && f.interval.overlaps(&frag.interval))
+                            .map(|f| f.size)
+                            .sum();
+                        let create_cost = if read_bytes == 0 {
+                            // Nothing materialized overlaps: the fragment must
+                            // be rebuilt by recomputing the view (§7.1: the
+                            // fragment's cost is its view's creation cost).
+                            view.stats.cost
+                        } else {
+                            self.cluster
+                                .write_secs(frag.size, frag.size.div_ceil(block).max(1))
+                                + self.cluster.scan_secs(read_bytes, block)
+                        };
+                        // Admission benefit: what each (decayed) hit actually
+                        // saves over today's best access to this range — the
+                        // cover read (or a full recompute when uncovered)
+                        // versus reading just this fragment. A sharper proxy
+                        // for B(I) than the size-share formula, which is kept
+                        // for the eviction ranking Φ above.
+                        let per_hit_saving = match cover_bytes {
+                            Some(cb) => {
+                                (self.cluster.scan_secs(cb, block)
+                                    - self.cluster.scan_secs(frag.size, block))
+                                .max(0.0)
+                            }
+                            None => (view.stats.cost
+                                - self.cluster.scan_secs(frag.size, block))
+                            .max(0.0),
+                        };
+                        let benefit = per_hit_saving * frag.stats.decayed_hits(tnow, tmax);
+                        if create_cost <= benefit {
+                            items.push(RankedItem {
+                                kind: CandidateKind::Fragment(view.id, ps.attr.clone(), frag.id),
+                                phi,
+                                size: frag.size,
+                                materialized: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        items
+    }
+
+    // ── Materialization / eviction ───────────────────────────────────────
+
+    /// Materialize a view (whole or initially partitioned). Returns the
+    /// creation overhead in seconds and descriptions of what was written.
+    fn materialize_view(
+        &mut self,
+        vid: ViewId,
+        _tnow: LogicalTime,
+    ) -> Result<(CreationCharge, Vec<String>), ExecError> {
+        let (plan, name) = {
+            let v = self.registry.view(vid);
+            if v.is_materialized() {
+                return Ok((CreationCharge::default(), Vec::new()));
+            }
+            (v.plan.clone(), v.name.clone())
+        };
+        // Compute the view's content. In the real system this is a by-product
+        // of the instrumented query's execution, so only the *write* side is
+        // charged below.
+        let (table, _compute_metrics) = execute(&plan, &self.catalog, &self.fs)?;
+        let actual_size = table.sim_bytes();
+        let schema = table.schema.clone();
+
+        // Choose a partition layout.
+        let attr_choice: Option<(String, Interval, Vec<Interval>)> = {
+            let v = self.registry.view(vid);
+            self.choose_layout(v.partitions.values(), actual_size, &table)
+        };
+
+        let mut descs = Vec::new();
+        let mut written_bytes = 0u64;
+        let mut files = 0u64;
+        match attr_choice {
+            Some((attr, _domain, intervals)) if self.config.partition_policy.partitions() => {
+                let col_idx = schema
+                    .index_of(&attr)
+                    .ok_or_else(|| ExecError::UnknownColumn(attr.clone()))?;
+                for iv in &intervals {
+                    let rows: Vec<_> = table
+                        .rows
+                        .iter()
+                        .filter(|r| match r[col_idx].as_int() {
+                            Some(v) => iv.contains_point(v),
+                            None => false,
+                        })
+                        .cloned()
+                        .collect();
+                    let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
+                    let size = frag_table.sim_bytes();
+                    let (file, _) = self.fs.create(
+                        format!("{name}.{attr}{iv}"),
+                        size,
+                        frag_table,
+                    );
+                    written_bytes += size;
+                    files += 1;
+                    let view = self.registry.view_mut(vid);
+                    let ps = view
+                        .partitions
+                        .get_mut(&attr)
+                        .expect("layout chosen from existing partition");
+                    let fid = ps.track(*iv, size);
+                    let frag = ps.frag_mut(fid).expect("just tracked");
+                    frag.file = Some(file);
+                    frag.size = size;
+                    descs.push(format!("{name}.{attr}{iv}"));
+                }
+            }
+            _ => {
+                let size = table.sim_bytes();
+                let (file, _) = self.fs.create(name.clone(), size, table);
+                written_bytes += size;
+                files += 1;
+                self.registry.view_mut(vid).whole_file = Some(file);
+                descs.push(name.clone());
+            }
+        }
+        let secs = self.cluster.write_secs(written_bytes, files);
+        let estimator = CostEstimator::new(&self.catalog, &self.fs, &self.cluster);
+        let recompute = estimator.estimated_secs(&plan) + secs;
+        let view = self.registry.view_mut(vid);
+        view.schema = Some(schema);
+        view.stats.set_measured(actual_size, recompute);
+        view.creation_overhead = secs;
+        Ok((
+            CreationCharge {
+                read_bytes: 0,
+                write_bytes: written_bytes,
+                files,
+            },
+            descs,
+        ))
+    }
+
+    /// Pick the partition attribute and initial intervals for a new view.
+    fn choose_layout<'a>(
+        &self,
+        partitions: impl Iterator<Item = &'a PartitionState>,
+        view_size: u64,
+        table: &Table,
+    ) -> Option<(String, Interval, Vec<Interval>)> {
+        // Prefer the partition with the most recorded boundaries (the
+        // attribute the workload actually selects on).
+        let ps = partitions.max_by_key(|p| (p.boundaries.len(), p.fragments.len()))?;
+        let intervals = match self.config.partition_policy {
+            PartitionPolicy::EquiDepth { fragments } => {
+                let col = table.schema.index_of(&ps.attr)?;
+                let mut values: Vec<i64> =
+                    table.rows.iter().filter_map(|r| r[col].as_int()).collect();
+                values.sort_unstable();
+                equi_depth_intervals(&values, fragments, &ps.domain)
+            }
+            PartitionPolicy::Progressive { .. } => apply_size_bounds(
+                &ps.boundary_partition(),
+                &ps.domain,
+                view_size,
+                self.config.min_fragment_bytes,
+                self.config.phi_max_fraction,
+            ),
+            _ => return None,
+        };
+        Some((ps.attr.clone(), ps.domain, intervals))
+    }
+
+    /// Materialize one refinement fragment on an existing partition.
+    /// Charges `wread` for every overlapping materialized fragment read and
+    /// `wwrite` for everything written (§7.2). Under horizontal (non-
+    /// overlapping) partitioning, split fragments are rewritten and dropped;
+    /// under overlapping partitioning the originals are kept.
+    fn materialize_fragment(
+        &mut self,
+        vid: ViewId,
+        attr: &str,
+        fid: FragmentId,
+        view_cache: &mut std::collections::HashMap<ViewId, Arc<Table>>,
+    ) -> Result<Option<(CreationCharge, String)>, ExecError> {
+        let overlapping_mode = self.config.partition_policy.overlapping();
+        let (name, schema, target, sources): (String, _, Interval, Vec<SourceFrag>) = {
+            let view = self.registry.view(vid);
+            let Some(ps) = view.partitions.get(attr) else {
+                return Ok(None);
+            };
+            let Some(frag) = ps.frag(fid) else { return Ok(None) };
+            if frag.is_materialized() {
+                return Ok(None);
+            }
+            let target = frag.interval;
+            let sources = ps
+                .fragments
+                .iter()
+                .filter(|f| f.is_materialized() && f.interval.overlaps(&target))
+                .map(|f| (f.id, f.interval, f.file.unwrap(), f.size))
+                .collect::<Vec<_>>();
+            let schema = view.schema.clone();
+            match schema {
+                Some(s) if !sources.is_empty() => (view.name.clone(), s, target, sources),
+                // No materialized source covers the target (fresh view, or a
+                // fully-evicted region): build the fragment from the view's
+                // plan instead.
+                _ => return self.materialize_fragment_from_plan(vid, attr, fid, view_cache),
+            }
+        };
+
+        let col_idx = schema
+            .index_of(attr)
+            .ok_or_else(|| ExecError::UnknownColumn(attr.to_string()))?;
+        let mut read_bytes = 0u64;
+        let mut written_bytes = 0u64;
+        let mut files_written = 0u64;
+
+        // Use an Algorithm-2 cover so each row is taken exactly once even
+        // when materialized source fragments overlap each other.
+        let cover = partition_matching(
+            &target,
+            &sources.iter().map(|(id, iv, _, _)| (*id, *iv)).collect::<Vec<_>>(),
+        );
+        let Some(cover) = cover else { return Ok(None) };
+
+        let mut rows = Vec::new();
+        let mut next_lo = target.lo;
+        let mut source_tables = Vec::new();
+        for fid2 in &cover {
+            let (_, iv, file, _) = sources.iter().find(|(id, ..)| id == fid2).unwrap();
+            let Some((payload, bytes, _)) = self.fs.read(*file) else {
+                return Ok(None);
+            };
+            read_bytes += bytes;
+            let take = Interval::new(next_lo.max(target.lo), iv.hi.min(target.hi));
+            for r in &payload.rows {
+                if let Some(v) = r[col_idx].as_int() {
+                    if take.contains_point(v) {
+                        rows.push(r.clone());
+                    }
+                }
+            }
+            source_tables.push((*fid2, Arc::clone(&payload)));
+            next_lo = iv.hi + 1;
+            if next_lo > target.hi {
+                break;
+            }
+        }
+        let bytes_per_row = source_tables
+            .first()
+            .map(|(_, t)| t.bytes_per_row)
+            .unwrap_or(1);
+        let frag_table = Table::new(schema.clone(), rows, bytes_per_row);
+        let new_size = frag_table.sim_bytes();
+        let (new_file, _) = self
+            .fs
+            .create(format!("{name}.{attr}{target}"), new_size, frag_table);
+        written_bytes += new_size;
+        files_written += 1;
+
+        // Horizontal mode: rewrite the remainders of every split fragment and
+        // drop the originals. Overlapping mode: keep them (§10.4).
+        let mut split_work: Vec<(FragmentId, Interval, u64)> = Vec::new();
+        if !overlapping_mode {
+            for (sid, iv, _, size) in &sources {
+                split_work.push((*sid, *iv, *size));
+            }
+        }
+        let mut remainder_meta: Vec<(Interval, FileId, u64)> = Vec::new();
+        let mut dropped: Vec<FragmentId> = Vec::new();
+        for (sid, iv, _size) in &split_work {
+            // Remainder pieces of iv not covered by target.
+            let mut pieces = Vec::new();
+            if iv.lo < target.lo {
+                pieces.push(Interval::new(iv.lo, target.lo - 1));
+            }
+            if iv.hi > target.hi {
+                pieces.push(Interval::new(target.hi + 1, iv.hi));
+            }
+            let payload = source_tables
+                .iter()
+                .find(|(id, _)| id == sid)
+                .map(|(_, t)| Arc::clone(t));
+            let payload = match payload {
+                Some(p) => p,
+                None => {
+                    // Source overlapped the target but was not in the cover;
+                    // read it now for splitting.
+                    let file = sources.iter().find(|(id, ..)| id == sid).unwrap().2;
+                    let Some((p, bytes, _)) = self.fs.read(file) else { continue };
+                    read_bytes += bytes;
+                    p
+                }
+            };
+            for piece in pieces {
+                let rows: Vec<_> = payload
+                    .rows
+                    .iter()
+                    .filter(|r| {
+                        r[col_idx]
+                            .as_int()
+                            .is_some_and(|v| piece.contains_point(v))
+                    })
+                    .cloned()
+                    .collect();
+                let t = Table::new(schema.clone(), rows, payload.bytes_per_row);
+                let size = t.sim_bytes();
+                let (file, _) = self.fs.create(format!("{name}.{attr}{piece}"), size, t);
+                written_bytes += size;
+                files_written += 1;
+                remainder_meta.push((piece, file, size));
+            }
+            dropped.push(*sid);
+        }
+
+        // Update registry metadata.
+        {
+            let view = self.registry.view_mut(vid);
+            let ps = view.partitions.get_mut(attr).expect("checked above");
+            if let Some(f) = ps.frag_mut(fid) {
+                f.file = Some(new_file);
+                f.size = new_size;
+            }
+            for sid in dropped {
+                if let Some(f) = ps.frag_mut(sid) {
+                    if let Some(file) = f.file.take() {
+                        self.fs.delete(file);
+                    }
+                }
+            }
+            for (piece, file, size) in remainder_meta {
+                let pid = ps.track(piece, size);
+                let f = ps.frag_mut(pid).expect("just tracked");
+                f.file = Some(file);
+                f.size = size;
+            }
+        }
+
+        Ok(Some((
+            CreationCharge {
+                read_bytes,
+                write_bytes: written_bytes,
+                files: files_written,
+            },
+            format!("{name}.{attr}{target}"),
+        )))
+    }
+
+    /// Build a fragment by computing the view's plan (used for initial
+    /// partitioned materialization and for regions whose sources were
+    /// evicted). As with whole-view materialization, the computation happens
+    /// as a by-product of the running query, so only the write is charged.
+    fn materialize_fragment_from_plan(
+        &mut self,
+        vid: ViewId,
+        attr: &str,
+        fid: FragmentId,
+        view_cache: &mut std::collections::HashMap<ViewId, Arc<Table>>,
+    ) -> Result<Option<(CreationCharge, String)>, ExecError> {
+        let (plan, name, target) = {
+            let view = self.registry.view(vid);
+            let Some(ps) = view.partitions.get(attr) else { return Ok(None) };
+            let Some(frag) = ps.frag(fid) else { return Ok(None) };
+            (view.plan.clone(), view.name.clone(), frag.interval)
+        };
+        let table = match view_cache.get(&vid) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let (t, _metrics) = execute(&plan, &self.catalog, &self.fs)?;
+                let t = Arc::new(t);
+                view_cache.insert(vid, Arc::clone(&t));
+                t
+            }
+        };
+        let schema = table.schema.clone();
+        let Some(col_idx) = schema.index_of(attr) else {
+            return Ok(None);
+        };
+        let full_size = table.sim_bytes();
+        let rows: Vec<_> = table
+            .rows
+            .iter()
+            .filter(|r| {
+                r[col_idx]
+                    .as_int()
+                    .is_some_and(|v| target.contains_point(v))
+            })
+            .cloned()
+            .collect();
+        let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
+        let size = frag_table.sim_bytes();
+        let (file, _) = self
+            .fs
+            .create(format!("{name}.{attr}{target}"), size, frag_table);
+        let overhead = self.cluster.write_secs(full_size, 1);
+        let estimator = CostEstimator::new(&self.catalog, &self.fs, &self.cluster);
+        let recompute = estimator.estimated_secs(&plan);
+        let view = self.registry.view_mut(vid);
+        if view.schema.is_none() {
+            view.schema = Some(schema);
+            view.stats.set_measured(full_size, recompute + overhead);
+            view.creation_overhead = overhead;
+        }
+        let ps = view.partitions.get_mut(attr).expect("checked above");
+        if let Some(f) = ps.frag_mut(fid) {
+            f.file = Some(file);
+            f.size = size;
+        }
+        Ok(Some((
+            CreationCharge {
+                read_bytes: 0,
+                write_bytes: size,
+                files: 1,
+            },
+            format!("{name}.{attr}{target}"),
+        )))
+    }
+
+    fn evict(&mut self, kind: &CandidateKind) -> Option<String> {
+        match kind {
+            CandidateKind::WholeView(vid) => {
+                let view = self.registry.view_mut(*vid);
+                let file = view.whole_file.take()?;
+                self.fs.delete(file);
+                Some(view.name.clone())
+            }
+            CandidateKind::Fragment(vid, attr, fid) => {
+                let view = self.registry.view_mut(*vid);
+                let name = view.name.clone();
+                let ps = view.partitions.get_mut(attr)?;
+                let frag = ps.frag_mut(*fid)?;
+                let file = frag.file.take()?;
+                let iv = frag.interval;
+                self.fs.delete(file);
+                Some(format!("{name}.{attr}{iv}"))
+            }
+        }
+    }
+
+    /// Evict lowest-value items until the pool fits `Smax` again (actual
+    /// materialized sizes can exceed the estimates selection planned with).
+    /// Maintenance pass implementing the §11 extension: merge consecutive
+    /// materialized fragments that are (almost) always accessed together.
+    /// Reads both halves, writes the union, drops the originals; returns the
+    /// simulated seconds spent and the merges performed.
+    pub fn merge_cohit_fragments(
+        &mut self,
+        cohit_tolerance: f64,
+        max_merged_fraction: f64,
+    ) -> Result<(f64, Vec<String>), ExecError> {
+        let tnow = self.clock.max(1);
+        let tmax = self.config.tmax;
+        let block = self.fs.block_config().block_bytes;
+        // Collect the work before mutating (borrow discipline).
+        let mut work: Vec<(ViewId, String, crate::merging::MergeCandidate)> = Vec::new();
+        for view in self.registry.iter() {
+            let cap = (view.stats.size as f64 * max_merged_fraction) as u64;
+            for ps in view.partitions.values() {
+                for cand in
+                    crate::merging::merge_candidates(ps, tnow, tmax, cohit_tolerance, cap)
+                {
+                    work.push((view.id, ps.attr.clone(), cand));
+                }
+            }
+        }
+        let mut secs = 0.0;
+        let mut merged = Vec::new();
+        for (vid, attr, cand) in work {
+            let (name, schema, files_sizes) = {
+                let view = self.registry.view(vid);
+                let Some(schema) = view.schema.clone() else { continue };
+                let ps = view.partitions.get(&attr).expect("candidate source");
+                let pair: Vec<(FileId, u64)> = [cand.left, cand.right]
+                    .iter()
+                    .filter_map(|id| ps.frag(*id))
+                    .filter_map(|f| f.file.map(|file| (file, f.size)))
+                    .collect();
+                if pair.len() != 2 {
+                    continue; // one half was evicted since planning
+                }
+                (view.name.clone(), schema, pair)
+            };
+            let mut rows = Vec::new();
+            let mut read_bytes = 0;
+            let mut bpr = 1;
+            for (file, _) in &files_sizes {
+                let Some((payload, bytes, _)) = self.fs.read(*file) else { continue };
+                read_bytes += bytes;
+                bpr = bpr.max(payload.bytes_per_row);
+                rows.extend(payload.rows.iter().cloned());
+            }
+            let merged_table = Table::new(schema, rows, bpr);
+            let size = merged_table.sim_bytes();
+            let (new_file, _) =
+                self.fs
+                    .create(format!("{name}.{attr}{}", cand.merged), size, merged_table);
+            secs += self.cluster.scan_secs(read_bytes, block)
+                + self.cluster.write_secs(size, size.div_ceil(block).max(1));
+            // Update metadata: drop the halves, track the union.
+            let view = self.registry.view_mut(vid);
+            let ps = view.partitions.get_mut(&attr).expect("checked");
+            let mut hits: Vec<LogicalTime> = Vec::new();
+            for id in [cand.left, cand.right] {
+                if let Some(f) = ps.frag_mut(id) {
+                    hits.extend(f.stats.hits.iter().copied());
+                    if let Some(file) = f.file.take() {
+                        self.fs.delete(file);
+                    }
+                }
+            }
+            hits.sort_unstable();
+            let mid = ps.track(cand.merged, size);
+            let f = ps.frag_mut(mid).expect("just tracked");
+            f.file = Some(new_file);
+            f.size = size;
+            f.stats.hits = hits;
+            merged.push(format!("{name}.{attr}{}", cand.merged));
+        }
+        Ok((secs, merged))
+    }
+
+    fn enforce_limit(&mut self, tnow: LogicalTime) -> Vec<String> {
+        let Some(smax) = self.config.smax else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.pool_bytes() > smax {
+            let items: Vec<RankedItem> = self
+                .build_allcand(&[], tnow)
+                .into_iter()
+                .filter(|i| i.materialized)
+                .collect();
+            let Some(worst) = items
+                .into_iter()
+                .min_by(|a, b| a.phi.total_cmp(&b.phi))
+            else {
+                break;
+            };
+            match self.evict(&worst.kind) {
+                Some(d) => evicted.push(d),
+                None => break,
+            }
+        }
+        evicted
+    }
+}
+
+/// The view name a plan scans, reached through any chain of
+/// selections/projections, if any.
+fn viewscan_name(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::ViewScan(v) => Some(&v.view_name),
+        LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
+            viewscan_name(input)
+        }
+        _ => None,
+    }
+}
+
+/// Do two attribute names refer to the same column (qualified or bare)?
+fn attr_matches(a: &str, b: &str) -> bool {
+    a == b || a.rsplit('.').next() == b.rsplit('.').next()
+}
+
+/// All range conjuncts of a predicate as `(column, (lo, hi))`.
+fn collect_ranges(pred: &deepsea_relation::Predicate) -> Vec<(String, (i64, i64))> {
+    pred.conjuncts()
+        .into_iter()
+        .filter_map(|c| match c {
+            deepsea_relation::Predicate::Range { col, low, high } => {
+                Some((col.clone(), (*low, *high)))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+// Re-export for the harness: the number of map tasks the last plan produced
+// is part of ExecMetrics; nothing else to add here.
+
+#[allow(unused_imports)]
+use deepsea_relation::Predicate as _PredicateForDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ValueModel;
+    use deepsea_engine::plan::AggExpr;
+    use deepsea_relation::generate::{ColumnGen, TableGen};
+    use deepsea_relation::{DataType, Field, Predicate, Schema};
+
+    /// A small star schema: fact(k ∈ [0,999], v) ⋈ dim(k, label).
+    fn catalog(rows: usize) -> Catalog {
+        let mut c = Catalog::new();
+        let fact = TableGen::new(
+            Schema::new(vec![
+                Field::new("fact.k", DataType::Int),
+                Field::new("fact.v", DataType::Float),
+            ]),
+            vec![
+                ColumnGen::UniformInt { low: 0, high: 999 },
+                ColumnGen::UniformFloat { low: 0.0, high: 100.0 },
+            ],
+            // Simulated bytes per row: rows=2000 → ~40GB, i.e. cluster-scale
+            // data where fragment-level savings clear the fixed MapReduce
+            // stage overheads.
+            20_000_000,
+            42,
+        )
+        .generate(rows);
+        let dim = TableGen::new(
+            Schema::new(vec![
+                Field::new("dim.k", DataType::Int),
+                Field::new("dim.label", DataType::Str),
+            ]),
+            vec![
+                ColumnGen::Serial { start: 0 },
+                ColumnGen::Label { prefix: "l", card: 10 },
+            ],
+            10_000,
+            43,
+        )
+        .generate(1000);
+        c.register("fact", fact);
+        c.register("dim", dim);
+        c
+    }
+
+    fn query(lo: i64, hi: i64) -> LogicalPlan {
+        LogicalPlan::scan("fact")
+            .join(LogicalPlan::scan("dim"), vec![("fact.k", "dim.k")])
+            .select(Predicate::range("fact.k", lo, hi))
+            .aggregate(vec!["dim.label"], vec![AggExpr::count("cnt")])
+    }
+
+    fn ds(config: DeepSeaConfig) -> DeepSea {
+        DeepSea::new(catalog(2000), config)
+    }
+
+    /// The first view with a materialized partition (the join view, in these
+    /// tests — the aggregate view is materialized whole).
+    fn partitioned_view(d: &DeepSea) -> &crate::registry::ViewMeta {
+        d.registry()
+            .iter()
+            .find(|v| v.partitions.values().any(|p| p.any_materialized()))
+            .expect("a partitioned view exists")
+    }
+
+    #[test]
+    fn hive_baseline_never_materializes() {
+        let mut d = ds(DeepSeaConfig::default()
+            .with_policy(PartitionPolicy::NoMaterialization));
+        for i in 0..3 {
+            let out = d.process_query(&query(i * 10, i * 10 + 50)).unwrap();
+            assert!(out.materialized.is_empty());
+            assert!(out.used_view.is_none());
+            assert_eq!(out.creation_secs, 0.0);
+        }
+        assert_eq!(d.pool_bytes(), 0);
+        assert_eq!(d.registry().len(), 0);
+    }
+
+    #[test]
+    fn np_materializes_whole_view_and_reuses_it() {
+        let mut d = ds(DeepSeaConfig::default().with_policy(PartitionPolicy::NoPartition));
+        let out1 = d.process_query(&query(100, 150)).unwrap();
+        assert!(
+            !out1.materialized.is_empty(),
+            "first query materializes: {out1:?}"
+        );
+        assert!(d.pool_bytes() > 0);
+        // Distinct ranges so only logical (not exact) matching can help.
+        let mut reused = false;
+        let mut reuse_secs = f64::MAX;
+        for i in 0..6 {
+            let out = d.process_query(&query(200 + i, 260 + i)).unwrap();
+            if out.used_view.is_some() {
+                reused = true;
+                reuse_secs = reuse_secs.min(out.query_secs);
+            }
+        }
+        assert!(reused, "later queries reuse the whole view");
+        assert!(
+            reuse_secs < out1.query_secs,
+            "reuse must be faster: {reuse_secs} vs {}",
+            out1.query_secs
+        );
+    }
+
+    #[test]
+    fn rewritten_results_match_hive_results() {
+        let mut d_ds = ds(DeepSeaConfig::default());
+        let mut d_h = ds(DeepSeaConfig::default()
+            .with_policy(PartitionPolicy::NoMaterialization));
+        for (lo, hi) in [(100, 200), (120, 180), (150, 420), (0, 999), (130, 170)] {
+            let q = query(lo, hi);
+            let a = d_ds.process_query(&q).unwrap();
+            let b = d_h.process_query(&q).unwrap();
+            assert_eq!(
+                a.result.fingerprint(),
+                b.result.fingerprint(),
+                "range [{lo},{hi}] must return identical results"
+            );
+        }
+    }
+
+    #[test]
+    fn deepsea_creates_partitioned_view_with_query_boundaries() {
+        let mut d = ds(DeepSeaConfig::default().with_min_fragment_bytes(1));
+        let out = d.process_query(&query(400, 600)).unwrap();
+        assert!(out.materialized.len() >= 2, "partitioned into fragments: {out:?}");
+        // Find the join view and its partition.
+        let view = partitioned_view(&d);
+        let ps = view
+            .partitions
+            .values()
+            .find(|p| p.any_materialized())
+            .expect("partitioned");
+        let mats = ps.materialized();
+        assert!(mats.len() >= 3, "boundary partition has ≥3 fragments");
+        let ivs: Vec<Interval> = mats.iter().map(|(_, iv)| *iv).collect();
+        assert!(crate::interval::covers(&ivs, &ps.domain));
+    }
+
+    #[test]
+    fn partitioned_reuse_reads_less_than_whole_view() {
+        let mut d = ds(DeepSeaConfig::default().with_min_fragment_bytes(1));
+        d.process_query(&query(400, 600)).unwrap();
+        // Narrow query inside the hot fragment.
+        let out = d.process_query(&query(450, 550)).unwrap();
+        assert!(out.used_view.is_some());
+        let view = partitioned_view(&d);
+        assert!(
+            out.metrics.bytes_read < view.stats.size,
+            "fragment read {} must be below whole view {}",
+            out.metrics.bytes_read,
+            view.stats.size
+        );
+    }
+
+    #[test]
+    fn progressive_refinement_creates_new_fragments() {
+        let mut d = ds(DeepSeaConfig::default()
+            .with_min_fragment_bytes(1)
+            .without_phi());
+        d.process_query(&query(400, 600)).unwrap();
+        // A query carving a sub-range of the cold left fragment [0,399]:
+        // candidates [0,99],[100,200],[201,399] are generated; after enough
+        // hits the refinement materializes.
+        let mut refined = false;
+        for _ in 0..20 {
+            let out = d.process_query(&query(100, 200)).unwrap();
+            if out
+                .materialized
+                .iter()
+                .any(|m| m.contains("[100, 200]"))
+            {
+                refined = true;
+            }
+        }
+        assert!(refined, "repeated hits must refine the cold fragment");
+        // And the refined fragment is then used.
+        let out = d.process_query(&query(120, 180)).unwrap();
+        assert!(out.used_view.is_some());
+    }
+
+    #[test]
+    fn no_repartition_policy_never_refines() {
+        let cfg = DeepSeaConfig::default()
+            .with_policy(PartitionPolicy::Progressive {
+                overlapping: true,
+                repartition: false,
+            })
+            .with_min_fragment_bytes(1);
+        let mut d = ds(cfg);
+        d.process_query(&query(400, 600)).unwrap();
+        let frag_count = |d: &DeepSea| {
+            d.registry()
+                .iter()
+                .flat_map(|v| v.partitions.values())
+                .map(|p| p.materialized().len())
+                .sum::<usize>()
+        };
+        let initial = frag_count(&d);
+        for _ in 0..10 {
+            d.process_query(&query(100, 200)).unwrap();
+        }
+        assert_eq!(frag_count(&d), initial, "NR must not add fragments");
+    }
+
+    #[test]
+    fn equi_depth_policy_creates_k_fragments() {
+        let cfg = DeepSeaConfig::default()
+            .with_policy(PartitionPolicy::EquiDepth { fragments: 6 })
+            .with_min_fragment_bytes(1);
+        let mut d = ds(cfg);
+        d.process_query(&query(400, 600)).unwrap();
+        let view = partitioned_view(&d);
+        let ps = view
+            .partitions
+            .values()
+            .find(|p| p.any_materialized())
+            .expect("partitioned");
+        assert_eq!(ps.materialized().len(), 6);
+    }
+
+    #[test]
+    fn pool_limit_is_respected() {
+        // Tiny pool: force eviction churn but never exceed the limit.
+        let smax = 60_000_000_000; // far below the ~80GB of candidate views
+        let cfg = DeepSeaConfig::default()
+            .with_smax(smax)
+            .with_min_fragment_bytes(1);
+        let mut d = ds(cfg);
+        for i in 0..6 {
+            let lo = (i * 150) % 800;
+            d.process_query(&query(lo, lo + 100)).unwrap();
+            assert!(
+                d.pool_bytes() <= smax,
+                "pool {} exceeds Smax {smax}",
+                d.pool_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_reports_names() {
+        let cfg = DeepSeaConfig::default()
+            .with_smax(1) // pathological: nothing fits
+            .with_min_fragment_bytes(1);
+        let mut d = ds(cfg);
+        let out = d.process_query(&query(400, 600)).unwrap();
+        // Nothing can be admitted into a 1-byte pool...
+        assert_eq!(d.pool_bytes(), 0, "{out:?}");
+    }
+
+    #[test]
+    fn overlapping_mode_keeps_big_fragment() {
+        // φ disabled so a large cold fragment survives initial partitioning.
+        let cfg = DeepSeaConfig::default()
+            .with_min_fragment_bytes(1)
+            .without_phi();
+        let mut d = ds(cfg);
+        d.process_query(&query(400, 600)).unwrap();
+        for _ in 0..20 {
+            d.process_query(&query(100, 200)).unwrap();
+        }
+        let view = partitioned_view(&d);
+        let ps = view.partitions.values().find(|p| p.any_materialized()).unwrap();
+        let mats: Vec<Interval> = ps.materialized().iter().map(|(_, iv)| *iv).collect();
+        // The original [0,399] fragment must still be materialized alongside
+        // the refined [100,200] — overlap allowed.
+        let has_big = mats.iter().any(|iv| iv.contains(&Interval::new(100, 200)) && iv.width() > 101);
+        let has_small = mats.iter().any(|iv| *iv == Interval::new(100, 200));
+        assert!(has_small, "refined fragment exists: {mats:?}");
+        assert!(has_big, "big fragment kept in overlapping mode: {mats:?}");
+    }
+
+    #[test]
+    fn horizontal_mode_splits_big_fragment() {
+        let cfg = DeepSeaConfig::default()
+            .with_policy(PartitionPolicy::Progressive {
+                overlapping: false,
+                repartition: true,
+            })
+            .with_min_fragment_bytes(1)
+            .without_phi();
+        let mut d = ds(cfg);
+        d.process_query(&query(400, 600)).unwrap();
+        for _ in 0..20 {
+            d.process_query(&query(100, 200)).unwrap();
+        }
+        let view = partitioned_view(&d);
+        let ps = view.partitions.values().find(|p| p.any_materialized()).unwrap();
+        let mats: Vec<Interval> = ps.materialized().iter().map(|(_, iv)| *iv).collect();
+        assert!(
+            crate::interval::pairwise_disjoint(&mats),
+            "horizontal partitioning must stay disjoint: {mats:?}"
+        );
+        assert!(crate::interval::covers(&mats, &ps.domain));
+    }
+
+    #[test]
+    fn nectar_value_model_runs_end_to_end() {
+        let cfg = DeepSeaConfig::default()
+            .with_value_model(ValueModel::Nectar)
+            .with_min_fragment_bytes(1)
+            .with_smax(4_000_000_000);
+        let mut d = ds(cfg);
+        for i in 0..5 {
+            let lo = (i * 100) % 700;
+            let out = d.process_query(&query(lo, lo + 80)).unwrap();
+            assert!(out.elapsed_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn clock_advances_per_query() {
+        let mut d = ds(DeepSeaConfig::default());
+        assert_eq!(d.clock(), 0);
+        d.process_query(&query(0, 10)).unwrap();
+        d.process_query(&query(0, 10)).unwrap();
+        assert_eq!(d.clock(), 2);
+    }
+}

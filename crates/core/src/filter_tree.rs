@@ -1,0 +1,146 @@
+//! A filter tree over view signatures (§8.3).
+//!
+//! Goldstein & Larson's filter tree indexes views level by level on parts of
+//! their signature so that matching a query against a large pool never
+//! evaluates the full sufficient condition on most views. Our matching
+//! condition requires *equality* of (a) the base-relation multiset and (b)
+//! the join-pair set, so those two levels prune losslessly; the full
+//! condition ([`deepsea_engine::signature::matches`]) runs only on the
+//! surviving leaf entries.
+
+use std::collections::BTreeMap;
+
+use deepsea_engine::Signature;
+
+/// Identifier of a view in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u64);
+
+/// Two-level signature index: relations key → join key → view ids.
+#[derive(Debug, Default, Clone)]
+pub struct FilterTree {
+    root: BTreeMap<String, BTreeMap<String, Vec<ViewId>>>,
+    len: usize,
+}
+
+fn relations_key(sig: &Signature) -> String {
+    let mut s = String::new();
+    for (t, n) in &sig.relations {
+        s.push_str(t);
+        s.push('*');
+        s.push_str(&n.to_string());
+        s.push(';');
+    }
+    s
+}
+
+fn join_key(sig: &Signature) -> String {
+    let mut s = String::new();
+    for (a, b) in &sig.join_pairs {
+        s.push_str(a);
+        s.push('=');
+        s.push_str(b);
+        s.push(';');
+    }
+    s
+}
+
+impl FilterTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed views.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no views are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index a view's signature.
+    pub fn insert(&mut self, sig: &Signature, id: ViewId) {
+        self.root
+            .entry(relations_key(sig))
+            .or_default()
+            .entry(join_key(sig))
+            .or_default()
+            .push(id);
+        self.len += 1;
+    }
+
+    /// Views that *may* match a query with this signature (must still pass
+    /// the full sufficient condition).
+    pub fn lookup(&self, query: &Signature) -> &[ViewId] {
+        self.root
+            .get(&relations_key(query))
+            .and_then(|m| m.get(&join_key(query)))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of top-level (relations) buckets — exposed for tests and
+    /// instrumentation.
+    pub fn bucket_count(&self) -> usize {
+        self.root.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsea_engine::LogicalPlan;
+    use deepsea_relation::Predicate;
+
+    fn sig(plan: &LogicalPlan) -> Signature {
+        Signature::of(plan).unwrap()
+    }
+
+    #[test]
+    fn lookup_prunes_by_relations_and_joins() {
+        let mut ft = FilterTree::new();
+        let j_ab = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let j_ac = LogicalPlan::scan("a").join(LogicalPlan::scan("c"), vec![("a.k", "c.k")]);
+        ft.insert(&sig(&j_ab), ViewId(1));
+        ft.insert(&sig(&j_ac), ViewId(2));
+        assert_eq!(ft.len(), 2);
+        assert_eq!(ft.lookup(&sig(&j_ab)), &[ViewId(1)]);
+        assert_eq!(ft.lookup(&sig(&j_ac)), &[ViewId(2)]);
+        assert!(ft.lookup(&sig(&LogicalPlan::scan("a"))).is_empty());
+        assert_eq!(ft.bucket_count(), 2);
+    }
+
+    #[test]
+    fn same_shape_different_ranges_share_bucket() {
+        let mut ft = FilterTree::new();
+        let base = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let v1 = base.clone().select(Predicate::range("a.k", 0, 10));
+        let v2 = base.clone().select(Predicate::range("a.k", 5, 50));
+        ft.insert(&sig(&v1), ViewId(1));
+        ft.insert(&sig(&v2), ViewId(2));
+        // A query over the same join lands in the same bucket and sees both.
+        let q = base.select(Predicate::range("a.k", 6, 9));
+        assert_eq!(ft.lookup(&sig(&q)), &[ViewId(1), ViewId(2)]);
+    }
+
+    #[test]
+    fn join_pair_order_does_not_split_buckets() {
+        let mut ft = FilterTree::new();
+        let j1 = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let j2 = LogicalPlan::scan("b").join(LogicalPlan::scan("a"), vec![("b.k", "a.k")]);
+        ft.insert(&sig(&j1), ViewId(1));
+        assert_eq!(ft.lookup(&sig(&j2)), &[ViewId(1)]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let ft = FilterTree::new();
+        assert!(ft.is_empty());
+        assert!(ft
+            .lookup(&sig(&LogicalPlan::scan("a")))
+            .is_empty());
+    }
+}

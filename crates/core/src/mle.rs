@@ -1,0 +1,198 @@
+//! The probabilistic fragment-benefit model (§7.1, "Probabilistic Fragment
+//! Benefit Model").
+//!
+//! Hits on fragments are treated as samples from an underlying access
+//! distribution over the partition attribute's domain. We quantize the
+//! fragments into equal-width *parts*, spread each fragment's (decayed) hits
+//! evenly over its parts, fit a normal distribution by maximum likelihood
+//! (the weighted sample mean / adjusted sample variance — the closed-form MLE
+//! the paper cites), and recompute each fragment's **adjusted hits**
+//!
+//! ```text
+//! HA(I) = Htotal · (P(x ≤ u) − P(x ≤ l))
+//! ```
+//!
+//! so that cold fragments *near* hot spots keep more value than cold
+//! fragments far away — the fragment-correlation effect of Figure 8.
+
+use deepsea_relation::distr::normal_cdf;
+
+use crate::interval::Interval;
+
+/// Cap on the total number of quantization parts, to bound fitting cost on
+/// very wide domains. (The MLE is recomputed for every query, so it must stay
+/// cheap — the paper calls the method "inexpensive".)
+pub const MAX_PARTS: usize = 4096;
+
+/// A fitted normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedNormal {
+    /// MLE mean `μ̂`.
+    pub mean: f64,
+    /// Square root of the adjusted sample variance `σ̂²`.
+    pub std: f64,
+}
+
+impl FittedNormal {
+    /// `P(x ≤ c)` under the fitted distribution.
+    pub fn cdf(&self, c: f64) -> f64 {
+        normal_cdf(c, self.mean, self.std)
+    }
+}
+
+/// Fit a normal distribution to per-fragment (decayed) hit counts.
+///
+/// `fragments` pairs each fragment's interval with its hit weight `H(I)`.
+/// Returns `None` when there is no signal (no fragments or ~zero hits).
+pub fn fit_normal(fragments: &[(Interval, f64)]) -> Option<FittedNormal> {
+    let active: Vec<&(Interval, f64)> = fragments.iter().filter(|(_, h)| *h > 0.0).collect();
+    if active.is_empty() {
+        return None;
+    }
+    let total_hits: f64 = active.iter().map(|(_, h)| h).sum();
+    if total_hits <= f64::EPSILON {
+        return None;
+    }
+
+    // Choose a part width: the narrowest fragment's width, but never so small
+    // that the total part count exceeds MAX_PARTS.
+    let min_width = active.iter().map(|(iv, _)| iv.width()).min().unwrap_or(1);
+    let total_width: u64 = active.iter().map(|(iv, _)| iv.width()).sum();
+    let floor_width = total_width.div_ceil(MAX_PARTS as u64).max(1);
+    let part_width = min_width.max(floor_width);
+
+    // Spread each fragment's hits evenly over its parts (H(p_i) = Σ H(I)/#I)
+    // and accumulate the weighted moments over part midpoints.
+    let mut wsum = 0.0; // Σ h_p
+    let mut xsum = 0.0; // Σ h_p · x_p
+    for (iv, h) in &active {
+        let parts = iv.width().div_ceil(part_width).max(1);
+        let per_part = h / parts as f64;
+        for p in 0..parts {
+            let lo = iv.lo + (p * part_width) as i64;
+            let hi = (lo + part_width as i64 - 1).min(iv.hi);
+            let mid = (lo + hi) as f64 / 2.0;
+            wsum += per_part;
+            xsum += per_part * mid;
+        }
+    }
+    let mean = xsum / wsum;
+    let mut vsum = 0.0; // Σ h_p · (x_p − μ)²
+    for (iv, h) in &active {
+        let parts = iv.width().div_ceil(part_width).max(1);
+        let per_part = h / parts as f64;
+        for p in 0..parts {
+            let lo = iv.lo + (p * part_width) as i64;
+            let hi = (lo + part_width as i64 - 1).min(iv.hi);
+            let mid = (lo + hi) as f64 / 2.0;
+            vsum += per_part * (mid - mean).powi(2);
+        }
+    }
+    // Adjusted (n−1) sample variance — "usually we do not expect a very large
+    // number of fragments for a view" (§7.1).
+    let denom = (wsum - 1.0).max(1.0);
+    let var = vsum / denom;
+    // Guard against a degenerate point mass: give it at least one part width
+    // of spread so the CDF stays informative.
+    let std = var.sqrt().max(part_width as f64 / 2.0);
+    Some(FittedNormal { mean, std })
+}
+
+/// Adjusted hits `HA(I) = Htotal · (P(x ≤ u) − P(x ≤ l))` with a half-point
+/// continuity correction for the integer domain.
+pub fn adjusted_hits(total_hits: f64, fit: &FittedNormal, iv: &Interval) -> f64 {
+    let p = fit.cdf(iv.hi as f64 + 0.5) - fit.cdf(iv.lo as f64 - 0.5);
+    total_hits * p.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn no_signal_returns_none() {
+        assert!(fit_normal(&[]).is_none());
+        assert!(fit_normal(&[(iv(0, 10), 0.0)]).is_none());
+    }
+
+    #[test]
+    fn symmetric_hits_center_the_mean() {
+        let frags = vec![
+            (iv(0, 9), 10.0),
+            (iv(10, 19), 50.0),
+            (iv(20, 29), 10.0),
+        ];
+        let fit = fit_normal(&frags).unwrap();
+        assert!((fit.mean - 14.5).abs() < 1.0, "mean={}", fit.mean);
+        assert!(fit.std > 0.0);
+    }
+
+    #[test]
+    fn paper_scenario_neighbor_of_hotspot_beats_distant() {
+        // §7.1: many hits on [0,5], none on [6,10] or [11,15] — the fragment
+        // adjacent to the hot spot must receive more adjusted hits.
+        let frags = vec![(iv(0, 5), 100.0), (iv(6, 10), 0.0), (iv(11, 15), 0.0)];
+        let fit = fit_normal(&frags).unwrap();
+        let near = adjusted_hits(100.0, &fit, &iv(6, 10));
+        let far = adjusted_hits(100.0, &fit, &iv(11, 15));
+        assert!(
+            near > far,
+            "neighbor must get more adjusted hits: near={near} far={far}"
+        );
+        assert!(near > 0.0);
+    }
+
+    #[test]
+    fn adjusted_hits_sum_bounded_by_total() {
+        let frags = vec![(iv(0, 99), 30.0), (iv(100, 199), 70.0)];
+        let fit = fit_normal(&frags).unwrap();
+        let sum: f64 = frags
+            .iter()
+            .map(|(i, _)| adjusted_hits(100.0, &fit, i))
+            .sum();
+        assert!(sum <= 100.0 + 1e-9);
+        assert!(sum > 50.0, "most mass stays on the covered domain");
+    }
+
+    #[test]
+    fn single_fragment_fit_is_degenerate_but_safe() {
+        let frags = vec![(iv(50, 59), 10.0)];
+        let fit = fit_normal(&frags).unwrap();
+        assert!((fit.mean - 54.5).abs() < 1e-9);
+        assert!(fit.std > 0.0, "degenerate variance is floored");
+        let h = adjusted_hits(10.0, &fit, &iv(50, 59));
+        assert!(h > 5.0, "fragment holding all hits keeps most of them: {h}");
+    }
+
+    #[test]
+    fn wide_domain_respects_part_cap() {
+        // One very wide and one narrow fragment: without the cap this would
+        // quantize into billions of parts.
+        let frags = vec![(iv(0, 1_000_000_000), 5.0), (iv(0, 9), 50.0)];
+        let fit = fit_normal(&frags).unwrap();
+        assert!(fit.mean.is_finite());
+        assert!(fit.std.is_finite());
+    }
+
+    #[test]
+    fn hotter_fragment_gets_more_adjusted_hits() {
+        let frags = vec![(iv(0, 9), 90.0), (iv(10, 19), 10.0)];
+        let fit = fit_normal(&frags).unwrap();
+        let hot = adjusted_hits(100.0, &fit, &iv(0, 9));
+        let cold = adjusted_hits(100.0, &fit, &iv(10, 19));
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let fit = FittedNormal {
+            mean: 10.0,
+            std: 3.0,
+        };
+        assert!(fit.cdf(8.0) < fit.cdf(12.0));
+    }
+}

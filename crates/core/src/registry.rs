@@ -1,0 +1,407 @@
+//! The view/partition statistics registry — Definition 5's `STAT`.
+//!
+//! Tracks every view and fragment DeepSea has ever considered, whether or not
+//! it is currently materialized in the pool. The *configuration* `C` (what is
+//! actually in the pool, Definition 3) is the subset with backing files.
+
+use std::collections::{BTreeMap, HashMap};
+
+use deepsea_engine::{LogicalPlan, Signature};
+use deepsea_relation::Schema;
+use deepsea_storage::FileId;
+
+use crate::filter_tree::{FilterTree, ViewId};
+use crate::fragment::{FragmentId, FragmentMeta};
+use crate::interval::Interval;
+use crate::stats::ViewStats;
+
+/// The state of one partition `P(V, A)` of a view on attribute `A`.
+#[derive(Debug, Clone)]
+pub struct PartitionState {
+    /// The partition attribute (as written in predicates).
+    pub attr: String,
+    /// The attribute's domain `D(A)`.
+    pub domain: Interval,
+    /// Every fragment tracked for this partition (materialized + candidates).
+    pub fragments: Vec<FragmentMeta>,
+    /// Split points gathered from query selection endpoints; the *initial*
+    /// partitioning materializes the intervals between consecutive
+    /// boundaries.
+    pub boundaries: Vec<i64>,
+    next_frag: u64,
+}
+
+impl PartitionState {
+    /// A fresh partition over `domain`.
+    pub fn new(attr: impl Into<String>, domain: Interval) -> Self {
+        Self {
+            attr: attr.into(),
+            domain,
+            fragments: Vec::new(),
+            boundaries: Vec::new(),
+            next_frag: 0,
+        }
+    }
+
+    /// Materialized fragments as `(id, interval)` pairs, for Algorithm 2.
+    pub fn materialized(&self) -> Vec<(FragmentId, Interval)> {
+        self.fragments
+            .iter()
+            .filter(|f| f.is_materialized())
+            .map(|f| (f.id, f.interval))
+            .collect()
+    }
+
+    /// Is any fragment of this partition materialized?
+    pub fn any_materialized(&self) -> bool {
+        self.fragments.iter().any(FragmentMeta::is_materialized)
+    }
+
+    /// Intervals used as the base for Definition 7 candidate generation:
+    /// the pool partition `P(V,A)` when materialized, otherwise the tracked
+    /// candidate intervals `PSTAT(V,A)`.
+    pub fn candidate_base(&self) -> Vec<Interval> {
+        if self.any_materialized() {
+            self.fragments
+                .iter()
+                .filter(|f| f.is_materialized())
+                .map(|f| f.interval)
+                .collect()
+        } else {
+            self.fragments.iter().map(|f| f.interval).collect()
+        }
+    }
+
+    /// Find a tracked fragment with exactly this interval.
+    pub fn find(&self, interval: &Interval) -> Option<&FragmentMeta> {
+        self.fragments.iter().find(|f| f.interval == *interval)
+    }
+
+    /// Mutable lookup by interval.
+    pub fn find_mut(&mut self, interval: &Interval) -> Option<&mut FragmentMeta> {
+        self.fragments.iter_mut().find(|f| f.interval == *interval)
+    }
+
+    /// Mutable lookup by fragment id.
+    pub fn frag_mut(&mut self, id: FragmentId) -> Option<&mut FragmentMeta> {
+        self.fragments.iter_mut().find(|f| f.id == id)
+    }
+
+    /// Lookup by fragment id.
+    pub fn frag(&self, id: FragmentId) -> Option<&FragmentMeta> {
+        self.fragments.iter().find(|f| f.id == id)
+    }
+
+    /// Track a fragment interval (no-op if already tracked). Returns its id.
+    pub fn track(&mut self, interval: Interval, est_size: u64) -> FragmentId {
+        if let Some(f) = self.find(&interval) {
+            return f.id;
+        }
+        let id = FragmentId(self.next_frag);
+        self.next_frag += 1;
+        self.fragments
+            .push(FragmentMeta::candidate(id, interval, est_size));
+        id
+    }
+
+    /// Record a split point (selection endpoint) for initial partitioning.
+    pub fn add_boundary(&mut self, p: i64) {
+        if p > self.domain.lo && p <= self.domain.hi && !self.boundaries.contains(&p) {
+            self.boundaries.push(p);
+            self.boundaries.sort_unstable();
+        }
+    }
+
+    /// The horizontal partition of the domain induced by the recorded
+    /// boundaries (§6.2 — split `{D(V,A)}` at all observed endpoints).
+    pub fn boundary_partition(&self) -> Vec<Interval> {
+        let mut out = Vec::with_capacity(self.boundaries.len() + 1);
+        let mut lo = self.domain.lo;
+        for &b in &self.boundaries {
+            out.push(Interval::new(lo, b - 1));
+            lo = b;
+        }
+        out.push(Interval::new(lo, self.domain.hi));
+        out
+    }
+
+    /// §7.2 size estimate for a candidate interval from the sizes of
+    /// overlapping materialized fragments (assuming uniform values within
+    /// each fragment); falls back to a width-proportional share of
+    /// `view_size` when nothing is materialized yet.
+    pub fn estimate_size(&self, interval: &Interval, view_size: u64) -> u64 {
+        let mats: Vec<&FragmentMeta> = self
+            .fragments
+            .iter()
+            .filter(|f| f.is_materialized() && f.interval.overlaps(interval))
+            .collect();
+        if mats.is_empty() {
+            let frac = interval.width() as f64 / self.domain.width() as f64;
+            return (view_size as f64 * frac).round() as u64;
+        }
+        mats.iter()
+            .map(|f| (f.interval.overlap_fraction(interval) * f.size as f64).round() as u64)
+            .sum()
+    }
+
+    /// Total pool bytes held by materialized fragments.
+    pub fn pool_bytes(&self) -> u64 {
+        self.fragments
+            .iter()
+            .filter(|f| f.is_materialized())
+            .map(|f| f.size)
+            .sum()
+    }
+}
+
+/// One view tracked by the registry.
+#[derive(Debug, Clone)]
+pub struct ViewMeta {
+    /// Identifier.
+    pub id: ViewId,
+    /// Short display name (`V0`, `V1`, …).
+    pub name: String,
+    /// Canonical signature key (view identity).
+    pub key: String,
+    /// The view's defining plan (view-free).
+    pub plan: LogicalPlan,
+    /// The defining plan's signature.
+    pub sig: Signature,
+    /// Output schema, known after first materialization.
+    pub schema: Option<Schema>,
+    /// Backing file when materialized *without* partitioning.
+    pub whole_file: Option<FileId>,
+    /// Partitions by attribute (multiple allowed on different attributes).
+    pub partitions: BTreeMap<String, PartitionState>,
+    /// `(S, COST, T, B)` statistics. `stats.cost` is the *recreation* cost
+    /// (recompute the view's query and partition it, §7.1) used in `Φ` and
+    /// fragment benefits.
+    pub stats: ViewStats,
+    /// The marginal overhead of materializing the view during a query that
+    /// computes it anyway (write + partition). The §7.2 admission filter
+    /// compares this against the accumulated benefit.
+    pub creation_overhead: f64,
+}
+
+impl ViewMeta {
+    /// Is anything of this view materialized?
+    pub fn is_materialized(&self) -> bool {
+        self.whole_file.is_some() || self.partitions.values().any(PartitionState::any_materialized)
+    }
+
+    /// Pool bytes currently held by this view (whole file + fragments).
+    pub fn pool_bytes(&self) -> u64 {
+        let whole = if self.whole_file.is_some() {
+            self.stats.size
+        } else {
+            0
+        };
+        whole + self.partitions.values().map(PartitionState::pool_bytes).sum::<u64>()
+    }
+}
+
+/// The statistics registry `STAT = (VSTAT, PSTAT, Σ)` of Definition 5.
+#[derive(Debug, Default, Clone)]
+pub struct ViewRegistry {
+    views: Vec<ViewMeta>,
+    by_key: HashMap<String, ViewId>,
+    index: FilterTree,
+}
+
+impl ViewRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True if no views are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Register a view candidate if its key is new. Returns its id either
+    /// way.
+    pub fn register(
+        &mut self,
+        plan: LogicalPlan,
+        sig: Signature,
+        est_size: u64,
+        est_recreate_cost: f64,
+        est_overhead: f64,
+    ) -> ViewId {
+        let key = sig.canonical_key();
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = ViewId(self.views.len() as u64);
+        self.index.insert(&sig, id);
+        self.by_key.insert(key.clone(), id);
+        self.views.push(ViewMeta {
+            id,
+            name: format!("V{}", id.0),
+            key,
+            plan,
+            sig,
+            schema: None,
+            whole_file: None,
+            partitions: BTreeMap::new(),
+            stats: ViewStats::estimated(est_size, est_recreate_cost),
+            creation_overhead: est_overhead,
+        });
+        id
+    }
+
+    /// Lookup by id.
+    pub fn view(&self, id: ViewId) -> &ViewMeta {
+        &self.views[id.0 as usize]
+    }
+
+    /// Mutable lookup by id.
+    pub fn view_mut(&mut self, id: ViewId) -> &mut ViewMeta {
+        &mut self.views[id.0 as usize]
+    }
+
+    /// Lookup by canonical key.
+    pub fn by_key(&self, key: &str) -> Option<ViewId> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Lookup by display name (`V3`).
+    pub fn by_name(&self, name: &str) -> Option<ViewId> {
+        self.views.iter().find(|v| v.name == name).map(|v| v.id)
+    }
+
+    /// Views whose signature bucket matches the query's (filter-tree pruned).
+    pub fn lookup_bucket(&self, query_sig: &Signature) -> &[ViewId] {
+        self.index.lookup(query_sig)
+    }
+
+    /// All views.
+    pub fn iter(&self) -> impl Iterator<Item = &ViewMeta> {
+        self.views.iter()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ViewMeta> {
+        self.views.iter_mut()
+    }
+
+    /// Total pool bytes across all materialized views/fragments.
+    pub fn pool_bytes(&self) -> u64 {
+        self.views.iter().map(ViewMeta::pool_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsea_engine::LogicalPlan;
+
+    fn reg_with_join() -> (ViewRegistry, ViewId) {
+        let mut r = ViewRegistry::new();
+        let plan = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let sig = Signature::of(&plan).unwrap();
+        let id = r.register(plan, sig, 1000, 10.0, 2.0);
+        (r, id)
+    }
+
+    #[test]
+    fn register_dedupes_by_key() {
+        let (mut r, id) = reg_with_join();
+        let plan = LogicalPlan::scan("b").join(LogicalPlan::scan("a"), vec![("b.k", "a.k")]);
+        let sig = Signature::of(&plan).unwrap();
+        let id2 = r.register(plan, sig, 500, 5.0, 1.0);
+        assert_eq!(id, id2, "join order does not create a new view");
+        assert_eq!(r.len(), 1);
+        // Original estimates preserved.
+        assert_eq!(r.view(id).stats.size, 1000);
+    }
+
+    #[test]
+    fn bucket_lookup_finds_view() {
+        let (r, id) = reg_with_join();
+        let q = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let qsig = Signature::of(&q).unwrap();
+        assert_eq!(r.lookup_bucket(&qsig), &[id]);
+    }
+
+    #[test]
+    fn partition_boundaries_induce_partition() {
+        let mut p = PartitionState::new("a.k", Interval::new(0, 99));
+        assert_eq!(p.boundary_partition(), vec![Interval::new(0, 99)]);
+        p.add_boundary(40);
+        p.add_boundary(61);
+        p.add_boundary(40); // dup ignored
+        p.add_boundary(0); // at domain.lo ignored (no-op split)
+        p.add_boundary(1000); // outside domain ignored
+        let parts = p.boundary_partition();
+        assert_eq!(
+            parts,
+            vec![
+                Interval::new(0, 39),
+                Interval::new(40, 60),
+                Interval::new(61, 99)
+            ]
+        );
+        assert!(crate::interval::is_horizontal_partition(
+            &parts,
+            &p.domain
+        ));
+    }
+
+    #[test]
+    fn track_dedupes_and_assigns_ids() {
+        let mut p = PartitionState::new("a.k", Interval::new(0, 99));
+        let f1 = p.track(Interval::new(0, 49), 10);
+        let f2 = p.track(Interval::new(50, 99), 10);
+        let f1b = p.track(Interval::new(0, 49), 99);
+        assert_eq!(f1, f1b);
+        assert_ne!(f1, f2);
+        assert_eq!(p.fragments.len(), 2);
+        assert_eq!(p.find(&Interval::new(0, 49)).unwrap().size, 10);
+    }
+
+    #[test]
+    fn estimate_size_width_proportional_when_empty() {
+        let p = PartitionState::new("a.k", Interval::new(0, 99));
+        let s = p.estimate_size(&Interval::new(0, 49), 1000);
+        assert_eq!(s, 500);
+    }
+
+    #[test]
+    fn estimate_size_uses_materialized_overlap() {
+        let mut p = PartitionState::new("a.k", Interval::new(0, 99));
+        let f = p.track(Interval::new(0, 49), 0);
+        {
+            let m = p.frag_mut(f).unwrap();
+            m.file = Some(FileId(1));
+            m.size = 800; // skewed: the left half holds most data
+        }
+        let f2 = p.track(Interval::new(50, 99), 0);
+        {
+            let m = p.frag_mut(f2).unwrap();
+            m.file = Some(FileId(2));
+            m.size = 200;
+        }
+        // Candidate [0,24] = half of the left fragment → 400.
+        assert_eq!(p.estimate_size(&Interval::new(0, 24), 1000), 400);
+        // Candidate [25,74] = half of left + half of right → 400 + 100.
+        assert_eq!(p.estimate_size(&Interval::new(25, 74), 1000), 500);
+        assert_eq!(p.pool_bytes(), 1000);
+    }
+
+    #[test]
+    fn view_pool_bytes_counts_whole_and_fragments() {
+        let (mut r, id) = reg_with_join();
+        assert_eq!(r.pool_bytes(), 0);
+        assert!(!r.view(id).is_materialized());
+        r.view_mut(id).whole_file = Some(FileId(7));
+        assert!(r.view(id).is_materialized());
+        assert_eq!(r.pool_bytes(), 1000, "whole file counts at stats.size");
+    }
+}

@@ -1,0 +1,319 @@
+//! View and fragment statistics, the decay function, accumulated benefit and
+//! the cost–benefit value `Φ` (§6 and §7.1 of the paper).
+//!
+//! Time is logical: the sequence number of the query in the workload, 1-based
+//! (`tnow >= 1`), matching the paper's use of submission order in the decay
+//! function `DEC(tnow, t) = t/tnow` (0 once older than `tmax`).
+
+use serde::{Deserialize, Serialize};
+
+/// Logical timestamp: the 1-based sequence number of a query.
+pub type LogicalTime = u64;
+
+/// The decay function of §7.1:
+///
+/// ```text
+/// DEC(tnow, t) = 0          if tnow - t > tmax
+///                t / tnow   otherwise
+/// ```
+pub fn decay(tnow: LogicalTime, t: LogicalTime, tmax: LogicalTime) -> f64 {
+    debug_assert!(t <= tnow, "benefit recorded in the future");
+    if tnow - t > tmax || tnow == 0 {
+        0.0
+    } else {
+        t as f64 / tnow as f64
+    }
+}
+
+/// One recorded (potential) use of a view: when, and how much execution time
+/// it saved (or would have saved).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenefitEvent {
+    /// When the view was (or could have been) used.
+    pub t: LogicalTime,
+    /// `COST(Q) - COST(Q/V)` at that time, clamped at 0.
+    pub saving: f64,
+}
+
+/// Statistics kept per view (candidate or materialized): `(S, COST, T, B)` of
+/// Definition 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewStats {
+    /// Storage size `S(V)` in simulated bytes (estimated until first
+    /// materialization, then actual).
+    pub size: u64,
+    /// Creation cost `COST(V)` in seconds (estimated, then actual).
+    pub cost: f64,
+    /// Whether `size`/`cost` are measured rather than estimated.
+    pub measured: bool,
+    /// Recorded benefit events (timestamps `T` with savings `B`).
+    pub events: Vec<BenefitEvent>,
+}
+
+impl ViewStats {
+    /// Fresh statistics from initial estimates.
+    pub fn estimated(size: u64, cost: f64) -> Self {
+        Self {
+            size,
+            cost,
+            measured: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record that the view was (or could have been) used at `t`, saving
+    /// `saving` seconds.
+    pub fn record_use(&mut self, t: LogicalTime, saving: f64) {
+        self.events.push(BenefitEvent {
+            t,
+            saving: saving.max(0.0),
+        });
+    }
+
+    /// Replace estimates with measured values (idempotent).
+    pub fn set_measured(&mut self, size: u64, cost: f64) {
+        self.size = size;
+        self.cost = cost;
+        self.measured = true;
+    }
+
+    /// Accumulated benefit `B(V, tnow) = Σ saving · DEC(tnow, t)`.
+    pub fn benefit(&self, tnow: LogicalTime, tmax: LogicalTime) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.saving * decay(tnow, e.t, tmax))
+            .sum()
+    }
+
+    /// Benefit without the decay function (used by the Nectar+ baseline).
+    pub fn undecayed_benefit(&self) -> f64 {
+        self.events.iter().map(|e| e.saving).sum()
+    }
+
+    /// The most recent single saving (used by the Nectar baseline, which
+    /// does not accumulate benefit).
+    pub fn last_saving(&self) -> f64 {
+        self.events.last().map(|e| e.saving).unwrap_or(0.0)
+    }
+
+    /// Timestamp of the most recent use.
+    pub fn last_use(&self) -> Option<LogicalTime> {
+        self.events.last().map(|e| e.t)
+    }
+
+    /// Drop events that have fully decayed (bounds memory on long workloads).
+    pub fn prune(&mut self, tnow: LogicalTime, tmax: LogicalTime) {
+        self.events.retain(|e| tnow - e.t <= tmax);
+    }
+
+    /// The view value `Φ(V, tnow) = COST(V) · B(V, tnow) / S(V)` (§7.1).
+    pub fn phi(&self, tnow: LogicalTime, tmax: LogicalTime) -> f64 {
+        if self.size == 0 {
+            return 0.0;
+        }
+        self.cost * self.benefit(tnow, tmax) / self.size as f64
+    }
+}
+
+/// Statistics kept per fragment: `(S, T)` of Definition 5 — the fragment's
+/// cost and benefit are derived from its view's.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FragStats {
+    /// Hit timestamps `T(I)`.
+    pub hits: Vec<LogicalTime>,
+}
+
+impl FragStats {
+    /// Record a hit (the fragment was or could have been used) at `t`.
+    pub fn record_hit(&mut self, t: LogicalTime) {
+        self.hits.push(t);
+    }
+
+    /// Decayed hit count `H(I) = Σ DEC(tnow, t)` (§7.1).
+    pub fn decayed_hits(&self, tnow: LogicalTime, tmax: LogicalTime) -> f64 {
+        self.hits.iter().map(|&t| decay(tnow, t, tmax)).sum()
+    }
+
+    /// Raw (undecayed) hit count.
+    pub fn raw_hits(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Most recent hit.
+    pub fn last_hit(&self) -> Option<LogicalTime> {
+        self.hits.last().copied()
+    }
+
+    /// Drop hits that have fully decayed.
+    pub fn prune(&mut self, tnow: LogicalTime, tmax: LogicalTime) {
+        self.hits.retain(|&t| tnow - t <= tmax);
+    }
+
+    /// Accumulated fragment benefit (§7.1):
+    ///
+    /// ```text
+    /// B(I, tnow) = Σ_hits (S(I)/S(V)) · COST(V) · DEC(tnow, t)
+    /// ```
+    pub fn benefit(
+        &self,
+        frag_size: u64,
+        view_size: u64,
+        view_cost: f64,
+        tnow: LogicalTime,
+        tmax: LogicalTime,
+    ) -> f64 {
+        if view_size == 0 {
+            return 0.0;
+        }
+        let per_hit = (frag_size as f64 / view_size as f64) * view_cost;
+        per_hit * self.decayed_hits(tnow, tmax)
+    }
+
+    /// Fragment value `Φ(I, tnow) = COST(V) · B(I, tnow) / S(I)` (§7.1).
+    pub fn phi(
+        &self,
+        frag_size: u64,
+        view_size: u64,
+        view_cost: f64,
+        tnow: LogicalTime,
+        tmax: LogicalTime,
+    ) -> f64 {
+        if frag_size == 0 {
+            return 0.0;
+        }
+        view_cost * self.benefit(frag_size, view_size, view_cost, tnow, tmax) / frag_size as f64
+    }
+
+    /// Fragment value computed from an externally *adjusted* decayed hit
+    /// count (the MLE-smoothed `HA(I)` of the probabilistic model, §7.1).
+    pub fn phi_with_hits(
+        adjusted_hits: f64,
+        frag_size: u64,
+        view_size: u64,
+        view_cost: f64,
+    ) -> f64 {
+        if frag_size == 0 || view_size == 0 {
+            return 0.0;
+        }
+        let benefit = (frag_size as f64 / view_size as f64) * view_cost * adjusted_hits;
+        view_cost * benefit / frag_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_proportional_and_cutoff() {
+        assert!((decay(10, 5, 100) - 0.5).abs() < 1e-12);
+        assert!((decay(10, 10, 100) - 1.0).abs() < 1e-12);
+        assert_eq!(decay(200, 5, 100), 0.0, "older than tmax times out");
+        assert!(decay(105, 5, 100) > 0.0, "exactly tmax old still counts");
+    }
+
+    #[test]
+    fn decay_is_monotone_in_recency() {
+        // More recent events decay less.
+        assert!(decay(100, 90, 1000) > decay(100, 10, 1000));
+    }
+
+    #[test]
+    fn view_benefit_accumulates_with_decay() {
+        let mut s = ViewStats::estimated(100, 10.0);
+        s.record_use(5, 100.0);
+        s.record_use(10, 100.0);
+        let b = s.benefit(10, 1000);
+        assert!((b - (100.0 * 0.5 + 100.0)).abs() < 1e-9);
+        assert_eq!(s.undecayed_benefit(), 200.0);
+        assert_eq!(s.last_saving(), 100.0);
+        assert_eq!(s.last_use(), Some(10));
+    }
+
+    #[test]
+    fn negative_savings_clamped() {
+        let mut s = ViewStats::estimated(100, 10.0);
+        s.record_use(1, -50.0);
+        assert_eq!(s.benefit(1, 100), 0.0);
+    }
+
+    #[test]
+    fn phi_prefers_expensive_beneficial_small() {
+        let tnow = 10;
+        let mut cheap = ViewStats::estimated(1000, 1.0);
+        let mut expensive = ViewStats::estimated(1000, 100.0);
+        cheap.record_use(10, 50.0);
+        expensive.record_use(10, 50.0);
+        assert!(expensive.phi(tnow, 100) > cheap.phi(tnow, 100));
+
+        let mut small = ViewStats::estimated(10, 1.0);
+        let mut big = ViewStats::estimated(1000, 1.0);
+        small.record_use(10, 50.0);
+        big.record_use(10, 50.0);
+        assert!(small.phi(tnow, 100) > big.phi(tnow, 100));
+    }
+
+    #[test]
+    fn measured_replaces_estimates() {
+        let mut s = ViewStats::estimated(100, 10.0);
+        assert!(!s.measured);
+        s.set_measured(250, 25.0);
+        assert!(s.measured);
+        assert_eq!(s.size, 250);
+        assert_eq!(s.cost, 25.0);
+    }
+
+    #[test]
+    fn prune_drops_expired_events() {
+        let mut s = ViewStats::estimated(1, 1.0);
+        s.record_use(1, 1.0);
+        s.record_use(90, 1.0);
+        s.prune(100, 50);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].t, 90);
+    }
+
+    #[test]
+    fn frag_benefit_scales_with_relative_size() {
+        let mut f = FragStats::default();
+        f.record_hit(10);
+        let small = f.benefit(10, 100, 50.0, 10, 100);
+        let large = f.benefit(50, 100, 50.0, 10, 100);
+        assert!(large > small);
+        assert!((small - 0.1 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frag_phi_and_adjusted_agree_on_raw_hits() {
+        let mut f = FragStats::default();
+        f.record_hit(10);
+        f.record_hit(10);
+        let tnow = 10;
+        let direct = f.phi(10, 100, 50.0, tnow, 100);
+        let via_hits =
+            FragStats::phi_with_hits(f.decayed_hits(tnow, 100), 10, 100, 50.0);
+        assert!((direct - via_hits).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sizes_are_safe() {
+        let s = ViewStats::estimated(0, 10.0);
+        assert_eq!(s.phi(1, 10), 0.0);
+        let f = FragStats::default();
+        assert_eq!(f.phi(0, 100, 1.0, 1, 10), 0.0);
+        assert_eq!(f.benefit(10, 0, 1.0, 1, 10), 0.0);
+        assert_eq!(FragStats::phi_with_hits(1.0, 0, 100, 1.0), 0.0);
+    }
+
+    #[test]
+    fn frag_hit_bookkeeping() {
+        let mut f = FragStats::default();
+        assert_eq!(f.last_hit(), None);
+        f.record_hit(3);
+        f.record_hit(7);
+        assert_eq!(f.raw_hits(), 2);
+        assert_eq!(f.last_hit(), Some(7));
+        f.prune(10, 5); // hit at 3 is 7 old (> 5); hit at 7 is 3 old (kept)
+        assert_eq!(f.raw_hits(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Base-table catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use deepsea_relation::Table;
+
+/// Per-column statistics the cost estimator uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum integer value (for ordered columns), if any.
+    pub min: i64,
+    /// Maximum integer value.
+    pub max: i64,
+}
+
+/// Named base tables plus lightweight statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table under `name`.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(name)
+    }
+
+    /// Iterate over `(name, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Table>)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Total simulated bytes across all base tables (the paper expresses pool
+    /// sizes as a percentage of this).
+    pub fn total_base_bytes(&self) -> u64 {
+        self.tables.values().map(|t| t.sim_bytes()).sum()
+    }
+
+    /// Integer min/max stats for `table.column`, if computable.
+    pub fn column_stats(&self, table: &str, column: &str) -> Option<ColumnStats> {
+        let t = self.tables.get(table)?;
+        let idx = t.schema.index_of(column)?;
+        let (min, max) = t.int_min_max(idx)?;
+        Some(ColumnStats { min, max })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsea_relation::{DataType, Field, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![Field::new("t.a", DataType::Int)]);
+        Table::new(
+            schema,
+            vec![vec![Value::Int(5)], vec![Value::Int(-1)]],
+            100,
+        )
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        c.register("t", table());
+        assert!(c.get("t").is_some());
+        assert!(c.get("u").is_none());
+        assert_eq!(c.total_base_bytes(), 200);
+    }
+
+    #[test]
+    fn column_stats() {
+        let mut c = Catalog::new();
+        c.register("t", table());
+        let s = c.column_stats("t", "t.a").unwrap();
+        assert_eq!((s.min, s.max), (-1, 5));
+        assert_eq!(c.column_stats("t", "a").map(|s| s.max), Some(5));
+        assert!(c.column_stats("t", "zz").is_none());
+        assert!(c.column_stats("zz", "a").is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! MapReduce cluster simulator: converts execution metrics into elapsed time.
+
+use deepsea_storage::CostWeights;
+use serde::{Deserialize, Serialize};
+
+use crate::exec::ExecMetrics;
+
+/// A slot-limited MapReduce cluster.
+///
+/// Models the paper's evaluation cluster: one master plus 31 slaves with 6
+/// map/reduce slots each. Elapsed time for a query is computed from its
+/// [`ExecMetrics`]:
+///
+/// - reads, CPU and shuffle are spread over the effective map parallelism
+///   (`min(map_tasks, slots)` — a scan of a single small fragment cannot use
+///   the whole cluster),
+/// - writes happen in the reduce phase at full slot parallelism,
+/// - every *wave* of map tasks pays one task-startup overhead (this is what
+///   makes very many small fragments slow, the paper's E-60 effect),
+/// - every MapReduce stage pays a fixed job-startup cost (Hive launches one
+///   MR job per stage).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSim {
+    /// Concurrent task slots.
+    pub slots: u64,
+    /// I/O and CPU weights.
+    pub weights: CostWeights,
+    /// Fixed startup cost per MapReduce stage (seconds).
+    pub stage_overhead: f64,
+    /// Serial scheduling cost per task (seconds) — the JobTracker dispatches
+    /// tasks one at a time, which is what makes jobs with very many (small)
+    /// input files slow even on an idle cluster.
+    pub dispatch_per_task: f64,
+    /// Cost of committing one output file to the distributed FS (seconds) —
+    /// rename + namenode bookkeeping; what makes writing very many small
+    /// fragments expensive.
+    pub file_commit_secs: f64,
+}
+
+impl ClusterSim {
+    /// The paper's cluster: 31 slaves × 6 threads.
+    pub fn paper_default() -> Self {
+        Self {
+            slots: 31 * 6,
+            weights: CostWeights::default(),
+            stage_overhead: 5.0,
+            dispatch_per_task: 0.1,
+            file_commit_secs: 1.0,
+        }
+    }
+
+    /// Build with explicit parameters.
+    pub fn new(slots: u64, weights: CostWeights, stage_overhead: f64) -> Self {
+        assert!(slots > 0, "cluster needs at least one slot");
+        Self {
+            slots,
+            weights,
+            stage_overhead,
+            dispatch_per_task: 0.1,
+            file_commit_secs: 1.0,
+        }
+    }
+
+    /// Elapsed wall-clock seconds for one query execution.
+    pub fn elapsed_secs(&self, m: &ExecMetrics) -> f64 {
+        let w = &self.weights;
+        let map_tasks = m.map_tasks.max(1);
+        let map_par = map_tasks.min(self.slots) as f64;
+        let waves = (map_tasks as f64 / self.slots as f64).ceil();
+        let reduce_par = self.slots as f64;
+
+        w.read_cost(m.bytes_read) / map_par
+            + w.cpu_cost(m.rows_processed) / map_par
+            + w.shuffle_cost(m.shuffle_bytes) / reduce_par
+            + w.write_cost(m.bytes_written) / reduce_par
+            + waves * w.task_overhead
+            + m.map_tasks as f64 * self.dispatch_per_task
+            + m.stages as f64 * self.stage_overhead
+    }
+
+    /// Elapsed seconds for a pure scan of `bytes` split into blocks — the
+    /// quantity DeepSea uses to estimate the saving from reading a view
+    /// instead of recomputing it.
+    pub fn scan_secs(&self, bytes: u64, block_bytes: u64) -> f64 {
+        let tasks = if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(block_bytes.max(1))
+        };
+        self.elapsed_secs(&ExecMetrics {
+            bytes_read: bytes,
+            map_tasks: tasks,
+            stages: 1,
+            ..Default::default()
+        })
+    }
+
+    /// Elapsed seconds for materializing `bytes` into `files` output files
+    /// (write side only — the computation is a by-product of query
+    /// execution). Each file pays a commit cost on top of the byte cost.
+    pub fn write_secs(&self, bytes: u64, files: u64) -> f64 {
+        self.elapsed_secs(&ExecMetrics {
+            bytes_written: bytes,
+            map_tasks: files.max(1),
+            stages: 1,
+            ..Default::default()
+        }) + files as f64 * self.file_commit_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(bytes_read: u64, map_tasks: u64) -> ExecMetrics {
+        ExecMetrics {
+            bytes_read,
+            map_tasks,
+            stages: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn reading_less_is_faster() {
+        let c = ClusterSim::paper_default();
+        let big = c.elapsed_secs(&m(100_000_000_000, 800));
+        let small = c.elapsed_secs(&m(1_000_000_000, 8));
+        assert!(small < big);
+    }
+
+    #[test]
+    fn many_tiny_tasks_pay_wave_overhead() {
+        let c = ClusterSim::paper_default();
+        // Same bytes, spread over 10 tasks vs 10_000 tasks.
+        let coarse = c.elapsed_secs(&m(10_000_000_000, 10));
+        let shredded = c.elapsed_secs(&m(10_000_000_000, 10_000));
+        assert!(
+            shredded > coarse,
+            "small-file explosion must hurt: {shredded} <= {coarse}"
+        );
+    }
+
+    #[test]
+    fn single_small_task_cannot_use_whole_cluster() {
+        let c = ClusterSim::paper_default();
+        let one_task = c.elapsed_secs(&m(10_000_000_000, 1));
+        let many_tasks = c.elapsed_secs(&m(10_000_000_000, 186));
+        assert!(one_task > many_tasks);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let c = ClusterSim::paper_default();
+        let read = c.elapsed_secs(&ExecMetrics {
+            bytes_read: 50_000_000_000,
+            map_tasks: 186,
+            ..Default::default()
+        });
+        let write = c.elapsed_secs(&ExecMetrics {
+            bytes_written: 50_000_000_000,
+            map_tasks: 186,
+            ..Default::default()
+        });
+        assert!(write > read);
+    }
+
+    #[test]
+    fn stage_overhead_charged_per_stage() {
+        let c = ClusterSim::paper_default();
+        let one = c.elapsed_secs(&ExecMetrics {
+            stages: 1,
+            ..Default::default()
+        });
+        let three = c.elapsed_secs(&ExecMetrics {
+            stages: 3,
+            ..Default::default()
+        });
+        assert!((three - one - 2.0 * c.stage_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        ClusterSim::new(0, CostWeights::default(), 1.0);
+    }
+
+    #[test]
+    fn scan_secs_monotone_in_bytes() {
+        let c = ClusterSim::paper_default();
+        let block = 128 * 1024 * 1024;
+        assert!(c.scan_secs(100_000_000_000, block) > c.scan_secs(1_000_000_000, block));
+        assert!(c.scan_secs(0, block) > 0.0, "even empty scans pay overhead");
+    }
+
+    #[test]
+    fn write_secs_penalizes_many_files() {
+        let c = ClusterSim::paper_default();
+        assert!(c.write_secs(1_000_000_000, 600) > c.write_secs(1_000_000_000, 6));
+    }
+
+    #[test]
+    fn dispatch_cost_scales_with_tasks() {
+        let c = ClusterSim::paper_default();
+        let few = c.elapsed_secs(&m(0, 10));
+        let many = c.elapsed_secs(&m(0, 1000));
+        assert!(many - few > 0.9 * 990.0 * c.dispatch_per_task);
+    }
+}

@@ -1,0 +1,643 @@
+//! Physical execution of logical plans.
+//!
+//! The executor really runs the query over in-memory tables (so rewritings
+//! can be validated for correctness) while accounting all *simulated* I/O —
+//! bytes read/written, map tasks, shuffle volume — which the cluster
+//! simulator turns into elapsed seconds.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use deepsea_relation::row::row_width;
+use deepsea_relation::{DataType, Field, Row, Schema, Table, Value};
+use deepsea_storage::{FileId, SimFs};
+
+use crate::catalog::Catalog;
+use crate::plan::{AggFunc, LogicalPlan};
+
+/// Simulated resource usage of one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Simulated bytes read from base tables and view fragments.
+    pub bytes_read: u64,
+    /// Simulated bytes written (filled in by instrumentation, not the
+    /// read-only executor).
+    pub bytes_written: u64,
+    /// Rows flowing through operators (CPU proxy).
+    pub rows_processed: u64,
+    /// Simulated bytes shuffled between map and reduce stages.
+    pub shuffle_bytes: u64,
+    /// Map tasks launched (one per block of every scanned file).
+    pub map_tasks: u64,
+    /// Number of MapReduce stages (scan stages + shuffle stages).
+    pub stages: u64,
+}
+
+impl ExecMetrics {
+    /// Merge metrics from a sub-execution.
+    pub fn absorb(&mut self, other: &ExecMetrics) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.rows_processed += other.rows_processed;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.map_tasks += other.map_tasks;
+        self.stages += other.stages;
+    }
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Plan references a table missing from the catalog.
+    UnknownTable(String),
+    /// Plan references a column missing from its input schema.
+    UnknownColumn(String),
+    /// A view fragment file has been evicted.
+    MissingFile(FileId),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            ExecError::MissingFile(id) => write!(f, "missing fragment file {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Intermediate result: schema + rows + the simulated width of one row.
+struct Out {
+    schema: Schema,
+    rows: Rows,
+    bytes_per_row: u64,
+}
+
+enum Rows {
+    Shared(Arc<Table>),
+    Owned(Vec<Row>),
+}
+
+impl Out {
+    fn rows(&self) -> &[Row] {
+        match &self.rows {
+            Rows::Shared(t) => &t.rows,
+            Rows::Owned(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.rows().len()
+    }
+
+    fn sim_bytes(&self) -> u64 {
+        self.len() as u64 * self.bytes_per_row
+    }
+
+    fn into_table(self) -> Table {
+        match self.rows {
+            Rows::Shared(t) => Table::new(self.schema, t.rows.clone(), self.bytes_per_row),
+            Rows::Owned(v) => Table::new(self.schema, v, self.bytes_per_row),
+        }
+    }
+}
+
+/// Average actual (in-memory serialized) row width, sampled.
+fn avg_actual_width(rows: &[Row]) -> f64 {
+    if rows.is_empty() {
+        return 8.0;
+    }
+    let n = rows.len().min(128);
+    let total: u64 = rows[..n].iter().map(row_width).sum();
+    (total as f64 / n as f64).max(1.0)
+}
+
+/// Execute `plan` against `catalog`, reading view fragments from `fs`.
+/// Returns the result table and the simulated resource usage.
+pub fn execute(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    fs: &SimFs<Table>,
+) -> Result<(Table, ExecMetrics), ExecError> {
+    let mut m = ExecMetrics::default();
+    let out = run(plan, catalog, fs, &mut m)?;
+    Ok((out.into_table(), m))
+}
+
+fn run(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    fs: &SimFs<Table>,
+    m: &mut ExecMetrics,
+) -> Result<Out, ExecError> {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog
+                .get(table)
+                .ok_or_else(|| ExecError::UnknownTable(table.clone()))?;
+            m.bytes_read += t.sim_bytes();
+            m.map_tasks += fs.block_config().blocks_for(t.sim_bytes());
+            m.stages += 1;
+            m.rows_processed += t.len() as u64;
+            Ok(Out {
+                schema: t.schema.clone(),
+                bytes_per_row: t.bytes_per_row,
+                rows: Rows::Shared(Arc::clone(t)),
+            })
+        }
+        LogicalPlan::ViewScan(v) => {
+            let mut rows: Vec<Row> = Vec::new();
+            let mut bpr = 8u64;
+            for &fid in &v.files {
+                let (payload, bytes, _cost) =
+                    fs.read(fid).ok_or(ExecError::MissingFile(fid))?;
+                m.bytes_read += bytes;
+                m.map_tasks += fs.block_config().blocks_for(bytes);
+                m.rows_processed += payload.len() as u64;
+                bpr = bpr.max(payload.bytes_per_row);
+                rows.extend(payload.rows.iter().cloned());
+            }
+            m.stages += 1;
+            Ok(Out {
+                schema: v.schema.clone(),
+                rows: Rows::Owned(rows),
+                bytes_per_row: bpr,
+            })
+        }
+        LogicalPlan::Select { pred, input } => {
+            let child = run(input, catalog, fs, m)?;
+            m.rows_processed += child.len() as u64;
+            let kept: Vec<Row> = child
+                .rows()
+                .iter()
+                .filter(|r| pred.eval(&child.schema, r))
+                .cloned()
+                .collect();
+            Ok(Out {
+                schema: child.schema,
+                bytes_per_row: child.bytes_per_row,
+                rows: Rows::Owned(kept),
+            })
+        }
+        LogicalPlan::Project { cols, input } => {
+            let child = run(input, catalog, fs, m)?;
+            m.rows_processed += child.len() as u64;
+            let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+            for n in &names {
+                if child.schema.index_of(n).is_none() {
+                    return Err(ExecError::UnknownColumn((*n).to_string()));
+                }
+            }
+            let (schema, idxs) = child.schema.project(&names);
+            let in_width = avg_actual_width(child.rows());
+            let rows: Vec<Row> = child
+                .rows()
+                .iter()
+                .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            let out_width = avg_actual_width(&rows);
+            // Keep the simulated-bytes scale of the input: a projection keeps
+            // the same fraction of simulated width as of actual width.
+            let bpr = ((child.bytes_per_row as f64) * (out_width / in_width))
+                .round()
+                .max(1.0) as u64;
+            Ok(Out {
+                schema,
+                rows: Rows::Owned(rows),
+                bytes_per_row: bpr,
+            })
+        }
+        LogicalPlan::Join { left, right, on } => {
+            let l = run(left, catalog, fs, m)?;
+            let r = run(right, catalog, fs, m)?;
+            // A repartition join shuffles both inputs.
+            m.shuffle_bytes += l.sim_bytes() + r.sim_bytes();
+            m.stages += 1;
+            m.rows_processed += (l.len() + r.len()) as u64;
+
+            // Resolve join columns against the two input schemas; accept the
+            // pairs in either order.
+            let mut lk = Vec::with_capacity(on.len());
+            let mut rk = Vec::with_capacity(on.len());
+            for (a, b) in on {
+                match (l.schema.index_of(a), r.schema.index_of(b)) {
+                    (Some(ai), Some(bi)) => {
+                        lk.push(ai);
+                        rk.push(bi);
+                    }
+                    _ => match (l.schema.index_of(b), r.schema.index_of(a)) {
+                        (Some(bi), Some(ai)) => {
+                            lk.push(bi);
+                            rk.push(ai);
+                        }
+                        _ => {
+                            return Err(ExecError::UnknownColumn(format!("{a} = {b}")));
+                        }
+                    },
+                }
+            }
+
+            // Build on the smaller input.
+            let (build, probe, build_keys, probe_keys, build_is_left) =
+                if l.len() <= r.len() {
+                    (&l, &r, &lk, &rk, true)
+                } else {
+                    (&r, &l, &rk, &lk, false)
+                };
+            let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
+            for (i, row) in build.rows().iter().enumerate() {
+                let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
+                if key.contains(&Value::Null) {
+                    continue; // NULL never joins
+                }
+                ht.entry(key).or_default().push(i);
+            }
+            let schema = l.schema.concat(&r.schema);
+            let mut rows: Vec<Row> = Vec::new();
+            for prow in probe.rows() {
+                let key: Vec<Value> = probe_keys.iter().map(|&k| prow[k].clone()).collect();
+                if key.contains(&Value::Null) {
+                    continue;
+                }
+                if let Some(idxs) = ht.get(&key) {
+                    for &bi in idxs {
+                        let brow = &build.rows()[bi];
+                        let mut out: Row = Vec::with_capacity(schema.len());
+                        if build_is_left {
+                            out.extend(brow.iter().cloned());
+                            out.extend(prow.iter().cloned());
+                        } else {
+                            out.extend(prow.iter().cloned());
+                            out.extend(brow.iter().cloned());
+                        }
+                        rows.push(out);
+                    }
+                }
+            }
+            m.rows_processed += rows.len() as u64;
+            Ok(Out {
+                schema,
+                rows: Rows::Owned(rows),
+                bytes_per_row: l.bytes_per_row + r.bytes_per_row,
+            })
+        }
+        LogicalPlan::Aggregate {
+            group_by,
+            aggs,
+            input,
+        } => {
+            let child = run(input, catalog, fs, m)?;
+            m.shuffle_bytes += child.sim_bytes();
+            m.stages += 1;
+            m.rows_processed += child.len() as u64;
+
+            let gidx: Vec<usize> = group_by
+                .iter()
+                .map(|g| {
+                    child
+                        .schema
+                        .index_of(g)
+                        .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let aidx: Vec<Option<usize>> = aggs
+                .iter()
+                .map(|a| match &a.col {
+                    Some(c) => child
+                        .schema
+                        .index_of(c)
+                        .map(Some)
+                        .ok_or_else(|| ExecError::UnknownColumn(c.clone())),
+                    None => Ok(None),
+                })
+                .collect::<Result<_, _>>()?;
+
+            let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+            for row in child.rows() {
+                let key: Vec<Value> = gidx.iter().map(|&i| row[i].clone()).collect();
+                let states = groups
+                    .entry(key)
+                    .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
+                for (s, idx) in states.iter_mut().zip(&aidx) {
+                    s.update(idx.map(|i| &row[i]));
+                }
+            }
+            // Global aggregation over empty input still yields one row.
+            if gidx.is_empty() && groups.is_empty() {
+                groups.insert(
+                    Vec::new(),
+                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                );
+            }
+
+            let mut fields: Vec<Field> = gidx
+                .iter()
+                .map(|&i| child.schema.field(i).clone())
+                .collect();
+            for (a, idx) in aggs.iter().zip(&aidx) {
+                let dtype = match a.func {
+                    AggFunc::Count => DataType::Int,
+                    AggFunc::Sum | AggFunc::Avg => DataType::Float,
+                    AggFunc::Min | AggFunc::Max => idx
+                        .map(|i| child.schema.field(i).dtype)
+                        .unwrap_or(DataType::Int),
+                };
+                fields.push(Field::new(a.alias.clone(), dtype));
+            }
+            let schema = Schema::new(fields);
+            let mut rows: Vec<Row> = groups
+                .into_iter()
+                .map(|(key, states)| {
+                    let mut row = key;
+                    row.extend(states.into_iter().map(AggState::finish));
+                    row
+                })
+                .collect();
+            // Deterministic output order for reproducibility.
+            rows.sort_unstable();
+            m.rows_processed += rows.len() as u64;
+            let out_width = avg_actual_width(&rows);
+            // Aggregates produce compact rows; keep the input's scale factor.
+            let in_width = avg_actual_width(child.rows());
+            let bpr = ((child.bytes_per_row as f64) * (out_width / in_width))
+                .round()
+                .max(1.0) as u64;
+            Ok(Out {
+                schema,
+                rows: Rows::Owned(rows),
+                bytes_per_row: bpr,
+            })
+        }
+    }
+}
+
+/// Streaming aggregate state.
+enum AggState {
+    Count(i64),
+    Sum(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, i64),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0.0, false),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum(s, seen) => {
+                if let Some(x) = v.and_then(Value::as_float) {
+                    *s += x;
+                    *seen = true;
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(x) = v {
+                    if *x != Value::Null && cur.as_ref().is_none_or(|c| x < c) {
+                        *cur = Some(x.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(x) = v {
+                    if *x != Value::Null && cur.as_ref().is_none_or(|c| x > c) {
+                        *cur = Some(x.clone());
+                    }
+                }
+            }
+            AggState::Avg(s, n) => {
+                if let Some(x) = v.and_then(Value::as_float) {
+                    *s += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum(s, seen) => {
+                if seen {
+                    Value::Float(s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::Avg(s, n) => {
+                if n > 0 {
+                    Value::Float(s / n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggExpr;
+    use deepsea_relation::Predicate;
+    use deepsea_storage::{BlockConfig, CostWeights};
+
+    fn fixture() -> (Catalog, SimFs<Table>) {
+        let mut c = Catalog::new();
+        let sales = Table::new(
+            Schema::new(vec![
+                Field::new("s.item", DataType::Int),
+                Field::new("s.amount", DataType::Float),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::Float(10.0)],
+                vec![Value::Int(1), Value::Float(20.0)],
+                vec![Value::Int(2), Value::Float(5.0)],
+                vec![Value::Int(3), Value::Float(7.0)],
+                vec![Value::Null, Value::Float(99.0)],
+            ],
+            1000,
+        );
+        let item = Table::new(
+            Schema::new(vec![
+                Field::new("i.item", DataType::Int),
+                Field::new("i.cat", DataType::Str),
+            ]),
+            vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(2), Value::str("b")],
+                vec![Value::Int(4), Value::str("c")],
+            ],
+            100,
+        );
+        c.register("sales", sales);
+        c.register("item", item);
+        let fs = SimFs::new(BlockConfig::new(1024), CostWeights::default());
+        (c, fs)
+    }
+
+    #[test]
+    fn scan_reports_bytes_and_tasks() {
+        let (c, fs) = fixture();
+        let (t, m) = execute(&LogicalPlan::scan("sales"), &c, &fs).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(m.bytes_read, 5000);
+        assert_eq!(m.map_tasks, 5); // 5000 / 1024 -> 5 blocks
+        assert_eq!(m.stages, 1);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let (c, fs) = fixture();
+        let err = execute(&LogicalPlan::scan("zzz"), &c, &fs).unwrap_err();
+        assert_eq!(err, ExecError::UnknownTable("zzz".into()));
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let (c, fs) = fixture();
+        let plan = LogicalPlan::scan("sales").select(Predicate::range("s.item", 1, 2));
+        let (t, _) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t.len(), 3, "NULL item excluded");
+    }
+
+    #[test]
+    fn project_keeps_order_and_scales_width() {
+        let (c, fs) = fixture();
+        let plan = LogicalPlan::scan("sales").project(vec!["s.amount", "s.item"]);
+        let (t, _) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t.schema.field(0).name, "s.amount");
+        assert_eq!(t.bytes_per_row, 1000, "keeping all columns keeps the width");
+        let narrow = LogicalPlan::scan("sales").project(vec!["s.item"]);
+        let (t2, _) = execute(&narrow, &c, &fs).unwrap();
+        assert!(t2.bytes_per_row < 1000, "projection shrinks simulated width");
+        assert!(t2.bytes_per_row > 0);
+    }
+
+    #[test]
+    fn project_unknown_column_errors() {
+        let (c, fs) = fixture();
+        let plan = LogicalPlan::scan("sales").project(vec!["nope"]);
+        assert!(matches!(
+            execute(&plan, &c, &fs),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn hash_join_inner_semantics() {
+        let (c, fs) = fixture();
+        let plan =
+            LogicalPlan::scan("sales").join(LogicalPlan::scan("item"), vec![("s.item", "i.item")]);
+        let (t, m) = execute(&plan, &c, &fs).unwrap();
+        // items 1 (x2 sales), 2 (x1) match; 3 and NULL don't; item 4 unmatched.
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.schema.len(), 4);
+        assert!(m.shuffle_bytes > 0);
+        assert_eq!(t.bytes_per_row, 1100);
+        // Columns from the left input come first regardless of build side.
+        assert_eq!(t.schema.field(0).name, "s.item");
+    }
+
+    #[test]
+    fn join_accepts_swapped_on_pairs() {
+        let (c, fs) = fixture();
+        let plan =
+            LogicalPlan::scan("sales").join(LogicalPlan::scan("item"), vec![("i.item", "s.item")]);
+        let (t, _) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let (c, fs) = fixture();
+        let plan = LogicalPlan::scan("sales").aggregate(
+            vec!["s.item"],
+            vec![
+                AggExpr::count("cnt"),
+                AggExpr::of(AggFunc::Sum, "s.amount", "total"),
+                AggExpr::of(AggFunc::Avg, "s.amount", "avg"),
+                AggExpr::of(AggFunc::Min, "s.amount", "lo"),
+                AggExpr::of(AggFunc::Max, "s.amount", "hi"),
+            ],
+        );
+        let (t, _) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t.len(), 4); // groups: NULL, 1, 2, 3 (sorted, NULL first)
+        let g1 = t
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(1))
+            .expect("group 1");
+        assert_eq!(g1[1], Value::Int(2));
+        assert_eq!(g1[2], Value::Float(30.0));
+        assert_eq!(g1[3], Value::Float(15.0));
+        assert_eq!(g1[4], Value::Float(10.0));
+        assert_eq!(g1[5], Value::Float(20.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_row() {
+        let (c, fs) = fixture();
+        let plan = LogicalPlan::scan("sales")
+            .select(Predicate::range("s.item", 100, 200))
+            .aggregate(
+                Vec::<String>::new(),
+                vec![
+                    AggExpr::count("cnt"),
+                    AggExpr::of(AggFunc::Sum, "s.amount", "t"),
+                ],
+            );
+        let (t, _) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows[0][0], Value::Int(0));
+        assert_eq!(t.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn view_scan_reads_fragments_and_charges_fs() {
+        let (c, fs) = fixture();
+        let frag_schema = Schema::new(vec![Field::new("v.a", DataType::Int)]);
+        let f1 = Table::new(frag_schema.clone(), vec![vec![Value::Int(1)]], 500);
+        let f2 = Table::new(frag_schema.clone(), vec![vec![Value::Int(2)]], 500);
+        let (id1, _) = fs.create("f1", f1.sim_bytes(), f1);
+        let (id2, _) = fs.create("f2", f2.sim_bytes(), f2);
+        let plan = LogicalPlan::ViewScan(crate::plan::ViewScanInfo {
+            view_name: "v".into(),
+            files: vec![id1, id2],
+            schema: frag_schema,
+        });
+        let (t, m) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(m.bytes_read, 1000);
+        assert_eq!(fs.ledger().files_read, 2);
+        // Evict one fragment: execution must now fail.
+        fs.delete(id2);
+        assert!(matches!(
+            execute(&plan, &c, &fs),
+            Err(ExecError::MissingFile(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_rows_sorted_deterministically() {
+        let (c, fs) = fixture();
+        let plan =
+            LogicalPlan::scan("sales").aggregate(vec!["s.item"], vec![AggExpr::count("cnt")]);
+        let (t1, _) = execute(&plan, &c, &fs).unwrap();
+        let (t2, _) = execute(&plan, &c, &fs).unwrap();
+        assert_eq!(t1.rows, t2.rows);
+    }
+}

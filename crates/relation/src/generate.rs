@@ -1,0 +1,246 @@
+//! Synthetic column/table generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::distr::{normal, WeightedBuckets, Zipf};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// How to generate the values of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnGen {
+    /// Sequential ids starting at `start` (primary keys).
+    Serial {
+        /// First id.
+        start: i64,
+    },
+    /// Uniform integers in `[low, high]`.
+    UniformInt {
+        /// Inclusive lower bound.
+        low: i64,
+        /// Inclusive upper bound.
+        high: i64,
+    },
+    /// Normal(mean, std) rounded and clamped to `[low, high]`.
+    NormalInt {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+        /// Clamp lower bound.
+        low: i64,
+        /// Clamp upper bound.
+        high: i64,
+    },
+    /// Zipf-ranked values mapped onto `[low, low + n)`.
+    ZipfInt {
+        /// Number of distinct values.
+        n: usize,
+        /// Zipf exponent.
+        s: f64,
+        /// Value of rank 1.
+        low: i64,
+    },
+    /// Values drawn from a weighted-bucket histogram (SDSS-style skew).
+    Histogram(WeightedBuckets),
+    /// Uniform floats in `[low, high)`.
+    UniformFloat {
+        /// Lower bound.
+        low: f64,
+        /// Upper bound.
+        high: f64,
+    },
+    /// Strings `"{prefix}{k}"` with `k` uniform in `[0, card)`.
+    Label {
+        /// Prefix of every label.
+        prefix: &'static str,
+        /// Number of distinct labels.
+        card: usize,
+    },
+}
+
+impl ColumnGen {
+    fn value(&self, rng: &mut StdRng, row_idx: usize) -> Value {
+        match self {
+            ColumnGen::Serial { start } => Value::Int(start + row_idx as i64),
+            ColumnGen::UniformInt { low, high } => Value::Int(rng.random_range(*low..=*high)),
+            ColumnGen::NormalInt {
+                mean,
+                std,
+                low,
+                high,
+            } => {
+                let v = normal(rng, *mean, *std).round() as i64;
+                Value::Int(v.clamp(*low, *high))
+            }
+            ColumnGen::ZipfInt { n, s, low } => {
+                // Constructing the CDF per value would be O(n); callers that
+                // care use `TableGen` which caches samplers.
+                let z = Zipf::new(*n, *s);
+                Value::Int(low + (z.sample(rng) as i64 - 1))
+            }
+            ColumnGen::Histogram(wb) => Value::Int(wb.sample(rng)),
+            ColumnGen::UniformFloat { low, high } => {
+                Value::Float(low + (high - low) * rng.random::<f64>())
+            }
+            ColumnGen::Label { prefix, card } => {
+                Value::str(format!("{prefix}{}", rng.random_range(0..*card)))
+            }
+        }
+    }
+}
+
+/// Deterministic table generator.
+#[derive(Debug, Clone)]
+pub struct TableGen {
+    schema: Schema,
+    gens: Vec<ColumnGen>,
+    bytes_per_row: u64,
+    seed: u64,
+}
+
+impl TableGen {
+    /// Create a generator; one `ColumnGen` per schema column.
+    ///
+    /// # Panics
+    /// Panics if arities differ.
+    pub fn new(schema: Schema, gens: Vec<ColumnGen>, bytes_per_row: u64, seed: u64) -> Self {
+        assert_eq!(schema.len(), gens.len(), "one generator per column");
+        Self {
+            schema,
+            gens,
+            bytes_per_row,
+            seed,
+        }
+    }
+
+    /// Generate `rows` rows. Same seed ⇒ same table.
+    pub fn generate(&self, rows: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Pre-build Zipf samplers (they are expensive to construct).
+        let zipfs: Vec<Option<Zipf>> = self
+            .gens
+            .iter()
+            .map(|g| match g {
+                ColumnGen::ZipfInt { n, s, .. } => Some(Zipf::new(*n, *s)),
+                _ => None,
+            })
+            .collect();
+        let mut data: Vec<Row> = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut row = Vec::with_capacity(self.gens.len());
+            for (c, g) in self.gens.iter().enumerate() {
+                let v = match (&zipfs[c], g) {
+                    (Some(z), ColumnGen::ZipfInt { low, .. }) => {
+                        Value::Int(low + (z.sample(&mut rng) as i64 - 1))
+                    }
+                    _ => g.value(&mut rng, r),
+                };
+                row.push(v);
+            }
+            data.push(row);
+        }
+        Table::new(self.schema.clone(), data, self.bytes_per_row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn gen_table(rows: usize, seed: u64) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("t.id", DataType::Int),
+            Field::new("t.k", DataType::Int),
+            Field::new("t.m", DataType::Float),
+            Field::new("t.l", DataType::Str),
+        ]);
+        TableGen::new(
+            schema,
+            vec![
+                ColumnGen::Serial { start: 1 },
+                ColumnGen::UniformInt { low: 0, high: 99 },
+                ColumnGen::UniformFloat {
+                    low: 0.0,
+                    high: 1.0,
+                },
+                ColumnGen::Label {
+                    prefix: "c",
+                    card: 5,
+                },
+            ],
+            64,
+            seed,
+        )
+        .generate(rows)
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gen_table(50, 1).rows, gen_table(50, 1).rows);
+        assert_ne!(gen_table(50, 1).rows, gen_table(50, 2).rows);
+    }
+
+    #[test]
+    fn serial_is_sequential() {
+        let t = gen_table(10, 1);
+        for (i, r) in t.rows.iter().enumerate() {
+            assert_eq!(r[0].as_int(), Some(1 + i as i64));
+        }
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let t = gen_table(500, 3);
+        for r in &t.rows {
+            let k = r[1].as_int().unwrap();
+            assert!((0..=99).contains(&k));
+            let m = r[2].as_float().unwrap();
+            assert!((0.0..1.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn normal_gen_clamped() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let t = TableGen::new(
+            schema,
+            vec![ColumnGen::NormalInt {
+                mean: 50.0,
+                std: 100.0,
+                low: 0,
+                high: 100,
+            }],
+            8,
+            9,
+        )
+        .generate(1000);
+        for r in &t.rows {
+            let v = r[0].as_int().unwrap();
+            assert!((0..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_gen_skews_to_low() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let t = TableGen::new(
+            schema,
+            vec![ColumnGen::ZipfInt {
+                n: 1000,
+                s: 1.2,
+                low: 0,
+            }],
+            8,
+            11,
+        )
+        .generate(5000);
+        let zeros = t.rows.iter().filter(|r| r[0].as_int() == Some(0)).count();
+        assert!(zeros > 100, "rank-1 value should dominate, got {zeros}");
+    }
+}

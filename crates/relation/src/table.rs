@@ -1,0 +1,165 @@
+//! In-memory tables with simulated on-disk sizes.
+
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An in-memory table.
+///
+/// `bytes_per_row` is the *simulated* on-disk width of one row. Experiments
+/// run on scaled-down row counts while cost accounting happens in simulated
+/// bytes, so a "100 GB" instance is a table with, say, 200 000 rows and
+/// `bytes_per_row = 500 000`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: Schema,
+    /// Row data.
+    pub rows: Vec<Row>,
+    /// Simulated on-disk bytes per row.
+    pub bytes_per_row: u64,
+}
+
+impl Table {
+    /// Create a table.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a row's arity differs from the schema's.
+    pub fn new(schema: Schema, rows: Vec<Row>, bytes_per_row: u64) -> Self {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == schema.len()),
+            "row arity must match schema"
+        );
+        Self {
+            schema,
+            rows,
+            bytes_per_row,
+        }
+    }
+
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema, bytes_per_row: u64) -> Self {
+        Self::new(schema, Vec::new(), bytes_per_row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Simulated on-disk size in bytes.
+    pub fn sim_bytes(&self) -> u64 {
+        self.rows.len() as u64 * self.bytes_per_row
+    }
+
+    /// Column values at `col` for every row.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = &Value> + '_ {
+        self.rows.iter().map(move |r| &r[col])
+    }
+
+    /// Min and max of an integer column, ignoring NULLs. `None` if the column
+    /// has no non-null values.
+    pub fn int_min_max(&self, col: usize) -> Option<(i64, i64)> {
+        let mut mm: Option<(i64, i64)> = None;
+        for v in self.column(col) {
+            if let Some(i) = v.as_int() {
+                mm = Some(match mm {
+                    None => (i, i),
+                    Some((lo, hi)) => (lo.min(i), hi.max(i)),
+                });
+            }
+        }
+        mm
+    }
+
+    /// A canonical fingerprint of the table's contents, independent of row
+    /// order. Used by tests to check that rewritten queries produce the same
+    /// multiset of rows as the original.
+    pub fn fingerprint(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut s = String::new();
+                for v in r {
+                    s.push_str(&canonical_value(v));
+                    s.push('\u{1}');
+                }
+                s
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+fn canonical_value(v: &Value) -> String {
+    match v {
+        // Print floats with enough precision to distinguish values but
+        // tolerate the last few bits of summation-order noise.
+        Value::Float(f) => format!("{f:.6}"),
+        Value::Int(i) => format!("{i}"),
+        Value::Str(s) => format!("s:{s}"),
+        Value::Null => "∅".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn t() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("t.a", DataType::Int),
+            Field::new("t.b", DataType::Str),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                vec![Value::Int(3), Value::str("x")],
+                vec![Value::Int(1), Value::str("y")],
+                vec![Value::Null, Value::str("z")],
+            ],
+            100,
+        )
+    }
+
+    #[test]
+    fn sim_bytes_scales_with_rows() {
+        assert_eq!(t().sim_bytes(), 300);
+        assert_eq!(Table::empty(t().schema, 100).sim_bytes(), 0);
+    }
+
+    #[test]
+    fn min_max_ignores_null() {
+        assert_eq!(t().int_min_max(0), Some((1, 3)));
+    }
+
+    #[test]
+    fn min_max_none_when_all_null() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let t = Table::new(schema, vec![vec![Value::Null]], 1);
+        assert_eq!(t.int_min_max(0), None);
+    }
+
+    #[test]
+    fn fingerprint_order_independent() {
+        let mut t2 = t();
+        t2.rows.reverse();
+        assert_eq!(t().fingerprint(), t2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_detects_multiset_difference() {
+        let mut t2 = t();
+        t2.rows.push(vec![Value::Int(3), Value::str("x")]); // duplicate row
+        assert_ne!(t().fingerprint(), t2.fingerprint());
+    }
+}

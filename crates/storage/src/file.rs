@@ -1,0 +1,61 @@
+//! Stored file representation.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Opaque handle to a file in the simulated FS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// A file stored in the simulated distributed FS.
+///
+/// `P` is the in-memory payload type (in DeepSea: the rows of a view
+/// fragment). The payload is shared via [`Arc`] so a read never copies data.
+/// `sim_bytes` is the *simulated* on-disk size — the quantity all cost and
+/// pool accounting uses — which is deliberately decoupled from the in-memory
+/// size so scaled-down instances can model cluster-scale data.
+#[derive(Debug, Clone)]
+pub struct StoredFile<P> {
+    /// Human-readable name (for reports and debugging).
+    pub name: String,
+    /// Simulated on-disk size in bytes.
+    pub sim_bytes: u64,
+    /// In-memory payload.
+    pub payload: Arc<P>,
+}
+
+impl<P> StoredFile<P> {
+    /// Create a new stored file.
+    pub fn new(name: impl Into<String>, sim_bytes: u64, payload: P) -> Self {
+        Self {
+            name: name.into(),
+            sim_bytes,
+            payload: Arc::new(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_display() {
+        assert_eq!(FileId(7).to_string(), "file#7");
+    }
+
+    #[test]
+    fn payload_shared_not_copied() {
+        let f = StoredFile::new("v1", 1024, vec![1u8, 2, 3]);
+        let g = f.clone();
+        assert!(Arc::ptr_eq(&f.payload, &g.payload));
+        assert_eq!(g.sim_bytes, 1024);
+        assert_eq!(g.name, "v1");
+    }
+}

@@ -1,0 +1,190 @@
+//! The simulated distributed file system.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::BlockConfig;
+use crate::file::{FileId, StoredFile};
+use crate::ledger::CostLedger;
+use crate::weights::CostWeights;
+
+/// A simulated HDFS-like file system.
+///
+/// Thread-safe: the experiment harness runs independent system variants in
+/// parallel, each with its own `SimFs`, but a single variant may also be
+/// driven from multiple threads.
+///
+/// Every read/write is charged to an internal [`CostLedger`]; the cost in
+/// abstract units (seconds) is returned to the caller so the execution engine
+/// can fold it into a query's elapsed time.
+pub struct SimFs<P> {
+    inner: Mutex<Inner<P>>,
+    block: BlockConfig,
+    weights: CostWeights,
+}
+
+struct Inner<P> {
+    files: BTreeMap<FileId, StoredFile<P>>,
+    next_id: u64,
+    ledger: CostLedger,
+}
+
+impl<P> SimFs<P> {
+    /// Create an empty file system.
+    pub fn new(block: BlockConfig, weights: CostWeights) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                files: BTreeMap::new(),
+                next_id: 0,
+                ledger: CostLedger::new(),
+            }),
+            block,
+            weights,
+        }
+    }
+
+    /// The block configuration in force.
+    pub fn block_config(&self) -> BlockConfig {
+        self.block
+    }
+
+    /// The cost weights in force.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// Write a new file; returns its id and the simulated cost of the write.
+    pub fn create(&self, name: impl Into<String>, sim_bytes: u64, payload: P) -> (FileId, f64) {
+        let mut inner = self.inner.lock();
+        let id = FileId(inner.next_id);
+        inner.next_id += 1;
+        inner.files.insert(id, StoredFile::new(name, sim_bytes, payload));
+        inner.ledger.record_write(sim_bytes);
+        (id, self.weights.write_cost(sim_bytes))
+    }
+
+    /// Read a file; returns the payload, its simulated size, and the cost of
+    /// the read. Returns `None` for an unknown id.
+    pub fn read(&self, id: FileId) -> Option<(Arc<P>, u64, f64)> {
+        let mut inner = self.inner.lock();
+        let file = inner.files.get(&id)?;
+        let bytes = file.sim_bytes;
+        let payload = Arc::clone(&file.payload);
+        inner.ledger.record_read(bytes);
+        Some((payload, bytes, self.weights.read_cost(bytes)))
+    }
+
+    /// Look at a file's metadata without charging a read.
+    pub fn stat(&self, id: FileId) -> Option<(String, u64)> {
+        let inner = self.inner.lock();
+        inner.files.get(&id).map(|f| (f.name.clone(), f.sim_bytes))
+    }
+
+    /// Delete a file (eviction). Deletion is metadata-only and free, matching
+    /// HDFS semantics. Returns the freed simulated bytes, or `None` if absent.
+    pub fn delete(&self, id: FileId) -> Option<u64> {
+        let mut inner = self.inner.lock();
+        let file = inner.files.remove(&id)?;
+        inner.ledger.record_delete();
+        Some(file.sim_bytes)
+    }
+
+    /// Number of map tasks a scan of the given files launches.
+    pub fn scan_tasks<I: IntoIterator<Item = FileId>>(&self, ids: I) -> u64 {
+        let inner = self.inner.lock();
+        let sizes: Vec<u64> = ids
+            .into_iter()
+            .filter_map(|id| inner.files.get(&id).map(|f| f.sim_bytes))
+            .collect();
+        self.block.tasks_for_files(sizes)
+    }
+
+    /// Snapshot of the accumulated ledger.
+    pub fn ledger(&self) -> CostLedger {
+        self.inner.lock().ledger
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().files.len()
+    }
+
+    /// Total simulated bytes across live files.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().files.values().map(|f| f.sim_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> SimFs<Vec<u32>> {
+        SimFs::new(BlockConfig::new(100), CostWeights::default())
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let fs = fs();
+        let (id, wcost) = fs.create("frag", 250, vec![1, 2, 3]);
+        assert!(wcost > 0.0);
+        let (payload, bytes, rcost) = fs.read(id).expect("file exists");
+        assert_eq!(*payload, vec![1, 2, 3]);
+        assert_eq!(bytes, 250);
+        assert!(rcost > 0.0);
+        assert!(wcost > rcost, "writes are more expensive than reads");
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let fs = fs();
+        let (a, _) = fs.create("a", 1, vec![]);
+        let (b, _) = fs.create("b", 1, vec![]);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn delete_frees_and_read_fails_after() {
+        let fs = fs();
+        let (id, _) = fs.create("x", 500, vec![9]);
+        assert_eq!(fs.total_bytes(), 500);
+        assert_eq!(fs.delete(id), Some(500));
+        assert_eq!(fs.total_bytes(), 0);
+        assert!(fs.read(id).is_none());
+        assert!(fs.delete(id).is_none());
+    }
+
+    #[test]
+    fn ledger_tracks_io() {
+        let fs = fs();
+        let (id, _) = fs.create("x", 500, vec![9]);
+        fs.read(id);
+        fs.read(id);
+        let l = fs.ledger();
+        assert_eq!(l.write_bytes, 500);
+        assert_eq!(l.read_bytes, 1000);
+        assert_eq!(l.files_read, 2);
+    }
+
+    #[test]
+    fn scan_tasks_counts_blocks_per_file() {
+        let fs = fs();
+        let (a, _) = fs.create("a", 250, vec![]); // 3 blocks of 100
+        let (b, _) = fs.create("b", 90, vec![]); // 1 block
+        assert_eq!(fs.scan_tasks([a, b]), 4);
+        assert_eq!(fs.scan_tasks([a]), 3);
+        // unknown ids are skipped
+        assert_eq!(fs.scan_tasks([FileId(999)]), 0);
+    }
+
+    #[test]
+    fn stat_does_not_charge_read() {
+        let fs = fs();
+        let (id, _) = fs.create("x", 500, vec![]);
+        let before = fs.ledger();
+        assert_eq!(fs.stat(id), Some(("x".to_string(), 500)));
+        assert_eq!(fs.ledger().read_bytes, before.read_bytes);
+    }
+}

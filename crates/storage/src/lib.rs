@@ -1,0 +1,34 @@
+//! # deepsea-storage
+//!
+//! A simulated distributed file system substrate for DeepSea, standing in for
+//! HDFS in the original paper. It models the three storage properties the
+//! DeepSea algorithms depend on:
+//!
+//! 1. **Block-oriented files** — a file of `n` bytes occupies
+//!    `ceil(n / block_size)` blocks, and reading it spawns one map task per
+//!    block (see [`BlockConfig`]). This drives the paper's observation that
+//!    equi-depth partitioning issues 40–50% more map tasks than DeepSea, and
+//!    its rule that a fragment should never be smaller than one block.
+//! 2. **Asymmetric read/write cost** — writing to the (replicated) FS is much
+//!    more expensive per byte than reading (`wwrite ≫ wread`, §7.2 of the
+//!    paper). See [`CostWeights`].
+//! 3. **A bounded materialized-view pool** — total view/fragment storage must
+//!    stay below `Smax` ([`PoolAccountant`]).
+//!
+//! Files carry an arbitrary in-memory payload (the actual rows of a view
+//! fragment) *and* a simulated byte size, so the same object supports real
+//! query execution and cluster-scale cost accounting.
+
+pub mod block;
+pub mod file;
+pub mod fs;
+pub mod ledger;
+pub mod pool;
+pub mod weights;
+
+pub use block::BlockConfig;
+pub use file::{FileId, StoredFile};
+pub use fs::SimFs;
+pub use ledger::CostLedger;
+pub use pool::{PoolAccountant, PoolError};
+pub use weights::CostWeights;

@@ -1,0 +1,140 @@
+//! Materialized-view pool storage accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a reservation would exceed the pool limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolError {
+    /// Bytes that were requested.
+    pub requested: u64,
+    /// Bytes available under the limit.
+    pub available: u64,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool limit exceeded: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Tracks the storage used by the materialized-view pool against the limit
+/// `Smax` (Definition 4, constraint 3: `S(Ci) <= Smax` for all i).
+///
+/// `smax == None` models the paper's "∞" pool-size setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolAccountant {
+    smax: Option<u64>,
+    used: u64,
+}
+
+impl PoolAccountant {
+    /// A pool bounded by `smax` simulated bytes.
+    pub fn bounded(smax: u64) -> Self {
+        Self {
+            smax: Some(smax),
+            used: 0,
+        }
+    }
+
+    /// An unbounded pool (the paper's `∞` configuration).
+    pub fn unbounded() -> Self {
+        Self { smax: None, used: 0 }
+    }
+
+    /// The configured limit, if any.
+    pub fn smax(&self) -> Option<u64> {
+        self.smax
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available under the limit (`u64::MAX` when unbounded).
+    pub fn available(&self) -> u64 {
+        match self.smax {
+            Some(s) => s.saturating_sub(self.used),
+            None => u64::MAX,
+        }
+    }
+
+    /// Whether a reservation of `bytes` would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Reserve `bytes`; fails without side effects if it would exceed `Smax`.
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), PoolError> {
+        if !self.fits(bytes) {
+            return Err(PoolError {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Release previously reserved bytes.
+    ///
+    /// # Panics
+    /// Panics in debug builds if releasing more than is reserved.
+    pub fn release(&mut self, bytes: u64) {
+        debug_assert!(bytes <= self.used, "releasing more than reserved");
+        self.used = self.used.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_reserve_release() {
+        let mut p = PoolAccountant::bounded(100);
+        assert!(p.reserve(60).is_ok());
+        assert_eq!(p.used(), 60);
+        assert_eq!(p.available(), 40);
+        assert!(!p.fits(41));
+        assert!(p.fits(40));
+        let err = p.reserve(41).unwrap_err();
+        assert_eq!(err.requested, 41);
+        assert_eq!(err.available, 40);
+        assert_eq!(p.used(), 60, "failed reserve must not change state");
+        p.release(60);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn unbounded_always_fits() {
+        let mut p = PoolAccountant::unbounded();
+        assert!(p.reserve(u64::MAX / 2).is_ok());
+        assert!(p.fits(u64::MAX / 4));
+        assert_eq!(p.smax(), None);
+    }
+
+    #[test]
+    fn exact_fill_allowed() {
+        let mut p = PoolAccountant::bounded(10);
+        assert!(p.reserve(10).is_ok());
+        assert_eq!(p.available(), 0);
+        assert!(p.fits(0));
+        assert!(!p.fits(1));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = PoolError {
+            requested: 5,
+            available: 3,
+        };
+        assert!(e.to_string().contains("requested 5"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # deepsea-workload
+//!
+//! Workload generation for the DeepSea reproduction:
+//!
+//! - a **BigBench-like retail star schema** ([`schema`]) whose `item_sk`
+//!   distribution can be driven by an SDSS-shaped histogram (the paper
+//!   samples BigBench `item_sk` values from the SDSS `PhotoPrimary.ra`
+//!   histogram, §10.1),
+//! - ten **query templates** ([`templates`]) mirroring the BigBench queries
+//!   the paper picks (Q1, Q5, Q7, Q9, Q12, Q16, Q20, Q26, Q29, Q30): joins +
+//!   aggregation with an injected range selection on `item_sk`,
+//! - an **SDSS-like trace generator** ([`sdss`]) reproducing the
+//!   non-uniform, phase-shifting selection ranges of Figures 1–2,
+//! - **selectivity × skew samplers** ([`skew`]) for Table 1's parameter grid
+//!   (Small/Medium/Big × Uniform/Light/Heavy, plus Zipf),
+//! - per-experiment **workload sequences** ([`sequences`]) for every figure
+//!   of the evaluation.
+
+pub mod schema;
+pub mod sdss;
+pub mod sequences;
+pub mod skew;
+pub mod templates;
+
+pub use schema::{BigBenchData, InstanceSize};
+pub use skew::{Selectivity, Skew};
+pub use templates::TemplateId;

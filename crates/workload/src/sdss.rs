@@ -1,0 +1,218 @@
+//! SDSS-like trace generation (Figures 1–2 of the paper).
+//!
+//! The paper draws 1000 selection ranges on `PhotoPrimary.ra` from the real
+//! SDSS query log (March 2010 – March 2011) and maps them onto BigBench's
+//! `item_sk`. The log has two salient properties we reproduce parametrically:
+//!
+//! 1. **Non-uniform hits** (Fig. 1): the hit histogram over `ra ∈ [-20°,400°]`
+//!    has a dominant hot region around 200–300° and a secondary one near
+//!    100–180°, with long cold tails.
+//! 2. **Evolving phases** (Fig. 2): the first ~30% of queries focus on
+//!    200–300°, later queries shift to values around 100°; a few queries
+//!    select the whole domain.
+
+use deepsea_relation::distr::{normal, WeightedBuckets};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The `ra` domain of `PhotoPrimary` as plotted in Figure 1.
+pub const RA_LO: f64 = -20.0;
+/// Upper end of the plotted `ra` domain.
+pub const RA_HI: f64 = 400.0;
+
+/// A hit histogram over an integer domain shaped like the paper's Figure 1:
+/// a dominant mode, a secondary mode, and cold tails.
+pub fn sdss_like_histogram(domain_lo: i64, domain_hi: i64) -> WeightedBuckets {
+    let w = (domain_hi - domain_lo) as f64;
+    let at = |frac: f64| domain_lo + (w * frac) as i64;
+    WeightedBuckets::new(&[
+        (domain_lo, at(0.15), 2.0),          // cold leading tail
+        (at(0.15) + 1, at(0.35), 18.0),      // secondary mode (~100–180°)
+        (at(0.35) + 1, at(0.50), 6.0),       // valley
+        (at(0.50) + 1, at(0.75), 60.0),      // dominant mode (~200–300°)
+        (at(0.75) + 1, domain_hi, 4.0),      // cold trailing tail
+    ])
+}
+
+/// One query of the trace: an inclusive selection range.
+pub type TraceRange = (i64, i64);
+
+/// Parameters of the synthetic SDSS-like trace.
+#[derive(Debug, Clone)]
+pub struct SdssTrace {
+    /// Domain lower bound the ranges are mapped onto.
+    pub domain_lo: i64,
+    /// Domain upper bound (inclusive).
+    pub domain_hi: i64,
+    /// Fraction of queries in the first (200–300°-like) phase.
+    pub phase1_fraction: f64,
+    /// Probability of a whole-domain query (the vertical lines in Fig. 2).
+    pub full_domain_prob: f64,
+    /// Probability that a query repeats one of the recent ranges (real query
+    /// logs are full of re-submitted queries; reuse feeds on them).
+    pub repeat_prob: f64,
+}
+
+impl SdssTrace {
+    /// A trace over the given domain with the paper's phase structure.
+    pub fn new(domain_lo: i64, domain_hi: i64) -> Self {
+        assert!(domain_lo < domain_hi);
+        Self {
+            domain_lo,
+            domain_hi,
+            phase1_fraction: 0.3,
+            full_domain_prob: 0.002,
+            repeat_prob: 0.35,
+        }
+    }
+
+    /// Generate `n` ranges in submission order. Deterministic per seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<TraceRange> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = (self.domain_hi - self.domain_lo) as f64;
+        let mut out: Vec<TraceRange> = Vec::with_capacity(n);
+        for i in 0..n {
+            if rng.random::<f64>() < self.full_domain_prob {
+                out.push((self.domain_lo, self.domain_hi));
+                continue;
+            }
+            // Re-submission of a recent query.
+            if !out.is_empty() && rng.random::<f64>() < self.repeat_prob {
+                let window = out.len().min(50);
+                let pick = out.len() - 1 - rng.random_range(0..window);
+                out.push(out[pick]);
+                continue;
+            }
+            let phase1 = (i as f64) < self.phase1_fraction * n as f64;
+            // Phase 1: hot spot at ~62% of the domain (the 200–300° band);
+            // phase 2: hot spot at ~29% (the ~100° band). Width: mostly
+            // narrow ranges with occasional wide ones (log-ish mixture).
+            let center_frac = if phase1 { 0.62 } else { 0.29 };
+            let center = self.domain_lo as f64 + center_frac * w;
+            let mid = normal(&mut rng, center, 0.04 * w);
+            let width = if rng.random::<f64>() < 0.15 {
+                // occasional wide exploratory range
+                (0.05 + 0.15 * rng.random::<f64>()) * w
+            } else {
+                (0.002 + 0.02 * rng.random::<f64>()) * w
+            };
+            let lo = (mid - width / 2.0).round() as i64;
+            let hi = (mid + width / 2.0).round() as i64;
+            let lo = lo.clamp(self.domain_lo, self.domain_hi);
+            let hi = hi.clamp(lo, self.domain_hi);
+            out.push((lo, hi));
+        }
+        out
+    }
+
+    /// Histogram of hits per equal-width bucket, as in Figure 1.
+    pub fn hit_histogram(&self, ranges: &[TraceRange], buckets: usize) -> Vec<(i64, u64)> {
+        assert!(buckets > 0);
+        let w = (self.domain_hi - self.domain_lo + 1) as f64;
+        let bw = (w / buckets as f64).max(1.0);
+        let mut hist = vec![0u64; buckets];
+        for &(lo, hi) in ranges {
+            let b0 = (((lo - self.domain_lo) as f64) / bw) as usize;
+            let b1 = (((hi - self.domain_lo) as f64) / bw) as usize;
+            for h in hist.iter_mut().take(b1.min(buckets - 1) + 1).skip(b0) {
+                *h += 1;
+            }
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(i, h)| (self.domain_lo + (i as f64 * bw) as i64, h))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> SdssTrace {
+        SdssTrace::new(0, 39_999)
+    }
+
+    #[test]
+    fn ranges_in_domain_and_ordered() {
+        let t = trace();
+        for (lo, hi) in t.generate(2_000, 1) {
+            assert!(lo <= hi);
+            assert!(lo >= 0 && hi <= 39_999);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace();
+        assert_eq!(t.generate(100, 9), t.generate(100, 9));
+        assert_ne!(t.generate(100, 9), t.generate(100, 10));
+    }
+
+    #[test]
+    fn phase_shift_visible() {
+        let t = trace();
+        let ranges = t.generate(3_000, 2);
+        let mid = |r: &TraceRange| (r.0 + r.1) / 2;
+        let early: f64 = ranges[..600].iter().map(|r| mid(r) as f64).sum::<f64>() / 600.0;
+        let late: f64 = ranges[2_400..].iter().map(|r| mid(r) as f64).sum::<f64>() / 600.0;
+        assert!(
+            early > late + 5_000.0,
+            "phase 1 targets higher values: early={early} late={late}"
+        );
+    }
+
+    #[test]
+    fn histogram_has_dominant_mode_like_fig1() {
+        let t = trace();
+        let ranges = t.generate(10_000, 3);
+        let hist = t.hit_histogram(&ranges, 42);
+        let total: u64 = hist.iter().map(|(_, h)| h).sum();
+        let max = hist.iter().map(|(_, h)| *h).max().unwrap();
+        // Hot buckets dominate: the hottest bucket has far more hits than the
+        // average bucket.
+        assert!(max as f64 > 4.0 * (total as f64 / hist.len() as f64));
+        // Cold tail exists.
+        let min = hist.iter().map(|(_, h)| *h).min().unwrap();
+        assert!(min * 10 < max);
+    }
+
+    #[test]
+    fn whole_domain_queries_occur() {
+        let t = trace();
+        let ranges = t.generate(5_000, 4);
+        assert!(
+            ranges.iter().any(|&(lo, hi)| lo == 0 && hi == 39_999),
+            "occasional whole-domain selections (Fig. 2's vertical lines)"
+        );
+    }
+
+    #[test]
+    fn sdss_like_histogram_shape() {
+        let wb = sdss_like_histogram(0, 41_999);
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hot = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = wb.sample(&mut rng);
+            // dominant band is (50%..75%] of the domain
+            if v > 21_000 && v <= 31_500 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        assert!(frac > 0.5, "dominant band holds most mass: {frac}");
+    }
+
+    #[test]
+    fn hit_histogram_bucket_count() {
+        let t = trace();
+        let hist = t.hit_histogram(&[(0, 100), (39_000, 39_999)], 10);
+        assert_eq!(hist.len(), 10);
+        assert!(hist[0].1 >= 1);
+        assert!(hist[9].1 >= 1);
+        assert_eq!(hist[5].1, 0);
+    }
+}

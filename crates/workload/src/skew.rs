@@ -1,0 +1,252 @@
+//! Selectivity × skew range samplers (Table 1) and the Zipf sampler of §10.3.
+
+use deepsea_relation::distr::{normal, Zipf};
+use rand::{Rng, RngExt};
+
+/// Query selectivity settings (fraction of the data returned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Selectivity {
+    /// `S`: 1% of the data.
+    Small,
+    /// `M`: 5%.
+    Medium,
+    /// `B`: 25%.
+    Big,
+}
+
+impl Selectivity {
+    /// The selected fraction of the domain.
+    pub fn fraction(&self) -> f64 {
+        match self {
+            Selectivity::Small => 0.01,
+            Selectivity::Medium => 0.05,
+            Selectivity::Big => 0.25,
+        }
+    }
+
+    /// Paper abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Selectivity::Small => "S",
+            Selectivity::Medium => "M",
+            Selectivity::Big => "B",
+        }
+    }
+}
+
+/// Skew of the selection-range midpoints (Table 1): uniform, or normal with a
+/// *variance* of 7.5% (light) / 0.25% (heavy) of the domain — i.e. heavy skew
+/// concentrates midpoints so tightly that consecutive ranges nearly repeat
+/// (the regime where progressive partitioning shines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Skew {
+    /// `U`: midpoints uniform over the domain.
+    Uniform,
+    /// `L`: midpoints ~ N(center, 7.5% of domain).
+    Light,
+    /// `H`: midpoints ~ N(center, 0.25% of domain).
+    Heavy,
+}
+
+impl Skew {
+    /// Midpoint standard deviation as a fraction of the domain width
+    /// (variance fractions 7.5% / 0.25% of the domain ⇒ std ≈ 5% / 0.1%
+    /// of the width at our scale).
+    pub fn std_fraction(&self) -> Option<f64> {
+        match self {
+            Skew::Uniform => None,
+            Skew::Light => Some(0.05),
+            Skew::Heavy => Some(0.001),
+        }
+    }
+
+    /// Paper abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Skew::Uniform => "U",
+            Skew::Light => "L",
+            Skew::Heavy => "H",
+        }
+    }
+}
+
+/// A selection-range sampler over an integer domain.
+#[derive(Debug, Clone)]
+pub struct RangeSampler {
+    /// Domain lower bound.
+    pub domain_lo: i64,
+    /// Domain upper bound (inclusive).
+    pub domain_hi: i64,
+    /// Query selectivity.
+    pub selectivity: Selectivity,
+    /// Midpoint skew.
+    pub skew: Skew,
+    /// Center of the skewed midpoint distribution (defaults to mid-domain).
+    pub center: i64,
+}
+
+impl RangeSampler {
+    /// Sampler centered on the middle of the domain.
+    pub fn new(domain_lo: i64, domain_hi: i64, selectivity: Selectivity, skew: Skew) -> Self {
+        assert!(domain_lo < domain_hi);
+        Self {
+            domain_lo,
+            domain_hi,
+            selectivity,
+            skew,
+            center: domain_lo + (domain_hi - domain_lo) / 2,
+        }
+    }
+
+    /// Move the hot spot (for the workload-shift experiments of §10.4).
+    pub fn with_center(mut self, center: i64) -> Self {
+        self.center = center;
+        self
+    }
+
+    /// Width of every sampled range.
+    pub fn width(&self) -> i64 {
+        let dom = (self.domain_hi - self.domain_lo + 1) as f64;
+        ((dom * self.selectivity.fraction()).round() as i64).max(1)
+    }
+
+    /// Draw an inclusive selection range.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (i64, i64) {
+        let dom_w = (self.domain_hi - self.domain_lo) as f64;
+        let mid = match self.skew.std_fraction() {
+            None => rng.random_range(self.domain_lo..=self.domain_hi),
+            Some(frac) => {
+                let m = normal(rng, self.center as f64, frac * dom_w);
+                (m.round() as i64).clamp(self.domain_lo, self.domain_hi)
+            }
+        };
+        let w = self.width();
+        let lo = (mid - w / 2).clamp(self.domain_lo, self.domain_hi);
+        let hi = (lo + w - 1).min(self.domain_hi);
+        (lo, hi)
+    }
+}
+
+/// Midpoints drawn from a Zipf distribution over domain positions (Figure 8b:
+/// "selection ranges follow a radically different distribution").
+#[derive(Debug, Clone)]
+pub struct ZipfRangeSampler {
+    domain_lo: i64,
+    domain_hi: i64,
+    width: i64,
+    zipf: Zipf,
+}
+
+impl ZipfRangeSampler {
+    /// A Zipf(n_buckets, s) sampler over the domain with the given
+    /// selectivity.
+    pub fn new(domain_lo: i64, domain_hi: i64, selectivity: Selectivity, s: f64) -> Self {
+        assert!(domain_lo < domain_hi);
+        let dom = (domain_hi - domain_lo + 1) as f64;
+        let width = ((dom * selectivity.fraction()).round() as i64).max(1);
+        // One Zipf rank per possible range position (bucketed to 1000).
+        Self {
+            domain_lo,
+            domain_hi,
+            width,
+            zipf: Zipf::new(1000, s),
+        }
+    }
+
+    /// Draw an inclusive selection range.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (i64, i64) {
+        let rank = self.zipf.sample(rng) as i64 - 1; // 0-based bucket
+        let dom_w = self.domain_hi - self.domain_lo;
+        let mid = self.domain_lo + (rank * dom_w) / 1000;
+        let lo = (mid - self.width / 2).clamp(self.domain_lo, self.domain_hi);
+        let hi = (lo + self.width - 1).min(self.domain_hi);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn width_matches_selectivity() {
+        let s = RangeSampler::new(0, 9_999, Selectivity::Small, Skew::Uniform);
+        assert_eq!(s.width(), 100);
+        let b = RangeSampler::new(0, 9_999, Selectivity::Big, Skew::Uniform);
+        assert_eq!(b.width(), 2_500);
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for skew in [Skew::Uniform, Skew::Light, Skew::Heavy] {
+            let s = RangeSampler::new(0, 9_999, Selectivity::Medium, skew);
+            for _ in 0..500 {
+                let (lo, hi) = s.sample(&mut rng);
+                assert!(lo <= hi);
+                assert!((0..=9_999).contains(&lo));
+                assert!((0..=9_999).contains(&hi));
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_skew_concentrates_midpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let heavy = RangeSampler::new(0, 9_999, Selectivity::Small, Skew::Heavy);
+        let light = RangeSampler::new(0, 9_999, Selectivity::Small, Skew::Light);
+        let spread = |s: &RangeSampler, rng: &mut StdRng| {
+            let mids: Vec<f64> = (0..500)
+                .map(|_| {
+                    let (lo, hi) = s.sample(rng);
+                    (lo + hi) as f64 / 2.0
+                })
+                .collect();
+            let mean = mids.iter().sum::<f64>() / mids.len() as f64;
+            (mids.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / mids.len() as f64).sqrt()
+        };
+        let sh = spread(&heavy, &mut rng);
+        let sl = spread(&light, &mut rng);
+        assert!(sh * 5.0 < sl, "heavy spread {sh} vs light {sl}");
+    }
+
+    #[test]
+    fn center_moves_hot_spot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = RangeSampler::new(0, 9_999, Selectivity::Small, Skew::Heavy).with_center(2_000);
+        let mean_mid: f64 = (0..200)
+            .map(|_| {
+                let (lo, hi) = s.sample(&mut rng);
+                (lo + hi) as f64 / 2.0
+            })
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean_mid - 2_000.0).abs() < 150.0, "mean={mean_mid}");
+    }
+
+    #[test]
+    fn zipf_sampler_prefers_low_end() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = ZipfRangeSampler::new(0, 9_999, Selectivity::Small, 1.2);
+        let low = (0..1000)
+            .filter(|_| {
+                let (lo, _) = z.sample(&mut rng);
+                lo < 1_000
+            })
+            .count();
+        assert!(low > 500, "Zipf mass at low ranks: {low}");
+        // And in-domain.
+        for _ in 0..200 {
+            let (lo, hi) = z.sample(&mut rng);
+            assert!(lo <= hi && lo >= 0 && hi <= 9_999);
+        }
+    }
+
+    #[test]
+    fn abbrevs() {
+        assert_eq!(Selectivity::Small.abbrev(), "S");
+        assert_eq!(Skew::Heavy.abbrev(), "H");
+    }
+}

@@ -1,0 +1,320 @@
+//! The ten BigBench-like query templates (§10.1).
+//!
+//! The paper picks ten BigBench templates containing joins (Q1, Q5, Q7, Q9,
+//! Q12, Q16, Q20, Q26, Q29, Q30) and adds a range selection on `item_sk` to
+//! each. Our templates reproduce the operator *shapes* — join(s) feeding an
+//! aggregation, with the range selection applied on the join result (DeepSea
+//! deliberately does **not** push selections below the materialization
+//! point, §10.2).
+
+use deepsea_engine::plan::{AggExpr, AggFunc, LogicalPlan};
+use deepsea_relation::Predicate;
+
+/// The template identifiers used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateId {
+    /// store_sales ⋈ item → count per category.
+    Q1,
+    /// web_clickstreams ⋈ item → clicks per category.
+    Q5,
+    /// store_sales ⋈ item ⋈ customer → revenue per age group.
+    Q7,
+    /// store_sales ⋈ item → revenue per item.
+    Q9,
+    /// web_clickstreams ⋈ item → clicks per day.
+    Q12,
+    /// web_sales ⋈ item → average order value per category.
+    Q16,
+    /// store_returns ⋈ item → returns per category.
+    Q20,
+    /// store_sales ⋈ customer → quantity per age group.
+    Q26,
+    /// product_reviews ⋈ item → average rating per category.
+    Q29,
+    /// store_sales ⋈ item → revenue per category (the workhorse of §10.2–10.4).
+    Q30,
+}
+
+impl TemplateId {
+    /// All ten templates.
+    pub fn all() -> [TemplateId; 10] {
+        use TemplateId::*;
+        [Q1, Q5, Q7, Q9, Q12, Q16, Q20, Q26, Q29, Q30]
+    }
+
+    /// The qualified `item_sk` column the injected selection ranges over.
+    pub fn selection_column(&self) -> &'static str {
+        use TemplateId::*;
+        match self {
+            Q1 | Q7 | Q9 | Q26 | Q30 => "store_sales.ss_item_sk",
+            Q5 | Q12 => "web_clickstreams.wcs_item_sk",
+            Q16 => "web_sales.ws_item_sk",
+            Q20 => "store_returns.sr_item_sk",
+            Q29 => "product_reviews.pr_item_sk",
+        }
+    }
+
+    /// Instantiate the template with a range selection `lo <= item_sk <= hi`.
+    pub fn instantiate(&self, lo: i64, hi: i64) -> LogicalPlan {
+        let sel = Predicate::range(self.selection_column(), lo, hi);
+        use TemplateId::*;
+        match self {
+            Q1 => ss_join_item()
+                .select(sel)
+                .aggregate(vec!["item.i_category"], vec![AggExpr::count("cnt")]),
+            Q5 => wcs_join_item().select(sel).aggregate(
+                vec!["item.i_category"],
+                vec![
+                    AggExpr::count("clicks"),
+                    AggExpr::of(AggFunc::Min, "web_clickstreams.wcs_click_date_sk", "first_day"),
+                ],
+            ),
+            Q7 => ss_join_item()
+                .join(
+                    LogicalPlan::scan("customer"),
+                    vec![("store_sales.ss_customer_sk", "customer.c_customer_sk")],
+                )
+                .select(sel)
+                .aggregate(
+                    vec!["customer.c_age_group"],
+                    vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_net_paid", "revenue")],
+                ),
+            Q9 => ss_join_item().select(sel).aggregate(
+                vec!["store_sales.ss_item_sk"],
+                vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_net_paid", "revenue")],
+            ),
+            Q12 => wcs_join_item().select(sel).aggregate(
+                vec!["web_clickstreams.wcs_click_date_sk"],
+                vec![AggExpr::count("clicks")],
+            ),
+            Q16 => LogicalPlan::scan("web_sales")
+                .join(
+                    LogicalPlan::scan("item"),
+                    vec![("web_sales.ws_item_sk", "item.i_item_sk")],
+                )
+                .select(sel)
+                .aggregate(
+                    vec!["item.i_category"],
+                    vec![AggExpr::of(AggFunc::Avg, "web_sales.ws_net_paid", "avg_order")],
+                ),
+            Q20 => LogicalPlan::scan("store_returns")
+                .join(
+                    LogicalPlan::scan("item"),
+                    vec![("store_returns.sr_item_sk", "item.i_item_sk")],
+                )
+                .select(sel)
+                .aggregate(
+                    vec!["item.i_category"],
+                    vec![
+                        AggExpr::count("returns"),
+                        AggExpr::of(AggFunc::Sum, "store_returns.sr_return_amt", "amt"),
+                    ],
+                ),
+            Q26 => LogicalPlan::scan("store_sales")
+                .join(
+                    LogicalPlan::scan("customer"),
+                    vec![("store_sales.ss_customer_sk", "customer.c_customer_sk")],
+                )
+                .select(sel)
+                .aggregate(
+                    vec!["customer.c_age_group"],
+                    vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_quantity", "qty")],
+                ),
+            Q29 => LogicalPlan::scan("product_reviews")
+                .join(
+                    LogicalPlan::scan("item"),
+                    vec![("product_reviews.pr_item_sk", "item.i_item_sk")],
+                )
+                .select(sel)
+                .aggregate(
+                    vec!["item.i_category"],
+                    vec![AggExpr::of(AggFunc::Avg, "product_reviews.pr_rating", "rating")],
+                ),
+            Q30 => ss_join_item().select(sel).aggregate(
+                vec!["item.i_category"],
+                vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_net_paid", "revenue")],
+            ),
+        }
+    }
+}
+
+impl TemplateId {
+    /// The SQL text of the template with the range selection inlined —
+    /// usable with [`deepsea_engine::sql::parse`]. Round-trips to the same
+    /// signature as [`TemplateId::instantiate`].
+    pub fn sql(&self, lo: i64, hi: i64) -> String {
+        use TemplateId::*;
+        let sel = |col: &str| format!("WHERE {col} BETWEEN {lo} AND {hi}");
+        match self {
+            Q1 => format!(
+                "SELECT item.i_category, COUNT(*) AS cnt \
+                 FROM store_sales JOIN item ON store_sales.ss_item_sk = item.i_item_sk \
+                 {} GROUP BY item.i_category",
+                sel("store_sales.ss_item_sk")
+            ),
+            Q5 => format!(
+                "SELECT item.i_category, COUNT(*) AS clicks, \
+                 MIN(web_clickstreams.wcs_click_date_sk) AS first_day \
+                 FROM web_clickstreams JOIN item \
+                 ON web_clickstreams.wcs_item_sk = item.i_item_sk \
+                 {} GROUP BY item.i_category",
+                sel("web_clickstreams.wcs_item_sk")
+            ),
+            Q7 => format!(
+                "SELECT customer.c_age_group, SUM(store_sales.ss_net_paid) AS revenue \
+                 FROM store_sales JOIN item ON store_sales.ss_item_sk = item.i_item_sk \
+                 JOIN customer ON store_sales.ss_customer_sk = customer.c_customer_sk \
+                 {} GROUP BY customer.c_age_group",
+                sel("store_sales.ss_item_sk")
+            ),
+            Q9 => format!(
+                "SELECT store_sales.ss_item_sk, SUM(store_sales.ss_net_paid) AS revenue \
+                 FROM store_sales JOIN item ON store_sales.ss_item_sk = item.i_item_sk \
+                 {} GROUP BY store_sales.ss_item_sk",
+                sel("store_sales.ss_item_sk")
+            ),
+            Q12 => format!(
+                "SELECT web_clickstreams.wcs_click_date_sk, COUNT(*) AS clicks \
+                 FROM web_clickstreams JOIN item \
+                 ON web_clickstreams.wcs_item_sk = item.i_item_sk \
+                 {} GROUP BY web_clickstreams.wcs_click_date_sk",
+                sel("web_clickstreams.wcs_item_sk")
+            ),
+            Q16 => format!(
+                "SELECT item.i_category, AVG(web_sales.ws_net_paid) AS avg_order \
+                 FROM web_sales JOIN item ON web_sales.ws_item_sk = item.i_item_sk \
+                 {} GROUP BY item.i_category",
+                sel("web_sales.ws_item_sk")
+            ),
+            Q20 => format!(
+                "SELECT item.i_category, COUNT(*) AS returns, \
+                 SUM(store_returns.sr_return_amt) AS amt \
+                 FROM store_returns JOIN item ON store_returns.sr_item_sk = item.i_item_sk \
+                 {} GROUP BY item.i_category",
+                sel("store_returns.sr_item_sk")
+            ),
+            Q26 => format!(
+                "SELECT customer.c_age_group, SUM(store_sales.ss_quantity) AS qty \
+                 FROM store_sales JOIN customer \
+                 ON store_sales.ss_customer_sk = customer.c_customer_sk \
+                 {} GROUP BY customer.c_age_group",
+                sel("store_sales.ss_item_sk")
+            ),
+            Q29 => format!(
+                "SELECT item.i_category, AVG(product_reviews.pr_rating) AS rating \
+                 FROM product_reviews JOIN item \
+                 ON product_reviews.pr_item_sk = item.i_item_sk \
+                 {} GROUP BY item.i_category",
+                sel("product_reviews.pr_item_sk")
+            ),
+            Q30 => format!(
+                "SELECT item.i_category, SUM(store_sales.ss_net_paid) AS revenue \
+                 FROM store_sales JOIN item ON store_sales.ss_item_sk = item.i_item_sk \
+                 {} GROUP BY item.i_category",
+                sel("store_sales.ss_item_sk")
+            ),
+        }
+    }
+}
+
+fn ss_join_item() -> LogicalPlan {
+    LogicalPlan::scan("store_sales").join(
+        LogicalPlan::scan("item"),
+        vec![("store_sales.ss_item_sk", "item.i_item_sk")],
+    )
+}
+
+fn wcs_join_item() -> LogicalPlan {
+    LogicalPlan::scan("web_clickstreams").join(
+        LogicalPlan::scan("item"),
+        vec![("web_clickstreams.wcs_item_sk", "item.i_item_sk")],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{BigBenchData, InstanceSize, ItemDistribution};
+    use deepsea_engine::exec::execute;
+    use deepsea_engine::Signature;
+    use deepsea_relation::Table;
+    use deepsea_storage::{BlockConfig, CostWeights, SimFs};
+
+    #[test]
+    fn every_template_instantiates_and_has_signature() {
+        for t in TemplateId::all() {
+            let plan = t.instantiate(10, 20);
+            let sig = Signature::of(&plan).unwrap_or_else(|| panic!("{t:?} has no signature"));
+            assert!(sig.group_by.is_some(), "{t:?} aggregates");
+            assert!(
+                sig.range_on_attr("item_sk").is_none(),
+                "ranges are per-fact-column"
+            );
+            assert_eq!(
+                sig.range_on_attr(t.selection_column()),
+                Some((10, 20)),
+                "{t:?} carries the injected range"
+            );
+        }
+    }
+
+    #[test]
+    fn templates_sharing_a_join_share_the_view_key() {
+        // Q1, Q9, Q30 all build on store_sales ⋈ item: their join subqueries
+        // are the same view candidate.
+        let j1 = ss_join_item();
+        let j2 = ss_join_item();
+        assert_eq!(
+            Signature::of(&j1).unwrap().canonical_key(),
+            Signature::of(&j2).unwrap().canonical_key()
+        );
+    }
+
+    #[test]
+    fn all_templates_execute_on_generated_data() {
+        let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 3);
+        let fs: SimFs<Table> = SimFs::new(BlockConfig::default(), CostWeights::default());
+        for t in TemplateId::all() {
+            let plan = t.instantiate(0, 4_000); // 10% of the item domain
+            let (out, m) = execute(&plan, &data.catalog, &fs)
+                .unwrap_or_else(|e| panic!("{t:?} failed: {e}"));
+            assert!(!out.is_empty(), "{t:?} returned no rows");
+            assert!(m.bytes_read > 0);
+        }
+    }
+
+    #[test]
+    fn sql_round_trips_to_the_same_signature() {
+        for t in TemplateId::all() {
+            let built = t.instantiate(100, 900);
+            let parsed = deepsea_engine::sql::parse(&t.sql(100, 900))
+                .unwrap_or_else(|e| panic!("{t:?} SQL fails to parse: {e}"));
+            let a = Signature::of(&built).unwrap().canonical_key();
+            let b = Signature::of(&parsed).unwrap().canonical_key();
+            assert_eq!(a, b, "{t:?} SQL and builder plans must be one view");
+        }
+    }
+
+    #[test]
+    fn sql_and_builder_answers_agree() {
+        let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 3);
+        let fs: SimFs<Table> = SimFs::new(BlockConfig::default(), CostWeights::default());
+        for t in [TemplateId::Q30, TemplateId::Q7, TemplateId::Q12] {
+            let (a, _) = execute(&t.instantiate(0, 5_000), &data.catalog, &fs).unwrap();
+            let parsed = deepsea_engine::sql::parse(&t.sql(0, 5_000)).unwrap();
+            let (b, _) = execute(&parsed, &data.catalog, &fs).unwrap();
+            assert_eq!(a.fingerprint(), b.fingerprint(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn selection_range_controls_result_size() {
+        let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 3);
+        let fs: SimFs<Table> = SimFs::new(BlockConfig::default(), CostWeights::default());
+        let narrow = TemplateId::Q9.instantiate(0, 100);
+        let wide = TemplateId::Q9.instantiate(0, 20_000);
+        let (n, _) = execute(&narrow, &data.catalog, &fs).unwrap();
+        let (w, _) = execute(&wide, &data.catalog, &fs).unwrap();
+        assert!(w.len() > n.len(), "wider range groups more items");
+    }
+}

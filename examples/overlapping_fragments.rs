@@ -1,0 +1,41 @@
+//! Demonstrates *overlapping partitioning* (§3 / Figure 3 / §10.4): when the
+//! workload's upper bound creeps forward, strictly horizontal repartitioning
+//! must rewrite the untouched cold remainder, while overlapping partitioning
+//! only writes the small new fragment.
+//!
+//! ```sh
+//! cargo run --release --example overlapping_fragments
+//! ```
+
+use std::sync::Arc;
+
+use deepsea::bench::harness::run_workload;
+use deepsea::core::baselines;
+use deepsea::workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
+use deepsea::workload::sequences::fig9_workload;
+
+fn main() {
+    let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 5);
+    let catalog = Arc::new(data.catalog);
+    // The Figure 9 workload: Q30 ×30, 1% selectivity, the range midpoint
+    // jumps every ten queries (20k → 40k → 60k in the paper's domain).
+    let plans = fig9_workload(5);
+
+    for (label, cfg) in [
+        ("horizontal", baselines::horizontal_only()),
+        ("overlapping", baselines::deepsea()),
+    ] {
+        let r = run_workload(label, &catalog, cfg, &plans);
+        let creation: f64 = r.per_query.iter().map(|q| q.creation).sum();
+        println!(
+            "{label:<12}  total {:>7.1}s   repartitioning overhead {:>6.1}s   pool {:>5.2} GB",
+            r.total_secs(),
+            creation,
+            r.final_pool_bytes as f64 / 1e9,
+        );
+    }
+    println!();
+    println!("Overlapping partitioning skips rewriting the cold remainder each time");
+    println!("the pattern shifts — the pool holds slightly more bytes (the old");
+    println!("fragments stay), but the workload finishes sooner.");
+}

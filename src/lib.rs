@@ -1,0 +1,36 @@
+//! # deepsea
+//!
+//! Facade crate for the DeepSea reproduction — re-exports the workspace
+//! crates so examples and integration tests can use one dependency:
+//!
+//! - [`storage`] — simulated HDFS (blocks, read/write cost weights, pool
+//!   accounting),
+//! - [`relation`] — values, schemas, tables, predicates, data generators,
+//! - [`engine`] — logical plans, executor, MapReduce cluster simulator,
+//!   cost estimator, Goldstein–Larson signatures, rewriting,
+//! - [`core`] — the paper's contribution: progressive workload-aware
+//!   partitioning of materialized views (Algorithm 1 driver, Definition 6/7
+//!   candidates, Algorithm 2 matching, decay/Φ statistics, MLE fragment
+//!   model, Φ-ranked selection, baselines),
+//! - [`workload`] — BigBench-like schema/templates and SDSS-like traces,
+//! - [`mod@bench`] — the experiment harness regenerating every figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use deepsea::core::{baselines, driver::DeepSea};
+//! use deepsea::workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
+//! use deepsea::workload::TemplateId;
+//!
+//! let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 42);
+//! let mut ds = DeepSea::new(data.catalog, baselines::deepsea());
+//! let out = ds.process_query(&TemplateId::Q30.instantiate(1_000, 1_400)).unwrap();
+//! assert!(out.elapsed_secs > 0.0);
+//! ```
+
+pub use deepsea_bench as bench;
+pub use deepsea_core as core;
+pub use deepsea_engine as engine;
+pub use deepsea_relation as relation;
+pub use deepsea_storage as storage;
+pub use deepsea_workload as workload;

@@ -1,0 +1,42 @@
+//! Property test: for arbitrary query ranges, answering from DeepSea's
+//! (partitioned, progressively refined) views is indistinguishable from
+//! recomputing — across an evolving sequence of queries sharing one pool.
+
+use deepsea::core::{baselines, driver::DeepSea};
+use deepsea::workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
+use deepsea::workload::TemplateId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case runs a 10-query sequence on a full instance
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_query_sequences_are_answered_correctly(
+        seed in 0u64..1_000,
+        ranges in proptest::collection::vec((0i64..40_000, 1i64..4_000), 10),
+        template_picks in proptest::collection::vec(0usize..10, 10),
+    ) {
+        let data =
+            BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, seed);
+        let hive_data =
+            BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, seed);
+        let mut ds = DeepSea::new(data.catalog, baselines::deepsea());
+        let mut hive = DeepSea::new(hive_data.catalog, baselines::hive());
+        let templates = TemplateId::all();
+        for ((lo, width), pick) in ranges.iter().zip(&template_picks) {
+            let hi = (lo + width).min(39_999);
+            let plan = templates[*pick].instantiate(*lo, hi);
+            let a = ds.process_query(&plan).expect("deepsea");
+            let b = hive.process_query(&plan).expect("hive");
+            prop_assert_eq!(
+                a.result.fingerprint(),
+                b.result.fingerprint(),
+                "range [{}, {}] template {:?} (via {:?})",
+                lo, hi, templates[*pick], a.used_view
+            );
+        }
+    }
+}
