@@ -86,7 +86,14 @@ fn fig7_selectivity_skew(c: &mut Criterion) {
     let catalog = uniform_catalog();
     let plans = fig7_workload(Selectivity::Small, Skew::Heavy, 9)[..10].to_vec();
     c.bench_function("fig7_sh_ds", |b| {
-        b.iter(|| run_workload("DS", &catalog, baselines::deepsea().with_phi(1.0 / 15.0), &plans))
+        b.iter(|| {
+            run_workload(
+                "DS",
+                &catalog,
+                baselines::deepsea().with_phi(1.0 / 15.0),
+                &plans,
+            )
+        })
     });
 }
 

@@ -49,14 +49,13 @@ fn bench_signature(c: &mut Criterion) {
 fn bench_filter_tree(c: &mut Criterion) {
     let mut ft = FilterTree::new();
     for i in 0..200 {
-        let plan = LogicalPlan::scan(format!("t{i}"))
-            .join(LogicalPlan::scan("item"), vec![("a", "b")]);
+        let plan =
+            LogicalPlan::scan(format!("t{i}")).join(LogicalPlan::scan("item"), vec![("a", "b")]);
         ft.insert(&Signature::of(&plan).unwrap(), ViewId(i));
     }
-    let probe = Signature::of(
-        &LogicalPlan::scan("t100").join(LogicalPlan::scan("item"), vec![("a", "b")]),
-    )
-    .unwrap();
+    let probe =
+        Signature::of(&LogicalPlan::scan("t100").join(LogicalPlan::scan("item"), vec![("a", "b")]))
+            .unwrap();
     c.bench_function("filter_tree_lookup_200_views", |b| {
         b.iter(|| ft.lookup(black_box(&probe)))
     });

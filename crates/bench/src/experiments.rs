@@ -19,7 +19,7 @@ use deepsea_workload::sequences::{
 use deepsea_workload::{Selectivity, Skew};
 
 use crate::harness::{recoup_point, run_variants, run_workload, RunResult};
-use crate::report::{bar_chart, pct, secs, series, table};
+use crate::report::{bar_chart, pct, secs, series, stage_breakdown, table};
 
 /// How much work to do: `Quick` for criterion benches and smoke runs,
 /// `Paper` for the full experiment suite.
@@ -145,6 +145,9 @@ pub fn fig5a(scale: Scale) -> ExperimentReport {
         pct(ds / np),
         pct(ds / h)
     ));
+    // Where DS spent its time and effort, stage by stage.
+    body.push('\n');
+    body.push_str(&stage_breakdown(&runs[2].label, &runs[2].stage_totals()));
     ExperimentReport::new(
         "fig5a",
         &format!(
@@ -168,7 +171,10 @@ pub fn fig5b(scale: Scale) -> ExperimentReport {
             &catalog,
             &[
                 ("N", baselines::nectar().with_phi(0.05).with_smax(smax)),
-                ("N+", baselines::nectar_plus().with_phi(0.05).with_smax(smax)),
+                (
+                    "N+",
+                    baselines::nectar_plus().with_phi(0.05).with_smax(smax),
+                ),
                 ("DS", baselines::deepsea().with_phi(0.05).with_smax(smax)),
             ],
             &plans,
@@ -312,7 +318,11 @@ pub fn fig8a(scale: Scale) -> ExperimentReport {
             .step_by(4)
             .map(|(i, c)| (i + 1, *c))
             .collect();
-        body.push_str(&format!("{}:\n{}", r.label, series(&pts, "query", "cumulative (s)")));
+        body.push_str(&format!(
+            "{}:\n{}",
+            r.label,
+            series(&pts, "query", "cumulative (s)")
+        ));
     }
     body.push_str(&format!(
         "\ntotals: N = {} s, DS = {} s (paper: DS below N under normal-distributed hits)\n",
@@ -555,10 +565,7 @@ pub fn ablations(_scale: Scale) -> ExperimentReport {
             "fig5 workload, 25% pool".into(),
         ]);
     }
-    let body = table(
-        &["mechanism", "with (s)", "without (s)", "workload"],
-        &rows,
-    );
+    let body = table(&["mechanism", "with (s)", "without (s)", "workload"], &rows);
     ExperimentReport::new(
         "ablations",
         "Design-choice ablations (each mechanism toggled off against full DS)",
@@ -572,10 +579,7 @@ pub fn table1() -> ExperimentReport {
         &["parameter", "values (default bold)"],
         &[
             vec!["Instance size".into(), "100GB, *500GB*".into()],
-            vec![
-                "Pool size".into(),
-                "50GB, 125GB, *250GB*, 500GB, ∞".into(),
-            ],
+            vec!["Pool size".into(), "50GB, 125GB, *250GB*, 500GB, ∞".into()],
             vec![
                 "Query selectivity".into(),
                 "1% (S), *5% (M)*, 25% (B)".into(),

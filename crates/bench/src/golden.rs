@@ -1,0 +1,54 @@
+//! The fixed golden scenario shared by `tests/golden_pipeline.rs` (in the
+//! root package) and the `golden_capture` example.
+//!
+//! A 50-query Figure-5-style workload on a seeded 100 GB instance, replayed
+//! under three variants chosen to exercise every stage of the query
+//! lifecycle: whole-view materialization and reuse (`NP`), progressive
+//! fragment refinement (`DS`), and pool-pressure eviction (`DS-tight`).
+//! The golden test asserts bit-exact `elapsed_secs` plus `materialized` /
+//! `evicted` counts per query, so any behavioural drift in the driver
+//! pipeline — however small — fails loudly.
+//!
+//! To regenerate the expected sequences after an *intentional* behaviour
+//! change: `cargo run --release --example golden_capture` and paste its
+//! output into `tests/golden_pipeline.rs`.
+
+use std::sync::Arc;
+
+use deepsea_core::{baselines, DeepSeaConfig};
+use deepsea_engine::{Catalog, LogicalPlan};
+use deepsea_workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
+use deepsea_workload::sequences::fig5_workload;
+
+/// Seed for both the data generator and the workload sampler.
+pub const GOLDEN_SEED: u64 = 7;
+
+/// Number of queries in the replayed workload.
+pub const GOLDEN_QUERIES: usize = 50;
+
+/// The seeded instance the golden workload runs against.
+pub fn golden_catalog() -> Arc<Catalog> {
+    Arc::new(
+        BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, GOLDEN_SEED)
+            .catalog,
+    )
+}
+
+/// The fixed 50-query plan sequence.
+pub fn golden_plans() -> Vec<LogicalPlan> {
+    fig5_workload(GOLDEN_QUERIES, GOLDEN_SEED)
+}
+
+/// The three variants the sequences are recorded under.
+pub fn golden_variants(catalog: &Catalog) -> Vec<(&'static str, DeepSeaConfig)> {
+    vec![
+        ("DS", baselines::deepsea().with_phi(0.05)),
+        (
+            "DS-tight",
+            baselines::deepsea()
+                .with_phi(0.05)
+                .with_smax(catalog.total_base_bytes() / 40),
+        ),
+        ("NP", baselines::non_partitioned()),
+    ]
+}

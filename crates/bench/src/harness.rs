@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use deepsea_core::{DeepSea, DeepSeaConfig};
+use deepsea_core::{DeepSea, DeepSeaConfig, QueryTrace};
 use deepsea_engine::{Catalog, ClusterSim, LogicalPlan};
 use deepsea_relation::Table;
 use deepsea_storage::{BlockConfig, SimFs};
@@ -27,6 +27,46 @@ pub struct QueryRecord {
     pub materialized: usize,
     /// Number of evictions performed during this query.
     pub evicted: usize,
+    /// Per-stage pipeline counters and simulated costs.
+    pub trace: QueryTrace,
+}
+
+/// Per-stage activity summed over a whole run (from the per-query
+/// [`QueryTrace`]s) — the input to [`crate::report::stage_breakdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTotals {
+    /// Definition-6 subplan roots examined by matching.
+    pub match_roots: u64,
+    /// Signature matches found (view could answer a subquery).
+    pub match_hits: u64,
+    /// Matches backed by materialized bytes in the pool.
+    pub materialized_hits: u64,
+    /// Rewritings costed by rewriting selection.
+    pub rewrites_costed: u64,
+    /// View candidates derived (Definition 6).
+    pub view_candidates: u64,
+    /// Partition-candidate selections processed (Definition 7).
+    pub partition_selections: u64,
+    /// Candidates ranked by the Φ knapsack.
+    pub candidates_considered: u64,
+    /// Creations the knapsack planned.
+    pub planned_creations: u64,
+    /// Simulated seconds executing (possibly rewritten) queries.
+    pub execution_secs: f64,
+    /// Simulated seconds creating/repartitioning views.
+    pub creation_secs: f64,
+    /// Bytes scanned to feed materialization.
+    pub bytes_read: u64,
+    /// Bytes written by materialization.
+    pub bytes_written: u64,
+    /// Files written by materialization.
+    pub files_written: u64,
+    /// Fragments reused via Algorithm-2 covers during repartitioning.
+    pub fragments_covered: u64,
+    /// Evictions applied from the planned configuration.
+    pub evictions_selected: u64,
+    /// Evictions forced afterwards to enforce `Smax`.
+    pub evictions_forced: u64,
 }
 
 /// The result of running one workload under one variant.
@@ -70,6 +110,31 @@ impl RunResult {
     /// Total map tasks over a range of queries.
     pub fn map_tasks(&self, range: std::ops::Range<usize>) -> u64 {
         self.per_query[range].iter().map(|r| r.map_tasks).sum()
+    }
+
+    /// Sum the per-query traces into per-stage totals for the whole run.
+    pub fn stage_totals(&self) -> StageTotals {
+        let mut t = StageTotals::default();
+        for q in &self.per_query {
+            let tr = &q.trace;
+            t.match_roots += tr.matching.roots as u64;
+            t.match_hits += tr.matching.hits as u64;
+            t.materialized_hits += tr.matching.materialized_hits as u64;
+            t.rewrites_costed += tr.rewriting.rewrites_costed as u64;
+            t.view_candidates += tr.candidates.view_candidates as u64;
+            t.partition_selections += tr.candidates.partition_selections as u64;
+            t.candidates_considered += tr.selection.considered as u64;
+            t.planned_creations += tr.selection.planned_creations as u64;
+            t.execution_secs += tr.execution.query_secs;
+            t.creation_secs += tr.materialization.creation_secs;
+            t.bytes_read += tr.materialization.bytes_read;
+            t.bytes_written += tr.materialization.bytes_written;
+            t.files_written += tr.materialization.files_written;
+            t.fragments_covered += tr.materialization.fragments_covered;
+            t.evictions_selected += tr.eviction.selected as u64;
+            t.evictions_forced += tr.eviction.limit_forced as u64;
+        }
+        t
     }
 
     /// Projected total time for `n` queries (§9 "Simulator" / Figure 7a):
@@ -124,10 +189,7 @@ pub fn linear_projection(cumulative: &[f64], n: usize) -> f64 {
 pub fn recoup_point(variant: &RunResult, baseline: &RunResult) -> Option<usize> {
     let v = variant.cumulative();
     let b = baseline.cumulative();
-    v.iter()
-        .zip(&b)
-        .position(|(x, y)| x <= y)
-        .map(|i| i + 1)
+    v.iter().zip(&b).position(|(x, y)| x <= y).map(|i| i + 1)
 }
 
 /// Run one workload under one variant configuration. Every variant gets a
@@ -167,6 +229,7 @@ pub fn run_workload_on(
             used_view: out.used_view.is_some(),
             materialized: out.materialized.len(),
             evicted: out.evicted.len(),
+            trace: out.trace,
         });
     }
     RunResult {
@@ -185,15 +248,14 @@ pub fn run_variants(
 ) -> Vec<RunResult> {
     let mut results: Vec<Option<RunResult>> = Vec::new();
     results.resize_with(variants.len(), || None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, (label, cfg)) in results.iter_mut().zip(variants) {
             let catalog = Arc::clone(catalog);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(run_workload(*label, &catalog, *cfg, plans));
             });
         }
-    })
-    .expect("variant thread panicked");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 
@@ -207,13 +269,8 @@ mod tests {
 
     fn small_setup() -> (Arc<Catalog>, Vec<LogicalPlan>) {
         let data = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Uniform, 11);
-        let plans = fixed_template_workload(
-            TemplateId::Q30,
-            6,
-            Selectivity::Medium,
-            Skew::Heavy,
-            11,
-        );
+        let plans =
+            fixed_template_workload(TemplateId::Q30, 6, Selectivity::Medium, Skew::Heavy, 11);
         (Arc::new(data.catalog), plans)
     }
 
@@ -282,6 +339,7 @@ mod tests {
                     used_view: false,
                     materialized: 0,
                     evicted: 0,
+                    trace: QueryTrace::default(),
                 })
                 .collect(),
             final_pool_bytes: 0,
@@ -292,6 +350,35 @@ mod tests {
         assert_eq!(recoup_point(&variant, &base), Some(4));
         let never = mk(vec![100.0; 5]);
         assert_eq!(recoup_point(&never, &base), None);
+    }
+
+    #[test]
+    fn stage_totals_sum_per_query_traces() {
+        let (catalog, plans) = small_setup();
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let t = ds.stage_totals();
+        assert!(t.match_roots > 0);
+        assert!(t.match_hits > 0, "repeated template must rehit its views");
+        assert!(t.view_candidates > 0);
+        assert!(t.candidates_considered > 0);
+        assert!(t.planned_creations > 0);
+        assert!(t.bytes_written > 0);
+        // The per-stage costs must agree with the coarse per-query sums.
+        let exec: f64 = ds.per_query.iter().map(|q| q.query).sum();
+        let creation: f64 = ds.per_query.iter().map(|q| q.creation).sum();
+        assert!((t.execution_secs - exec).abs() < 1e-9);
+        assert!((t.creation_secs - creation).abs() < 1e-9);
+        // Hive never enters the pipeline: everything but execution stays 0.
+        let h = run_workload("H", &catalog, baselines::hive(), &plans);
+        let ht = h.stage_totals();
+        assert!(ht.execution_secs > 0.0);
+        assert_eq!(
+            StageTotals {
+                execution_secs: ht.execution_secs,
+                ..StageTotals::default()
+            },
+            ht
+        );
     }
 
     #[test]

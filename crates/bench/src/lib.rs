@@ -8,7 +8,8 @@
 //! binary and the criterion benches.
 
 pub mod experiments;
+pub mod golden;
 pub mod harness;
 pub mod report;
 
-pub use harness::{run_variants, run_workload, QueryRecord, RunResult};
+pub use harness::{run_variants, run_workload, QueryRecord, RunResult, StageTotals};

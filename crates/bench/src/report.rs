@@ -1,5 +1,7 @@
 //! Paper-style table and series rendering for experiment reports.
 
+use crate::harness::StageTotals;
+
 /// Render an aligned text table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
@@ -39,7 +41,11 @@ pub fn bar_chart(items: &[(String, f64)], unit: &str) -> String {
     let mut out = String::new();
     for (label, v) in items {
         let bar = if max > 0.0 {
-            "█".repeat(((v / max) * 40.0).round().max(if *v > 0.0 { 1.0 } else { 0.0 }) as usize)
+            "█".repeat(
+                ((v / max) * 40.0)
+                    .round()
+                    .max(if *v > 0.0 { 1.0 } else { 0.0 }) as usize,
+            )
         } else {
             String::new()
         };
@@ -60,6 +66,78 @@ pub fn series(points: &[(usize, f64)], x_label: &str, y_label: &str) -> String {
 /// Format seconds compactly.
 pub fn secs(v: f64) -> String {
     format!("{v:.1}")
+}
+
+/// Format a byte count compactly (GB above 1e9, MB above 1e6, else bytes).
+pub fn bytes(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.1} GB", v as f64 / 1e9)
+    } else if v >= 1_000_000 {
+        format!("{:.1} MB", v as f64 / 1e6)
+    } else {
+        format!("{v} B")
+    }
+}
+
+/// Render the per-stage pipeline breakdown of one run: what each stage of
+/// Algorithm 1 did over the whole workload, and where the simulated seconds
+/// went (execution vs creation — the two components of elapsed time).
+pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
+    let rows = vec![
+        vec![
+            "matching".into(),
+            format!(
+                "{} roots, {} hits ({} on materialized data)",
+                t.match_roots, t.match_hits, t.materialized_hits
+            ),
+            "-".into(),
+        ],
+        vec![
+            "rewriting".into(),
+            format!("{} rewritings costed", t.rewrites_costed),
+            "-".into(),
+        ],
+        vec![
+            "candidates".into(),
+            format!(
+                "{} view, {} partition selections",
+                t.view_candidates, t.partition_selections
+            ),
+            "-".into(),
+        ],
+        vec![
+            "selection".into(),
+            format!(
+                "{} considered, {} creations planned",
+                t.candidates_considered, t.planned_creations
+            ),
+            "-".into(),
+        ],
+        vec!["execution".into(), "-".into(), secs(t.execution_secs)],
+        vec![
+            "materialization".into(),
+            format!(
+                "{} read, {} written ({} files, {} fragments covered)",
+                bytes(t.bytes_read),
+                bytes(t.bytes_written),
+                t.files_written,
+                t.fragments_covered
+            ),
+            secs(t.creation_secs),
+        ],
+        vec![
+            "eviction".into(),
+            format!(
+                "{} selected, {} forced by Smax",
+                t.evictions_selected, t.evictions_forced
+            ),
+            "-".into(),
+        ],
+    ];
+    format!(
+        "per-stage breakdown, {label}:\n{}",
+        table(&["stage", "activity", "sim (s)"], &rows)
+    )
 }
 
 /// Format a fraction as a percentage.
@@ -94,10 +172,7 @@ mod tests {
             "s",
         );
         let lines: Vec<&str> = c.lines().collect();
-        let bars: Vec<usize> = lines
-            .iter()
-            .map(|l| l.matches('█').count())
-            .collect();
+        let bars: Vec<usize> = lines.iter().map(|l| l.matches('█').count()).collect();
         assert_eq!(bars[0], 40);
         assert_eq!(bars[1], 20);
         assert_eq!(bars[2], 0);
@@ -115,5 +190,46 @@ mod tests {
     fn formatters() {
         assert_eq!(secs(1.26), "1.3");
         assert_eq!(pct(0.642), "64%");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2_500_000), "2.5 MB");
+        assert_eq!(bytes(3_200_000_000), "3.2 GB");
+    }
+
+    #[test]
+    fn stage_breakdown_lists_every_stage() {
+        let t = StageTotals {
+            match_roots: 12,
+            match_hits: 5,
+            materialized_hits: 3,
+            rewrites_costed: 5,
+            view_candidates: 2,
+            partition_selections: 7,
+            candidates_considered: 40,
+            planned_creations: 4,
+            execution_secs: 100.5,
+            creation_secs: 20.25,
+            bytes_read: 1_000_000,
+            bytes_written: 2_000_000_000,
+            files_written: 6,
+            fragments_covered: 2,
+            evictions_selected: 1,
+            evictions_forced: 0,
+        };
+        let s = stage_breakdown("DS", &t);
+        for stage in [
+            "matching",
+            "rewriting",
+            "candidates",
+            "selection",
+            "execution",
+            "materialization",
+            "eviction",
+        ] {
+            assert!(s.contains(stage), "missing {stage} in:\n{s}");
+        }
+        assert!(s.contains("DS"));
+        assert!(s.contains("100.5"));
+        assert!(s.contains("2.0 GB"));
+        assert!(s.contains("12 roots, 5 hits (3 on materialized data)"));
     }
 }

@@ -1,13 +1,12 @@
 //! DeepSea configuration.
 
 use deepsea_storage::BlockConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::policy::{PartitionPolicy, ValueModel};
 use crate::stats::LogicalTime;
 
 /// Configuration of a DeepSea instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeepSeaConfig {
     /// Pool size limit `Smax` in simulated bytes (`None` = unbounded).
     pub smax: Option<u64>,

@@ -1,0 +1,225 @@
+//! Per-query pipeline state ([`QueryContext`]) and the public per-stage
+//! instrumentation ([`QueryTrace`]) every [`super::QueryOutcome`] carries.
+
+use deepsea_engine::plan::LogicalPlan;
+
+use crate::filter_tree::ViewId;
+use crate::selection::SelectionResult;
+use crate::stats::LogicalTime;
+
+use super::matching::MatchHit;
+
+/// Counters from the matching stage (Algorithm 1 lines 1–2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MatchingTrace {
+    /// Definition-6-shaped subplans the query exposed for matching.
+    pub roots: u32,
+    /// (subquery, view) signature matches found.
+    pub hits: u32,
+    /// Matches backed by materialized data (whole file or fragment cover).
+    pub materialized_hits: u32,
+    /// Distinct views whose statistics recorded a benefit event.
+    pub views_updated: u32,
+}
+
+/// Counters from the rewriting stage (Algorithm 1 line 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RewritingTrace {
+    /// Rewritten plans that were actually costed against the base plan.
+    pub rewrites_costed: u32,
+    /// Estimated cost of the original plan (simulated seconds).
+    pub base_cost_secs: f64,
+    /// Estimated cost of the chosen plan (equals `base_cost_secs` when no
+    /// rewriting won).
+    pub best_cost_secs: f64,
+}
+
+/// Counters from candidate derivation (Definitions 6 and 7, line 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CandidatesTrace {
+    /// View candidates registered from the chosen plan's subqueries.
+    pub view_candidates: u32,
+    /// How many of those were first seen by this query.
+    pub new_views: u32,
+    /// Range selections that produced partition-candidate work.
+    pub partition_selections: u32,
+    /// Candidate fragments newly tracked by this query.
+    pub new_fragments: u32,
+}
+
+/// Counters from Φ-ranked greedy selection (line 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SelectionTrace {
+    /// `|ALLCAND|` — items the knapsack considered.
+    pub considered: u32,
+    /// Unmaterialized items chosen for creation.
+    pub planned_creations: u32,
+    /// Materialized items chosen for eviction.
+    pub planned_evictions: u32,
+}
+
+/// The execution stage (line 6) — the only stage with a real simulated cost
+/// on the query path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecutionTrace {
+    /// Simulated seconds of the chosen plan's execution.
+    pub query_secs: f64,
+}
+
+/// Counters from materialization (line 6, by-product writes; §7.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MaterializationTrace {
+    /// Bytes read back for repartitioning (fragment covers, splits).
+    pub bytes_read: u64,
+    /// Bytes written for new views/fragments.
+    pub bytes_written: u64,
+    /// Output files committed.
+    pub files_written: u64,
+    /// Materialized source fragments covered while building new fragments.
+    pub fragments_covered: u64,
+    /// Simulated seconds charged for the combined instrumented job.
+    pub creation_secs: f64,
+}
+
+/// Counters from eviction (line 5's plan applied, plus `Smax` enforcement).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvictionTrace {
+    /// Evictions planned by selection and actually performed.
+    pub selected: u32,
+    /// Additional evictions forced by `enforce_limit` (actual sizes exceeded
+    /// the estimates selection planned with).
+    pub limit_forced: u32,
+}
+
+/// Wall-clock-free per-stage instrumentation of one `process_query` call.
+///
+/// Counters are cheap to fill (no timers — the simulator's notion of cost is
+/// already deterministic seconds) and let the bench harness attribute a
+/// run's behaviour to pipeline stages: how much matching happened, whether
+/// rewritings won, how much candidate churn selection saw, and where the
+/// simulated seconds went.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryTrace {
+    /// Stage 1–2: signature matching and statistics updates.
+    pub matching: MatchingTrace,
+    /// Stage 3: rewriting selection.
+    pub rewriting: RewritingTrace,
+    /// Stage 4: candidate derivation.
+    pub candidates: CandidatesTrace,
+    /// Stage 5: Φ-ranked selection.
+    pub selection: SelectionTrace,
+    /// Stage 6: execution.
+    pub execution: ExecutionTrace,
+    /// Stage 6: by-product materialization.
+    pub materialization: MaterializationTrace,
+    /// Stages 5/7: evictions applied.
+    pub eviction: EvictionTrace,
+}
+
+/// Accumulated I/O of the materializations a query performs; converted to
+/// seconds once per query (all writes of one query run as a single
+/// instrumented MapReduce job).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CreationCharge {
+    pub(crate) read_bytes: u64,
+    pub(crate) write_bytes: u64,
+    pub(crate) files: u64,
+    /// Source fragments read through Algorithm-2 covers (trace only — does
+    /// not affect the charged seconds).
+    pub(crate) cover_reads: u64,
+}
+
+impl CreationCharge {
+    pub(crate) fn absorb(&mut self, other: CreationCharge) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+        self.files += other.files;
+        self.cover_reads += other.cover_reads;
+    }
+}
+
+/// Mutable state threaded through the stages of one `process_query` call.
+///
+/// Every stage reads what earlier stages produced and records its own
+/// contribution; `process_query` folds the final state into a
+/// [`super::QueryOutcome`].
+pub(crate) struct QueryContext {
+    /// Logical timestamp of this query (the advanced clock).
+    pub(crate) tnow: LogicalTime,
+    /// The plan to execute — the original until rewriting replaces it.
+    pub(crate) qbest: LogicalPlan,
+    /// Name of the view the chosen rewriting reads, if any.
+    pub(crate) used_view: Option<String>,
+    /// Signature matches found by the matching stage.
+    pub(crate) hits: Vec<MatchHit>,
+    /// View candidates relevant to this query (Definition 6).
+    pub(crate) new_cands: Vec<ViewId>,
+    /// The materialization/eviction plan chosen by selection.
+    pub(crate) selection: SelectionResult,
+    /// Accumulated I/O of performed materializations.
+    pub(crate) charge: CreationCharge,
+    /// Simulated execution seconds of `qbest`.
+    pub(crate) query_secs: f64,
+    /// Simulated seconds of the combined creation job.
+    pub(crate) creation_secs: f64,
+    /// Descriptions of views/fragments written.
+    pub(crate) materialized: Vec<String>,
+    /// Descriptions of views/fragments dropped.
+    pub(crate) evicted: Vec<String>,
+    /// Per-stage instrumentation, exposed on the outcome.
+    pub(crate) trace: QueryTrace,
+}
+
+impl QueryContext {
+    pub(crate) fn new(plan: &LogicalPlan, tnow: LogicalTime) -> Self {
+        Self {
+            tnow,
+            qbest: plan.clone(),
+            used_view: None,
+            hits: Vec::new(),
+            new_cands: Vec::new(),
+            selection: SelectionResult::default(),
+            charge: CreationCharge::default(),
+            query_secs: 0.0,
+            creation_secs: 0.0,
+            materialized: Vec::new(),
+            evicted: Vec::new(),
+            trace: QueryTrace::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creation_charge_absorbs_componentwise() {
+        let mut a = CreationCharge {
+            read_bytes: 1,
+            write_bytes: 2,
+            files: 3,
+            cover_reads: 4,
+        };
+        a.absorb(CreationCharge {
+            read_bytes: 10,
+            write_bytes: 20,
+            files: 30,
+            cover_reads: 40,
+        });
+        assert_eq!(a.read_bytes, 11);
+        assert_eq!(a.write_bytes, 22);
+        assert_eq!(a.files, 33);
+        assert_eq!(a.cover_reads, 44);
+    }
+
+    #[test]
+    fn fresh_context_starts_with_the_original_plan() {
+        let plan = LogicalPlan::scan("t");
+        let ctx = QueryContext::new(&plan, 7);
+        assert_eq!(ctx.tnow, 7);
+        assert_eq!(ctx.qbest, plan);
+        assert!(ctx.used_view.is_none());
+        assert_eq!(ctx.trace, QueryTrace::default());
+    }
+}

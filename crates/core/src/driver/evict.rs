@@ -1,0 +1,161 @@
+//! Eviction: apply the evictions selection planned (stage 5), enforce the
+//! pool limit after materialization (stage 7 — actual sizes can exceed the
+//! estimates selection used), and the §11 fragment-merging maintenance pass.
+
+use deepsea_engine::exec::ExecError;
+use deepsea_relation::Table;
+use deepsea_storage::FileId;
+
+use crate::filter_tree::ViewId;
+use crate::selection::{CandidateKind, RankedItem};
+use crate::stats::LogicalTime;
+
+use super::context::QueryContext;
+use super::DeepSea;
+
+impl DeepSea {
+    /// Apply the evictions the selection stage planned.
+    pub(crate) fn stage_apply_evictions(&mut self, ctx: &mut QueryContext) {
+        let to_evict = ctx.selection.to_evict.clone();
+        for item in &to_evict {
+            if let Some(desc) = self.evict(&item.kind) {
+                ctx.evicted.push(desc);
+            }
+        }
+        ctx.trace.eviction.selected = ctx.evicted.len() as u32;
+    }
+
+    /// Stage 7: evict lowest-value items until the pool fits `Smax` again.
+    pub(crate) fn stage_enforce_limit(&mut self, ctx: &mut QueryContext) {
+        let forced = self.enforce_limit(ctx.tnow);
+        ctx.trace.eviction.limit_forced = forced.len() as u32;
+        ctx.evicted.extend(forced);
+    }
+
+    fn evict(&mut self, kind: &CandidateKind) -> Option<String> {
+        match kind {
+            CandidateKind::WholeView(vid) => {
+                let view = self.registry.view_mut(*vid);
+                let file = view.whole_file.take()?;
+                self.fs.delete(file);
+                Some(view.name.clone())
+            }
+            CandidateKind::Fragment(vid, attr, fid) => {
+                let view = self.registry.view_mut(*vid);
+                let name = view.name.clone();
+                let ps = view.partitions.get_mut(attr)?;
+                let frag = ps.frag_mut(*fid)?;
+                let file = frag.file.take()?;
+                let iv = frag.interval;
+                self.fs.delete(file);
+                Some(format!("{name}.{attr}{iv}"))
+            }
+        }
+    }
+
+    /// Evict lowest-value items until the pool fits `Smax` (actual
+    /// materialized sizes can exceed the estimates selection planned with).
+    fn enforce_limit(&mut self, tnow: LogicalTime) -> Vec<String> {
+        let Some(smax) = self.config.smax else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.pool_bytes() > smax {
+            let items: Vec<RankedItem> = self
+                .build_allcand(&[], tnow)
+                .into_iter()
+                .filter(|i| i.materialized)
+                .collect();
+            let Some(worst) = items.into_iter().min_by(|a, b| a.phi.total_cmp(&b.phi)) else {
+                break;
+            };
+            match self.evict(&worst.kind) {
+                Some(d) => evicted.push(d),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Maintenance pass implementing the §11 extension: merge consecutive
+    /// materialized fragments that are (almost) always accessed together.
+    /// Reads both halves, writes the union, drops the originals; returns the
+    /// simulated seconds spent and the merges performed.
+    pub fn merge_cohit_fragments(
+        &mut self,
+        cohit_tolerance: f64,
+        max_merged_fraction: f64,
+    ) -> Result<(f64, Vec<String>), ExecError> {
+        let tnow = self.clock.max(1);
+        let tmax = self.config.tmax;
+        let block = self.fs.block_config().block_bytes;
+        // Collect the work before mutating (borrow discipline).
+        let mut work: Vec<(ViewId, String, crate::merging::MergeCandidate)> = Vec::new();
+        for view in self.registry.iter() {
+            let cap = (view.stats.size as f64 * max_merged_fraction) as u64;
+            for ps in view.partitions.values() {
+                for cand in crate::merging::merge_candidates(ps, tnow, tmax, cohit_tolerance, cap) {
+                    work.push((view.id, ps.attr.clone(), cand));
+                }
+            }
+        }
+        let mut secs = 0.0;
+        let mut merged = Vec::new();
+        for (vid, attr, cand) in work {
+            let (name, schema, files_sizes) = {
+                let view = self.registry.view(vid);
+                let Some(schema) = view.schema.clone() else {
+                    continue;
+                };
+                let ps = view.partitions.get(&attr).expect("candidate source");
+                let pair: Vec<(FileId, u64)> = [cand.left, cand.right]
+                    .iter()
+                    .filter_map(|id| ps.frag(*id))
+                    .filter_map(|f| f.file.map(|file| (file, f.size)))
+                    .collect();
+                if pair.len() != 2 {
+                    continue; // one half was evicted since planning
+                }
+                (view.name.clone(), schema, pair)
+            };
+            let mut rows = Vec::new();
+            let mut read_bytes = 0;
+            let mut bpr = 1;
+            for (file, _) in &files_sizes {
+                let Some((payload, bytes, _)) = self.fs.read(*file) else {
+                    continue;
+                };
+                read_bytes += bytes;
+                bpr = bpr.max(payload.bytes_per_row);
+                rows.extend(payload.rows.iter().cloned());
+            }
+            let merged_table = Table::new(schema, rows, bpr);
+            let size = merged_table.sim_bytes();
+            let (new_file, _) =
+                self.fs
+                    .create(format!("{name}.{attr}{}", cand.merged), size, merged_table);
+            secs += self.backend.scan_secs(read_bytes, block)
+                + self.backend.write_secs(size, size.div_ceil(block).max(1));
+            // Update metadata: drop the halves, track the union.
+            let view = self.registry.view_mut(vid);
+            let ps = view.partitions.get_mut(&attr).expect("checked");
+            let mut hits: Vec<LogicalTime> = Vec::new();
+            for id in [cand.left, cand.right] {
+                if let Some(f) = ps.frag_mut(id) {
+                    hits.extend(f.stats.hits.iter().copied());
+                    if let Some(file) = f.file.take() {
+                        self.fs.delete(file);
+                    }
+                }
+            }
+            hits.sort_unstable();
+            let mid = ps.track(cand.merged, size);
+            let f = ps.frag_mut(mid).expect("just tracked");
+            f.file = Some(new_file);
+            f.size = size;
+            f.stats.hits = hits;
+            merged.push(format!("{name}.{attr}{}", cand.merged));
+        }
+        Ok((secs, merged))
+    }
+}

@@ -1,0 +1,266 @@
+//! Stages 1–2 of Algorithm 1: compute the possible rewritings against every
+//! tracked view (signature matching plus Algorithm-2 fragment covers) and
+//! record a benefit event for every view/fragment that could have answered
+//! the query — "no matter whether the view or fragment is currently in the
+//! pool or not" (§8.4).
+
+use deepsea_engine::plan::LogicalPlan;
+use deepsea_engine::signature::{matches, Compensation, Signature};
+use deepsea_engine::subquery::all_subplans;
+use deepsea_storage::FileId;
+
+use crate::candidates::clamp_to_domain;
+use crate::filter_tree::ViewId;
+use crate::interval::Interval;
+use crate::matching::partition_matching;
+use crate::registry::ViewMeta;
+
+use super::candidates::attr_matches;
+use super::context::QueryContext;
+use super::DeepSea;
+
+/// A matched (sub)query/view pair.
+pub(crate) struct MatchHit {
+    pub(crate) path: Vec<usize>,
+    pub(crate) view: ViewId,
+    pub(crate) comp: Compensation,
+    /// Estimated cost of computing the subquery from scratch.
+    pub(crate) sub_cost: f64,
+    /// Fragment files to scan if the view is materialized and covers the
+    /// needed range.
+    pub(crate) access: Option<Access>,
+}
+
+pub(crate) struct Access {
+    pub(crate) files: Vec<FileId>,
+    pub(crate) bytes: u64,
+}
+
+impl DeepSea {
+    /// Stage 1 — `COMPUTEREWRITINGS`: match every Definition-6-shaped
+    /// subplan against the signature buckets of the registry.
+    pub(crate) fn stage_compute_rewritings(&self, plan: &LogicalPlan, ctx: &mut QueryContext) {
+        let estimator = self.estimator();
+        let mut hits = Vec::new();
+        let mut roots = 0u32;
+        for (path, sub) in Self::match_roots(plan) {
+            roots += 1;
+            let Some(qsig) = Signature::of(sub) else {
+                continue;
+            };
+            for &vid in self.registry.lookup_bucket(&qsig) {
+                let view = self.registry.view(vid);
+                let Some(comp) = matches(&view.sig, &qsig) else {
+                    continue;
+                };
+                let access = self.find_access(vid, &qsig);
+                hits.push(MatchHit {
+                    path: path.clone(),
+                    view: vid,
+                    comp,
+                    sub_cost: estimator.estimated_secs(sub),
+                    access,
+                });
+            }
+        }
+        ctx.trace.matching.roots = roots;
+        ctx.trace.matching.hits = hits.len() as u32;
+        ctx.trace.matching.materialized_hits =
+            hits.iter().filter(|h| h.access.is_some()).count() as u32;
+        ctx.hits = hits;
+    }
+
+    /// Subplans a view may be matched against: Definition 6 shapes, plus any
+    /// chain of selections directly above one (the enclosing range selection
+    /// must take part in matching so it can become fragment-selecting
+    /// compensation, §8.2).
+    pub(crate) fn match_roots(plan: &LogicalPlan) -> Vec<(Vec<usize>, &LogicalPlan)> {
+        fn is_root(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Join { .. }
+                | LogicalPlan::Aggregate { .. }
+                | LogicalPlan::Project { .. } => true,
+                LogicalPlan::Select { input, .. } => is_root(input),
+                _ => false,
+            }
+        }
+        all_subplans(plan)
+            .into_iter()
+            .filter(|(_, p)| is_root(p))
+            .collect()
+    }
+
+    /// Cheapest way to read the view for this query: the whole file, or an
+    /// Algorithm-2 fragment cover of the needed range on some partition.
+    fn find_access(&self, vid: ViewId, qsig: &Signature) -> Option<Access> {
+        let view = self.registry.view(vid);
+        let mut best: Option<Access> = None;
+        if let Some(f) = view.whole_file {
+            best = Some(Access {
+                files: vec![f],
+                bytes: view.stats.size,
+            });
+        }
+        for ps in view.partitions.values() {
+            let mats = ps.materialized();
+            if mats.is_empty() {
+                continue;
+            }
+            let needed = match qsig.range_on_attr(&ps.attr) {
+                Some(r) => match clamp_to_domain(r, &ps.domain) {
+                    Some(iv) => iv,
+                    None => continue, // query range misses the domain
+                },
+                None => ps.domain,
+            };
+            let Some(cover) = partition_matching(&needed, &mats) else {
+                continue;
+            };
+            let mut files = Vec::with_capacity(cover.len());
+            let mut bytes = 0;
+            for fid in &cover {
+                let frag = ps.frag(*fid).expect("cover returns tracked fragments");
+                files.push(frag.file.expect("cover returns materialized fragments"));
+                bytes += frag.size;
+            }
+            if best.as_ref().is_none_or(|b| bytes < b.bytes) {
+                best = Some(Access { files, bytes });
+            }
+        }
+        best
+    }
+
+    /// Stage 2 — `UPDATESTATS`: record benefit events for matched views and
+    /// hits for overlapped fragments.
+    pub(crate) fn stage_update_stats(&mut self, plan: &LogicalPlan, ctx: &mut QueryContext) {
+        let block = self.fs.block_config().block_bytes;
+        let tnow = ctx.tnow;
+        // Pre-compute (view, saving, needed-range) outside the mutable loop;
+        // several subqueries can match the same view — keep the hit with the
+        // largest saving (the most specific, e.g. the one carrying the range
+        // selection).
+        let mut updates: std::collections::BTreeMap<ViewId, (f64, Vec<(String, Interval)>)> =
+            std::collections::BTreeMap::new();
+        for hit in &ctx.hits {
+            let view = self.registry.view(hit.view);
+            let scan_bytes = match &hit.access {
+                Some(a) => a.bytes,
+                // Not materialized yet: COST(Q/V) anticipates *partitioned*
+                // access — a future query only reads the fragments its range
+                // needs (this is the whole point of partitioned views).
+                None => {
+                    let mut bytes = view.stats.size;
+                    if self.config.partition_policy.partitions() {
+                        let frac = self.comp_range_fraction(view, &hit.comp);
+                        bytes = ((bytes as f64 * frac) as u64).max(1);
+                    }
+                    bytes
+                }
+            };
+            let saving = (hit.sub_cost - self.backend.scan_secs(scan_bytes, block)).max(0.0);
+            // Which fragments were (or would have been) hit, per partition.
+            let sub = deepsea_engine::subquery::subplan_at(plan, &hit.path);
+            let qsig = sub.and_then(Signature::of);
+            let mut ranges = Vec::new();
+            for ps in view.partitions.values() {
+                let needed = qsig
+                    .as_ref()
+                    .and_then(|s| s.range_on_attr(&ps.attr))
+                    .and_then(|r| clamp_to_domain(r, &ps.domain))
+                    .unwrap_or(ps.domain);
+                ranges.push((ps.attr.clone(), needed));
+            }
+            match updates.get_mut(&hit.view) {
+                Some(prev) if prev.0 >= saving => {}
+                slot => {
+                    let update = (saving, ranges);
+                    match slot {
+                        Some(prev) => *prev = update,
+                        None => {
+                            updates.insert(hit.view, update);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.trace.matching.views_updated = updates.len() as u32;
+        for (vid, (saving, ranges)) in updates {
+            let tmax = self.config.tmax;
+            let view = self.registry.view_mut(vid);
+            view.stats.record_use(tnow, saving);
+            view.stats.prune(tnow, tmax);
+            for (attr, needed) in ranges {
+                if let Some(ps) = view.partitions.get_mut(&attr) {
+                    for frag in &mut ps.fragments {
+                        if frag.interval.overlaps(&needed) {
+                            frag.stats.record_hit(tnow);
+                            frag.stats.prune(tnow, tmax);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fraction of the view a partitioned access needs for the given
+    /// compensation ranges (1.0 when no applicable range is known).
+    fn comp_range_fraction(&self, view: &ViewMeta, comp: &Compensation) -> f64 {
+        let mut frac: f64 = 1.0;
+        for (col, lo, hi) in &comp.ranges {
+            let domain = view
+                .partitions
+                .values()
+                .find(|p| attr_matches(&p.attr, col))
+                .map(|p| p.domain)
+                .or_else(|| self.attr_domain(&view.plan, col));
+            if let Some(d) = domain {
+                if let Some(iv) = clamp_to_domain((*lo, *hi), &d) {
+                    frac = frac.min(iv.width() as f64 / d.width() as f64);
+                }
+            }
+        }
+        frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use deepsea_engine::plan::AggExpr;
+    use deepsea_engine::plan::LogicalPlan;
+    use deepsea_relation::Predicate;
+
+    use super::DeepSea;
+
+    /// `match_roots` must expose joins/aggregates/projections and any chain
+    /// of selections stacked on one, but not bare scans or selections over
+    /// scans.
+    #[test]
+    fn match_roots_accepts_nested_selects_over_shapes() {
+        let join = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let nested = join
+            .clone()
+            .select(Predicate::range("a.k", 0, 10))
+            .select(Predicate::range("a.k", 2, 8));
+        let agg = nested
+            .clone()
+            .aggregate(vec!["a.k"], vec![AggExpr::count("cnt")]);
+
+        let roots = DeepSea::match_roots(&agg);
+        // The aggregate, the double- and single-selected join, and the join.
+        assert_eq!(
+            roots.len(),
+            4,
+            "{:?}",
+            roots.iter().map(|(p, _)| p).collect::<Vec<_>>()
+        );
+        assert!(roots.iter().any(|(_, p)| *p == &agg));
+        assert!(roots.iter().any(|(_, p)| *p == &nested));
+        assert!(roots.iter().any(|(_, p)| *p == &join));
+    }
+
+    #[test]
+    fn match_roots_rejects_scans_and_selects_over_scans() {
+        let plan = LogicalPlan::scan("a").select(Predicate::range("a.k", 0, 10));
+        assert!(DeepSea::match_roots(&plan).is_empty());
+    }
+}

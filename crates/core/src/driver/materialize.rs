@@ -1,0 +1,451 @@
+//! Stage 6 of Algorithm 1, write side: materialize the views and fragments
+//! selection chose, as a by-product of the running query. Only the
+//! write/repartition overhead is charged to the query (§7.2), as one
+//! combined instrumented MapReduce job.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use deepsea_engine::exec::ExecError;
+use deepsea_relation::Table;
+use deepsea_storage::FileId;
+
+use crate::filter_tree::ViewId;
+use crate::fragment::FragmentId;
+use crate::interval::Interval;
+use crate::matching::partition_matching;
+use crate::policy::PartitionPolicy;
+use crate::registry::PartitionState;
+use crate::selection::{apply_size_bounds, equi_depth_intervals, CandidateKind};
+use crate::stats::LogicalTime;
+
+use super::context::{CreationCharge, QueryContext};
+use super::DeepSea;
+
+/// A materialized source fragment: id, interval, file, size.
+type SourceFrag = (FragmentId, Interval, FileId, u64);
+
+impl DeepSea {
+    /// Materialize everything selection planned, accumulating the I/O into
+    /// `ctx.charge` and the written names into `ctx.materialized`.
+    pub(crate) fn stage_materialize(&mut self, ctx: &mut QueryContext) -> Result<(), ExecError> {
+        // Views computed once per query for multi-fragment materialization.
+        let mut view_cache: HashMap<ViewId, Arc<Table>> = HashMap::new();
+        let to_create = ctx.selection.to_create.clone();
+        for item in &to_create {
+            match &item.kind {
+                CandidateKind::WholeView(vid) => {
+                    let (c, desc) = self.materialize_view(*vid, ctx.tnow)?;
+                    ctx.charge.absorb(c);
+                    ctx.materialized.extend(desc);
+                }
+                CandidateKind::Fragment(vid, attr, fid) => {
+                    if let Some((c, desc)) =
+                        self.materialize_fragment(*vid, attr, *fid, &mut view_cache)?
+                    {
+                        ctx.charge.absorb(c);
+                        ctx.materialized.push(desc);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert the accumulated I/O into this query's creation seconds — one
+    /// combined instrumented job: reads for repartitioning, writes for all
+    /// new views/fragments.
+    pub(crate) fn stage_charge_creation(&self, ctx: &mut QueryContext) {
+        let block = self.fs.block_config().block_bytes;
+        let charge = ctx.charge;
+        let mut creation_secs = 0.0;
+        if charge.read_bytes > 0 {
+            creation_secs += self.backend.scan_secs(charge.read_bytes, block);
+        }
+        if charge.files > 0 {
+            creation_secs += self.backend.write_secs(charge.write_bytes, charge.files);
+        }
+        ctx.creation_secs = creation_secs;
+        ctx.trace.materialization.bytes_read = charge.read_bytes;
+        ctx.trace.materialization.bytes_written = charge.write_bytes;
+        ctx.trace.materialization.files_written = charge.files;
+        ctx.trace.materialization.fragments_covered = charge.cover_reads;
+        ctx.trace.materialization.creation_secs = creation_secs;
+    }
+
+    /// Materialize a view (whole or initially partitioned). Returns the
+    /// creation overhead in seconds and descriptions of what was written.
+    fn materialize_view(
+        &mut self,
+        vid: ViewId,
+        _tnow: LogicalTime,
+    ) -> Result<(CreationCharge, Vec<String>), ExecError> {
+        let (plan, name) = {
+            let v = self.registry.view(vid);
+            if v.is_materialized() {
+                return Ok((CreationCharge::default(), Vec::new()));
+            }
+            (v.plan.clone(), v.name.clone())
+        };
+        // Compute the view's content. In the real system this is a by-product
+        // of the instrumented query's execution, so only the *write* side is
+        // charged below.
+        let (table, _compute_metrics) = self.backend.execute(&plan, &self.catalog, &self.fs)?;
+        let actual_size = table.sim_bytes();
+        let schema = table.schema.clone();
+
+        // Choose a partition layout.
+        let attr_choice: Option<(String, Interval, Vec<Interval>)> = {
+            let v = self.registry.view(vid);
+            self.choose_layout(v.partitions.values(), actual_size, &table)
+        };
+
+        let mut descs = Vec::new();
+        let mut written_bytes = 0u64;
+        let mut files = 0u64;
+        match attr_choice {
+            Some((attr, _domain, intervals)) if self.config.partition_policy.partitions() => {
+                let col_idx = schema
+                    .index_of(&attr)
+                    .ok_or_else(|| ExecError::UnknownColumn(attr.clone()))?;
+                for iv in &intervals {
+                    let rows: Vec<_> = table
+                        .rows
+                        .iter()
+                        .filter(|r| match r[col_idx].as_int() {
+                            Some(v) => iv.contains_point(v),
+                            None => false,
+                        })
+                        .cloned()
+                        .collect();
+                    let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
+                    let size = frag_table.sim_bytes();
+                    let (file, _) = self
+                        .fs
+                        .create(format!("{name}.{attr}{iv}"), size, frag_table);
+                    written_bytes += size;
+                    files += 1;
+                    let view = self.registry.view_mut(vid);
+                    let ps = view
+                        .partitions
+                        .get_mut(&attr)
+                        .expect("layout chosen from existing partition");
+                    let fid = ps.track(*iv, size);
+                    let frag = ps.frag_mut(fid).expect("just tracked");
+                    frag.file = Some(file);
+                    frag.size = size;
+                    descs.push(format!("{name}.{attr}{iv}"));
+                }
+            }
+            _ => {
+                let size = table.sim_bytes();
+                let (file, _) = self.fs.create(name.clone(), size, table);
+                written_bytes += size;
+                files += 1;
+                self.registry.view_mut(vid).whole_file = Some(file);
+                descs.push(name.clone());
+            }
+        }
+        let secs = self.backend.write_secs(written_bytes, files);
+        let recompute = self.estimator().estimated_secs(&plan) + secs;
+        let view = self.registry.view_mut(vid);
+        view.schema = Some(schema);
+        view.stats.set_measured(actual_size, recompute);
+        view.creation_overhead = secs;
+        Ok((
+            CreationCharge {
+                read_bytes: 0,
+                write_bytes: written_bytes,
+                files,
+                cover_reads: 0,
+            },
+            descs,
+        ))
+    }
+
+    /// Pick the partition attribute and initial intervals for a new view.
+    fn choose_layout<'a>(
+        &self,
+        partitions: impl Iterator<Item = &'a PartitionState>,
+        view_size: u64,
+        table: &Table,
+    ) -> Option<(String, Interval, Vec<Interval>)> {
+        // Prefer the partition with the most recorded boundaries (the
+        // attribute the workload actually selects on).
+        let ps = partitions.max_by_key(|p| (p.boundaries.len(), p.fragments.len()))?;
+        let intervals = match self.config.partition_policy {
+            PartitionPolicy::EquiDepth { fragments } => {
+                let col = table.schema.index_of(&ps.attr)?;
+                let mut values: Vec<i64> =
+                    table.rows.iter().filter_map(|r| r[col].as_int()).collect();
+                values.sort_unstable();
+                equi_depth_intervals(&values, fragments, &ps.domain)
+            }
+            PartitionPolicy::Progressive { .. } => apply_size_bounds(
+                &ps.boundary_partition(),
+                &ps.domain,
+                view_size,
+                self.config.min_fragment_bytes,
+                self.config.phi_max_fraction,
+            ),
+            _ => return None,
+        };
+        Some((ps.attr.clone(), ps.domain, intervals))
+    }
+
+    /// Materialize one refinement fragment on an existing partition.
+    /// Charges `wread` for every overlapping materialized fragment read and
+    /// `wwrite` for everything written (§7.2). Under horizontal (non-
+    /// overlapping) partitioning, split fragments are rewritten and dropped;
+    /// under overlapping partitioning the originals are kept.
+    fn materialize_fragment(
+        &mut self,
+        vid: ViewId,
+        attr: &str,
+        fid: FragmentId,
+        view_cache: &mut HashMap<ViewId, Arc<Table>>,
+    ) -> Result<Option<(CreationCharge, String)>, ExecError> {
+        let overlapping_mode = self.config.partition_policy.overlapping();
+        let (name, schema, target, sources): (String, _, Interval, Vec<SourceFrag>) = {
+            let view = self.registry.view(vid);
+            let Some(ps) = view.partitions.get(attr) else {
+                return Ok(None);
+            };
+            let Some(frag) = ps.frag(fid) else {
+                return Ok(None);
+            };
+            if frag.is_materialized() {
+                return Ok(None);
+            }
+            let target = frag.interval;
+            let sources = ps
+                .fragments
+                .iter()
+                .filter(|f| f.is_materialized() && f.interval.overlaps(&target))
+                .map(|f| (f.id, f.interval, f.file.unwrap(), f.size))
+                .collect::<Vec<_>>();
+            let schema = view.schema.clone();
+            match schema {
+                Some(s) if !sources.is_empty() => (view.name.clone(), s, target, sources),
+                // No materialized source covers the target (fresh view, or a
+                // fully-evicted region): build the fragment from the view's
+                // plan instead.
+                _ => return self.materialize_fragment_from_plan(vid, attr, fid, view_cache),
+            }
+        };
+
+        let col_idx = schema
+            .index_of(attr)
+            .ok_or_else(|| ExecError::UnknownColumn(attr.to_string()))?;
+        let mut read_bytes = 0u64;
+        let mut written_bytes = 0u64;
+        let mut files_written = 0u64;
+
+        // Use an Algorithm-2 cover so each row is taken exactly once even
+        // when materialized source fragments overlap each other.
+        let cover = partition_matching(
+            &target,
+            &sources
+                .iter()
+                .map(|(id, iv, _, _)| (*id, *iv))
+                .collect::<Vec<_>>(),
+        );
+        let Some(cover) = cover else { return Ok(None) };
+        let cover_reads = cover.len() as u64;
+
+        let mut rows = Vec::new();
+        let mut next_lo = target.lo;
+        let mut source_tables = Vec::new();
+        for fid2 in &cover {
+            let (_, iv, file, _) = sources.iter().find(|(id, ..)| id == fid2).unwrap();
+            let Some((payload, bytes, _)) = self.fs.read(*file) else {
+                return Ok(None);
+            };
+            read_bytes += bytes;
+            let take = Interval::new(next_lo.max(target.lo), iv.hi.min(target.hi));
+            for r in &payload.rows {
+                if let Some(v) = r[col_idx].as_int() {
+                    if take.contains_point(v) {
+                        rows.push(r.clone());
+                    }
+                }
+            }
+            source_tables.push((*fid2, Arc::clone(&payload)));
+            next_lo = iv.hi + 1;
+            if next_lo > target.hi {
+                break;
+            }
+        }
+        let bytes_per_row = source_tables
+            .first()
+            .map(|(_, t)| t.bytes_per_row)
+            .unwrap_or(1);
+        let frag_table = Table::new(schema.clone(), rows, bytes_per_row);
+        let new_size = frag_table.sim_bytes();
+        let (new_file, _) = self
+            .fs
+            .create(format!("{name}.{attr}{target}"), new_size, frag_table);
+        written_bytes += new_size;
+        files_written += 1;
+
+        // Horizontal mode: rewrite the remainders of every split fragment and
+        // drop the originals. Overlapping mode: keep them (§10.4).
+        let mut split_work: Vec<(FragmentId, Interval, u64)> = Vec::new();
+        if !overlapping_mode {
+            for (sid, iv, _, size) in &sources {
+                split_work.push((*sid, *iv, *size));
+            }
+        }
+        let mut remainder_meta: Vec<(Interval, FileId, u64)> = Vec::new();
+        let mut dropped: Vec<FragmentId> = Vec::new();
+        for (sid, iv, _size) in &split_work {
+            // Remainder pieces of iv not covered by target.
+            let mut pieces = Vec::new();
+            if iv.lo < target.lo {
+                pieces.push(Interval::new(iv.lo, target.lo - 1));
+            }
+            if iv.hi > target.hi {
+                pieces.push(Interval::new(target.hi + 1, iv.hi));
+            }
+            let payload = source_tables
+                .iter()
+                .find(|(id, _)| id == sid)
+                .map(|(_, t)| Arc::clone(t));
+            let payload = match payload {
+                Some(p) => p,
+                None => {
+                    // Source overlapped the target but was not in the cover;
+                    // read it now for splitting.
+                    let file = sources.iter().find(|(id, ..)| id == sid).unwrap().2;
+                    let Some((p, bytes, _)) = self.fs.read(file) else {
+                        continue;
+                    };
+                    read_bytes += bytes;
+                    p
+                }
+            };
+            for piece in pieces {
+                let rows: Vec<_> = payload
+                    .rows
+                    .iter()
+                    .filter(|r| r[col_idx].as_int().is_some_and(|v| piece.contains_point(v)))
+                    .cloned()
+                    .collect();
+                let t = Table::new(schema.clone(), rows, payload.bytes_per_row);
+                let size = t.sim_bytes();
+                let (file, _) = self.fs.create(format!("{name}.{attr}{piece}"), size, t);
+                written_bytes += size;
+                files_written += 1;
+                remainder_meta.push((piece, file, size));
+            }
+            dropped.push(*sid);
+        }
+
+        // Update registry metadata.
+        {
+            let view = self.registry.view_mut(vid);
+            let ps = view.partitions.get_mut(attr).expect("checked above");
+            if let Some(f) = ps.frag_mut(fid) {
+                f.file = Some(new_file);
+                f.size = new_size;
+            }
+            for sid in dropped {
+                if let Some(f) = ps.frag_mut(sid) {
+                    if let Some(file) = f.file.take() {
+                        self.fs.delete(file);
+                    }
+                }
+            }
+            for (piece, file, size) in remainder_meta {
+                let pid = ps.track(piece, size);
+                let f = ps.frag_mut(pid).expect("just tracked");
+                f.file = Some(file);
+                f.size = size;
+            }
+        }
+
+        Ok(Some((
+            CreationCharge {
+                read_bytes,
+                write_bytes: written_bytes,
+                files: files_written,
+                cover_reads,
+            },
+            format!("{name}.{attr}{target}"),
+        )))
+    }
+
+    /// Build a fragment by computing the view's plan (used for initial
+    /// partitioned materialization and for regions whose sources were
+    /// evicted). As with whole-view materialization, the computation happens
+    /// as a by-product of the running query, so only the write is charged.
+    fn materialize_fragment_from_plan(
+        &mut self,
+        vid: ViewId,
+        attr: &str,
+        fid: FragmentId,
+        view_cache: &mut HashMap<ViewId, Arc<Table>>,
+    ) -> Result<Option<(CreationCharge, String)>, ExecError> {
+        let (plan, name, target) = {
+            let view = self.registry.view(vid);
+            let Some(ps) = view.partitions.get(attr) else {
+                return Ok(None);
+            };
+            let Some(frag) = ps.frag(fid) else {
+                return Ok(None);
+            };
+            (view.plan.clone(), view.name.clone(), frag.interval)
+        };
+        let table = match view_cache.get(&vid) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let (t, _metrics) = self.backend.execute(&plan, &self.catalog, &self.fs)?;
+                let t = Arc::new(t);
+                view_cache.insert(vid, Arc::clone(&t));
+                t
+            }
+        };
+        let schema = table.schema.clone();
+        let Some(col_idx) = schema.index_of(attr) else {
+            return Ok(None);
+        };
+        let full_size = table.sim_bytes();
+        let rows: Vec<_> = table
+            .rows
+            .iter()
+            .filter(|r| {
+                r[col_idx]
+                    .as_int()
+                    .is_some_and(|v| target.contains_point(v))
+            })
+            .cloned()
+            .collect();
+        let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
+        let size = frag_table.sim_bytes();
+        let (file, _) = self
+            .fs
+            .create(format!("{name}.{attr}{target}"), size, frag_table);
+        let overhead = self.backend.write_secs(full_size, 1);
+        let recompute = self.estimator().estimated_secs(&plan);
+        let view = self.registry.view_mut(vid);
+        if view.schema.is_none() {
+            view.schema = Some(schema);
+            view.stats.set_measured(full_size, recompute + overhead);
+            view.creation_overhead = overhead;
+        }
+        let ps = view.partitions.get_mut(attr).expect("checked above");
+        if let Some(f) = ps.frag_mut(fid) {
+            f.file = Some(file);
+            f.size = size;
+        }
+        Ok(Some((
+            CreationCharge {
+                read_bytes: 0,
+                write_bytes: size,
+                files: 1,
+                cover_reads: 0,
+            },
+            format!("{name}.{attr}{target}"),
+        )))
+    }
+}

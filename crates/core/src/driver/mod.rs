@@ -1,0 +1,235 @@
+//! The online driver — Algorithm 1 (`ProcessQuery`) of the paper, as a
+//! staged query-lifecycle pipeline.
+//!
+//! Each stage lives in its own submodule and communicates through a
+//! [`context::QueryContext`] threaded down the pipeline:
+//!
+//! 1. [`matching`] — compute the possible **rewritings** against every
+//!    tracked view (materialized or not) via signature matching and, for
+//!    partitioned views, Algorithm-2 fragment covers;
+//! 2. [`matching`] — **update statistics**: every view/fragment that could
+//!    answer the query records a (potential) benefit event;
+//! 3. [`rewriting`] — pick the **cheapest rewriting** among those backed by
+//!    the pool (or the original plan);
+//! 4. [`candidates`] — derive **view candidates** (Definition 6) and
+//!    **partition candidates** (Definition 7) from the chosen plan;
+//! 5. [`selection`] — admission filters (`COST ≤ B`), Φ-ranked greedy
+//!    knapsack under `Smax` — deciding what to materialize and what to evict;
+//! 6. execution via the pluggable [`ExecutionBackend`], then [`evict`] and
+//!    [`materialize`] apply the chosen configuration as a by-product (only
+//!    the write/repartition overhead is charged to the query, §7.2);
+//! 7. [`evict`] — enforce `Smax` with measured sizes.
+//!
+//! Every stage also fills its slice of the per-query [`QueryTrace`] exposed
+//! on [`QueryOutcome`].
+
+pub(crate) mod candidates;
+pub(crate) mod context;
+pub(crate) mod evict;
+pub(crate) mod matching;
+pub(crate) mod materialize;
+pub(crate) mod rewriting;
+pub(crate) mod selection;
+
+use std::sync::Arc;
+
+use deepsea_engine::catalog::Catalog;
+use deepsea_engine::cost::CostEstimator;
+use deepsea_engine::exec::{ExecError, ExecMetrics};
+use deepsea_engine::plan::LogicalPlan;
+use deepsea_engine::{ClusterSim, ExecutionBackend, SimBackend};
+use deepsea_relation::Table;
+use deepsea_storage::{BlockConfig, SimFs};
+
+use crate::config::DeepSeaConfig;
+use crate::registry::ViewRegistry;
+use crate::stats::LogicalTime;
+
+use context::QueryContext;
+
+pub use context::{
+    CandidatesTrace, EvictionTrace, ExecutionTrace, MatchingTrace, MaterializationTrace,
+    QueryTrace, RewritingTrace, SelectionTrace,
+};
+
+/// The result of processing one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query's result table.
+    pub result: Table,
+    /// Total simulated elapsed seconds charged to this query
+    /// (`query_secs + creation_secs`).
+    pub elapsed_secs: f64,
+    /// Execution time of the (possibly rewritten) query.
+    pub query_secs: f64,
+    /// Overhead of materialization / repartitioning performed by this query.
+    pub creation_secs: f64,
+    /// Name of the view used to answer the query, if any.
+    pub used_view: Option<String>,
+    /// Human-readable descriptions of views/fragments materialized.
+    pub materialized: Vec<String>,
+    /// Human-readable descriptions of views/fragments evicted.
+    pub evicted: Vec<String>,
+    /// Execution metrics of the chosen plan.
+    pub metrics: ExecMetrics,
+    /// Per-stage counters and simulated costs for this query.
+    pub trace: QueryTrace,
+}
+
+/// A DeepSea instance: the materialized-view pool manager wrapped around a
+/// catalog, a simulated file system and an execution backend.
+pub struct DeepSea {
+    pub(crate) config: DeepSeaConfig,
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) fs: Arc<SimFs<Table>>,
+    pub(crate) backend: Box<dyn ExecutionBackend>,
+    pub(crate) registry: ViewRegistry,
+    pub(crate) clock: LogicalTime,
+}
+
+impl DeepSea {
+    /// Create an instance with the paper-default cluster and block size.
+    pub fn new(catalog: Catalog, config: DeepSeaConfig) -> Self {
+        let cluster = ClusterSim::paper_default();
+        let fs = SimFs::new(BlockConfig::default(), cluster.weights);
+        Self::with_parts(Arc::new(catalog), Arc::new(fs), cluster, config)
+    }
+
+    /// Create an instance over existing substrates, simulated by `cluster`.
+    pub fn with_parts(
+        catalog: Arc<Catalog>,
+        fs: Arc<SimFs<Table>>,
+        cluster: ClusterSim,
+        config: DeepSeaConfig,
+    ) -> Self {
+        Self::with_backend(catalog, fs, Box::new(SimBackend::new(cluster)), config)
+    }
+
+    /// Create an instance over an arbitrary execution backend — the only
+    /// interface through which the driver runs plans and prices I/O.
+    pub fn with_backend(
+        catalog: Arc<Catalog>,
+        fs: Arc<SimFs<Table>>,
+        backend: Box<dyn ExecutionBackend>,
+        config: DeepSeaConfig,
+    ) -> Self {
+        Self {
+            config,
+            catalog,
+            fs,
+            backend,
+            registry: ViewRegistry::new(),
+            clock: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DeepSeaConfig {
+        &self.config
+    }
+
+    /// The statistics registry (views, partitions, fragments).
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// Current logical time (number of queries processed).
+    pub fn clock(&self) -> LogicalTime {
+        self.clock
+    }
+
+    /// Simulated bytes currently held by the pool.
+    pub fn pool_bytes(&self) -> u64 {
+        self.registry.pool_bytes()
+    }
+
+    /// The underlying simulated file system.
+    pub fn fs(&self) -> &SimFs<Table> {
+        &self.fs
+    }
+
+    /// The cluster model of the execution backend.
+    pub fn cluster(&self) -> &ClusterSim {
+        self.backend.cluster()
+    }
+
+    /// A cost estimator over the backend's cluster model.
+    pub(crate) fn estimator(&self) -> CostEstimator<'_> {
+        CostEstimator::new(&self.catalog, &self.fs, self.backend.cluster())
+    }
+
+    /// Process one query — Algorithm 1, as a linear sequence of stages over
+    /// a per-query [`QueryContext`].
+    pub fn process_query(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
+        self.clock += 1;
+        let tnow = self.clock;
+
+        if !self.config.partition_policy.materializes() {
+            return self.run_baseline(plan);
+        }
+
+        let mut ctx = QueryContext::new(plan, tnow);
+        // ── 1. COMPUTEREWRITINGS ─────────────────────────────────────────
+        self.stage_compute_rewritings(plan, &mut ctx);
+        // ── 2. UPDATESTATS for every (potential) match ───────────────────
+        self.stage_update_stats(plan, &mut ctx);
+        // ── 3. SELECTREWRITING ───────────────────────────────────────────
+        self.stage_select_rewriting(plan, &mut ctx);
+        // ── 4. COMPUTEVIEWCAND / ADDCANDIDATES ───────────────────────────
+        self.stage_register_candidates(&mut ctx);
+        // ── 5. VIEWSELECTION ─────────────────────────────────────────────
+        self.stage_select_configuration(&mut ctx);
+        // ── 6. INSTRUMENT + EXECUTE, apply the chosen configuration ──────
+        let (result, metrics) = self.stage_execute(&mut ctx)?;
+        self.stage_apply_evictions(&mut ctx);
+        self.stage_materialize(&mut ctx)?;
+        self.stage_charge_creation(&mut ctx);
+        // ── 7. Enforce Smax with measured sizes ──────────────────────────
+        self.stage_enforce_limit(&mut ctx);
+
+        Ok(QueryOutcome {
+            result,
+            elapsed_secs: ctx.query_secs + ctx.creation_secs,
+            query_secs: ctx.query_secs,
+            creation_secs: ctx.creation_secs,
+            used_view: ctx.used_view,
+            materialized: ctx.materialized,
+            evicted: ctx.evicted,
+            metrics,
+            trace: ctx.trace,
+        })
+    }
+
+    /// The Hive baseline: no matching, no materialization — and, unlike
+    /// DeepSea's instrumented plans, full predicate pushdown ("most
+    /// optimizers will push down selections", §10.2).
+    fn run_baseline(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
+        let optimized = deepsea_engine::optimize::push_down_selections(plan, &self.catalog);
+        let (result, metrics) = self.backend.execute(&optimized, &self.catalog, &self.fs)?;
+        let query_secs = self.backend.elapsed_secs(&metrics);
+        let mut trace = QueryTrace::default();
+        trace.execution.query_secs = query_secs;
+        Ok(QueryOutcome {
+            result,
+            elapsed_secs: query_secs,
+            query_secs,
+            creation_secs: 0.0,
+            used_view: None,
+            materialized: Vec::new(),
+            evicted: Vec::new(),
+            metrics,
+            trace,
+        })
+    }
+
+    /// Execute the chosen plan through the backend.
+    fn stage_execute(&self, ctx: &mut QueryContext) -> Result<(Table, ExecMetrics), ExecError> {
+        let (result, metrics) = self.backend.execute(&ctx.qbest, &self.catalog, &self.fs)?;
+        ctx.query_secs = self.backend.elapsed_secs(&metrics);
+        ctx.trace.execution.query_secs = ctx.query_secs;
+        Ok((result, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,185 @@
+//! Stage 5 of Algorithm 1: build `ALLCAND = Vsel ∪ Psel ∪ {materialized
+//! views and fragments}` and run the Φ-ranked greedy selection under `Smax`,
+//! deciding what to materialize and what to evict.
+
+use std::collections::BTreeSet;
+
+use crate::filter_tree::ViewId;
+use crate::matching::partition_matching;
+use crate::policy::PartitionPolicy;
+use crate::selection::{select_configuration, CandidateKind, RankedItem};
+use crate::stats::LogicalTime;
+
+use super::context::QueryContext;
+use super::DeepSea;
+
+impl DeepSea {
+    /// Run selection over this query's candidates plus everything the pool
+    /// already holds; the chosen configuration lands in `ctx.selection`.
+    pub(crate) fn stage_select_configuration(&self, ctx: &mut QueryContext) {
+        let items = self.build_allcand(&ctx.new_cands, ctx.tnow);
+        ctx.trace.selection.considered = items.len() as u32;
+        let selection = select_configuration(items, self.config.smax);
+        ctx.trace.selection.planned_creations = selection.to_create.len() as u32;
+        ctx.trace.selection.planned_evictions = selection.to_evict.len() as u32;
+        ctx.selection = selection;
+    }
+
+    /// Build `ALLCAND` — also used by `enforce_limit` to re-rank the pool.
+    pub(crate) fn build_allcand(&self, new_cands: &[ViewId], tnow: LogicalTime) -> Vec<RankedItem> {
+        let tmax = self.config.tmax;
+        let vm = self.config.value_model;
+        let mut items = Vec::new();
+        let mut included: BTreeSet<ViewId> = BTreeSet::new();
+
+        // Vsel: this query's unmaterialized view candidates passing COST ≤ B.
+        for &vid in new_cands {
+            if !included.insert(vid) {
+                continue;
+            }
+            let view = self.registry.view(vid);
+            if view.is_materialized() {
+                continue;
+            }
+            let benefit = vm.view_benefit(&view.stats, tnow, tmax);
+            if view.creation_overhead > benefit {
+                continue;
+            }
+            // Under the progressive policy a new partitioned view's *initial
+            // fragments* are admitted individually — "candidate views and
+            // fragments are treated alike" (§7.3). A pool far smaller than
+            // the view can still admit its hot fragments.
+            let progressive = matches!(
+                self.config.partition_policy,
+                PartitionPolicy::Progressive { .. }
+            );
+            let hinted = view
+                .partitions
+                .values()
+                .max_by_key(|p| (p.boundaries.len(), p.fragments.len()))
+                .filter(|p| !p.fragments.is_empty());
+            match hinted {
+                Some(ps) if progressive => {
+                    let values =
+                        vm.fragment_values(ps, view.stats.size, view.stats.cost, tnow, tmax);
+                    // Tracked candidates can overlap (pieces from different
+                    // queries' splits); the initial materialization keeps a
+                    // greedy Φ-ranked *disjoint* subset so the view is not
+                    // written multiple times over.
+                    let mut ranked: Vec<(&crate::fragment::FragmentMeta, f64)> =
+                        ps.fragments.iter().zip(values).collect();
+                    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    let mut taken: Vec<crate::interval::Interval> = Vec::new();
+                    for (frag, phi) in ranked {
+                        if taken.iter().any(|iv| iv.overlaps(&frag.interval)) {
+                            continue;
+                        }
+                        taken.push(frag.interval);
+                        items.push(RankedItem {
+                            kind: CandidateKind::Fragment(view.id, ps.attr.clone(), frag.id),
+                            phi,
+                            size: frag.size,
+                            materialized: false,
+                        });
+                    }
+                }
+                _ => items.push(RankedItem {
+                    kind: CandidateKind::WholeView(vid),
+                    phi: vm.view_value(&view.stats, tnow, tmax),
+                    size: view.stats.size,
+                    materialized: false,
+                }),
+            }
+        }
+
+        for view in self.registry.iter() {
+            // Materialized whole views partake (needed for NP-style pools).
+            if view.whole_file.is_some() {
+                items.push(RankedItem {
+                    kind: CandidateKind::WholeView(view.id),
+                    phi: vm.view_value(&view.stats, tnow, tmax),
+                    size: view.stats.size,
+                    materialized: true,
+                });
+            }
+            for ps in view.partitions.values() {
+                if !ps.any_materialized() {
+                    continue;
+                }
+                let values = vm.fragment_values(ps, view.stats.size, view.stats.cost, tnow, tmax);
+                for (frag, phi) in ps.fragments.iter().zip(values) {
+                    if frag.is_materialized() {
+                        items.push(RankedItem {
+                            kind: CandidateKind::Fragment(view.id, ps.attr.clone(), frag.id),
+                            phi,
+                            size: frag.size,
+                            materialized: true,
+                        });
+                    } else if self.config.partition_policy.repartitions() {
+                        // Psel: refinement candidates passing COST(Icand) ≤ B(I)
+                        // (§7.2 — only for partitions already in the pool).
+                        // A candidate that is already covered nearly as
+                        // cheaply by materialized fragments brings no marginal
+                        // benefit — skip it (the cost-based refinement
+                        // decision of §2).
+                        let block = self.fs.block_config().block_bytes;
+                        let mats = ps.materialized();
+                        let cover_bytes = partition_matching(&frag.interval, &mats).map(|cover| {
+                            cover
+                                .iter()
+                                .filter_map(|id| ps.frag(*id))
+                                .map(|f| f.size)
+                                .sum::<u64>()
+                        });
+                        if let Some(cb) = cover_bytes {
+                            if cb <= frag.size.saturating_mul(5) / 4 {
+                                continue;
+                            }
+                        }
+                        // COST(Icand) = wwrite·S(Icand) + Σ wread·S(I), here at
+                        // cluster-effective rates so the units match benefits.
+                        let read_bytes: u64 = ps
+                            .fragments
+                            .iter()
+                            .filter(|f| f.is_materialized() && f.interval.overlaps(&frag.interval))
+                            .map(|f| f.size)
+                            .sum();
+                        let create_cost = if read_bytes == 0 {
+                            // Nothing materialized overlaps: the fragment must
+                            // be rebuilt by recomputing the view (§7.1: the
+                            // fragment's cost is its view's creation cost).
+                            view.stats.cost
+                        } else {
+                            self.backend
+                                .write_secs(frag.size, frag.size.div_ceil(block).max(1))
+                                + self.backend.scan_secs(read_bytes, block)
+                        };
+                        // Admission benefit: what each (decayed) hit actually
+                        // saves over today's best access to this range — the
+                        // cover read (or a full recompute when uncovered)
+                        // versus reading just this fragment. A sharper proxy
+                        // for B(I) than the size-share formula, which is kept
+                        // for the eviction ranking Φ above.
+                        let per_hit_saving = match cover_bytes {
+                            Some(cb) => (self.backend.scan_secs(cb, block)
+                                - self.backend.scan_secs(frag.size, block))
+                            .max(0.0),
+                            None => (view.stats.cost - self.backend.scan_secs(frag.size, block))
+                                .max(0.0),
+                        };
+                        let benefit = per_hit_saving * frag.stats.decayed_hits(tnow, tmax);
+                        if create_cost <= benefit {
+                            items.push(RankedItem {
+                                kind: CandidateKind::Fragment(view.id, ps.attr.clone(), frag.id),
+                                phi,
+                                size: frag.size,
+                                materialized: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        items
+    }
+}

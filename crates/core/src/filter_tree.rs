@@ -139,8 +139,6 @@ mod tests {
     fn empty_tree() {
         let ft = FilterTree::new();
         assert!(ft.is_empty());
-        assert!(ft
-            .lookup(&sig(&LogicalPlan::scan("a")))
-            .is_empty());
+        assert!(ft.lookup(&sig(&LogicalPlan::scan("a"))).is_empty());
     }
 }

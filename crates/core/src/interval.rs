@@ -6,11 +6,10 @@
 //! all intervals to **closed integer intervals** — `(a, b]` becomes
 //! `[a+1, b]` — which makes disjointness and coverage checks exact.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A non-empty closed integer interval `[lo, hi]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     /// Inclusive lower bound.
     pub lo: i64,
@@ -176,7 +175,10 @@ mod tests {
     #[test]
     fn intersect_cases() {
         let a = Interval::new(0, 10);
-        assert_eq!(a.intersect(&Interval::new(5, 15)), Some(Interval::new(5, 10)));
+        assert_eq!(
+            a.intersect(&Interval::new(5, 15)),
+            Some(Interval::new(5, 10))
+        );
         assert_eq!(a.intersect(&Interval::new(20, 30)), None);
         assert_eq!(a.intersect(&a), Some(a));
     }
@@ -217,9 +219,17 @@ mod tests {
     fn horizontal_partition_detection() {
         let d = Interval::new(1, 6);
         // Example 1 of the paper.
-        let part = vec![Interval::new(1, 2), Interval::new(3, 4), Interval::new(5, 6)];
+        let part = vec![
+            Interval::new(1, 2),
+            Interval::new(3, 4),
+            Interval::new(5, 6),
+        ];
         assert!(is_horizontal_partition(&part, &d));
-        let overlapping = vec![Interval::new(1, 4), Interval::new(3, 4), Interval::new(5, 6)];
+        let overlapping = vec![
+            Interval::new(1, 4),
+            Interval::new(3, 4),
+            Interval::new(5, 6),
+        ];
         assert!(!is_horizontal_partition(&overlapping, &d));
         assert!(is_overlapping_partitioning(&overlapping, &d));
         let gap = vec![Interval::new(1, 2), Interval::new(5, 6)];
@@ -244,8 +254,14 @@ mod tests {
 
     #[test]
     fn disjointness() {
-        assert!(pairwise_disjoint(&[Interval::new(0, 1), Interval::new(2, 3)]));
-        assert!(!pairwise_disjoint(&[Interval::new(0, 2), Interval::new(2, 3)]));
+        assert!(pairwise_disjoint(&[
+            Interval::new(0, 1),
+            Interval::new(2, 3)
+        ]));
+        assert!(!pairwise_disjoint(&[
+            Interval::new(0, 2),
+            Interval::new(2, 3)
+        ]));
         assert!(pairwise_disjoint(&[]));
     }
 }

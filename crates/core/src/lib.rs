@@ -21,9 +21,11 @@
 //!   normal fit over quantized fragment hits and adjusted hits `HA` (§7.1),
 //! - **Selection** ([`selection`]) — candidate filtering (`COST ≤ B`) and
 //!   greedy `Φ`-ranked knapsack under the pool limit `Smax` (§7.2–7.3),
-//! - **The online driver** ([`driver`]) — Algorithm 1 `ProcessQuery`,
-//!   including instrumentation-time materialization and progressive
-//!   repartitioning,
+//! - **The online driver** ([`driver`]) — Algorithm 1 `ProcessQuery` as a
+//!   staged pipeline (matching → rewriting → candidates → selection →
+//!   execute/materialize → evict), each stage its own submodule, with
+//!   per-stage [`driver::QueryTrace`] instrumentation and a pluggable
+//!   execution backend,
 //! - **Fragment merging** ([`merging`]) — the §11 extension: re-merge
 //!   consecutive fragments that are always accessed together,
 //! - **Baselines** ([`policy`], [`baselines`]) — vanilla Hive (H),
@@ -46,6 +48,6 @@ pub mod selection;
 pub mod stats;
 
 pub use config::DeepSeaConfig;
-pub use driver::{DeepSea, QueryOutcome};
+pub use driver::{DeepSea, QueryOutcome, QueryTrace};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};

@@ -32,7 +32,11 @@ pub fn partition_matching(
         // reach wins (fewest fragments).
         let rank = |iv: &Interval| -> (i64, bool, i64) {
             let completes = iv.hi >= theta.hi;
-            let tail_rank = if completes { -(iv.width() as i64) } else { iv.hi };
+            let tail_rank = if completes {
+                -(iv.width() as i64)
+            } else {
+                iv.hi
+            };
             (iv.lo, completes, tail_rank)
         };
         let mut best: Option<(FragmentId, Interval)> = None;
@@ -60,7 +64,12 @@ pub fn partition_matching(
 pub fn cover_read_bytes(cover: &[FragmentId], fragments: &[(FragmentId, Interval, u64)]) -> u64 {
     cover
         .iter()
-        .filter_map(|id| fragments.iter().find(|(f, _, _)| f == id).map(|(_, _, s)| s))
+        .filter_map(|id| {
+            fragments
+                .iter()
+                .find(|(f, _, _)| f == id)
+                .map(|(_, _, s)| s)
+        })
         .sum()
 }
 

@@ -121,11 +121,7 @@ mod tests {
 
     #[test]
     fn symmetric_hits_center_the_mean() {
-        let frags = vec![
-            (iv(0, 9), 10.0),
-            (iv(10, 19), 50.0),
-            (iv(20, 29), 10.0),
-        ];
+        let frags = vec![(iv(0, 9), 10.0), (iv(10, 19), 50.0), (iv(20, 29), 10.0)];
         let fit = fit_normal(&frags).unwrap();
         assert!((fit.mean - 14.5).abs() < 1.0, "mean={}", fit.mean);
         assert!(fit.std > 0.0);

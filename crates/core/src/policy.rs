@@ -5,14 +5,12 @@
 //! views are laid out* (progressive/overlapping vs equi-depth vs none). The
 //! two axes are orthogonal, exactly as in the paper's experiments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::mle::{adjusted_hits, fit_normal};
 use crate::registry::PartitionState;
 use crate::stats::{FragStats, LogicalTime, ViewStats};
 
 /// How views and fragments are valued for admission/eviction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValueModel {
     /// The paper's model: `Φ = COST · B / S` with the decay function, and
     /// (optionally) MLE-adjusted fragment hits (§7.1).
@@ -138,7 +136,7 @@ fn delta_t(last: Option<LogicalTime>, tnow: LogicalTime) -> f64 {
 }
 
 /// How materialized views are physically laid out.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PartitionPolicy {
     /// No materialization at all — vanilla Hive (the `H` baseline).
     NoMaterialization,

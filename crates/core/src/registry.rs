@@ -186,7 +186,11 @@ pub struct ViewMeta {
 impl ViewMeta {
     /// Is anything of this view materialized?
     pub fn is_materialized(&self) -> bool {
-        self.whole_file.is_some() || self.partitions.values().any(PartitionState::any_materialized)
+        self.whole_file.is_some()
+            || self
+                .partitions
+                .values()
+                .any(PartitionState::any_materialized)
     }
 
     /// Pool bytes currently held by this view (whole file + fragments).
@@ -196,7 +200,12 @@ impl ViewMeta {
         } else {
             0
         };
-        whole + self.partitions.values().map(PartitionState::pool_bytes).sum::<u64>()
+        whole
+            + self
+                .partitions
+                .values()
+                .map(PartitionState::pool_bytes)
+                .sum::<u64>()
     }
 }
 
@@ -348,10 +357,7 @@ mod tests {
                 Interval::new(61, 99)
             ]
         );
-        assert!(crate::interval::is_horizontal_partition(
-            &parts,
-            &p.domain
-        ));
+        assert!(crate::interval::is_horizontal_partition(&parts, &p.domain));
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! (`tnow >= 1`), matching the paper's use of submission order in the decay
 //! function `DEC(tnow, t) = t/tnow` (0 once older than `tmax`).
 
-use serde::{Deserialize, Serialize};
-
 /// Logical timestamp: the 1-based sequence number of a query.
 pub type LogicalTime = u64;
 
@@ -27,7 +25,7 @@ pub fn decay(tnow: LogicalTime, t: LogicalTime, tmax: LogicalTime) -> f64 {
 
 /// One recorded (potential) use of a view: when, and how much execution time
 /// it saved (or would have saved).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenefitEvent {
     /// When the view was (or could have been) used.
     pub t: LogicalTime,
@@ -37,7 +35,7 @@ pub struct BenefitEvent {
 
 /// Statistics kept per view (candidate or materialized): `(S, COST, T, B)` of
 /// Definition 5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViewStats {
     /// Storage size `S(V)` in simulated bytes (estimated until first
     /// materialization, then actual).
@@ -117,7 +115,7 @@ impl ViewStats {
 
 /// Statistics kept per fragment: `(S, T)` of Definition 5 — the fragment's
 /// cost and benefit are derived from its view's.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FragStats {
     /// Hit timestamps `T(I)`.
     pub hits: Vec<LogicalTime>,
@@ -290,8 +288,7 @@ mod tests {
         f.record_hit(10);
         let tnow = 10;
         let direct = f.phi(10, 100, 50.0, tnow, 100);
-        let via_hits =
-            FragStats::phi_with_hits(f.decayed_hits(tnow, 100), 10, 100, 50.0);
+        let via_hits = FragStats::phi_with_hits(f.decayed_hits(tnow, 100), 10, 100, 50.0);
         assert!((direct - via_hits).abs() < 1e-9);
     }
 

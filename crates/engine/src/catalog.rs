@@ -63,11 +63,7 @@ mod tests {
 
     fn table() -> Table {
         let schema = Schema::new(vec![Field::new("t.a", DataType::Int)]);
-        Table::new(
-            schema,
-            vec![vec![Value::Int(5)], vec![Value::Int(-1)]],
-            100,
-        )
+        Table::new(schema, vec![vec![Value::Int(5)], vec![Value::Int(-1)]], 100)
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! MapReduce cluster simulator: converts execution metrics into elapsed time.
 
 use deepsea_storage::CostWeights;
-use serde::{Deserialize, Serialize};
 
 use crate::exec::ExecMetrics;
 
@@ -19,7 +18,7 @@ use crate::exec::ExecMetrics;
 ///   makes very many small fragments slow, the paper's E-60 effect),
 /// - every MapReduce stage pays a fixed job-startup cost (Hive launches one
 ///   MR job per stage).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterSim {
     /// Concurrent task slots.
     pub slots: u64,

@@ -152,8 +152,7 @@ fn run(
             let mut rows: Vec<Row> = Vec::new();
             let mut bpr = 8u64;
             for &fid in &v.files {
-                let (payload, bytes, _cost) =
-                    fs.read(fid).ok_or(ExecError::MissingFile(fid))?;
+                let (payload, bytes, _cost) = fs.read(fid).ok_or(ExecError::MissingFile(fid))?;
                 m.bytes_read += bytes;
                 m.map_tasks += fs.block_config().blocks_for(bytes);
                 m.rows_processed += payload.len() as u64;
@@ -241,12 +240,11 @@ fn run(
             }
 
             // Build on the smaller input.
-            let (build, probe, build_keys, probe_keys, build_is_left) =
-                if l.len() <= r.len() {
-                    (&l, &r, &lk, &rk, true)
-                } else {
-                    (&r, &l, &rk, &lk, false)
-                };
+            let (build, probe, build_keys, probe_keys, build_is_left) = if l.len() <= r.len() {
+                (&l, &r, &lk, &rk, true)
+            } else {
+                (&r, &l, &rk, &lk, false)
+            };
             let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
             for (i, row) in build.rows().iter().enumerate() {
                 let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
@@ -523,7 +521,10 @@ mod tests {
         assert_eq!(t.bytes_per_row, 1000, "keeping all columns keeps the width");
         let narrow = LogicalPlan::scan("sales").project(vec!["s.item"]);
         let (t2, _) = execute(&narrow, &c, &fs).unwrap();
-        assert!(t2.bytes_per_row < 1000, "projection shrinks simulated width");
+        assert!(
+            t2.bytes_per_row < 1000,
+            "projection shrinks simulated width"
+        );
         assert!(t2.bytes_per_row > 0);
     }
 

@@ -43,7 +43,11 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String, est: Option<&CostE
         }
         LogicalPlan::Aggregate { group_by, aggs, .. } => {
             let a: Vec<String> = aggs.iter().map(|x| x.canonical()).collect();
-            format!("Aggregate [{}] group by [{}]", a.join(", "), group_by.join(", "))
+            format!(
+                "Aggregate [{}] group by [{}]",
+                a.join(", "),
+                group_by.join(", ")
+            )
         }
     };
     out.push_str(&pad);
@@ -98,7 +102,9 @@ mod tests {
                     Field::new("fact.k", DataType::Int),
                     Field::new("fact.v", DataType::Float),
                 ]),
-                (0..50).map(|i| vec![Value::Int(i), Value::Float(0.0)]).collect(),
+                (0..50)
+                    .map(|i| vec![Value::Int(i), Value::Float(0.0)])
+                    .collect(),
                 1000,
             ),
         );
@@ -109,7 +115,9 @@ mod tests {
                     Field::new("dim.k", DataType::Int),
                     Field::new("dim.label", DataType::Str),
                 ]),
-                (0..50).map(|i| vec![Value::Int(i), Value::str("x")]).collect(),
+                (0..50)
+                    .map(|i| vec![Value::Int(i), Value::str("x")])
+                    .collect(),
                 100,
             ),
         );

@@ -7,6 +7,9 @@
 //!   join / aggregate / view-scan) mirroring the operator trees Hive builds,
 //! - a real executor ([`exec`]) over in-memory tables that also charges all
 //!   simulated I/O to the storage layer and reports [`exec::ExecMetrics`],
+//! - a pluggable **execution backend** ([`backend::ExecutionBackend`]) — the
+//!   only interface through which `deepsea-core` runs plans and prices I/O;
+//!   [`backend::SimBackend`] pairs the executor with the cluster simulator,
 //! - a MapReduce **cluster simulator** ([`cluster::ClusterSim`]) converting
 //!   metrics into elapsed seconds using task waves over a fixed slot count —
 //!   the quantity every figure of the paper plots,
@@ -22,6 +25,7 @@
 //! - compensation-based **rewriting** ([`rewrite`]) of a query against a
 //!   matched view, and subquery enumeration ([`subquery`], Definition 6).
 
+pub mod backend;
 pub mod catalog;
 pub mod cluster;
 pub mod cost;
@@ -34,6 +38,7 @@ pub mod signature;
 pub mod sql;
 pub mod subquery;
 
+pub use backend::{ExecutionBackend, SimBackend};
 pub use catalog::Catalog;
 pub use cluster::ClusterSim;
 pub use exec::{execute, ExecMetrics};

@@ -20,8 +20,7 @@ pub fn push_down_selections(plan: &LogicalPlan, catalog: &Catalog) -> LogicalPla
     match plan {
         LogicalPlan::Select { pred, input } => {
             let inner = push_down_selections(input, catalog);
-            let conjuncts: Vec<Predicate> =
-                pred.conjuncts().into_iter().cloned().collect();
+            let conjuncts: Vec<Predicate> = pred.conjuncts().into_iter().cloned().collect();
             push_conjuncts(inner, conjuncts, catalog)
         }
         LogicalPlan::Project { cols, input } => LogicalPlan::Project {
@@ -85,7 +84,9 @@ fn push_conjuncts(plan: LogicalPlan, conjuncts: Vec<Predicate>, catalog: &Catalo
 /// Does `plan` provide every column the predicate references?
 fn covers_columns(plan: &LogicalPlan, pred: &Predicate, catalog: &Catalog) -> bool {
     let provided = crate::subquery::output_columns(plan, catalog);
-    let Some(provided) = provided else { return false };
+    let Some(provided) = provided else {
+        return false;
+    };
     pred.columns().iter().all(|c| {
         provided
             .iter()

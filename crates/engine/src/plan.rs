@@ -163,10 +163,7 @@ impl LogicalPlan {
         LogicalPlan::Join {
             left: Box::new(self),
             right: Box::new(right),
-            on: on
-                .into_iter()
-                .map(|(l, r)| (l.into(), r.into()))
-                .collect(),
+            on: on.into_iter().map(|(l, r)| (l.into(), r.into())).collect(),
         }
     }
 
@@ -209,7 +206,11 @@ impl LogicalPlan {
 
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// One-line plan rendering for logs and reports.
@@ -226,7 +227,9 @@ impl LogicalPlan {
             LogicalPlan::Join { left, right, .. } => {
                 format!("({} ⋈ {})", left.display_compact(), right.display_compact())
             }
-            LogicalPlan::Aggregate { group_by, input, .. } => {
+            LogicalPlan::Aggregate {
+                group_by, input, ..
+            } => {
                 format!("γ[{}]({})", group_by.join(","), input.display_compact())
             }
         }
@@ -275,10 +278,7 @@ mod tests {
     #[test]
     fn agg_canonical() {
         assert_eq!(AggExpr::count("c").canonical(), "count(*)");
-        assert_eq!(
-            AggExpr::of(AggFunc::Sum, "x", "s").canonical(),
-            "sum(x)"
-        );
+        assert_eq!(AggExpr::of(AggFunc::Sum, "x", "s").canonical(), "sum(x)");
     }
 
     #[test]

@@ -72,7 +72,10 @@ mod tests {
         );
         c.register("sales", sales);
         c.register("item", item);
-        (c, SimFs::new(BlockConfig::new(4096), CostWeights::default()))
+        (
+            c,
+            SimFs::new(BlockConfig::new(4096), CostWeights::default()),
+        )
     }
 
     /// End-to-end: materialize the join result as a view, rewrite a more

@@ -195,7 +195,11 @@ impl Signature {
         match &self.projection {
             None => s.push_str("P:*;"),
             Some(cols) => {
-                let _ = write!(s, "P:{};", cols.iter().cloned().collect::<Vec<_>>().join(","));
+                let _ = write!(
+                    s,
+                    "P:{};",
+                    cols.iter().cloned().collect::<Vec<_>>().join(",")
+                );
             }
         }
         if let Some(gb) = &self.group_by {
@@ -392,7 +396,8 @@ mod tests {
     #[test]
     fn join_order_invariant() {
         let a = base_join();
-        let b = LogicalPlan::scan("item").join(LogicalPlan::scan("sales"), vec![("i.item", "s.item")]);
+        let b =
+            LogicalPlan::scan("item").join(LogicalPlan::scan("sales"), vec![("i.item", "s.item")]);
         assert_eq!(
             Signature::of(&a).unwrap().canonical_key(),
             Signature::of(&b).unwrap().canonical_key()
@@ -512,8 +517,7 @@ mod tests {
     #[test]
     fn projection_view_must_cover_query_columns() {
         let v = Signature::of(&base_join().project(vec!["i.item", "s.amount"])).unwrap();
-        let q_ok =
-            Signature::of(&base_join().project(vec!["i.item"])).unwrap();
+        let q_ok = Signature::of(&base_join().project(vec!["i.item"])).unwrap();
         assert!(matches(&v, &q_ok).is_some());
         let q_more = Signature::of(&base_join().project(vec!["i.cat"])).unwrap();
         assert!(matches(&v, &q_more).is_none());

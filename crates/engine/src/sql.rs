@@ -241,8 +241,7 @@ impl Parser {
     /// aliases registered in FROM.
     fn column(&mut self, aliases: &[(String, String)]) -> Result<String, ParseError> {
         const RESERVED: [&str; 11] = [
-            "select", "from", "where", "group", "by", "join", "on", "and", "between", "order",
-            "as",
+            "select", "from", "where", "group", "by", "join", "on", "and", "between", "order", "as",
         ];
         if let Token::Ident(w) = self.peek() {
             if RESERVED.iter().any(|k| w.eq_ignore_ascii_case(k)) {
@@ -257,9 +256,7 @@ impl Parser {
             self.bump();
             let second = match self.bump() {
                 Token::Ident(w) => w,
-                other => {
-                    return Err(self.error(format!("expected column name, found {other:?}")))
-                }
+                other => return Err(self.error(format!("expected column name, found {other:?}"))),
             };
             // Resolve an alias (ss.item_sk → store_sales.ss_item_sk happens
             // at schema level; here we just expand alias → table name).
@@ -435,7 +432,10 @@ fn skip_until_kw(p: &mut Parser, kw: &str) -> Result<(), ParseError> {
     }
 }
 
-fn select_list(p: &mut Parser, aliases: &[(String, String)]) -> Result<Vec<SelectItem>, ParseError> {
+fn select_list(
+    p: &mut Parser,
+    aliases: &[(String, String)],
+) -> Result<Vec<SelectItem>, ParseError> {
     let mut items = Vec::new();
     loop {
         let item = match p.peek().clone() {
@@ -457,9 +457,7 @@ fn select_list(p: &mut Parser, aliases: &[(String, String)]) -> Result<Vec<Selec
                 let alias = if p.eat_kw("as") {
                     match p.bump() {
                         Token::Ident(a) => a,
-                        other => {
-                            return Err(p.error(format!("expected alias, found {other:?}")))
-                        }
+                        other => return Err(p.error(format!("expected alias, found {other:?}"))),
                     }
                 } else {
                     match &col {
@@ -470,9 +468,7 @@ fn select_list(p: &mut Parser, aliases: &[(String, String)]) -> Result<Vec<Selec
                 match (func, col) {
                     (AggFunc::Count, None) => SelectItem::Agg(AggExpr::count(alias)),
                     (f, Some(c)) => SelectItem::Agg(AggExpr::of(f, c, alias)),
-                    (f, None) => {
-                        return Err(p.error(format!("{f} requires a column argument")))
-                    }
+                    (f, None) => return Err(p.error(format!("{f} requires a column argument"))),
                 }
             }
             _ => SelectItem::Column(p.column(aliases)?),
@@ -536,7 +532,12 @@ mod tests {
              GROUP BY item.i_category",
         )
         .expect("parses");
-        let LogicalPlan::Aggregate { group_by, aggs, input } = &plan else {
+        let LogicalPlan::Aggregate {
+            group_by,
+            aggs,
+            input,
+        } = &plan
+        else {
             panic!("expected aggregate root, got {plan:?}")
         };
         assert_eq!(group_by, &["item.i_category"]);
@@ -545,10 +546,7 @@ mod tests {
         let LogicalPlan::Select { pred, .. } = &**input else {
             panic!("expected selection below aggregate")
         };
-        assert_eq!(
-            pred.range_on("store_sales.ss_item_sk"),
-            Some((100, 500))
-        );
+        assert_eq!(pred.range_on("store_sales.ss_item_sk"), Some((100, 500)));
         assert_eq!(plan.base_tables(), vec!["item", "store_sales"]);
     }
 
@@ -595,17 +593,23 @@ mod tests {
     #[test]
     fn comparison_operators_desugar_to_ranges() {
         let p1 = parse("SELECT * FROM t WHERE t.a >= 5").unwrap();
-        let LogicalPlan::Select { pred, .. } = &p1 else { panic!() };
+        let LogicalPlan::Select { pred, .. } = &p1 else {
+            panic!()
+        };
         assert_eq!(pred.range_on("t.a"), Some((5, i64::MAX)));
         let p2 = parse("SELECT * FROM t WHERE t.a < 5").unwrap();
-        let LogicalPlan::Select { pred, .. } = &p2 else { panic!() };
+        let LogicalPlan::Select { pred, .. } = &p2 else {
+            panic!()
+        };
         assert_eq!(pred.range_on("t.a"), Some((i64::MIN, 4)));
     }
 
     #[test]
     fn string_equality_predicate() {
         let p = parse("SELECT * FROM item WHERE item.i_category = 'cat7'").unwrap();
-        let LogicalPlan::Select { pred, .. } = &p else { panic!() };
+        let LogicalPlan::Select { pred, .. } = &p else {
+            panic!()
+        };
         assert_eq!(
             pred.conjuncts()[0],
             &Predicate::eq("item.i_category", "cat7")
@@ -614,11 +618,11 @@ mod tests {
 
     #[test]
     fn multiple_where_conjuncts() {
-        let p = parse(
-            "SELECT * FROM t WHERE t.a BETWEEN 1 AND 9 AND t.b = 3 AND t.c >= 0",
-        )
-        .unwrap();
-        let LogicalPlan::Select { pred, .. } = &p else { panic!() };
+        let p =
+            parse("SELECT * FROM t WHERE t.a BETWEEN 1 AND 9 AND t.b = 3 AND t.c >= 0").unwrap();
+        let LogicalPlan::Select { pred, .. } = &p else {
+            panic!()
+        };
         assert_eq!(pred.conjuncts().len(), 3);
     }
 
@@ -635,17 +639,17 @@ mod tests {
 
     #[test]
     fn non_grouped_column_rejected() {
-        let err = parse(
-            "SELECT item.i_category, COUNT(*) FROM item GROUP BY item.i_price",
-        )
-        .unwrap_err();
+        let err =
+            parse("SELECT item.i_category, COUNT(*) FROM item GROUP BY item.i_price").unwrap_err();
         assert!(err.message.contains("GROUP BY"));
     }
 
     #[test]
     fn agg_aliases_default_sensibly() {
         let plan = parse("SELECT COUNT(*), AVG(t.x) FROM t").unwrap();
-        let LogicalPlan::Aggregate { aggs, .. } = &plan else { panic!() };
+        let LogicalPlan::Aggregate { aggs, .. } = &plan else {
+            panic!()
+        };
         assert_eq!(aggs[0].alias, "count");
         assert_eq!(aggs[1].alias, "avg_t_x");
     }

@@ -37,7 +37,9 @@ pub fn view_candidate_subplans(plan: &LogicalPlan) -> Vec<(PlanPath, &LogicalPla
         .filter(|(_, p)| {
             matches!(
                 p,
-                LogicalPlan::Aggregate { .. } | LogicalPlan::Join { .. } | LogicalPlan::Project { .. }
+                LogicalPlan::Aggregate { .. }
+                    | LogicalPlan::Join { .. }
+                    | LogicalPlan::Project { .. }
             )
         })
         .collect()
@@ -120,13 +122,9 @@ pub fn output_columns(plan: &LogicalPlan, catalog: &Catalog) -> Option<Vec<Strin
                 .map(|f| f.name.clone())
                 .collect(),
         ),
-        LogicalPlan::ViewScan(v) => Some(
-            v.schema
-                .fields()
-                .iter()
-                .map(|f| f.name.clone())
-                .collect(),
-        ),
+        LogicalPlan::ViewScan(v) => {
+            Some(v.schema.fields().iter().map(|f| f.name.clone()).collect())
+        }
         LogicalPlan::Select { input, .. } => output_columns(input, catalog),
         LogicalPlan::Project { cols, .. } => Some(cols.clone()),
         LogicalPlan::Join { left, right, .. } => {
@@ -217,7 +215,10 @@ mod tests {
             Table::empty(Schema::new(vec![Field::new("b.k", DataType::Int)]), 8),
         );
         let plan = q();
-        assert_eq!(output_columns(&plan, &cat), Some(vec!["a.k".into(), "cnt".into()]));
+        assert_eq!(
+            output_columns(&plan, &cat),
+            Some(vec!["a.k".into(), "cnt".into()])
+        );
         let join = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
         assert_eq!(
             output_columns(&join, &cat),

@@ -1,0 +1,131 @@
+//! A minimal property-testing harness exposing the subset of the `proptest`
+//! crate's API this workspace uses. The build environment has no registry
+//! access, so the workspace vendors this stand-in instead of depending on
+//! crates.io.
+//!
+//! Differences from real proptest, by design:
+//! - sampling is driven by a deterministic per-test seed (FNV-1a of the
+//!   test name), so every run explores the same inputs — failures are
+//!   always reproducible without a persistence file;
+//! - there is no shrinking: a failing case reports the assertion as-is;
+//! - string strategies support exactly the `[class]{lo,hi}` regex shape.
+
+pub mod collection;
+pub mod strategy;
+
+// Re-exported for macro expansions: `proptest!` call sites need not depend
+// on the PRNG crate themselves.
+#[doc(hidden)]
+pub use rand;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Runtime knobs for a `proptest!` block, mirroring `proptest::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic seed for a property, derived from its name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// The `proptest! { ... }` block: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that replays `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($argp:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+            for case in 0..config.cases {
+                $(let $argp = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let run = || $body;
+                // One closure call per case keeps `return`-free bodies intact
+                // while scoping any `mut` bindings to the case.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).is_err() {
+                    panic!(
+                        "property {} failed at case {}/{} (seed {})",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        $crate::seed_for(stringify!($name)),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` — everything the test files reference.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,7 +1,5 @@
 //! Block-size configuration and file→task math.
 
-use serde::{Deserialize, Serialize};
-
 /// Default simulated block size. The paper's clusters use HDFS with 64–128 MB
 /// blocks; we default to 128 MB of *simulated* bytes.
 pub const DEFAULT_BLOCK_BYTES: u64 = 128 * 1024 * 1024;
@@ -11,7 +9,7 @@ pub const DEFAULT_BLOCK_BYTES: u64 = 128 * 1024 * 1024;
 /// Every stored file occupies an integral number of blocks and a scan of the
 /// file launches one map task per block (the dominant Hadoop behaviour the
 /// paper's cluster-utilization analysis relies on).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockConfig {
     /// Size of one block in simulated bytes. Must be nonzero.
     pub block_bytes: u64,

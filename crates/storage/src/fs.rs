@@ -1,9 +1,7 @@
 //! The simulated distributed file system.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::block::BlockConfig;
 use crate::file::{FileId, StoredFile};
@@ -32,6 +30,13 @@ struct Inner<P> {
 }
 
 impl<P> SimFs<P> {
+    /// Lock the interior state. Poisoning is ignored (parking_lot semantics):
+    /// the ledger and file map stay consistent under panic because every
+    /// mutation is a single insert/remove/record call.
+    fn locked(&self) -> MutexGuard<'_, Inner<P>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Create an empty file system.
     pub fn new(block: BlockConfig, weights: CostWeights) -> Self {
         Self {
@@ -57,10 +62,12 @@ impl<P> SimFs<P> {
 
     /// Write a new file; returns its id and the simulated cost of the write.
     pub fn create(&self, name: impl Into<String>, sim_bytes: u64, payload: P) -> (FileId, f64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let id = FileId(inner.next_id);
         inner.next_id += 1;
-        inner.files.insert(id, StoredFile::new(name, sim_bytes, payload));
+        inner
+            .files
+            .insert(id, StoredFile::new(name, sim_bytes, payload));
         inner.ledger.record_write(sim_bytes);
         (id, self.weights.write_cost(sim_bytes))
     }
@@ -68,7 +75,7 @@ impl<P> SimFs<P> {
     /// Read a file; returns the payload, its simulated size, and the cost of
     /// the read. Returns `None` for an unknown id.
     pub fn read(&self, id: FileId) -> Option<(Arc<P>, u64, f64)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let file = inner.files.get(&id)?;
         let bytes = file.sim_bytes;
         let payload = Arc::clone(&file.payload);
@@ -78,14 +85,14 @@ impl<P> SimFs<P> {
 
     /// Look at a file's metadata without charging a read.
     pub fn stat(&self, id: FileId) -> Option<(String, u64)> {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         inner.files.get(&id).map(|f| (f.name.clone(), f.sim_bytes))
     }
 
     /// Delete a file (eviction). Deletion is metadata-only and free, matching
     /// HDFS semantics. Returns the freed simulated bytes, or `None` if absent.
     pub fn delete(&self, id: FileId) -> Option<u64> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         let file = inner.files.remove(&id)?;
         inner.ledger.record_delete();
         Some(file.sim_bytes)
@@ -93,7 +100,7 @@ impl<P> SimFs<P> {
 
     /// Number of map tasks a scan of the given files launches.
     pub fn scan_tasks<I: IntoIterator<Item = FileId>>(&self, ids: I) -> u64 {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         let sizes: Vec<u64> = ids
             .into_iter()
             .filter_map(|id| inner.files.get(&id).map(|f| f.sim_bytes))
@@ -103,17 +110,17 @@ impl<P> SimFs<P> {
 
     /// Snapshot of the accumulated ledger.
     pub fn ledger(&self) -> CostLedger {
-        self.inner.lock().ledger
+        self.locked().ledger
     }
 
     /// Number of live files.
     pub fn file_count(&self) -> usize {
-        self.inner.lock().files.len()
+        self.locked().files.len()
     }
 
     /// Total simulated bytes across live files.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().files.values().map(|f| f.sim_bytes).sum()
+        self.locked().files.values().map(|f| f.sim_bytes).sum()
     }
 }
 

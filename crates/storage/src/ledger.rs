@@ -1,13 +1,11 @@
 //! Accumulated I/O accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// A running ledger of simulated I/O performed against the file system.
 ///
 /// The execution engine charges every scan and materialization here; the
 /// experiment harness reads it back to report bytes-read / bytes-written /
 /// task-count columns.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostLedger {
     /// Total simulated bytes read.
     pub read_bytes: u64,

@@ -1,9 +1,7 @@
 //! Materialized-view pool storage accounting.
 
-use serde::{Deserialize, Serialize};
-
 /// Error returned when a reservation would exceed the pool limit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolError {
     /// Bytes that were requested.
     pub requested: u64,
@@ -27,7 +25,7 @@ impl std::error::Error for PoolError {}
 /// `Smax` (Definition 4, constraint 3: `S(Ci) <= Smax` for all i).
 ///
 /// `smax == None` models the paper's "∞" pool-size setting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolAccountant {
     smax: Option<u64>,
     used: u64,
@@ -44,7 +42,10 @@ impl PoolAccountant {
 
     /// An unbounded pool (the paper's `∞` configuration).
     pub fn unbounded() -> Self {
-        Self { smax: None, used: 0 }
+        Self {
+            smax: None,
+            used: 0,
+        }
     }
 
     /// The configured limit, if any.

@@ -1,7 +1,5 @@
 //! Implementation-specific cost constants (§7.2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Cost weights used throughout the system for converting simulated bytes and
 /// rows into abstract cost units (interpreted as seconds by the cluster
 /// simulator).
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// DeepSea's HDFS-backed implementation `wwrite` is "typically much larger
 /// than `wread`" (replication + pipeline acks). The remaining weights model
 /// the compute-side of a MapReduce stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostWeights {
     /// Cost per simulated byte read from the distributed FS.
     pub wread: f64,
@@ -72,7 +70,10 @@ mod tests {
     #[test]
     fn writes_cost_more_than_reads() {
         let w = CostWeights::default();
-        assert!(w.wwrite > w.wread, "paper: wwrite is much larger than wread");
+        assert!(
+            w.wwrite > w.wread,
+            "paper: wwrite is much larger than wread"
+        );
         assert!(w.write_cost(1_000_000) > w.read_cost(1_000_000));
     }
 

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Create(u64),  // sim bytes
-    Read(usize),  // index into live files (mod len)
+    Create(u64), // sim bytes
+    Read(usize), // index into live files (mod len)
     Delete(usize),
     Stat(usize),
 }

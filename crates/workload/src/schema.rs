@@ -98,9 +98,15 @@ impl BigBenchData {
             ]),
             vec![
                 dist.item_gen(),
-                ColumnGen::UniformInt { low: 0, high: 9_999 },
+                ColumnGen::UniformInt {
+                    low: 0,
+                    high: 9_999,
+                },
                 ColumnGen::UniformInt { low: 1, high: 100 },
-                ColumnGen::UniformFloat { low: 0.5, high: 500.0 },
+                ColumnGen::UniformFloat {
+                    low: 0.5,
+                    high: 500.0,
+                },
             ],
             bpr(0.45, fact_rows),
             seed ^ 0x5355,
@@ -117,7 +123,10 @@ impl BigBenchData {
             ]),
             vec![
                 dist.item_gen(),
-                ColumnGen::UniformInt { low: 0, high: 9_999 },
+                ColumnGen::UniformInt {
+                    low: 0,
+                    high: 9_999,
+                },
                 ColumnGen::UniformInt { low: 0, high: 364 },
             ],
             bpr(0.25, wcs_rows),
@@ -135,8 +144,14 @@ impl BigBenchData {
             ]),
             vec![
                 dist.item_gen(),
-                ColumnGen::UniformInt { low: 0, high: 9_999 },
-                ColumnGen::UniformFloat { low: 0.5, high: 500.0 },
+                ColumnGen::UniformInt {
+                    low: 0,
+                    high: 9_999,
+                },
+                ColumnGen::UniformFloat {
+                    low: 0.5,
+                    high: 500.0,
+                },
             ],
             bpr(0.15, ws_rows),
             seed ^ 0x5753,
@@ -152,7 +167,10 @@ impl BigBenchData {
             ]),
             vec![
                 dist.item_gen(),
-                ColumnGen::UniformFloat { low: 0.5, high: 500.0 },
+                ColumnGen::UniformFloat {
+                    low: 0.5,
+                    high: 500.0,
+                },
             ],
             bpr(0.05, sr_rows),
             seed ^ 0x5352,
@@ -182,8 +200,14 @@ impl BigBenchData {
             ]),
             vec![
                 ColumnGen::Serial { start: 0 },
-                ColumnGen::Label { prefix: "cat", card: 20 },
-                ColumnGen::UniformFloat { low: 0.5, high: 500.0 },
+                ColumnGen::Label {
+                    prefix: "cat",
+                    card: 20,
+                },
+                ColumnGen::UniformFloat {
+                    low: 0.5,
+                    high: 500.0,
+                },
             ],
             bpr(0.03, item_rows),
             seed ^ 0x4954,
@@ -199,7 +223,10 @@ impl BigBenchData {
             ]),
             vec![
                 ColumnGen::Serial { start: 0 },
-                ColumnGen::Label { prefix: "age", card: 7 },
+                ColumnGen::Label {
+                    prefix: "age",
+                    card: 7,
+                },
             ],
             bpr(0.03, cust_rows),
             seed ^ 0x4355,
@@ -266,11 +293,7 @@ mod tests {
     #[test]
     fn histogram_distribution_skews_items() {
         let wb = WeightedBuckets::new(&[(0, 999, 9.0), (1_000, ITEM_DOMAIN - 1, 1.0)]);
-        let d = BigBenchData::generate(
-            InstanceSize::Gb100,
-            &ItemDistribution::Histogram(wb),
-            1,
-        );
+        let d = BigBenchData::generate(InstanceSize::Gb100, &ItemDistribution::Histogram(wb), 1);
         let t = d.catalog.get("store_sales").unwrap();
         let idx = t.schema.index_of("ss_item_sk").unwrap();
         let hot = t

@@ -26,11 +26,11 @@ pub fn sdss_like_histogram(domain_lo: i64, domain_hi: i64) -> WeightedBuckets {
     let w = (domain_hi - domain_lo) as f64;
     let at = |frac: f64| domain_lo + (w * frac) as i64;
     WeightedBuckets::new(&[
-        (domain_lo, at(0.15), 2.0),          // cold leading tail
-        (at(0.15) + 1, at(0.35), 18.0),      // secondary mode (~100–180°)
-        (at(0.35) + 1, at(0.50), 6.0),       // valley
-        (at(0.50) + 1, at(0.75), 60.0),      // dominant mode (~200–300°)
-        (at(0.75) + 1, domain_hi, 4.0),      // cold trailing tail
+        (domain_lo, at(0.15), 2.0),     // cold leading tail
+        (at(0.15) + 1, at(0.35), 18.0), // secondary mode (~100–180°)
+        (at(0.35) + 1, at(0.50), 6.0),  // valley
+        (at(0.50) + 1, at(0.75), 60.0), // dominant mode (~200–300°)
+        (at(0.75) + 1, domain_hi, 4.0), // cold trailing tail
     ])
 }
 

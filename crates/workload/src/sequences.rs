@@ -210,7 +210,10 @@ mod tests {
         };
         let first: i64 = w[..100].iter().map(mid).sum::<i64>() / 100;
         let second: i64 = w[100..].iter().map(mid).sum::<i64>() / 100;
-        assert!(second > first + ITEM_DOMAIN / 4, "shift: {first} → {second}");
+        assert!(
+            second > first + ITEM_DOMAIN / 4,
+            "shift: {first} → {second}"
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl TemplateId {
                 vec!["item.i_category"],
                 vec![
                     AggExpr::count("clicks"),
-                    AggExpr::of(AggFunc::Min, "web_clickstreams.wcs_click_date_sk", "first_day"),
+                    AggExpr::of(
+                        AggFunc::Min,
+                        "web_clickstreams.wcs_click_date_sk",
+                        "first_day",
+                    ),
                 ],
             ),
             Q7 => ss_join_item()
@@ -77,11 +81,19 @@ impl TemplateId {
                 .select(sel)
                 .aggregate(
                     vec!["customer.c_age_group"],
-                    vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_net_paid", "revenue")],
+                    vec![AggExpr::of(
+                        AggFunc::Sum,
+                        "store_sales.ss_net_paid",
+                        "revenue",
+                    )],
                 ),
             Q9 => ss_join_item().select(sel).aggregate(
                 vec!["store_sales.ss_item_sk"],
-                vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_net_paid", "revenue")],
+                vec![AggExpr::of(
+                    AggFunc::Sum,
+                    "store_sales.ss_net_paid",
+                    "revenue",
+                )],
             ),
             Q12 => wcs_join_item().select(sel).aggregate(
                 vec!["web_clickstreams.wcs_click_date_sk"],
@@ -95,7 +107,11 @@ impl TemplateId {
                 .select(sel)
                 .aggregate(
                     vec!["item.i_category"],
-                    vec![AggExpr::of(AggFunc::Avg, "web_sales.ws_net_paid", "avg_order")],
+                    vec![AggExpr::of(
+                        AggFunc::Avg,
+                        "web_sales.ws_net_paid",
+                        "avg_order",
+                    )],
                 ),
             Q20 => LogicalPlan::scan("store_returns")
                 .join(
@@ -128,11 +144,19 @@ impl TemplateId {
                 .select(sel)
                 .aggregate(
                     vec!["item.i_category"],
-                    vec![AggExpr::of(AggFunc::Avg, "product_reviews.pr_rating", "rating")],
+                    vec![AggExpr::of(
+                        AggFunc::Avg,
+                        "product_reviews.pr_rating",
+                        "rating",
+                    )],
                 ),
             Q30 => ss_join_item().select(sel).aggregate(
                 vec!["item.i_category"],
-                vec![AggExpr::of(AggFunc::Sum, "store_sales.ss_net_paid", "revenue")],
+                vec![AggExpr::of(
+                    AggFunc::Sum,
+                    "store_sales.ss_net_paid",
+                    "revenue",
+                )],
             ),
         }
     }
@@ -276,8 +300,8 @@ mod tests {
         let fs: SimFs<Table> = SimFs::new(BlockConfig::default(), CostWeights::default());
         for t in TemplateId::all() {
             let plan = t.instantiate(0, 4_000); // 10% of the item domain
-            let (out, m) = execute(&plan, &data.catalog, &fs)
-                .unwrap_or_else(|e| panic!("{t:?} failed: {e}"));
+            let (out, m) =
+                execute(&plan, &data.catalog, &fs).unwrap_or_else(|e| panic!("{t:?} failed: {e}"));
             assert!(!out.is_empty(), "{t:?} returned no rows");
             assert!(m.bytes_read > 0);
         }

@@ -1,0 +1,48 @@
+//! Regenerates the golden sequences asserted by `tests/golden_pipeline.rs`.
+//!
+//! Run after an *intentional* behaviour change in the query-lifecycle
+//! pipeline and paste the printed arrays into the test:
+//!
+//! ```sh
+//! cargo run --release --example golden_capture
+//! ```
+
+use deepsea::bench::golden::{golden_catalog, golden_plans, golden_variants};
+use deepsea::bench::harness::run_workload;
+
+fn main() {
+    let catalog = golden_catalog();
+    let plans = golden_plans();
+    for (label, cfg) in golden_variants(&catalog) {
+        let r = run_workload(label, &catalog, cfg, &plans);
+        let ident = label.replace('-', "_").to_uppercase();
+        println!("const {ident}_ELAPSED: [f64; {}] = [", r.per_query.len());
+        for chunk in r.per_query.chunks(4) {
+            let row: Vec<String> = chunk.iter().map(|q| format!("{:?},", q.elapsed)).collect();
+            println!("    {}", row.join(" "));
+        }
+        println!("];");
+        let mat: Vec<String> = r
+            .per_query
+            .iter()
+            .map(|q| q.materialized.to_string())
+            .collect();
+        println!(
+            "const {ident}_MATERIALIZED: [usize; {}] = [{}];",
+            r.per_query.len(),
+            mat.join(", ")
+        );
+        let ev: Vec<String> = r.per_query.iter().map(|q| q.evicted.to_string()).collect();
+        println!(
+            "const {ident}_EVICTED: [usize; {}] = [{}];",
+            r.per_query.len(),
+            ev.join(", ")
+        );
+        println!(
+            "// {label}: total {:.1}s, final pool {} bytes",
+            r.total_secs(),
+            r.final_pool_bytes
+        );
+        println!();
+    }
+}

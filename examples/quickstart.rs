@@ -54,10 +54,12 @@ fn main() {
             view.stats.events.len(),
             view.partitions
                 .values()
-                .map(|p| format!("{} [{} fragments, {} materialized]",
+                .map(|p| format!(
+                    "{} [{} fragments, {} materialized]",
                     p.attr,
                     p.fragments.len(),
-                    p.materialized().len()))
+                    p.materialized().len()
+                ))
                 .collect::<Vec<_>>()
                 .join("; "),
         );

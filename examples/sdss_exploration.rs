@@ -49,7 +49,11 @@ fn main() {
         }
     }
 
-    println!("\nfinal pool ({} bytes of {} allowed):", ds.pool_bytes(), smax);
+    println!(
+        "\nfinal pool ({} bytes of {} allowed):",
+        ds.pool_bytes(),
+        smax
+    );
     for view in ds.registry().iter().filter(|v| v.is_materialized()) {
         for ps in view.partitions.values() {
             for (fid, iv) in ps.materialized() {

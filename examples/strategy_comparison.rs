@@ -46,11 +46,20 @@ fn main() {
     println!(
         "{}",
         table(
-            &["variant", "total (s)", "creation (s)", "reused", "pool (GB)"],
+            &[
+                "variant",
+                "total (s)",
+                "creation (s)",
+                "reused",
+                "pool (GB)"
+            ],
             &rows
         )
     );
     let h = runs[0].total_secs();
     let ds = runs.last().unwrap().total_secs();
-    println!("DeepSea runs this workload in {:.0}% of Hive's time.", 100.0 * ds / h);
+    println!(
+        "DeepSea runs this workload in {:.0}% of Hive's time.",
+        100.0 * ds / h
+    );
 }

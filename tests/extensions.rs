@@ -86,7 +86,10 @@ fn merge_pass_compacts_cohit_fragments_and_preserves_answers() {
     let a = sys.process_query(&narrow).unwrap();
     let b = hive.process_query(&narrow).unwrap();
     assert_eq!(a.result.fingerprint(), b.result.fingerprint());
-    assert!(a.used_view.is_some(), "merged fragments still serve queries");
+    assert!(
+        a.used_view.is_some(),
+        "merged fragments still serve queries"
+    );
 }
 
 /// Merging is idempotent once everything co-hit is merged.

@@ -1,0 +1,158 @@
+//! Golden replay of a fixed 50-query workload (see `deepsea-bench::golden`).
+//!
+//! Captured from the pre-refactor monolithic driver, these sequences pin the
+//! staged pipeline to *bit-exact* behaviour: per-query `elapsed_secs` plus
+//! `materialized`/`evicted` counts under three variants that together
+//! exercise every stage (matching, rewriting, candidates, selection,
+//! materialization, eviction).
+//!
+//! To regenerate after an intentional behaviour change:
+//! `cargo run --release --example golden_capture`.
+
+use deepsea::bench::golden::{golden_catalog, golden_plans, golden_variants, GOLDEN_QUERIES};
+use deepsea::bench::harness::run_workload;
+
+#[rustfmt::skip]
+const DS_ELAPSED: [f64; 50] = [
+    94.26403191239248, 6.6837266, 128.14399609139787, 174.48052980698924,
+    6.6837266, 6.6837266, 51.46570083440861, 51.41286115268818,
+    37.1648502704213, 17.0099399104642, 51.44044260645162, 45.550813258399046,
+    15.059420416715543, 6.61954239, 6.6837266, 6.61954239,
+    51.423022744086026, 51.3931186483871, 51.44044260645162, 6.61954239,
+    51.455636616129034, 16.861376102419356, 37.19770338665609, 14.887497024838709,
+    36.293126159718, 51.44044260645162, 6.6463076, 14.788928484870969,
+    6.6837266, 14.968985939477726, 6.61954239, 6.61954239,
+    78.4662252785663, 36.2954621148306, 6.6699458400000005, 6.61954239,
+    51.3931186483871, 51.41286115268818, 6.6837266, 6.69669008,
+    13.773956600903226, 51.388957229032265, 6.6837266, 51.39031206129033,
+    51.39573153763441, 51.41286115268818, 51.41286115268818, 51.43841028602151,
+    51.405796277419356, 62.867919139115436,
+];
+#[rustfmt::skip]
+const DS_MATERIALIZED: [usize; 50] = [23, 0, 23, 24, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 23, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 23];
+#[rustfmt::skip]
+const DS_EVICTED: [usize; 50] = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+// DS: total 1818.7s, final pool 213115407230 bytes
+
+#[rustfmt::skip]
+const DS_TIGHT_ELAPSED: [f64; 50] = [
+    56.81578896991935, 6.6837266, 73.29883480107527, 92.80794916182795,
+    6.6837266, 6.6837266, 74.70636165376344, 13.649194732258064,
+    37.1648502704213, 91.129924455914, 73.08821819569891, 45.550813258399046,
+    91.05637567096774, 6.61954239, 6.6837266, 6.61954239,
+    73.04887963333334, 72.98132872473118, 7.41279715, 6.61954239,
+    73.12611341290322, 73.00716674946236, 37.19770338665609, 73.04681429784945,
+    36.293126159718, 7.41279715, 6.6463076, 57.173874455,
+    14.586015915591398, 72.99831787634407, 6.61954239, 6.61954239,
+    46.92993495598566, 36.2954621148306, 6.6699458400000005, 6.61954239,
+    6.91754478, 73.02485513548388, 6.6837266, 6.69669008,
+    57.1907298338172, 72.97054003118281, 6.6837266, 72.96437064032257,
+    72.96994106989246, 7.35997792, 7.35997792, 73.08297628709677,
+    72.98001026774193, 36.35609118212619,
+];
+#[rustfmt::skip]
+const DS_TIGHT_MATERIALIZED: [usize; 50] = [2, 0, 1, 2, 0, 0, 2, 0, 1, 1, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 0, 0, 2, 1, 1, 0, 0, 2, 1, 0, 0, 0, 1, 0, 0, 2, 1, 0, 1, 1, 0, 0, 1, 1, 1];
+#[rustfmt::skip]
+const DS_TIGHT_EVICTED: [usize; 50] = [0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0];
+// DS-tight: total 1983.8s, final pool 837167473 bytes
+
+#[rustfmt::skip]
+const NP_ELAPSED: [f64; 50] = [
+    55.41349965432796, 6.6837266, 73.29883480107527, 91.11601367795699,
+    6.6837266, 6.6837266, 73.0399100408602, 73.02485513548388,
+    37.1648502704213, 118.03637606881722, 51.44044260645162, 45.550813258399046,
+    124.41444018709677, 6.61954239, 6.6837266, 6.61954239,
+    51.423022744086026, 51.3931186483871, 51.44044260645162, 6.61954239,
+    51.455636616129034, 73.00716674946236, 37.19770338665609, 73.04681429784945,
+    36.293126159718, 51.44044260645162, 6.6463076, 55.392624705,
+    6.6837266, 72.99831787634407, 6.61954239, 6.61954239,
+    45.39525753663082, 36.2954621148306, 6.6699458400000005, 6.61954239,
+    51.3931186483871, 7.35997792, 6.6837266, 6.69669008,
+    55.393364498333334, 51.388957229032265, 6.6837266, 51.39031206129033,
+    51.39573153763441, 7.35997792, 7.35997792, 51.43841028602151,
+    51.405796277419356, 36.35609118212619,
+];
+#[rustfmt::skip]
+const NP_MATERIALIZED: [usize; 50] = [1, 0, 1, 1, 0, 0, 1, 1, 1, 2, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 1, 0, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+#[rustfmt::skip]
+const NP_EVICTED: [usize; 50] = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+// NP: total 1958.0s, final pool 108203473696 bytes
+
+struct Golden {
+    label: &'static str,
+    elapsed: &'static [f64; GOLDEN_QUERIES],
+    materialized: &'static [usize; GOLDEN_QUERIES],
+    evicted: &'static [usize; GOLDEN_QUERIES],
+}
+
+const GOLDENS: [Golden; 3] = [
+    Golden {
+        label: "DS",
+        elapsed: &DS_ELAPSED,
+        materialized: &DS_MATERIALIZED,
+        evicted: &DS_EVICTED,
+    },
+    Golden {
+        label: "DS-tight",
+        elapsed: &DS_TIGHT_ELAPSED,
+        materialized: &DS_TIGHT_MATERIALIZED,
+        evicted: &DS_TIGHT_EVICTED,
+    },
+    Golden {
+        label: "NP",
+        elapsed: &NP_ELAPSED,
+        materialized: &NP_MATERIALIZED,
+        evicted: &NP_EVICTED,
+    },
+];
+
+#[test]
+fn pipeline_replays_golden_sequences_exactly() {
+    let catalog = golden_catalog();
+    let plans = golden_plans();
+    let variants = golden_variants(&catalog);
+    assert_eq!(variants.len(), GOLDENS.len());
+
+    for ((label, cfg), golden) in variants.into_iter().zip(&GOLDENS) {
+        assert_eq!(label, golden.label);
+        let r = run_workload(label, &catalog, cfg, &plans);
+        assert_eq!(r.per_query.len(), GOLDEN_QUERIES, "{label}: query count");
+        for (i, q) in r.per_query.iter().enumerate() {
+            assert_eq!(
+                q.elapsed.to_bits(),
+                golden.elapsed[i].to_bits(),
+                "{label} query {i}: elapsed {} != golden {}",
+                q.elapsed,
+                golden.elapsed[i]
+            );
+            assert_eq!(
+                q.materialized, golden.materialized[i],
+                "{label} query {i}: materialized count"
+            );
+            assert_eq!(
+                q.evicted, golden.evicted[i],
+                "{label} query {i}: evicted count"
+            );
+        }
+    }
+}
+
+/// The golden scenario must keep exercising every pipeline stage — if a
+/// tuning change makes one of these counts vanish, the golden test would
+/// silently stop covering that stage.
+#[test]
+fn golden_scenario_exercises_all_stages() {
+    assert!(DS_MATERIALIZED.iter().sum::<usize>() > 0, "DS materializes");
+    assert!(
+        DS_MATERIALIZED.iter().any(|&m| m > 1),
+        "DS splits views into fragments"
+    );
+    assert!(
+        DS_TIGHT_EVICTED.iter().sum::<usize>() > 0,
+        "DS-tight evicts under pool pressure"
+    );
+    assert!(
+        NP_MATERIALIZED.iter().sum::<usize>() > 0,
+        "NP materializes whole views"
+    );
+}

@@ -2,9 +2,7 @@
 
 use deepsea::core::candidates::{candidates_for_interval, partition_candidates};
 use deepsea::core::fragment::FragmentId;
-use deepsea::core::interval::{
-    covers, is_horizontal_partition, pairwise_disjoint, Interval,
-};
+use deepsea::core::interval::{covers, is_horizontal_partition, pairwise_disjoint, Interval};
 use deepsea::core::matching::partition_matching;
 use deepsea::core::mle::{adjusted_hits, fit_normal};
 use deepsea::core::selection::{
