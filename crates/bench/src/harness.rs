@@ -67,6 +67,17 @@ pub struct StageTotals {
     pub evictions_selected: u64,
     /// Evictions forced afterwards to enforce `Smax`.
     pub evictions_forced: u64,
+    /// Transient-failure retries absorbed across execution and
+    /// materialization.
+    pub retries: u64,
+    /// Simulated seconds of retry backoff and latency spikes charged.
+    pub retry_penalty_secs: f64,
+    /// Views quarantined after permanent I/O failures.
+    pub quarantined_views: u64,
+    /// Pool bytes released by those quarantines.
+    pub quarantined_bytes: u64,
+    /// Rewritten plans re-answered from base tables after a view failed.
+    pub base_table_fallbacks: u64,
 }
 
 /// The result of running one workload under one variant.
@@ -133,6 +144,11 @@ impl RunResult {
             t.fragments_covered += tr.materialization.fragments_covered;
             t.evictions_selected += tr.eviction.selected as u64;
             t.evictions_forced += tr.eviction.limit_forced as u64;
+            t.retries += tr.recovery.retries as u64;
+            t.retry_penalty_secs += tr.recovery.penalty_secs;
+            t.quarantined_views += tr.recovery.quarantined_views as u64;
+            t.quarantined_bytes += tr.recovery.quarantined_bytes;
+            t.base_table_fallbacks += tr.recovery.base_table_fallbacks as u64;
         }
         t
     }

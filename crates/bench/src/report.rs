@@ -133,6 +133,17 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
             ),
             "-".into(),
         ],
+        vec![
+            "recovery".into(),
+            format!(
+                "{} retries, {} quarantined ({}), {} base-table fallbacks",
+                t.retries,
+                t.quarantined_views,
+                bytes(t.quarantined_bytes),
+                t.base_table_fallbacks
+            ),
+            secs(t.retry_penalty_secs),
+        ],
     ];
     format!(
         "per-stage breakdown, {label}:\n{}",
@@ -214,6 +225,11 @@ mod tests {
             fragments_covered: 2,
             evictions_selected: 1,
             evictions_forced: 0,
+            retries: 9,
+            retry_penalty_secs: 4.5,
+            quarantined_views: 1,
+            quarantined_bytes: 3_000_000,
+            base_table_fallbacks: 1,
         };
         let s = stage_breakdown("DS", &t);
         for stage in [
@@ -224,6 +240,7 @@ mod tests {
             "execution",
             "materialization",
             "eviction",
+            "recovery",
         ] {
             assert!(s.contains(stage), "missing {stage} in:\n{s}");
         }
@@ -231,5 +248,6 @@ mod tests {
         assert!(s.contains("100.5"));
         assert!(s.contains("2.0 GB"));
         assert!(s.contains("12 roots, 5 hits (3 on materialized data)"));
+        assert!(s.contains("9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks"));
     }
 }

@@ -1,5 +1,6 @@
 //! DeepSea configuration.
 
+use deepsea_engine::RetryPolicy;
 use deepsea_storage::BlockConfig;
 
 use crate::policy::{PartitionPolicy, ValueModel};
@@ -26,6 +27,11 @@ pub struct DeepSeaConfig {
     /// chopped into equal pieces at materialization time. The headline
     /// partitioning experiments of §10.2 run with this unset.
     pub phi_max_fraction: Option<f64>,
+    /// Retry budget and backoff for transient I/O failures during
+    /// materialization and maintenance reads. Execution-path retries are the
+    /// backend's business (see `RetryingBackend`); this governs the driver's
+    /// own fragment reads and writes.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DeepSeaConfig {
@@ -40,6 +46,7 @@ impl Default for DeepSeaConfig {
             },
             min_fragment_bytes: BlockConfig::default().block_bytes,
             phi_max_fraction: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -87,6 +94,12 @@ impl DeepSeaConfig {
         self.min_fragment_bytes = b;
         self
     }
+
+    /// Builder-style: set the transient-I/O retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,18 +119,25 @@ mod tests {
 
     #[test]
     fn builders_compose() {
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff_secs: 0.1,
+            backoff_multiplier: 3.0,
+        };
         let c = DeepSeaConfig::default()
             .with_smax(1_000)
             .with_tmax(77)
             .with_phi(0.25)
             .with_min_fragment_bytes(64)
             .with_value_model(ValueModel::Nectar)
-            .with_policy(PartitionPolicy::NoPartition);
+            .with_policy(PartitionPolicy::NoPartition)
+            .with_retry(retry);
         assert_eq!(c.smax, Some(1_000));
         assert_eq!(c.tmax, 77);
         assert_eq!(c.phi_max_fraction, Some(0.25));
         assert_eq!(c.min_fragment_bytes, 64);
         assert_eq!(c.value_model, ValueModel::Nectar);
         assert_eq!(c.partition_policy, PartitionPolicy::NoPartition);
+        assert_eq!(c.retry, retry);
     }
 }

@@ -91,6 +91,23 @@ pub struct EvictionTrace {
     pub limit_forced: u32,
 }
 
+/// Counters from fault recovery: retries absorbed, views quarantined after
+/// permanent losses, and base-table fallbacks. All zero on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryTrace {
+    /// Transient-failure retries absorbed (execution and materialization).
+    pub retries: u32,
+    /// Simulated seconds of retry backoff and latency spikes charged to this
+    /// query's elapsed time.
+    pub penalty_secs: f64,
+    /// Views quarantined after a permanent I/O failure.
+    pub quarantined_views: u32,
+    /// Pool bytes released by those quarantines.
+    pub quarantined_bytes: u64,
+    /// Rewritten plans that failed and were re-answered from base tables.
+    pub base_table_fallbacks: u32,
+}
+
 /// Wall-clock-free per-stage instrumentation of one `process_query` call.
 ///
 /// Counters are cheap to fill (no timers — the simulator's notion of cost is
@@ -114,6 +131,8 @@ pub struct QueryTrace {
     pub materialization: MaterializationTrace,
     /// Stages 5/7: evictions applied.
     pub eviction: EvictionTrace,
+    /// Fault recovery: retries, quarantines, base-table fallbacks.
+    pub recovery: RecoveryTrace,
 }
 
 /// Accumulated I/O of the materializations a query performs; converted to
@@ -127,6 +146,11 @@ pub(crate) struct CreationCharge {
     /// Source fragments read through Algorithm-2 covers (trace only — does
     /// not affect the charged seconds).
     pub(crate) cover_reads: u64,
+    /// Transient-failure retries absorbed by materialization I/O.
+    pub(crate) retries: u32,
+    /// Simulated backoff/spike seconds those retries cost (charged into
+    /// `creation_secs`).
+    pub(crate) penalty_secs: f64,
 }
 
 impl CreationCharge {
@@ -135,6 +159,8 @@ impl CreationCharge {
         self.write_bytes += other.write_bytes;
         self.files += other.files;
         self.cover_reads += other.cover_reads;
+        self.retries += other.retries;
+        self.penalty_secs += other.penalty_secs;
     }
 }
 
@@ -166,6 +192,8 @@ pub(crate) struct QueryContext {
     pub(crate) materialized: Vec<String>,
     /// Descriptions of views/fragments dropped.
     pub(crate) evicted: Vec<String>,
+    /// Names of views quarantined while processing this query.
+    pub(crate) quarantined: Vec<String>,
     /// Per-stage instrumentation, exposed on the outcome.
     pub(crate) trace: QueryTrace,
 }
@@ -184,6 +212,7 @@ impl QueryContext {
             creation_secs: 0.0,
             materialized: Vec::new(),
             evicted: Vec::new(),
+            quarantined: Vec::new(),
             trace: QueryTrace::default(),
         }
     }
@@ -200,17 +229,23 @@ mod tests {
             write_bytes: 2,
             files: 3,
             cover_reads: 4,
+            retries: 5,
+            penalty_secs: 6.0,
         };
         a.absorb(CreationCharge {
             read_bytes: 10,
             write_bytes: 20,
             files: 30,
             cover_reads: 40,
+            retries: 50,
+            penalty_secs: 60.0,
         });
         assert_eq!(a.read_bytes, 11);
         assert_eq!(a.write_bytes, 22);
         assert_eq!(a.files, 33);
         assert_eq!(a.cover_reads, 44);
+        assert_eq!(a.retries, 55);
+        assert_eq!(a.penalty_secs, 66.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::filter_tree::ViewId;
 use crate::selection::{CandidateKind, RankedItem};
 use crate::stats::LogicalTime;
 
-use super::context::QueryContext;
+use super::context::{CreationCharge, QueryContext};
 use super::DeepSea;
 
 impl DeepSea {
@@ -118,24 +118,44 @@ impl DeepSea {
                 }
                 (view.name.clone(), schema, pair)
             };
+            // Read both halves before writing anything: a fragment lost
+            // mid-merge must never produce a partial union. On a permanent
+            // loss (or exhausted retries) the view is quarantined and the
+            // merge skipped; the wasted backoff is still charged.
             let mut rows = Vec::new();
             let mut read_bytes = 0;
             let mut bpr = 1;
+            let mut charge = CreationCharge::default();
+            let mut lost = false;
             for (file, _) in &files_sizes {
-                let Some((payload, bytes, _)) = self.fs.read(*file) else {
-                    continue;
-                };
-                read_bytes += bytes;
-                bpr = bpr.max(payload.bytes_per_row);
-                rows.extend(payload.rows.iter().cloned());
+                match self.read_retrying(*file, &mut charge) {
+                    Ok((payload, bytes)) => {
+                        read_bytes += bytes;
+                        bpr = bpr.max(payload.bytes_per_row);
+                        rows.extend(payload.rows.iter().cloned());
+                    }
+                    Err(_) => {
+                        lost = true;
+                        break;
+                    }
+                }
+            }
+            if lost {
+                self.quarantine_view(vid, tnow);
+                secs += charge.penalty_secs;
+                continue;
             }
             let merged_table = Table::new(schema, rows, bpr);
             let size = merged_table.sim_bytes();
-            let (new_file, _) =
-                self.fs
-                    .create(format!("{name}.{attr}{}", cand.merged), size, merged_table);
+            let new_file = self.create_retrying(
+                format!("{name}.{attr}{}", cand.merged),
+                size,
+                merged_table,
+                &mut charge,
+            );
             secs += self.backend.scan_secs(read_bytes, block)
-                + self.backend.write_secs(size, size.div_ceil(block).max(1));
+                + self.backend.write_secs(size, size.div_ceil(block).max(1))
+                + charge.penalty_secs;
             // Update metadata: drop the halves, track the union.
             let view = self.registry.view_mut(vid);
             let ps = view.partitions.get_mut(&attr).expect("checked");

@@ -33,20 +33,35 @@ impl DeepSea {
         let mut view_cache: HashMap<ViewId, Arc<Table>> = HashMap::new();
         let to_create = ctx.selection.to_create.clone();
         for item in &to_create {
-            match &item.kind {
-                CandidateKind::WholeView(vid) => {
-                    let (c, desc) = self.materialize_view(*vid, ctx.tnow)?;
+            let (CandidateKind::WholeView(vid) | CandidateKind::Fragment(vid, _, _)) = &item.kind;
+            let vid = *vid;
+            // A view quarantined earlier in this query (e.g. by the execution
+            // fallback) has nothing trustworthy to build on.
+            if self.registry.view(vid).is_quarantined() {
+                continue;
+            }
+            let res = match &item.kind {
+                CandidateKind::WholeView(vid) => self.materialize_view(*vid, ctx.tnow),
+                CandidateKind::Fragment(vid, attr, fid) => self
+                    .materialize_fragment(*vid, attr, *fid, &mut view_cache)
+                    .map(|opt| match opt {
+                        Some((c, desc)) => (c, vec![desc]),
+                        None => (CreationCharge::default(), Vec::new()),
+                    }),
+            };
+            match res {
+                Ok((c, descs)) => {
                     ctx.charge.absorb(c);
-                    ctx.materialized.extend(desc);
+                    ctx.materialized.extend(descs);
                 }
-                CandidateKind::Fragment(vid, attr, fid) => {
-                    if let Some((c, desc)) =
-                        self.materialize_fragment(*vid, attr, *fid, &mut view_cache)?
-                    {
-                        ctx.charge.absorb(c);
-                        ctx.materialized.push(desc);
-                    }
+                Err(ExecError::TransientIo(_) | ExecError::PermanentIo(_)) => {
+                    // A source fragment died (after retries) while we were
+                    // building on it. Nothing was written — the fallible
+                    // reads all happen before any create — so quarantine the
+                    // view and keep materializing the rest of the plan.
+                    self.quarantine_into_ctx(vid, ctx);
                 }
+                Err(e) => return Err(e),
             }
         }
         Ok(())
@@ -65,12 +80,17 @@ impl DeepSea {
         if charge.files > 0 {
             creation_secs += self.backend.write_secs(charge.write_bytes, charge.files);
         }
+        // Retry backoff and latency spikes absorbed by materialization I/O
+        // are real simulated time (+0.0 on a fault-free run).
+        creation_secs += charge.penalty_secs;
         ctx.creation_secs = creation_secs;
         ctx.trace.materialization.bytes_read = charge.read_bytes;
         ctx.trace.materialization.bytes_written = charge.write_bytes;
         ctx.trace.materialization.files_written = charge.files;
         ctx.trace.materialization.fragments_covered = charge.cover_reads;
         ctx.trace.materialization.creation_secs = creation_secs;
+        ctx.trace.recovery.retries += charge.retries;
+        ctx.trace.recovery.penalty_secs += charge.penalty_secs;
     }
 
     /// Materialize a view (whole or initially partitioned). Returns the
@@ -101,8 +121,7 @@ impl DeepSea {
         };
 
         let mut descs = Vec::new();
-        let mut written_bytes = 0u64;
-        let mut files = 0u64;
+        let mut charge = CreationCharge::default();
         match attr_choice {
             Some((attr, _domain, intervals)) if self.config.partition_policy.partitions() => {
                 let col_idx = schema
@@ -120,11 +139,14 @@ impl DeepSea {
                         .collect();
                     let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
                     let size = frag_table.sim_bytes();
-                    let (file, _) = self
-                        .fs
-                        .create(format!("{name}.{attr}{iv}"), size, frag_table);
-                    written_bytes += size;
-                    files += 1;
+                    let file = self.create_retrying(
+                        format!("{name}.{attr}{iv}"),
+                        size,
+                        frag_table,
+                        &mut charge,
+                    );
+                    charge.write_bytes += size;
+                    charge.files += 1;
                     let view = self.registry.view_mut(vid);
                     let ps = view
                         .partitions
@@ -139,28 +161,20 @@ impl DeepSea {
             }
             _ => {
                 let size = table.sim_bytes();
-                let (file, _) = self.fs.create(name.clone(), size, table);
-                written_bytes += size;
-                files += 1;
+                let file = self.create_retrying(name.clone(), size, table, &mut charge);
+                charge.write_bytes += size;
+                charge.files += 1;
                 self.registry.view_mut(vid).whole_file = Some(file);
                 descs.push(name.clone());
             }
         }
-        let secs = self.backend.write_secs(written_bytes, files);
+        let secs = self.backend.write_secs(charge.write_bytes, charge.files);
         let recompute = self.estimator().estimated_secs(&plan) + secs;
         let view = self.registry.view_mut(vid);
         view.schema = Some(schema);
         view.stats.set_measured(actual_size, recompute);
         view.creation_overhead = secs;
-        Ok((
-            CreationCharge {
-                read_bytes: 0,
-                write_bytes: written_bytes,
-                files,
-                cover_reads: 0,
-            },
-            descs,
-        ))
+        Ok((charge, descs))
     }
 
     /// Pick the partition attribute and initial intervals for a new view.
@@ -237,9 +251,6 @@ impl DeepSea {
         let col_idx = schema
             .index_of(attr)
             .ok_or_else(|| ExecError::UnknownColumn(attr.to_string()))?;
-        let mut read_bytes = 0u64;
-        let mut written_bytes = 0u64;
-        let mut files_written = 0u64;
 
         // Use an Algorithm-2 cover so each row is taken exactly once even
         // when materialized source fragments overlap each other.
@@ -251,17 +262,23 @@ impl DeepSea {
                 .collect::<Vec<_>>(),
         );
         let Some(cover) = cover else { return Ok(None) };
-        let cover_reads = cover.len() as u64;
+        let mut charge = CreationCharge {
+            cover_reads: cover.len() as u64,
+            ..CreationCharge::default()
+        };
 
+        // Every fallible read happens before any create: a fragment lost
+        // mid-repartition must surface as an error with *nothing* written,
+        // never as a silently incomplete fragment.
         let mut rows = Vec::new();
         let mut next_lo = target.lo;
         let mut source_tables = Vec::new();
         for fid2 in &cover {
             let (_, iv, file, _) = sources.iter().find(|(id, ..)| id == fid2).unwrap();
-            let Some((payload, bytes, _)) = self.fs.read(*file) else {
-                return Ok(None);
-            };
-            read_bytes += bytes;
+            let (payload, bytes) = self
+                .read_retrying(*file, &mut charge)
+                .map_err(ExecError::from)?;
+            charge.read_bytes += bytes;
             let take = Interval::new(next_lo.max(target.lo), iv.hi.min(target.hi));
             for r in &payload.rows {
                 if let Some(v) = r[col_idx].as_int() {
@@ -276,26 +293,45 @@ impl DeepSea {
                 break;
             }
         }
-        let bytes_per_row = source_tables
-            .first()
-            .map(|(_, t)| t.bytes_per_row)
-            .unwrap_or(1);
-        let frag_table = Table::new(schema.clone(), rows, bytes_per_row);
-        let new_size = frag_table.sim_bytes();
-        let (new_file, _) = self
-            .fs
-            .create(format!("{name}.{attr}{target}"), new_size, frag_table);
-        written_bytes += new_size;
-        files_written += 1;
 
         // Horizontal mode: rewrite the remainders of every split fragment and
-        // drop the originals. Overlapping mode: keep them (§10.4).
+        // drop the originals. Overlapping mode: keep them (§10.4). Sources
+        // that overlapped the target but were not in the cover are read here,
+        // still ahead of any write.
         let mut split_work: Vec<(FragmentId, Interval, u64)> = Vec::new();
         if !overlapping_mode {
             for (sid, iv, _, size) in &sources {
                 split_work.push((*sid, *iv, *size));
             }
         }
+        let mut extra_payloads: HashMap<FragmentId, Arc<Table>> = HashMap::new();
+        for (sid, _iv, _size) in &split_work {
+            if source_tables.iter().any(|(id, _)| id == sid) {
+                continue;
+            }
+            let file = sources.iter().find(|(id, ..)| id == sid).unwrap().2;
+            let (p, bytes) = self
+                .read_retrying(file, &mut charge)
+                .map_err(ExecError::from)?;
+            charge.read_bytes += bytes;
+            extra_payloads.insert(*sid, p);
+        }
+
+        let bytes_per_row = source_tables
+            .first()
+            .map(|(_, t)| t.bytes_per_row)
+            .unwrap_or(1);
+        let frag_table = Table::new(schema.clone(), rows, bytes_per_row);
+        let new_size = frag_table.sim_bytes();
+        let new_file = self.create_retrying(
+            format!("{name}.{attr}{target}"),
+            new_size,
+            frag_table,
+            &mut charge,
+        );
+        charge.write_bytes += new_size;
+        charge.files += 1;
+
         let mut remainder_meta: Vec<(Interval, FileId, u64)> = Vec::new();
         let mut dropped: Vec<FragmentId> = Vec::new();
         for (sid, iv, _size) in &split_work {
@@ -310,20 +346,9 @@ impl DeepSea {
             let payload = source_tables
                 .iter()
                 .find(|(id, _)| id == sid)
-                .map(|(_, t)| Arc::clone(t));
-            let payload = match payload {
-                Some(p) => p,
-                None => {
-                    // Source overlapped the target but was not in the cover;
-                    // read it now for splitting.
-                    let file = sources.iter().find(|(id, ..)| id == sid).unwrap().2;
-                    let Some((p, bytes, _)) = self.fs.read(file) else {
-                        continue;
-                    };
-                    read_bytes += bytes;
-                    p
-                }
-            };
+                .map(|(_, t)| Arc::clone(t))
+                .or_else(|| extra_payloads.get(sid).cloned())
+                .expect("every split source was read above");
             for piece in pieces {
                 let rows: Vec<_> = payload
                     .rows
@@ -333,9 +358,10 @@ impl DeepSea {
                     .collect();
                 let t = Table::new(schema.clone(), rows, payload.bytes_per_row);
                 let size = t.sim_bytes();
-                let (file, _) = self.fs.create(format!("{name}.{attr}{piece}"), size, t);
-                written_bytes += size;
-                files_written += 1;
+                let file =
+                    self.create_retrying(format!("{name}.{attr}{piece}"), size, t, &mut charge);
+                charge.write_bytes += size;
+                charge.files += 1;
                 remainder_meta.push((piece, file, size));
             }
             dropped.push(*sid);
@@ -364,15 +390,7 @@ impl DeepSea {
             }
         }
 
-        Ok(Some((
-            CreationCharge {
-                read_bytes,
-                write_bytes: written_bytes,
-                files: files_written,
-                cover_reads,
-            },
-            format!("{name}.{attr}{target}"),
-        )))
+        Ok(Some((charge, format!("{name}.{attr}{target}"))))
     }
 
     /// Build a fragment by computing the view's plan (used for initial
@@ -422,9 +440,17 @@ impl DeepSea {
             .collect();
         let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
         let size = frag_table.sim_bytes();
-        let (file, _) = self
-            .fs
-            .create(format!("{name}.{attr}{target}"), size, frag_table);
+        let mut charge = CreationCharge {
+            write_bytes: size,
+            files: 1,
+            ..CreationCharge::default()
+        };
+        let file = self.create_retrying(
+            format!("{name}.{attr}{target}"),
+            size,
+            frag_table,
+            &mut charge,
+        );
         let overhead = self.backend.write_secs(full_size, 1);
         let recompute = self.estimator().estimated_secs(&plan);
         let view = self.registry.view_mut(vid);
@@ -438,14 +464,6 @@ impl DeepSea {
             f.file = Some(file);
             f.size = size;
         }
-        Ok(Some((
-            CreationCharge {
-                read_bytes: 0,
-                write_bytes: size,
-                files: 1,
-                cover_reads: 0,
-            },
-            format!("{name}.{attr}{target}"),
-        )))
+        Ok(Some((charge, format!("{name}.{attr}{target}"))))
     }
 }

@@ -28,6 +28,7 @@ pub(crate) mod context;
 pub(crate) mod evict;
 pub(crate) mod matching;
 pub(crate) mod materialize;
+pub(crate) mod recover;
 pub(crate) mod rewriting;
 pub(crate) mod selection;
 
@@ -49,7 +50,7 @@ use context::QueryContext;
 
 pub use context::{
     CandidatesTrace, EvictionTrace, ExecutionTrace, MatchingTrace, MaterializationTrace,
-    QueryTrace, RewritingTrace, SelectionTrace,
+    QueryTrace, RecoveryTrace, RewritingTrace, SelectionTrace,
 };
 
 /// The result of processing one query.
@@ -70,6 +71,9 @@ pub struct QueryOutcome {
     pub materialized: Vec<String>,
     /// Human-readable descriptions of views/fragments evicted.
     pub evicted: Vec<String>,
+    /// Names of views quarantined after permanent I/O failures while this
+    /// query was processed.
+    pub quarantined: Vec<String>,
     /// Execution metrics of the chosen plan.
     pub metrics: ExecMetrics,
     /// Per-stage counters and simulated costs for this query.
@@ -180,7 +184,7 @@ impl DeepSea {
         // ── 5. VIEWSELECTION ─────────────────────────────────────────────
         self.stage_select_configuration(&mut ctx);
         // ── 6. INSTRUMENT + EXECUTE, apply the chosen configuration ──────
-        let (result, metrics) = self.stage_execute(&mut ctx)?;
+        let (result, metrics) = self.stage_execute(plan, &mut ctx)?;
         self.stage_apply_evictions(&mut ctx);
         self.stage_materialize(&mut ctx)?;
         self.stage_charge_creation(&mut ctx);
@@ -195,6 +199,7 @@ impl DeepSea {
             used_view: ctx.used_view,
             materialized: ctx.materialized,
             evicted: ctx.evicted,
+            quarantined: ctx.quarantined,
             metrics,
             trace: ctx.trace,
         })
@@ -217,17 +222,66 @@ impl DeepSea {
             used_view: None,
             materialized: Vec::new(),
             evicted: Vec::new(),
+            quarantined: Vec::new(),
             metrics,
             trace,
         })
     }
 
-    /// Execute the chosen plan through the backend.
-    fn stage_execute(&self, ctx: &mut QueryContext) -> Result<(Table, ExecMetrics), ExecError> {
-        let (result, metrics) = self.backend.execute(&ctx.qbest, &self.catalog, &self.fs)?;
-        ctx.query_secs = self.backend.elapsed_secs(&metrics);
-        ctx.trace.execution.query_secs = ctx.query_secs;
-        Ok((result, metrics))
+    /// Execute the chosen plan through the backend, with graceful
+    /// degradation: if a rewritten plan fails (transient retries exhausted or
+    /// a fragment permanently lost), quarantine the broken view and re-answer
+    /// the query from base tables within the same call. Base tables are
+    /// durable in this model — views only ever accelerate, never gate, an
+    /// answer.
+    fn stage_execute(
+        &mut self,
+        plan: &LogicalPlan,
+        ctx: &mut QueryContext,
+    ) -> Result<(Table, ExecMetrics), ExecError> {
+        match self.backend.execute(&ctx.qbest, &self.catalog, &self.fs) {
+            Ok((result, metrics)) => {
+                ctx.trace.recovery.retries += metrics.retries as u32;
+                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
+                ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                ctx.trace.execution.query_secs = ctx.query_secs;
+                Ok((result, metrics))
+            }
+            Err(e) => {
+                // Whatever retries the backend burned on the doomed attempt
+                // still cost simulated time — collect the debt.
+                let (debt_retries, debt_secs) = self.backend.drain_retry_debt();
+                // Attribute the failure to a view: the file the error names,
+                // or failing that the view the rewriting chose to read.
+                let vid = e
+                    .file()
+                    .and_then(|f| self.registry.view_owning_file(f))
+                    .or_else(|| {
+                        ctx.used_view
+                            .as_deref()
+                            .and_then(|name| self.registry.by_name(name))
+                    });
+                let Some(vid) = vid else {
+                    // No view involved — the base plan itself failed, which
+                    // this model cannot recover from.
+                    return Err(e);
+                };
+                self.quarantine_into_ctx(vid, ctx);
+                ctx.trace.recovery.base_table_fallbacks += 1;
+                ctx.used_view = None;
+                ctx.qbest = plan.clone();
+                // The original plan reads only durable base tables, so this
+                // cannot hit another fragment fault.
+                let (result, mut metrics) = self.backend.execute(plan, &self.catalog, &self.fs)?;
+                metrics.retries += debt_retries;
+                metrics.penalty_secs += debt_secs;
+                ctx.trace.recovery.retries += metrics.retries as u32;
+                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
+                ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                ctx.trace.execution.query_secs = ctx.query_secs;
+                Ok((result, metrics))
+            }
+        }
     }
 }
 

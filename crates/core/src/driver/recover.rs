@@ -1,0 +1,119 @@
+//! Fault recovery: retrying fragment I/O under the configured
+//! [`RetryPolicy`](deepsea_engine::RetryPolicy) and quarantining views whose
+//! backing data is permanently lost.
+//!
+//! The contract that makes all of this safe is the paper's framing of views
+//! as *opportunistic accelerators*: base tables are durable and can always
+//! answer the query, so the worst a lost fragment can cost is time — never
+//! correctness. Quarantine therefore only has to (a) release the lost data
+//! from pool accounting, (b) stop the view from matching until it is rebuilt,
+//! and (c) leave statistics intact so a hot view earns re-materialization
+//! quickly once a later query re-registers its shape.
+
+use std::sync::Arc;
+
+use deepsea_relation::Table;
+use deepsea_storage::{FileId, IoError};
+
+use crate::filter_tree::ViewId;
+use crate::registry::QuarantineReport;
+use crate::stats::LogicalTime;
+
+use super::context::{CreationCharge, QueryContext};
+use super::DeepSea;
+
+impl DeepSea {
+    /// Read a fragment file, retrying transient failures under
+    /// `config.retry`. Retry counts and backoff/spike seconds accumulate
+    /// into `charge` (including the wasted backoff of a failed read, so the
+    /// caller's recovery path is priced honestly). A permanent loss or an
+    /// exhausted budget returns the error.
+    pub(crate) fn read_retrying(
+        &self,
+        file: FileId,
+        charge: &mut CreationCharge,
+    ) -> Result<(Arc<Table>, u64), IoError> {
+        let policy = self.config.retry;
+        let mut attempts = 0u32;
+        loop {
+            match self.fs.try_read(file) {
+                Ok(out) => {
+                    charge.retries += attempts;
+                    charge.penalty_secs += out.spike_secs;
+                    return Ok((out.value, out.sim_bytes));
+                }
+                Err(e) if e.is_transient() && attempts < policy.max_retries => {
+                    charge.penalty_secs += policy.backoff_secs(attempts);
+                    attempts += 1;
+                }
+                Err(e) => {
+                    charge.retries += attempts;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Create a file, retrying transient write failures under
+    /// `config.retry`. Writes never lose data: the payload is in memory, so
+    /// once the budget is exhausted the write is forced through the
+    /// infallible path (modelling re-routing to healthy datanodes).
+    pub(crate) fn create_retrying(
+        &self,
+        name: String,
+        sim_bytes: u64,
+        payload: Table,
+        charge: &mut CreationCharge,
+    ) -> FileId {
+        let policy = self.config.retry;
+        let mut attempts = 0u32;
+        loop {
+            match self.fs.try_create(name.clone(), sim_bytes, payload.clone()) {
+                Ok(out) => {
+                    charge.retries += attempts;
+                    charge.penalty_secs += out.spike_secs;
+                    return out.value;
+                }
+                Err(IoError::TransientWrite) if attempts < policy.max_retries => {
+                    charge.penalty_secs += policy.backoff_secs(attempts);
+                    attempts += 1;
+                }
+                Err(_) => {
+                    charge.retries += attempts;
+                    let (id, _) = self.fs.create(name, sim_bytes, payload);
+                    return id;
+                }
+            }
+        }
+    }
+
+    /// Quarantine a view: mark its data lost in the registry (releasing its
+    /// pool bytes and stripping it from the filter tree) and drop whatever
+    /// backing files still exist. Returns the view's name and the report.
+    pub(crate) fn quarantine_view(
+        &mut self,
+        vid: ViewId,
+        tnow: LogicalTime,
+    ) -> (String, QuarantineReport) {
+        let report = self.registry.quarantine(vid, tnow);
+        for file in &report.files {
+            // The file that triggered the failure is usually already gone
+            // from the FS; deleting the survivors is metadata-only.
+            self.fs.delete(*file);
+        }
+        (self.registry.view(vid).name.clone(), report)
+    }
+
+    /// Quarantine a view during query processing, recording the event in the
+    /// query's trace. No-op if the view is already quarantined (a query can
+    /// hit the same broken view from several stages).
+    pub(crate) fn quarantine_into_ctx(&mut self, vid: ViewId, ctx: &mut QueryContext) {
+        if self.registry.view(vid).is_quarantined() {
+            return;
+        }
+        let (name, report) = self.quarantine_view(vid, ctx.tnow);
+        ctx.trace.recovery.quarantined_views += 1;
+        ctx.trace.recovery.quarantined_bytes += report.bytes;
+        ctx.quarantined.push(name);
+    }
+}

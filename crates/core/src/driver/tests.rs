@@ -404,6 +404,89 @@ fn baseline_trace_is_execution_only() {
     assert_eq!(t.eviction, EvictionTrace::default());
 }
 
+/// Every file currently backing a materialized view or fragment.
+fn all_view_files(d: &DeepSea) -> Vec<deepsea_storage::FileId> {
+    d.registry()
+        .iter()
+        .flat_map(|v| {
+            v.whole_file.into_iter().chain(
+                v.partitions
+                    .values()
+                    .flat_map(|p| p.fragments.iter().filter_map(|f| f.file)),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn lost_fragments_fall_back_to_base_tables_and_quarantine() {
+    let mut d = ds(DeepSeaConfig::default().with_min_fragment_bytes(1));
+    let mut hive = ds(DeepSeaConfig::default().with_policy(PartitionPolicy::NoMaterialization));
+    d.process_query(&query(400, 600)).unwrap();
+    let reused = d.process_query(&query(450, 550)).unwrap();
+    assert!(reused.used_view.is_some(), "precondition: rewriting in use");
+
+    // Lose every materialized file behind the driver's back — no injector
+    // needed; this is the permanent-loss end state.
+    for f in all_view_files(&d) {
+        d.fs().delete(f);
+    }
+
+    let out = d.process_query(&query(450, 550)).unwrap();
+    let want = hive.process_query(&query(450, 550)).unwrap();
+    assert_eq!(
+        out.result.fingerprint(),
+        want.result.fingerprint(),
+        "fallback must still answer the query correctly"
+    );
+    assert!(
+        out.used_view.is_none(),
+        "the broken rewriting was abandoned"
+    );
+    assert_eq!(out.trace.recovery.base_table_fallbacks, 1);
+    assert!(out.trace.recovery.quarantined_views >= 1, "{out:?}");
+    assert!(!out.quarantined.is_empty());
+    for name in &out.quarantined {
+        let vid = d.registry().by_name(name).expect("quarantined view exists");
+        let view = d.registry().view(vid);
+        assert!(view.is_quarantined());
+        assert_eq!(view.pool_bytes(), 0, "quarantine released the pool bytes");
+    }
+}
+
+#[test]
+fn quarantined_views_rematerialize_when_hot() {
+    let mut d = ds(DeepSeaConfig::default().with_min_fragment_bytes(1));
+    d.process_query(&query(400, 600)).unwrap();
+    d.process_query(&query(450, 550)).unwrap();
+    for f in all_view_files(&d) {
+        d.fs().delete(f);
+    }
+    let broken = d.process_query(&query(450, 550)).unwrap();
+    assert!(broken.trace.recovery.quarantined_views >= 1, "{broken:?}");
+
+    // The workload stays hot on the same shape: candidate registration
+    // re-admits the quarantined view, selection re-materializes it, and the
+    // rewriting comes back — no manual repair step.
+    let mut rematerialized = false;
+    let mut reused_again = false;
+    for _ in 0..6 {
+        let out = d.process_query(&query(450, 550)).unwrap();
+        if broken
+            .quarantined
+            .iter()
+            .any(|q| out.materialized.iter().any(|m| m.starts_with(q.as_str())))
+        {
+            rematerialized = true;
+        }
+        if out.used_view.is_some() {
+            reused_again = true;
+        }
+    }
+    assert!(rematerialized, "hot quarantined views must be rebuilt");
+    assert!(reused_again, "rebuilt views must serve rewritings again");
+}
+
 #[test]
 fn custom_backend_is_used_for_execution() {
     use std::sync::atomic::{AtomicUsize, Ordering};

@@ -72,6 +72,31 @@ impl FilterTree {
         self.len += 1;
     }
 
+    /// Remove a view from the index (quarantine). Returns whether the view
+    /// was present; empty buckets are pruned so `bucket_count` stays honest.
+    pub fn remove(&mut self, sig: &Signature, id: ViewId) -> bool {
+        let rkey = relations_key(sig);
+        let Some(joins) = self.root.get_mut(&rkey) else {
+            return false;
+        };
+        let jkey = join_key(sig);
+        let Some(ids) = joins.get_mut(&jkey) else {
+            return false;
+        };
+        let Some(pos) = ids.iter().position(|&v| v == id) else {
+            return false;
+        };
+        ids.remove(pos);
+        if ids.is_empty() {
+            joins.remove(&jkey);
+        }
+        if joins.is_empty() {
+            self.root.remove(&rkey);
+        }
+        self.len -= 1;
+        true
+    }
+
     /// Views that *may* match a query with this signature (must still pass
     /// the full sufficient condition).
     pub fn lookup(&self, query: &Signature) -> &[ViewId] {
@@ -140,5 +165,24 @@ mod tests {
         let ft = FilterTree::new();
         assert!(ft.is_empty());
         assert!(ft.lookup(&sig(&LogicalPlan::scan("a"))).is_empty());
+    }
+
+    #[test]
+    fn remove_strips_view_and_prunes_buckets() {
+        let mut ft = FilterTree::new();
+        let base = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let s = sig(&base);
+        ft.insert(&s, ViewId(1));
+        ft.insert(&s, ViewId(2));
+        assert!(ft.remove(&s, ViewId(1)));
+        assert_eq!(ft.lookup(&s), &[ViewId(2)]);
+        assert_eq!(ft.len(), 1);
+        assert!(!ft.remove(&s, ViewId(1)), "double remove is a no-op");
+        assert!(ft.remove(&s, ViewId(2)));
+        assert!(ft.is_empty());
+        assert_eq!(ft.bucket_count(), 0, "empty buckets are pruned");
+        // Removed views can be re-inserted (quarantine re-admission).
+        ft.insert(&s, ViewId(2));
+        assert_eq!(ft.lookup(&s), &[ViewId(2)]);
     }
 }

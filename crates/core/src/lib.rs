@@ -48,6 +48,6 @@ pub mod selection;
 pub mod stats;
 
 pub use config::DeepSeaConfig;
-pub use driver::{DeepSea, QueryOutcome, QueryTrace};
+pub use driver::{DeepSea, QueryOutcome, QueryTrace, RecoveryTrace};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};

@@ -13,7 +13,7 @@ use deepsea_storage::FileId;
 use crate::filter_tree::{FilterTree, ViewId};
 use crate::fragment::{FragmentId, FragmentMeta};
 use crate::interval::Interval;
-use crate::stats::ViewStats;
+use crate::stats::{LogicalTime, ViewStats};
 
 /// The state of one partition `P(V, A)` of a view on attribute `A`.
 #[derive(Debug, Clone)]
@@ -181,6 +181,12 @@ pub struct ViewMeta {
     /// computes it anyway (write + partition). The §7.2 admission filter
     /// compares this against the accumulated benefit.
     pub creation_overhead: f64,
+    /// When set, the view was quarantined at this logical time after a
+    /// permanent I/O failure: its fragments are marked lost, its signature is
+    /// out of the filter tree, and it stops matching until a later query
+    /// re-registers the same shape (re-admission). Statistics survive
+    /// quarantine so a hot view re-materializes quickly.
+    pub quarantined_at: Option<LogicalTime>,
 }
 
 impl ViewMeta {
@@ -191,6 +197,11 @@ impl ViewMeta {
                 .partitions
                 .values()
                 .any(PartitionState::any_materialized)
+    }
+
+    /// Is this view currently quarantined (lost and unmatched)?
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined_at.is_some()
     }
 
     /// Pool bytes currently held by this view (whole file + fragments).
@@ -207,6 +218,18 @@ impl ViewMeta {
                 .map(PartitionState::pool_bytes)
                 .sum::<u64>()
     }
+}
+
+/// What a quarantine released: the backing files (for the caller to drop
+/// from the file system), the pool bytes freed, and the fragment count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Backing files the view held (whole-file copy and fragments).
+    pub files: Vec<FileId>,
+    /// Pool bytes the view accounted for before the quarantine.
+    pub bytes: u64,
+    /// Materialized fragments marked lost.
+    pub fragments: u32,
 }
 
 /// The statistics registry `STAT = (VSTAT, PSTAT, Σ)` of Definition 5.
@@ -234,7 +257,9 @@ impl ViewRegistry {
     }
 
     /// Register a view candidate if its key is new. Returns its id either
-    /// way.
+    /// way. Re-registering a quarantined view's shape **re-admits** it: the
+    /// signature re-enters the filter tree (with statistics intact) so the
+    /// view can match, be selected, and be re-materialized by later queries.
     pub fn register(
         &mut self,
         plan: LogicalPlan,
@@ -245,6 +270,10 @@ impl ViewRegistry {
     ) -> ViewId {
         let key = sig.canonical_key();
         if let Some(&id) = self.by_key.get(&key) {
+            let view = &mut self.views[id.0 as usize];
+            if view.quarantined_at.take().is_some() {
+                self.index.insert(&view.sig, id);
+            }
             return id;
         }
         let id = ViewId(self.views.len() as u64);
@@ -261,8 +290,56 @@ impl ViewRegistry {
             partitions: BTreeMap::new(),
             stats: ViewStats::estimated(est_size, est_recreate_cost),
             creation_overhead: est_overhead,
+            quarantined_at: None,
         });
         id
+    }
+
+    /// Quarantine a view after a permanent I/O failure: mark every fragment
+    /// and the whole-file copy as lost (releasing their pool bytes), and
+    /// strip the signature from the filter tree so the view stops matching.
+    /// Statistics are preserved for re-admission. Returns the backing files
+    /// the caller must drop from the file system and the pool bytes released.
+    pub fn quarantine(&mut self, id: ViewId, tnow: LogicalTime) -> QuarantineReport {
+        let view = &mut self.views[id.0 as usize];
+        let bytes = view.pool_bytes();
+        let mut files = Vec::new();
+        let mut fragments = 0u32;
+        if let Some(f) = view.whole_file.take() {
+            files.push(f);
+        }
+        for ps in view.partitions.values_mut() {
+            for frag in &mut ps.fragments {
+                if let Some(f) = frag.file.take() {
+                    files.push(f);
+                    fragments += 1;
+                }
+            }
+        }
+        if view.quarantined_at.is_none() {
+            view.quarantined_at = Some(tnow);
+            let sig = view.sig.clone();
+            self.index.remove(&sig, id);
+        }
+        QuarantineReport {
+            files,
+            bytes,
+            fragments,
+        }
+    }
+
+    /// The view whose whole-file copy or fragment is backed by `file`, if
+    /// any — how an execution failure on a file maps back to a view.
+    pub fn view_owning_file(&self, file: FileId) -> Option<ViewId> {
+        self.views
+            .iter()
+            .find(|v| {
+                v.whole_file == Some(file)
+                    || v.partitions
+                        .values()
+                        .any(|ps| ps.fragments.iter().any(|f| f.file == Some(file)))
+            })
+            .map(|v| v.id)
     }
 
     /// Lookup by id.
@@ -409,5 +486,74 @@ mod tests {
         r.view_mut(id).whole_file = Some(FileId(7));
         assert!(r.view(id).is_materialized());
         assert_eq!(r.pool_bytes(), 1000, "whole file counts at stats.size");
+    }
+
+    #[test]
+    fn quarantine_releases_pool_and_stops_matching() {
+        let (mut r, id) = reg_with_join();
+        r.view_mut(id).whole_file = Some(FileId(7));
+        let ps = PartitionState::new("a.k", Interval::new(0, 99));
+        r.view_mut(id).partitions.insert("a.k".into(), ps);
+        let fid = {
+            let ps = r.view_mut(id).partitions.get_mut("a.k").unwrap();
+            let fid = ps.track(Interval::new(0, 49), 0);
+            let f = ps.frag_mut(fid).unwrap();
+            f.file = Some(FileId(8));
+            f.size = 300;
+            fid
+        };
+        assert_eq!(r.pool_bytes(), 1300);
+        let q = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let qsig = Signature::of(&q).unwrap();
+        assert_eq!(r.lookup_bucket(&qsig), &[id]);
+
+        let report = r.quarantine(id, 42);
+        assert_eq!(report.bytes, 1300);
+        assert_eq!(report.files, vec![FileId(7), FileId(8)]);
+        assert_eq!(report.fragments, 1);
+        assert!(r.view(id).is_quarantined());
+        assert!(!r.view(id).is_materialized());
+        assert_eq!(r.pool_bytes(), 0, "quarantine releases pool accounting");
+        assert!(r.lookup_bucket(&qsig).is_empty(), "stripped from the tree");
+        assert_eq!(r.view_owning_file(FileId(8)), None, "fragment marked lost");
+        // Idempotent: a second quarantine releases nothing further.
+        let again = r.quarantine(id, 43);
+        assert_eq!(again, QuarantineReport::default());
+        assert_eq!(r.view(id).quarantined_at, Some(42));
+        // Fragment metadata (intervals, stats) survives for re-admission.
+        assert!(r
+            .view(id)
+            .partitions
+            .get("a.k")
+            .and_then(|ps| ps.frag(fid))
+            .is_some());
+    }
+
+    #[test]
+    fn reregistering_readmits_quarantined_view() {
+        let (mut r, id) = reg_with_join();
+        r.view_mut(id).whole_file = Some(FileId(7));
+        r.quarantine(id, 5);
+        let q = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![("a.k", "b.k")]);
+        let qsig = Signature::of(&q).unwrap();
+        assert!(r.lookup_bucket(&qsig).is_empty());
+        // A later query registering the same shape re-admits the view.
+        let id2 = r.register(q.clone(), qsig.clone(), 500, 5.0, 1.0);
+        assert_eq!(id, id2, "same key, same view");
+        assert!(!r.view(id).is_quarantined());
+        assert_eq!(r.lookup_bucket(&qsig), &[id], "back in the filter tree");
+        assert_eq!(r.view(id).stats.size, 1000, "statistics survived");
+        assert!(
+            !r.view(id).is_materialized(),
+            "data stays lost until rebuilt"
+        );
+    }
+
+    #[test]
+    fn view_owning_file_maps_failures_to_views() {
+        let (mut r, id) = reg_with_join();
+        r.view_mut(id).whole_file = Some(FileId(7));
+        assert_eq!(r.view_owning_file(FileId(7)), Some(id));
+        assert_eq!(r.view_owning_file(FileId(9)), None);
     }
 }

@@ -9,6 +9,8 @@
 //! A distributed deployment would implement the same trait against an actual
 //! cluster.
 
+use std::sync::Mutex;
+
 use deepsea_relation::Table;
 use deepsea_storage::SimFs;
 
@@ -44,6 +46,141 @@ pub trait ExecutionBackend: Send + Sync {
     /// The cluster model driving the cost estimator — the analytic side of
     /// the same pricing this backend applies to real executions.
     fn cluster(&self) -> &ClusterSim;
+
+    /// Take (and reset) the retry cost of executions that ultimately
+    /// *failed*: `(retries, backoff_secs)` spent before giving up. A backend
+    /// that retries cannot report this through `ExecMetrics` — there is no
+    /// success to attach it to — so the driver drains it here and charges it
+    /// to whatever recovery path it takes next. Non-retrying backends owe
+    /// nothing.
+    fn drain_retry_debt(&self) -> (u64, f64) {
+        (0, 0.0)
+    }
+}
+
+/// Retry budget and exponential-backoff schedule for transient I/O failures.
+///
+/// Backoff is charged in *simulated* seconds so reported elapsed times
+/// reflect retry cost honestly; attempt `n` (0-based) waits
+/// `base_backoff_secs * backoff_multiplier^n` before re-running.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of re-executions after the first failure.
+    pub max_retries: u32,
+    /// Simulated seconds waited before the first retry.
+    pub base_backoff_secs: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Simulated backoff before retry number `attempt` (0-based).
+    pub fn backoff_secs(&self, attempt: u32) -> f64 {
+        self.base_backoff_secs * self.backoff_multiplier.powi(attempt as i32)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff_secs: 0.5,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+/// Decorator adding transient-failure retry with exponential backoff to any
+/// [`ExecutionBackend`].
+///
+/// Transient errors re-run the whole plan (executions are deterministic, so
+/// a retried success is bit-identical to an undisturbed one); permanent
+/// errors and non-I/O errors propagate immediately. Backoff and retry counts
+/// for *successful* executions ride along in the returned
+/// [`ExecMetrics::penalty_secs`] / [`ExecMetrics::retries`]; the cost of
+/// executions that exhausted the budget accumulates as debt the driver
+/// drains via [`ExecutionBackend::drain_retry_debt`].
+#[derive(Debug)]
+pub struct RetryingBackend<B> {
+    inner: B,
+    policy: RetryPolicy,
+    /// `(retries, backoff_secs)` spent on executions that ultimately failed.
+    debt: Mutex<(u64, f64)>,
+}
+
+impl<B> RetryingBackend<B> {
+    /// Wrap a backend with a retry policy.
+    pub fn new(inner: B, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            debt: Mutex::new((0, 0.0)),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: ExecutionBackend> ExecutionBackend for RetryingBackend<B> {
+    fn execute(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        fs: &SimFs<Table>,
+    ) -> Result<(Table, ExecMetrics), ExecError> {
+        let mut attempts = 0u32;
+        let mut backoff = 0.0f64;
+        loop {
+            match self.inner.execute(plan, catalog, fs) {
+                Ok((table, mut m)) => {
+                    m.retries += attempts as u64;
+                    m.penalty_secs += backoff;
+                    return Ok((table, m));
+                }
+                Err(e) if e.is_transient() && attempts < self.policy.max_retries => {
+                    backoff += self.policy.backoff_secs(attempts);
+                    attempts += 1;
+                }
+                Err(e) => {
+                    if attempts > 0 {
+                        let mut debt = self.debt.lock().unwrap_or_else(|p| p.into_inner());
+                        debt.0 += attempts as u64;
+                        debt.1 += backoff;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn elapsed_secs(&self, metrics: &ExecMetrics) -> f64 {
+        self.inner.elapsed_secs(metrics)
+    }
+
+    fn scan_secs(&self, bytes: u64, block_bytes: u64) -> f64 {
+        self.inner.scan_secs(bytes, block_bytes)
+    }
+
+    fn write_secs(&self, bytes: u64, files: u64) -> f64 {
+        self.inner.write_secs(bytes, files)
+    }
+
+    fn cluster(&self) -> &ClusterSim {
+        self.inner.cluster()
+    }
+
+    fn drain_retry_debt(&self) -> (u64, f64) {
+        let mut debt = self.debt.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::take(&mut *debt)
+    }
 }
 
 /// The simulated backend: the in-memory executor timed by [`ClusterSim`].
@@ -75,7 +212,10 @@ impl ExecutionBackend for SimBackend {
     }
 
     fn elapsed_secs(&self, metrics: &ExecMetrics) -> f64 {
-        self.cluster.elapsed_secs(metrics)
+        // Injected latency spikes and retry backoff are simulated wall time
+        // the cluster model knows nothing about; fault-free metrics carry a
+        // penalty of exactly +0.0, which leaves the sum bit-identical.
+        self.cluster.elapsed_secs(metrics) + metrics.penalty_secs
     }
 
     fn scan_secs(&self, bytes: u64, block_bytes: u64) -> f64 {
@@ -146,5 +286,117 @@ mod tests {
     fn backend_is_object_safe() {
         let boxed: Box<dyn ExecutionBackend> = Box::new(SimBackend::paper_default());
         assert!(boxed.scan_secs(0, 1) > 0.0, "even empty scans pay overhead");
+        assert_eq!(boxed.drain_retry_debt(), (0, 0.0), "sim backend owes none");
+    }
+
+    use deepsea_relation::{DataType, Field, Schema, Value};
+    use deepsea_storage::{CostWeights, FaultConfig, FaultInjector, FileId};
+
+    /// A one-fragment view scan over a fault-injecting FS.
+    fn faulty_view_world(cfg: FaultConfig) -> (Catalog, SimFs<Table>, LogicalPlan, FileId) {
+        let catalog = Catalog::new();
+        let fs = SimFs::with_faults(
+            BlockConfig::default(),
+            CostWeights::default(),
+            FaultInjector::new(cfg),
+        );
+        let schema = Schema::new(vec![Field::new("v.a", DataType::Int)]);
+        let frag = Table::new(schema.clone(), vec![vec![Value::Int(1)]], 500);
+        let (id, _) = fs.create("frag", frag.sim_bytes(), frag);
+        let plan = LogicalPlan::ViewScan(crate::plan::ViewScanInfo {
+            view_name: "v".into(),
+            files: vec![id],
+            schema,
+        });
+        (catalog, fs, plan, id)
+    }
+
+    #[test]
+    fn retrying_backend_retries_transients_to_success() {
+        // ~50% transient failures against a deep retry budget: every
+        // execution in this fixed schedule succeeds, most after retries.
+        let cfg = FaultConfig::seeded(11).with_transient_reads(0.5);
+        let (catalog, fs, plan, _) = faulty_view_world(cfg);
+        let policy = RetryPolicy {
+            max_retries: 16,
+            ..RetryPolicy::default()
+        };
+        let backend = RetryingBackend::new(SimBackend::paper_default(), policy);
+        let mut total_retries = 0;
+        let mut saw_backoff = false;
+        for _ in 0..20 {
+            let (t, m) = backend
+                .execute(&plan, &catalog, &fs)
+                .expect("within budget");
+            assert_eq!(t.len(), 1, "retried result is the real result");
+            total_retries += m.retries;
+            saw_backoff |= m.penalty_secs > 0.0;
+            // Backoff is charged into elapsed time.
+            let base = backend.inner().elapsed_secs(&ExecMetrics {
+                penalty_secs: 0.0,
+                ..m
+            });
+            assert_eq!(
+                backend.elapsed_secs(&m).to_bits(),
+                (base + m.penalty_secs).to_bits()
+            );
+        }
+        assert!(total_retries > 0, "seed 11 must exercise retries");
+        assert!(saw_backoff, "retries charge simulated backoff");
+        assert_eq!(backend.drain_retry_debt(), (0, 0.0), "no failed executions");
+    }
+
+    #[test]
+    fn retrying_backend_gives_up_and_records_debt() {
+        let cfg = FaultConfig::seeded(1).with_transient_reads(1.0);
+        let (catalog, fs, plan, id) = faulty_view_world(cfg);
+        let policy = RetryPolicy::default();
+        let backend = RetryingBackend::new(SimBackend::paper_default(), policy);
+        let err = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::TransientIo(deepsea_storage::IoError::TransientRead(id))
+        );
+        let (retries, secs) = backend.drain_retry_debt();
+        assert_eq!(retries, policy.max_retries as u64);
+        let expected: f64 = (0..policy.max_retries)
+            .map(|a| policy.backoff_secs(a))
+            .sum();
+        assert_eq!(secs.to_bits(), expected.to_bits());
+        assert_eq!(
+            backend.drain_retry_debt(),
+            (0, 0.0),
+            "drain resets the debt"
+        );
+    }
+
+    #[test]
+    fn retrying_backend_does_not_retry_permanent_failures() {
+        let cfg = FaultConfig::seeded(1).with_permanent_loss(1.0);
+        let (catalog, fs, plan, id) = faulty_view_world(cfg);
+        let backend = RetryingBackend::new(SimBackend::paper_default(), RetryPolicy::default());
+        let err = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(err.file(), Some(id));
+        assert_eq!(
+            backend.drain_retry_debt(),
+            (0, 0.0),
+            "permanent failures spend no retry budget"
+        );
+    }
+
+    #[test]
+    fn retrying_backend_is_transparent_without_faults() {
+        let (inner, catalog, fs) = backend_and_world();
+        let backend = RetryingBackend::new(inner, RetryPolicy::default());
+        let plan = LogicalPlan::scan("t");
+        let (t1, m1) = backend.execute(&plan, &catalog, &fs).unwrap();
+        let (t2, m2) = inner.execute(&plan, &catalog, &fs).unwrap();
+        assert_eq!(t1.fingerprint(), t2.fingerprint());
+        assert_eq!(m1, m2);
+        assert_eq!(
+            backend.elapsed_secs(&m1).to_bits(),
+            inner.elapsed_secs(&m2).to_bits()
+        );
     }
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use deepsea_relation::row::row_width;
 use deepsea_relation::{DataType, Field, Row, Schema, Table, Value};
-use deepsea_storage::{FileId, SimFs};
+use deepsea_storage::{FileId, IoError, SimFs};
 
 use crate::catalog::Catalog;
 use crate::plan::{AggFunc, LogicalPlan};
@@ -32,6 +32,11 @@ pub struct ExecMetrics {
     pub map_tasks: u64,
     /// Number of MapReduce stages (scan stages + shuffle stages).
     pub stages: u64,
+    /// Transient-failure retries absorbed while producing this result.
+    pub retries: u64,
+    /// Extra simulated seconds from injected latency spikes and retry
+    /// backoff — charged on top of the cluster model's elapsed time.
+    pub penalty_secs: f64,
 }
 
 impl ExecMetrics {
@@ -43,11 +48,14 @@ impl ExecMetrics {
         self.shuffle_bytes += other.shuffle_bytes;
         self.map_tasks += other.map_tasks;
         self.stages += other.stages;
+        self.retries += other.retries;
+        self.penalty_secs += other.penalty_secs;
     }
 }
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExecError {
     /// Plan references a table missing from the catalog.
     UnknownTable(String),
@@ -55,6 +63,38 @@ pub enum ExecError {
     UnknownColumn(String),
     /// A view fragment file has been evicted.
     MissingFile(FileId),
+    /// A retryable I/O fault (flaky read/write); re-running the plan may
+    /// succeed.
+    TransientIo(IoError),
+    /// A fragment file is permanently gone (lost or evicted); retries cannot
+    /// help and the caller must fall back to base tables.
+    PermanentIo(IoError),
+}
+
+impl ExecError {
+    /// Whether re-running the failed operation could succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::TransientIo(_))
+    }
+
+    /// The fragment file involved, when the failure names one.
+    pub fn file(&self) -> Option<FileId> {
+        match self {
+            ExecError::MissingFile(id) => Some(*id),
+            ExecError::TransientIo(e) | ExecError::PermanentIo(e) => e.file(),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for ExecError {
+    fn from(e: IoError) -> Self {
+        if e.is_transient() {
+            ExecError::TransientIo(e)
+        } else {
+            ExecError::PermanentIo(e)
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -63,11 +103,20 @@ impl fmt::Display for ExecError {
             ExecError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             ExecError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
             ExecError::MissingFile(id) => write!(f, "missing fragment file {id}"),
+            ExecError::TransientIo(e) => write!(f, "transient I/O failure: {e}"),
+            ExecError::PermanentIo(e) => write!(f, "permanent I/O failure: {e}"),
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::TransientIo(e) | ExecError::PermanentIo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Intermediate result: schema + rows + the simulated width of one row.
 struct Out {
@@ -152,7 +201,9 @@ fn run(
             let mut rows: Vec<Row> = Vec::new();
             let mut bpr = 8u64;
             for &fid in &v.files {
-                let (payload, bytes, _cost) = fs.read(fid).ok_or(ExecError::MissingFile(fid))?;
+                let out = fs.try_read(fid).map_err(ExecError::from)?;
+                m.penalty_secs += out.spike_secs;
+                let (payload, bytes) = (out.value, out.sim_bytes);
                 m.bytes_read += bytes;
                 m.map_tasks += fs.block_config().blocks_for(bytes);
                 m.rows_processed += payload.len() as u64;
@@ -624,12 +675,36 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(m.bytes_read, 1000);
         assert_eq!(fs.ledger().files_read, 2);
-        // Evict one fragment: execution must now fail.
+        // Evict one fragment: execution must now fail permanently.
         fs.delete(id2);
-        assert!(matches!(
-            execute(&plan, &c, &fs),
-            Err(ExecError::MissingFile(_))
-        ));
+        let err = execute(&plan, &c, &fs).unwrap_err();
+        assert_eq!(err, ExecError::PermanentIo(IoError::PermanentLoss(id2)));
+        assert!(!err.is_transient());
+        assert_eq!(err.file(), Some(id2));
+        use std::error::Error;
+        assert!(err.source().is_some(), "I/O variants carry a source chain");
+    }
+
+    #[test]
+    fn view_scan_surfaces_transient_faults() {
+        use deepsea_storage::{BlockConfig, CostWeights, FaultConfig, FaultInjector};
+        let (c, _) = fixture();
+        let fs = SimFs::with_faults(
+            BlockConfig::new(1024),
+            CostWeights::default(),
+            FaultInjector::new(FaultConfig::seeded(5).with_transient_reads(1.0)),
+        );
+        let frag_schema = Schema::new(vec![Field::new("v.a", DataType::Int)]);
+        let f1 = Table::new(frag_schema.clone(), vec![vec![Value::Int(1)]], 500);
+        let (id1, _) = fs.create("f1", f1.sim_bytes(), f1);
+        let plan = LogicalPlan::ViewScan(crate::plan::ViewScanInfo {
+            view_name: "v".into(),
+            files: vec![id1],
+            schema: frag_schema,
+        });
+        let err = execute(&plan, &c, &fs).unwrap_err();
+        assert_eq!(err, ExecError::TransientIo(IoError::TransientRead(id1)));
+        assert!(err.is_transient());
     }
 
     #[test]

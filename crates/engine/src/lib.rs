@@ -38,9 +38,9 @@ pub mod signature;
 pub mod sql;
 pub mod subquery;
 
-pub use backend::{ExecutionBackend, SimBackend};
+pub use backend::{ExecutionBackend, RetryPolicy, RetryingBackend, SimBackend};
 pub use catalog::Catalog;
 pub use cluster::ClusterSim;
-pub use exec::{execute, ExecMetrics};
+pub use exec::{execute, ExecError, ExecMetrics};
 pub use plan::{AggExpr, AggFunc, LogicalPlan, ViewScanInfo};
 pub use signature::Signature;

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::block::BlockConfig;
+use crate::fault::{FaultInjector, FaultStats, IoError, IoOutcome, ReadFault, WriteFault};
 use crate::file::{FileId, StoredFile};
 use crate::ledger::CostLedger;
 use crate::weights::CostWeights;
@@ -21,6 +22,7 @@ pub struct SimFs<P> {
     inner: Mutex<Inner<P>>,
     block: BlockConfig,
     weights: CostWeights,
+    faults: FaultInjector,
 }
 
 struct Inner<P> {
@@ -37,8 +39,16 @@ impl<P> SimFs<P> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Create an empty file system.
+    /// Create an empty file system with no fault injection.
     pub fn new(block: BlockConfig, weights: CostWeights) -> Self {
+        Self::with_faults(block, weights, FaultInjector::disabled())
+    }
+
+    /// Create an empty file system whose fallible I/O (`try_read` /
+    /// `try_create`) consults the given fault injector. The infallible APIs
+    /// (`read` / `create`) never consult it and remain the zero-fault fast
+    /// path.
+    pub fn with_faults(block: BlockConfig, weights: CostWeights, faults: FaultInjector) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 files: BTreeMap::new(),
@@ -47,6 +57,7 @@ impl<P> SimFs<P> {
             }),
             block,
             weights,
+            faults,
         }
     }
 
@@ -81,6 +92,70 @@ impl<P> SimFs<P> {
         let payload = Arc::clone(&file.payload);
         inner.ledger.record_read(bytes);
         Some((payload, bytes, self.weights.read_cost(bytes)))
+    }
+
+    /// Read a file through the fault injector.
+    ///
+    /// This is the fallible twin of [`SimFs::read`]: with fault injection
+    /// disabled it behaves identically (same ledger charges, same cost) and
+    /// consumes no random draws. With faults enabled an operation may fail
+    /// transiently (file intact, nothing charged to the ledger), discover the
+    /// file permanently lost (file removed; deletion is metadata-only, so no
+    /// ledger charge either), or straggle (success plus `spike_secs`).
+    pub fn try_read(&self, id: FileId) -> Result<IoOutcome<Arc<P>>, IoError> {
+        let mut inner = self.locked();
+        if !inner.files.contains_key(&id) {
+            return Err(IoError::PermanentLoss(id));
+        }
+        let spike_secs = match self.faults.decide_read() {
+            ReadFault::None => 0.0,
+            ReadFault::Transient => return Err(IoError::TransientRead(id)),
+            ReadFault::Permanent => {
+                inner.files.remove(&id);
+                return Err(IoError::PermanentLoss(id));
+            }
+            ReadFault::Spike(secs) => secs,
+        };
+        let file = inner.files.get(&id).expect("checked above");
+        let bytes = file.sim_bytes;
+        let payload = Arc::clone(&file.payload);
+        inner.ledger.record_read(bytes);
+        Ok(IoOutcome {
+            value: payload,
+            sim_bytes: bytes,
+            cost_secs: self.weights.read_cost(bytes),
+            spike_secs,
+        })
+    }
+
+    /// Write a new file through the fault injector.
+    ///
+    /// The fallible twin of [`SimFs::create`]: identical when fault injection
+    /// is disabled. A transient write failure persists nothing and charges
+    /// nothing; the caller may retry.
+    pub fn try_create(
+        &self,
+        name: impl Into<String>,
+        sim_bytes: u64,
+        payload: P,
+    ) -> Result<IoOutcome<FileId>, IoError> {
+        let spike_secs = match self.faults.decide_write() {
+            WriteFault::None => 0.0,
+            WriteFault::Transient => return Err(IoError::TransientWrite),
+            WriteFault::Spike(secs) => secs,
+        };
+        let (id, cost_secs) = self.create(name, sim_bytes, payload);
+        Ok(IoOutcome {
+            value: id,
+            sim_bytes,
+            cost_secs,
+            spike_secs,
+        })
+    }
+
+    /// Snapshot of the faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
     }
 
     /// Look at a file's metadata without charging a read.
@@ -193,5 +268,94 @@ mod tests {
         let before = fs.ledger();
         assert_eq!(fs.stat(id), Some(("x".to_string(), 500)));
         assert_eq!(fs.ledger().read_bytes, before.read_bytes);
+    }
+
+    use crate::fault::{FaultConfig, FaultInjector, IoError};
+
+    fn faulty_fs(cfg: FaultConfig) -> SimFs<Vec<u32>> {
+        SimFs::with_faults(
+            BlockConfig::new(100),
+            CostWeights::default(),
+            FaultInjector::new(cfg),
+        )
+    }
+
+    #[test]
+    fn try_read_without_faults_matches_read() {
+        let fs = fs();
+        let (id, _) = fs.create("frag", 250, vec![1, 2, 3]);
+        let out = fs.try_read(id).expect("no faults configured");
+        assert_eq!(*out.value, vec![1, 2, 3]);
+        assert_eq!(out.sim_bytes, 250);
+        assert_eq!(out.spike_secs, 0.0);
+        let (_, bytes, cost) = fs.read(id).expect("file exists");
+        assert_eq!(out.sim_bytes, bytes);
+        assert_eq!(out.cost_secs.to_bits(), cost.to_bits());
+        assert_eq!(fs.ledger().files_read, 2, "both paths charge the ledger");
+    }
+
+    #[test]
+    fn try_read_unknown_id_is_permanent() {
+        let fs = fs();
+        assert_eq!(
+            fs.try_read(FileId(99)).unwrap_err(),
+            IoError::PermanentLoss(FileId(99))
+        );
+    }
+
+    #[test]
+    fn failed_read_records_nothing_in_ledger() {
+        // Regression: a transient failure must not charge read bytes.
+        let fs = faulty_fs(FaultConfig::seeded(1).with_transient_reads(1.0));
+        let (id, _) = fs.create("frag", 250, vec![7]);
+        let before = fs.ledger();
+        assert_eq!(fs.try_read(id).unwrap_err(), IoError::TransientRead(id));
+        assert_eq!(fs.ledger(), before, "failed read must not touch the ledger");
+        // The file is intact: an infallible read (fast path) still works.
+        assert!(fs.read(id).is_some());
+    }
+
+    #[test]
+    fn permanent_loss_removes_file_without_ledger_delete() {
+        let fs = faulty_fs(FaultConfig::seeded(1).with_permanent_loss(1.0));
+        let (id, _) = fs.create("frag", 250, vec![7]);
+        let before = fs.ledger();
+        assert_eq!(fs.try_read(id).unwrap_err(), IoError::PermanentLoss(id));
+        assert_eq!(fs.total_bytes(), 0, "lost file no longer counts");
+        let after = fs.ledger();
+        assert_eq!(after.read_bytes, before.read_bytes);
+        assert_eq!(
+            after.files_deleted, before.files_deleted,
+            "loss is not an eviction"
+        );
+        assert_eq!(fs.fault_stats().permanent_losses, 1);
+    }
+
+    #[test]
+    fn latency_spike_charges_extra_secs_on_success() {
+        let fs = faulty_fs(FaultConfig::seeded(1).with_latency_spikes(1.0, 2.5));
+        let (id, _) = fs.create("frag", 250, vec![7]);
+        let out = fs.try_read(id).expect("spikes still succeed");
+        assert_eq!(out.spike_secs, 2.5);
+        assert_eq!(fs.ledger().files_read, 1, "spiked read still charges");
+    }
+
+    #[test]
+    fn transient_create_persists_nothing() {
+        let fs = faulty_fs(FaultConfig::seeded(1).with_transient_writes(1.0));
+        let before = fs.ledger();
+        assert_eq!(
+            fs.try_create("frag", 250, vec![7]).unwrap_err(),
+            IoError::TransientWrite
+        );
+        assert_eq!(fs.file_count(), 0);
+        assert_eq!(
+            fs.ledger(),
+            before,
+            "failed write must not touch the ledger"
+        );
+        // The infallible path bypasses the injector entirely.
+        let (id, _) = fs.create("frag", 250, vec![7]);
+        assert!(fs.stat(id).is_some());
     }
 }

@@ -15,11 +15,16 @@
 //! 3. **A bounded materialized-view pool** — total view/fragment storage must
 //!    stay below `Smax` ([`PoolAccountant`]).
 //!
+//! For robustness testing the FS can also inject deterministic, seed-driven
+//! faults — transient read/write failures, permanent fragment loss, and
+//! latency spikes — via [`FaultInjector`]; see the [`fault`] module.
+//!
 //! Files carry an arbitrary in-memory payload (the actual rows of a view
 //! fragment) *and* a simulated byte size, so the same object supports real
 //! query execution and cluster-scale cost accounting.
 
 pub mod block;
+pub mod fault;
 pub mod file;
 pub mod fs;
 pub mod ledger;
@@ -27,6 +32,7 @@ pub mod pool;
 pub mod weights;
 
 pub use block::BlockConfig;
+pub use fault::{FaultConfig, FaultInjector, FaultStats, IoError, IoOutcome};
 pub use file::{FileId, StoredFile};
 pub use fs::SimFs;
 pub use ledger::CostLedger;

@@ -1,0 +1,213 @@
+//! Chaos suite: replay the golden 50-query workload (see
+//! `deepsea-bench::golden`) under seeded fault schedules — transient read
+//! failures, permanent fragment loss, latency spikes — and assert the
+//! client-visible answers are bit-identical to the fault-free run.
+//!
+//! Views are opportunistic accelerators over durable base tables, so faults
+//! may cost simulated time (retries, backoff, base-table fallbacks) but must
+//! never change a result, leak pool accounting, or surface an error.
+//!
+//! The seeds replayed by the main test come from `CHAOS_SEEDS`
+//! (comma-separated, default `1,7,42`), so CI can sweep schedules without a
+//! rebuild: `CHAOS_SEEDS=1,7,42 cargo test -q --test chaos`.
+
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+use deepsea::bench::golden::{golden_catalog, golden_plans};
+use deepsea::bench::harness::run_workload;
+use deepsea::core::baselines;
+use deepsea::core::{DeepSea, DeepSeaConfig};
+use deepsea::engine::{Catalog, ClusterSim, LogicalPlan, RetryPolicy, RetryingBackend, SimBackend};
+use deepsea::storage::{BlockConfig, FaultConfig, FaultInjector, SimFs};
+use proptest::prelude::*;
+
+/// The DS variant of the golden scenario (progressive partitioning, φ bound).
+fn chaos_config() -> DeepSeaConfig {
+    baselines::deepsea().with_phi(0.05)
+}
+
+fn setup() -> (&'static Arc<Catalog>, &'static Vec<LogicalPlan>) {
+    static S: OnceLock<(Arc<Catalog>, Vec<LogicalPlan>)> = OnceLock::new();
+    let s = S.get_or_init(|| (golden_catalog(), golden_plans()));
+    (&s.0, &s.1)
+}
+
+/// What one replay under a fault schedule observed.
+#[derive(Debug, Default)]
+struct ChaosOutcome {
+    /// Per-query result fingerprints (order-independent content hashes).
+    fingerprints: Vec<Vec<String>>,
+    /// Per-query elapsed simulated seconds.
+    elapsed: Vec<f64>,
+    retries: u64,
+    penalty_secs: f64,
+    quarantines: u64,
+    fallbacks: u64,
+    /// A view quarantined earlier in the run was materialized again later.
+    rematerialized: bool,
+}
+
+/// Replay the first `limit` golden queries under `faults`, checking the
+/// pool-accounting invariant after every query.
+fn run_chaos(faults: FaultConfig, limit: usize) -> ChaosOutcome {
+    let (catalog, plans) = setup();
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::with_faults(
+        BlockConfig::default(),
+        cluster.weights,
+        FaultInjector::new(faults),
+    ));
+    let policy = RetryPolicy::default();
+    let backend = Box::new(RetryingBackend::new(SimBackend::new(cluster), policy));
+    let mut ds = DeepSea::with_backend(
+        Arc::clone(catalog),
+        Arc::clone(&fs),
+        backend,
+        chaos_config().with_retry(policy),
+    );
+    let mut out = ChaosOutcome::default();
+    let mut quarantined_names: HashSet<String> = HashSet::new();
+    for (i, plan) in plans.iter().take(limit).enumerate() {
+        let o = ds
+            .process_query(plan)
+            .unwrap_or_else(|e| panic!("query {i}: faults must never surface to the client: {e}"));
+        assert_eq!(
+            fs.total_bytes(),
+            ds.pool_bytes(),
+            "query {i}: pool accounting must match the file system"
+        );
+        out.fingerprints.push(o.result.fingerprint());
+        out.elapsed.push(o.elapsed_secs);
+        out.retries += o.trace.recovery.retries as u64;
+        out.penalty_secs += o.trace.recovery.penalty_secs;
+        out.quarantines += o.trace.recovery.quarantined_views as u64;
+        out.fallbacks += o.trace.recovery.base_table_fallbacks as u64;
+        if o.materialized.iter().any(|m| {
+            quarantined_names
+                .iter()
+                .any(|q| m == q || m.starts_with(&format!("{q}.")))
+        }) {
+            out.rematerialized = true;
+        }
+        quarantined_names.extend(o.quarantined.iter().cloned());
+    }
+    out
+}
+
+/// Fault-free per-query fingerprints — the equality baseline for every
+/// schedule, computed once.
+fn fault_free_fingerprints() -> &'static Vec<Vec<String>> {
+    static GOLDEN: OnceLock<Vec<Vec<String>>> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let (_, plans) = setup();
+        run_chaos(FaultConfig::disabled(), plans.len()).fingerprints
+    })
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    std::env::var("CHAOS_SEEDS")
+        .unwrap_or_else(|_| "1,7,42".into())
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("CHAOS_SEEDS must be comma-separated u64s"))
+        .collect()
+}
+
+/// The headline schedule: 12% transient reads, 5% permanent loss, 5%
+/// transient writes, 5% latency spikes — harsh enough that every seed sees
+/// quarantines and base-table fallbacks within 50 queries.
+fn headline_faults(seed: u64) -> FaultConfig {
+    FaultConfig::seeded(seed)
+        .with_transient_reads(0.12)
+        .with_permanent_loss(0.05)
+        .with_transient_writes(0.05)
+        .with_latency_spikes(0.05, 2.0)
+}
+
+#[test]
+fn chaos_replay_is_bit_identical_to_fault_free() {
+    let golden = fault_free_fingerprints();
+    for seed in chaos_seeds() {
+        let run = run_chaos(headline_faults(seed), golden.len());
+        assert_eq!(run.fingerprints.len(), golden.len(), "seed {seed}");
+        for (i, (got, want)) in run.fingerprints.iter().zip(golden).enumerate() {
+            assert_eq!(
+                got, want,
+                "seed {seed}, query {i}: answer diverged under faults"
+            );
+        }
+        // The schedule must actually exercise the recovery machinery, and
+        // its cost must be visible in the trace.
+        assert!(run.retries >= 1, "seed {seed}: no transient was retried");
+        assert!(
+            run.penalty_secs > 0.0,
+            "seed {seed}: recovery charged no simulated time"
+        );
+        assert!(
+            run.quarantines >= 1,
+            "seed {seed}: no view was quarantined: {run:?}"
+        );
+        assert!(
+            run.fallbacks >= 1,
+            "seed {seed}: no base-table fallback happened: {run:?}"
+        );
+        assert!(
+            run.rematerialized,
+            "seed {seed}: no quarantined-but-hot view was re-materialized: {run:?}"
+        );
+    }
+}
+
+/// With the injector disabled, the whole fault layer — `try_read`,
+/// `RetryingBackend`, the driver's retrying reads — must be bit-transparent:
+/// identical elapsed seconds to the plain harness, and zero recovery
+/// activity.
+#[test]
+fn zero_fault_schedule_is_bit_transparent() {
+    let (catalog, plans) = setup();
+    let chaos = run_chaos(FaultConfig::disabled(), plans.len());
+    let plain = run_workload("DS", catalog, chaos_config(), plans);
+    assert_eq!(chaos.elapsed.len(), plain.per_query.len());
+    for (i, (a, b)) in chaos.elapsed.iter().zip(&plain.per_query).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.elapsed.to_bits(),
+            "query {i}: disabled injector must not perturb timing ({a} vs {})",
+            b.elapsed
+        );
+    }
+    assert_eq!(chaos.retries, 0);
+    assert_eq!(chaos.penalty_secs, 0.0);
+    assert_eq!(chaos.quarantines, 0);
+    assert_eq!(chaos.fallbacks, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, max_shrink_iters: 0 })]
+
+    /// Any fault schedule — arbitrary seed and rates — leaves a workload
+    /// prefix's answers untouched and the pool accounting consistent (the
+    /// invariant is asserted inside `run_chaos` after every query).
+    #[test]
+    fn arbitrary_fault_schedules_never_change_answers(
+        seed in 0u64..1_000_000,
+        transient in 0.0f64..0.30,
+        permanent in 0.0f64..0.05,
+        spike in 0.0f64..0.10,
+        prefix in 8usize..14,
+    ) {
+        let faults = FaultConfig::seeded(seed)
+            .with_transient_reads(transient)
+            .with_permanent_loss(permanent)
+            .with_transient_writes(transient / 2.0)
+            .with_latency_spikes(spike, 1.5);
+        let golden = fault_free_fingerprints();
+        let run = run_chaos(faults, prefix);
+        prop_assert_eq!(run.fingerprints.len(), prefix);
+        for (i, (got, want)) in run.fingerprints.iter().zip(golden.iter().take(prefix)).enumerate() {
+            prop_assert_eq!(got, want, "seed {}, query {}: answer diverged", seed, i);
+        }
+    }
+}
