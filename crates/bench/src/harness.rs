@@ -78,6 +78,17 @@ pub struct StageTotals {
     pub quarantined_bytes: u64,
     /// Rewritten plans re-answered from base tables after a view failed.
     pub base_table_fallbacks: u64,
+    /// Fragment reads that failed checksum verification (detected, never
+    /// served).
+    pub corrupt_fragments: u64,
+    /// Catalog-journal records appended.
+    pub journal_appends: u64,
+    /// Transient journal-write failures retried.
+    pub journal_retries: u64,
+    /// Simulated seconds of journal-retry backoff charged.
+    pub journal_penalty_secs: f64,
+    /// Full-state journal snapshots installed.
+    pub journal_snapshots: u64,
 }
 
 /// The result of running one workload under one variant.
@@ -149,6 +160,11 @@ impl RunResult {
             t.quarantined_views += tr.recovery.quarantined_views as u64;
             t.quarantined_bytes += tr.recovery.quarantined_bytes;
             t.base_table_fallbacks += tr.recovery.base_table_fallbacks as u64;
+            t.corrupt_fragments += tr.recovery.corrupt_fragments as u64;
+            t.journal_appends += tr.durability.journal_appends as u64;
+            t.journal_retries += tr.durability.journal_retries as u64;
+            t.journal_penalty_secs += tr.durability.journal_penalty_secs;
+            t.journal_snapshots += tr.durability.snapshots as u64;
         }
         t
     }

@@ -136,13 +136,22 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
         vec![
             "recovery".into(),
             format!(
-                "{} retries, {} quarantined ({}), {} base-table fallbacks",
+                "{} retries, {} quarantined ({}), {} base-table fallbacks, {} corrupt",
                 t.retries,
                 t.quarantined_views,
                 bytes(t.quarantined_bytes),
-                t.base_table_fallbacks
+                t.base_table_fallbacks,
+                t.corrupt_fragments
             ),
             secs(t.retry_penalty_secs),
+        ],
+        vec![
+            "durability".into(),
+            format!(
+                "{} journal records, {} snapshots, {} retries",
+                t.journal_appends, t.journal_snapshots, t.journal_retries
+            ),
+            secs(t.journal_penalty_secs),
         ],
     ];
     format!(
@@ -230,6 +239,11 @@ mod tests {
             quarantined_views: 1,
             quarantined_bytes: 3_000_000,
             base_table_fallbacks: 1,
+            corrupt_fragments: 2,
+            journal_appends: 120,
+            journal_retries: 3,
+            journal_penalty_secs: 1.5,
+            journal_snapshots: 2,
         };
         let s = stage_breakdown("DS", &t);
         for stage in [
@@ -241,6 +255,7 @@ mod tests {
             "materialization",
             "eviction",
             "recovery",
+            "durability",
         ] {
             assert!(s.contains(stage), "missing {stage} in:\n{s}");
         }
@@ -248,6 +263,7 @@ mod tests {
         assert!(s.contains("100.5"));
         assert!(s.contains("2.0 GB"));
         assert!(s.contains("12 roots, 5 hits (3 on materialized data)"));
-        assert!(s.contains("9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks"));
+        assert!(s.contains("9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks, 2 corrupt"));
+        assert!(s.contains("120 journal records, 2 snapshots, 3 retries"));
     }
 }

@@ -32,6 +32,14 @@ pub struct DeepSeaConfig {
     /// backend's business (see `RetryingBackend`); this governs the driver's
     /// own fragment reads and writes.
     pub retry: RetryPolicy,
+    /// When a catalog journal is attached, emit a statistics checkpoint
+    /// record every this many queries (benefit events and fragment hits are
+    /// too chatty to journal individually; a crash loses at most this many
+    /// queries' worth of statistics, never structural state).
+    pub journal_checkpoint_every: LogicalTime,
+    /// When a catalog journal is attached, install a full-state snapshot
+    /// (truncating the record log) every this many queries.
+    pub journal_snapshot_every: LogicalTime,
 }
 
 impl Default for DeepSeaConfig {
@@ -47,6 +55,8 @@ impl Default for DeepSeaConfig {
             min_fragment_bytes: BlockConfig::default().block_bytes,
             phi_max_fraction: None,
             retry: RetryPolicy::default(),
+            journal_checkpoint_every: 10,
+            journal_snapshot_every: 25,
         }
     }
 }
@@ -100,6 +110,18 @@ impl DeepSeaConfig {
         self.retry = retry;
         self
     }
+
+    /// Builder-style: set the journal checkpoint and snapshot cadence
+    /// (in queries).
+    pub fn with_journal_cadence(
+        mut self,
+        checkpoint_every: LogicalTime,
+        snapshot_every: LogicalTime,
+    ) -> Self {
+        self.journal_checkpoint_every = checkpoint_every;
+        self.journal_snapshot_every = snapshot_every;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +153,8 @@ mod tests {
             .with_min_fragment_bytes(64)
             .with_value_model(ValueModel::Nectar)
             .with_policy(PartitionPolicy::NoPartition)
-            .with_retry(retry);
+            .with_retry(retry)
+            .with_journal_cadence(5, 20);
         assert_eq!(c.smax, Some(1_000));
         assert_eq!(c.tmax, 77);
         assert_eq!(c.phi_max_fraction, Some(0.25));
@@ -139,5 +162,7 @@ mod tests {
         assert_eq!(c.value_model, ValueModel::Nectar);
         assert_eq!(c.partition_policy, PartitionPolicy::NoPartition);
         assert_eq!(c.retry, retry);
+        assert_eq!(c.journal_checkpoint_every, 5);
+        assert_eq!(c.journal_snapshot_every, 20);
     }
 }

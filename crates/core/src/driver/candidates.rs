@@ -8,6 +8,7 @@ use deepsea_engine::subquery::{all_subplans, view_candidate_subplans};
 use deepsea_relation::Predicate;
 
 use crate::candidates::{clamp_to_domain, partition_candidates};
+use crate::durability::CatalogRecord;
 use crate::filter_tree::ViewId;
 use crate::interval::Interval;
 use crate::registry::PartitionState;
@@ -85,13 +86,28 @@ impl DeepSea {
         }
         for (plan, sig, est_size, recreate, overhead, saving) in registrations {
             let key = sig.canonical_key();
-            let is_new = self.registry.by_key(&key).is_none();
+            let prior = self.registry.by_key(&key);
+            let is_new = prior.is_none();
+            let was_quarantined = prior.is_some_and(|id| self.registry.view(id).is_quarantined());
+            // Journal both first registrations and re-admissions — the two
+            // cases where `register` mutates durable state.
+            let record = (is_new || was_quarantined).then(|| CatalogRecord::ViewRegistered {
+                plan: plan.clone(),
+                sig: sig.clone(),
+                est_size,
+                est_cost: recreate,
+                est_overhead: overhead,
+                first_use: is_new.then_some((tnow, saving)),
+            });
             let vid = self
                 .registry
                 .register(plan, sig, est_size, recreate, overhead);
             if is_new {
                 // The view could have been used by this very query.
                 self.registry.view_mut(vid).stats.record_use(tnow, saving);
+            }
+            if let Some(record) = record {
+                self.journal_emit(record);
             }
             out.push(vid);
         }
@@ -174,15 +190,36 @@ impl DeepSea {
         let mut new_frags = 0u32;
         for (vid, col, domain, qiv) in work {
             let tmax = self.config.tmax;
+            // Buffer journal records while the registry borrow is live; emit
+            // them afterwards in mutation order.
+            let mut records: Vec<CatalogRecord> = Vec::new();
+            let key = self.registry.view(vid).key.clone();
             let view = self.registry.view_mut(vid);
             let view_size = view.stats.size;
+            if !view.partitions.contains_key(&col) {
+                records.push(CatalogRecord::PartitionTracked {
+                    view: key.clone(),
+                    attr: col.clone(),
+                    domain,
+                });
+            }
             let ps = view
                 .partitions
                 .entry(col.clone())
                 .or_insert_with(|| PartitionState::new(col.clone(), domain));
-            ps.add_boundary(qiv.lo);
-            if qiv.hi < ps.domain.hi {
-                ps.add_boundary(qiv.hi + 1);
+            if ps.add_boundary(qiv.lo) {
+                records.push(CatalogRecord::BoundaryAdded {
+                    view: key.clone(),
+                    attr: col.clone(),
+                    point: qiv.lo,
+                });
+            }
+            if qiv.hi < ps.domain.hi && ps.add_boundary(qiv.hi + 1) {
+                records.push(CatalogRecord::BoundaryAdded {
+                    view: key.clone(),
+                    attr: col.clone(),
+                    point: qiv.hi + 1,
+                });
             }
             let base = ps.candidate_base();
             let mut cands = partition_candidates(&base, &ps.domain, &qiv);
@@ -209,6 +246,14 @@ impl DeepSea {
                 let fid = ps.track(cand, est);
                 if is_new {
                     new_frags += 1;
+                    let hit = qiv.contains(&cand).then_some(tnow);
+                    records.push(CatalogRecord::FragmentTracked {
+                        view: key.clone(),
+                        attr: col.clone(),
+                        interval: cand,
+                        est_size: est,
+                        hit,
+                    });
                 }
                 // Freshly-tracked candidates inside the query range would
                 // have been used by this query; existing fragments already
@@ -218,6 +263,9 @@ impl DeepSea {
                     frag.stats.record_hit(tnow);
                     frag.stats.prune(tnow, tmax);
                 }
+            }
+            for record in records {
+                self.journal_emit(record);
             }
         }
         (selections, new_frags)

@@ -106,6 +106,23 @@ pub struct RecoveryTrace {
     pub quarantined_bytes: u64,
     /// Rewritten plans that failed and were re-answered from base tables.
     pub base_table_fallbacks: u32,
+    /// Fragment reads that failed checksum verification (corruption detected
+    /// on read, never served). Each routes through the quarantine path.
+    pub corrupt_fragments: u32,
+}
+
+/// Counters from catalog journaling. All zero when no journal is attached —
+/// a journal-less run is bit-transparent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DurabilityTrace {
+    /// Journal records appended while processing this query.
+    pub journal_appends: u32,
+    /// Transient journal-write failures retried.
+    pub journal_retries: u32,
+    /// Simulated seconds of journal-retry backoff charged to this query.
+    pub journal_penalty_secs: f64,
+    /// Full-state snapshots installed (truncating the record log).
+    pub snapshots: u32,
 }
 
 /// Wall-clock-free per-stage instrumentation of one `process_query` call.
@@ -133,6 +150,8 @@ pub struct QueryTrace {
     pub eviction: EvictionTrace,
     /// Fault recovery: retries, quarantines, base-table fallbacks.
     pub recovery: RecoveryTrace,
+    /// Catalog journaling: appends, retries, snapshots.
+    pub durability: DurabilityTrace,
 }
 
 /// Accumulated I/O of the materializations a query performs; converted to

@@ -6,6 +6,7 @@ use deepsea_engine::exec::ExecError;
 use deepsea_relation::Table;
 use deepsea_storage::FileId;
 
+use crate::durability::CatalogRecord;
 use crate::filter_tree::ViewId;
 use crate::selection::{CandidateKind, RankedItem};
 use crate::stats::LogicalTime;
@@ -37,17 +38,30 @@ impl DeepSea {
             CandidateKind::WholeView(vid) => {
                 let view = self.registry.view_mut(*vid);
                 let file = view.whole_file.take()?;
+                let size = view.stats.size;
+                let key = view.key.clone();
+                let name = view.name.clone();
                 self.fs.delete(file);
-                Some(view.name.clone())
+                let _ = self.pool.release(size);
+                self.journal_emit(CatalogRecord::ViewEvicted { view: key });
+                Some(name)
             }
             CandidateKind::Fragment(vid, attr, fid) => {
                 let view = self.registry.view_mut(*vid);
                 let name = view.name.clone();
+                let key = view.key.clone();
                 let ps = view.partitions.get_mut(attr)?;
                 let frag = ps.frag_mut(*fid)?;
                 let file = frag.file.take()?;
                 let iv = frag.interval;
+                let size = frag.size;
                 self.fs.delete(file);
+                let _ = self.pool.release(size);
+                self.journal_emit(CatalogRecord::FragmentEvicted {
+                    view: key,
+                    attr: attr.clone(),
+                    interval: iv,
+                });
                 Some(format!("{name}.{attr}{iv}"))
             }
         }
@@ -157,25 +171,49 @@ impl DeepSea {
                 + self.backend.write_secs(size, size.div_ceil(block).max(1))
                 + charge.penalty_secs;
             // Update metadata: drop the halves, track the union.
-            let view = self.registry.view_mut(vid);
-            let ps = view.partitions.get_mut(&attr).expect("checked");
-            let mut hits: Vec<LogicalTime> = Vec::new();
-            for id in [cand.left, cand.right] {
-                if let Some(f) = ps.frag_mut(id) {
-                    hits.extend(f.stats.hits.iter().copied());
-                    if let Some(file) = f.file.take() {
-                        self.fs.delete(file);
+            let key = self.registry.view(vid).key.clone();
+            let mut dropped: Vec<(crate::interval::Interval, u64)> = Vec::new();
+            {
+                let view = self.registry.view_mut(vid);
+                let ps = view.partitions.get_mut(&attr).expect("checked");
+                let mut hits: Vec<LogicalTime> = Vec::new();
+                for id in [cand.left, cand.right] {
+                    if let Some(f) = ps.frag_mut(id) {
+                        hits.extend(f.stats.hits.iter().copied());
+                        if let Some(file) = f.file.take() {
+                            self.fs.delete(file);
+                            dropped.push((f.interval, f.size));
+                        }
                     }
                 }
+                hits.sort_unstable();
+                let mid = ps.track(cand.merged, size);
+                let f = ps.frag_mut(mid).expect("just tracked");
+                f.file = Some(new_file);
+                f.size = size;
+                f.stats.hits = hits;
             }
-            hits.sort_unstable();
-            let mid = ps.track(cand.merged, size);
-            let f = ps.frag_mut(mid).expect("just tracked");
-            f.file = Some(new_file);
-            f.size = size;
-            f.stats.hits = hits;
+            for (interval, bytes) in dropped {
+                let _ = self.pool.release(bytes);
+                self.journal_emit(CatalogRecord::FragmentEvicted {
+                    view: key.clone(),
+                    attr: attr.clone(),
+                    interval,
+                });
+            }
+            let _ = self.pool.reserve(size);
+            self.journal_emit(CatalogRecord::FragmentMaterialized {
+                view: key,
+                attr: attr.clone(),
+                interval: cand.merged,
+                file: new_file,
+                size,
+                schema: None,
+            });
             merged.push(format!("{name}.{attr}{}", cand.merged));
         }
+        let debt = self.drain_journal_debt();
+        secs += debt.penalty_secs;
         Ok((secs, merged))
     }
 }

@@ -10,6 +10,7 @@ use deepsea_engine::exec::ExecError;
 use deepsea_relation::Table;
 use deepsea_storage::FileId;
 
+use crate::durability::CatalogRecord;
 use crate::filter_tree::ViewId;
 use crate::fragment::FragmentId;
 use crate::interval::Interval;
@@ -54,11 +55,19 @@ impl DeepSea {
                     ctx.charge.absorb(c);
                     ctx.materialized.extend(descs);
                 }
-                Err(ExecError::TransientIo(_) | ExecError::PermanentIo(_)) => {
-                    // A source fragment died (after retries) while we were
-                    // building on it. Nothing was written — the fallible
-                    // reads all happen before any create — so quarantine the
-                    // view and keep materializing the rest of the plan.
+                Err(
+                    e @ (ExecError::TransientIo(_)
+                    | ExecError::PermanentIo(_)
+                    | ExecError::CorruptIo(_)),
+                ) => {
+                    // A source fragment died (after retries) or failed its
+                    // checksum while we were building on it. Nothing was
+                    // written — the fallible reads all happen before any
+                    // create — so quarantine the view and keep materializing
+                    // the rest of the plan.
+                    if matches!(e, ExecError::CorruptIo(_)) {
+                        ctx.trace.recovery.corrupt_fragments += 1;
+                    }
                     self.quarantine_into_ctx(vid, ctx);
                 }
                 Err(e) => return Err(e),
@@ -100,12 +109,12 @@ impl DeepSea {
         vid: ViewId,
         _tnow: LogicalTime,
     ) -> Result<(CreationCharge, Vec<String>), ExecError> {
-        let (plan, name) = {
+        let (plan, name, key) = {
             let v = self.registry.view(vid);
             if v.is_materialized() {
                 return Ok((CreationCharge::default(), Vec::new()));
             }
-            (v.plan.clone(), v.name.clone())
+            (v.plan.clone(), v.name.clone(), v.key.clone())
         };
         // Compute the view's content. In the real system this is a by-product
         // of the instrumented query's execution, so only the *write* side is
@@ -122,6 +131,7 @@ impl DeepSea {
 
         let mut descs = Vec::new();
         let mut charge = CreationCharge::default();
+        let mut whole_file = None;
         match attr_choice {
             Some((attr, _domain, intervals)) if self.config.partition_policy.partitions() => {
                 let col_idx = schema
@@ -156,6 +166,15 @@ impl DeepSea {
                     let frag = ps.frag_mut(fid).expect("just tracked");
                     frag.file = Some(file);
                     frag.size = size;
+                    let _ = self.pool.reserve(size);
+                    self.journal_emit(CatalogRecord::FragmentMaterialized {
+                        view: key.clone(),
+                        attr: attr.clone(),
+                        interval: *iv,
+                        file,
+                        size,
+                        schema: Some(schema.clone()),
+                    });
                     descs.push(format!("{name}.{attr}{iv}"));
                 }
             }
@@ -165,15 +184,34 @@ impl DeepSea {
                 charge.write_bytes += size;
                 charge.files += 1;
                 self.registry.view_mut(vid).whole_file = Some(file);
+                let _ = self.pool.reserve(size);
+                whole_file = Some(file);
                 descs.push(name.clone());
             }
         }
         let secs = self.backend.write_secs(charge.write_bytes, charge.files);
         let recompute = self.estimator().estimated_secs(&plan) + secs;
         let view = self.registry.view_mut(vid);
-        view.schema = Some(schema);
+        view.schema = Some(schema.clone());
         view.stats.set_measured(actual_size, recompute);
         view.creation_overhead = secs;
+        match whole_file {
+            Some(file) => self.journal_emit(CatalogRecord::ViewMaterialized {
+                view: key,
+                file,
+                size: actual_size,
+                cost: recompute,
+                overhead: secs,
+                schema,
+            }),
+            None => self.journal_emit(CatalogRecord::ViewStatsMeasured {
+                view: key,
+                size: actual_size,
+                cost: recompute,
+                overhead: secs,
+                schema,
+            }),
+        }
         Ok((charge, descs))
     }
 
@@ -220,7 +258,7 @@ impl DeepSea {
         view_cache: &mut HashMap<ViewId, Arc<Table>>,
     ) -> Result<Option<(CreationCharge, String)>, ExecError> {
         let overlapping_mode = self.config.partition_policy.overlapping();
-        let (name, schema, target, sources): (String, _, Interval, Vec<SourceFrag>) = {
+        let (name, key, schema, target, sources): (String, String, _, Interval, Vec<SourceFrag>) = {
             let view = self.registry.view(vid);
             let Some(ps) = view.partitions.get(attr) else {
                 return Ok(None);
@@ -240,7 +278,9 @@ impl DeepSea {
                 .collect::<Vec<_>>();
             let schema = view.schema.clone();
             match schema {
-                Some(s) if !sources.is_empty() => (view.name.clone(), s, target, sources),
+                Some(s) if !sources.is_empty() => {
+                    (view.name.clone(), view.key.clone(), s, target, sources)
+                }
                 // No materialized source covers the target (fresh view, or a
                 // fully-evicted region): build the fragment from the view's
                 // plan instead.
@@ -367,7 +407,9 @@ impl DeepSea {
             dropped.push(*sid);
         }
 
-        // Update registry metadata.
+        // Update registry metadata, collecting what actually changed so the
+        // journal records and pool ledger can be updated after the borrow.
+        let mut dropped_meta: Vec<(Interval, u64)> = Vec::new();
         {
             let view = self.registry.view_mut(vid);
             let ps = view.partitions.get_mut(attr).expect("checked above");
@@ -379,15 +421,44 @@ impl DeepSea {
                 if let Some(f) = ps.frag_mut(sid) {
                     if let Some(file) = f.file.take() {
                         self.fs.delete(file);
+                        dropped_meta.push((f.interval, f.size));
                     }
                 }
             }
-            for (piece, file, size) in remainder_meta {
-                let pid = ps.track(piece, size);
+            for (piece, file, size) in &remainder_meta {
+                let pid = ps.track(*piece, *size);
                 let f = ps.frag_mut(pid).expect("just tracked");
-                f.file = Some(file);
-                f.size = size;
+                f.file = Some(*file);
+                f.size = *size;
             }
+        }
+        let _ = self.pool.reserve(new_size);
+        self.journal_emit(CatalogRecord::FragmentMaterialized {
+            view: key.clone(),
+            attr: attr.to_string(),
+            interval: target,
+            file: new_file,
+            size: new_size,
+            schema: None,
+        });
+        for (interval, size) in dropped_meta {
+            let _ = self.pool.release(size);
+            self.journal_emit(CatalogRecord::FragmentEvicted {
+                view: key.clone(),
+                attr: attr.to_string(),
+                interval,
+            });
+        }
+        for (piece, file, size) in remainder_meta {
+            let _ = self.pool.reserve(size);
+            self.journal_emit(CatalogRecord::FragmentMaterialized {
+                view: key.clone(),
+                attr: attr.to_string(),
+                interval: piece,
+                file,
+                size,
+                schema: None,
+            });
         }
 
         Ok(Some((charge, format!("{name}.{attr}{target}"))))
@@ -404,7 +475,7 @@ impl DeepSea {
         fid: FragmentId,
         view_cache: &mut HashMap<ViewId, Arc<Table>>,
     ) -> Result<Option<(CreationCharge, String)>, ExecError> {
-        let (plan, name, target) = {
+        let (plan, name, key, target) = {
             let view = self.registry.view(vid);
             let Some(ps) = view.partitions.get(attr) else {
                 return Ok(None);
@@ -412,7 +483,12 @@ impl DeepSea {
             let Some(frag) = ps.frag(fid) else {
                 return Ok(None);
             };
-            (view.plan.clone(), view.name.clone(), frag.interval)
+            (
+                view.plan.clone(),
+                view.name.clone(),
+                view.key.clone(),
+                frag.interval,
+            )
         };
         let table = match view_cache.get(&vid) {
             Some(t) => Arc::clone(t),
@@ -454,8 +530,9 @@ impl DeepSea {
         let overhead = self.backend.write_secs(full_size, 1);
         let recompute = self.estimator().estimated_secs(&plan);
         let view = self.registry.view_mut(vid);
-        if view.schema.is_none() {
-            view.schema = Some(schema);
+        let first_measure = view.schema.is_none();
+        if first_measure {
+            view.schema = Some(schema.clone());
             view.stats.set_measured(full_size, recompute + overhead);
             view.creation_overhead = overhead;
         }
@@ -464,6 +541,24 @@ impl DeepSea {
             f.file = Some(file);
             f.size = size;
         }
+        let _ = self.pool.reserve(size);
+        if first_measure {
+            self.journal_emit(CatalogRecord::ViewStatsMeasured {
+                view: key.clone(),
+                size: full_size,
+                cost: recompute + overhead,
+                overhead,
+                schema: schema.clone(),
+            });
+        }
+        self.journal_emit(CatalogRecord::FragmentMaterialized {
+            view: key,
+            attr: attr.to_string(),
+            interval: target,
+            file,
+            size,
+            schema: Some(schema),
+        });
         Ok(Some((charge, format!("{name}.{attr}{target}"))))
     }
 }

@@ -40,17 +40,20 @@ use deepsea_engine::exec::{ExecError, ExecMetrics};
 use deepsea_engine::plan::LogicalPlan;
 use deepsea_engine::{ClusterSim, ExecutionBackend, SimBackend};
 use deepsea_relation::Table;
-use deepsea_storage::{BlockConfig, SimFs};
+use deepsea_storage::{BlockConfig, PoolAccountant, SimFs};
 
 use crate::config::DeepSeaConfig;
+use crate::durability::{
+    replay_catalog, stats_checkpoint, CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport,
+};
 use crate::registry::ViewRegistry;
 use crate::stats::LogicalTime;
 
 use context::QueryContext;
 
 pub use context::{
-    CandidatesTrace, EvictionTrace, ExecutionTrace, MatchingTrace, MaterializationTrace,
-    QueryTrace, RecoveryTrace, RewritingTrace, SelectionTrace,
+    CandidatesTrace, DurabilityTrace, EvictionTrace, ExecutionTrace, MatchingTrace,
+    MaterializationTrace, QueryTrace, RecoveryTrace, RewritingTrace, SelectionTrace,
 };
 
 /// The result of processing one query.
@@ -80,6 +83,16 @@ pub struct QueryOutcome {
     pub trace: QueryTrace,
 }
 
+/// Journal-append debt accumulated since the last drain: retried transient
+/// failures and their simulated backoff seconds, charged to the query (or
+/// maintenance action) that performed the appends.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct JournalDebt {
+    pub(crate) appends: u32,
+    pub(crate) retries: u32,
+    pub(crate) penalty_secs: f64,
+}
+
 /// A DeepSea instance: the materialized-view pool manager wrapped around a
 /// catalog, a simulated file system and an execution backend.
 pub struct DeepSea {
@@ -89,6 +102,16 @@ pub struct DeepSea {
     pub(crate) backend: Box<dyn ExecutionBackend>,
     pub(crate) registry: ViewRegistry,
     pub(crate) clock: LogicalTime,
+    /// Optional catalog journal; when attached every registry mutation is
+    /// recorded at its commit point and the instance can be rebuilt by
+    /// [`DeepSea::recover`]. When absent, journaling has zero overhead.
+    pub(crate) journal: Option<Arc<CatalogJournal>>,
+    /// Mirror ledger of pool usage, maintained at every reserve/release site
+    /// so crash recovery can assert the three-way invariant
+    /// `pool.used == registry.pool_bytes() == fs.total_bytes()`. Unbounded:
+    /// `Smax` is enforced by selection and `enforce_limit`, not here.
+    pub(crate) pool: PoolAccountant,
+    pub(crate) journal_debt: JournalDebt,
 }
 
 impl DeepSea {
@@ -124,7 +147,58 @@ impl DeepSea {
             backend,
             registry: ViewRegistry::new(),
             clock: 0,
+            journal: None,
+            pool: PoolAccountant::unbounded(),
+            journal_debt: JournalDebt::default(),
         }
+    }
+
+    /// Builder-style: attach a catalog journal. Every registry mutation from
+    /// here on is recorded at its commit point; `DeepSea::recover` can then
+    /// rebuild this instance from the journal after a crash.
+    pub fn with_journal(mut self, journal: Arc<CatalogJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Rebuild an instance from its catalog journal after a crash: load the
+    /// latest snapshot, replay the record suffix, then run an **fsck sweep**
+    /// reconciling the recovered catalog against the file system — orphaned
+    /// files (created but never recorded) are deleted, catalog entries whose
+    /// backing files are missing or corrupt are quarantined, and the pool
+    /// ledger is re-derived and asserted consistent. Finally a recovery
+    /// checkpoint (full snapshot) is installed so a second crash recovers
+    /// from the reconciled state — which is what makes recovery idempotent.
+    pub fn recover(
+        catalog: Arc<Catalog>,
+        fs: Arc<SimFs<Table>>,
+        backend: Box<dyn ExecutionBackend>,
+        config: DeepSeaConfig,
+        journal: Arc<CatalogJournal>,
+    ) -> (Self, FsckReport) {
+        let (snapshot, records) = journal.replay();
+        let replayed_records = records.len() as u64;
+        let snapshot_lsn = snapshot.as_ref().map(|(lsn, _)| *lsn);
+        let (registry, clock) = replay_catalog(snapshot.map(|(_, s)| s), &records);
+
+        let mut ds = Self::with_backend(catalog, fs, backend, config).with_journal(journal);
+        ds.registry = registry;
+        ds.clock = clock;
+
+        let mut report = ds.fsck();
+        report.replayed_records = replayed_records;
+        report.snapshot_lsn = snapshot_lsn;
+
+        // Compact the journal to the reconciled post-fsck state so fsck's own
+        // quarantines (and any pre-crash record tail) can never be re-applied
+        // against a file system that has since moved on.
+        if let Some(journal) = &ds.journal {
+            journal.install_snapshot(CatalogSnapshot {
+                registry: ds.registry.clone(),
+                clock: ds.clock,
+            });
+        }
+        (ds, report)
     }
 
     /// The configuration in force.
@@ -152,6 +226,16 @@ impl DeepSea {
         &self.fs
     }
 
+    /// The attached catalog journal, if any.
+    pub fn journal(&self) -> Option<&Arc<CatalogJournal>> {
+        self.journal.as_ref()
+    }
+
+    /// The mirror pool ledger (used bytes + over-release violations).
+    pub fn pool_accountant(&self) -> &PoolAccountant {
+        &self.pool
+    }
+
     /// The cluster model of the execution backend.
     pub fn cluster(&self) -> &ClusterSim {
         self.backend.cluster()
@@ -160,6 +244,69 @@ impl DeepSea {
     /// A cost estimator over the backend's cluster model.
     pub(crate) fn estimator(&self) -> CostEstimator<'_> {
         CostEstimator::new(&self.catalog, &self.fs, self.backend.cluster())
+    }
+
+    /// Append one record to the attached journal (no-op without one).
+    /// Transient journal-write failures are retried under the configured
+    /// retry policy, accumulating backoff seconds into the journal debt; a
+    /// record is never dropped (the final attempt forces the write). An armed
+    /// simulated crash fires from inside the append and propagates as a
+    /// panic — exactly the torn-state semantics the crash harness exercises.
+    pub(crate) fn journal_emit(&mut self, record: CatalogRecord) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        self.journal_debt.appends += 1;
+        let mut attempt = 0u32;
+        loop {
+            match journal.append(record.clone()) {
+                Ok(_) => return,
+                Err(_) if attempt < self.config.retry.max_retries => {
+                    self.journal_debt.retries += 1;
+                    self.journal_debt.penalty_secs += self.config.retry.backoff_secs(attempt);
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // Out of retries: a catalog record must not be lost, so
+                    // force the write (modelling a synchronous fsync path).
+                    journal.append_infallible(record);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Take the journal debt accumulated since the last drain.
+    pub(crate) fn drain_journal_debt(&mut self) -> JournalDebt {
+        std::mem::take(&mut self.journal_debt)
+    }
+
+    /// The commit point of one processed query: record the clock advance,
+    /// emit a statistics checkpoint / install a snapshot at the configured
+    /// cadence, and charge the accumulated journal debt to the query.
+    fn journal_commit(&mut self, ctx: &mut QueryContext) {
+        if self.journal.is_some() {
+            let tnow = ctx.tnow;
+            if tnow.is_multiple_of(self.config.journal_checkpoint_every.max(1)) {
+                let ckpt = stats_checkpoint(&self.registry, tnow);
+                self.journal_emit(ckpt);
+            }
+            self.journal_emit(CatalogRecord::QueryCommitted { tnow });
+            if tnow.is_multiple_of(self.config.journal_snapshot_every.max(1)) {
+                if let Some(journal) = &self.journal {
+                    journal.install_snapshot(CatalogSnapshot {
+                        registry: self.registry.clone(),
+                        clock: tnow,
+                    });
+                    ctx.trace.durability.snapshots += 1;
+                }
+            }
+        }
+        let debt = self.drain_journal_debt();
+        ctx.trace.durability.journal_appends += debt.appends;
+        ctx.trace.durability.journal_retries += debt.retries;
+        ctx.trace.durability.journal_penalty_secs += debt.penalty_secs;
+        ctx.creation_secs += debt.penalty_secs;
     }
 
     /// Process one query — Algorithm 1, as a linear sequence of stages over
@@ -190,6 +337,8 @@ impl DeepSea {
         self.stage_charge_creation(&mut ctx);
         // ── 7. Enforce Smax with measured sizes ──────────────────────────
         self.stage_enforce_limit(&mut ctx);
+        // ── 8. Durable commit point ──────────────────────────────────────
+        self.journal_commit(&mut ctx);
 
         Ok(QueryOutcome {
             result,
@@ -212,19 +361,21 @@ impl DeepSea {
         let optimized = deepsea_engine::optimize::push_down_selections(plan, &self.catalog);
         let (result, metrics) = self.backend.execute(&optimized, &self.catalog, &self.fs)?;
         let query_secs = self.backend.elapsed_secs(&metrics);
-        let mut trace = QueryTrace::default();
-        trace.execution.query_secs = query_secs;
+        let mut ctx = QueryContext::new(plan, self.clock);
+        ctx.query_secs = query_secs;
+        ctx.trace.execution.query_secs = query_secs;
+        self.journal_commit(&mut ctx);
         Ok(QueryOutcome {
             result,
-            elapsed_secs: query_secs,
+            elapsed_secs: query_secs + ctx.creation_secs,
             query_secs,
-            creation_secs: 0.0,
+            creation_secs: ctx.creation_secs,
             used_view: None,
             materialized: Vec::new(),
             evicted: Vec::new(),
             quarantined: Vec::new(),
             metrics,
-            trace,
+            trace: ctx.trace,
         })
     }
 
@@ -248,6 +399,9 @@ impl DeepSea {
                 Ok((result, metrics))
             }
             Err(e) => {
+                if matches!(e, ExecError::CorruptIo(_)) {
+                    ctx.trace.recovery.corrupt_fragments += 1;
+                }
                 // Whatever retries the backend burned on the doomed attempt
                 // still cost simulated time — collect the debt.
                 let (debt_retries, debt_secs) = self.backend.drain_retry_debt();

@@ -10,11 +10,13 @@
 //! and (c) leave statistics intact so a hot view earns re-materialization
 //! quickly once a later query re-registers its shape.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use deepsea_relation::Table;
 use deepsea_storage::{FileId, IoError};
 
+use crate::durability::{CatalogRecord, FsckReport};
 use crate::filter_tree::ViewId;
 use crate::registry::QuarantineReport;
 use crate::stats::LogicalTime;
@@ -95,11 +97,20 @@ impl DeepSea {
         vid: ViewId,
         tnow: LogicalTime,
     ) -> (String, QuarantineReport) {
+        let was_quarantined = self.registry.view(vid).is_quarantined();
         let report = self.registry.quarantine(vid, tnow);
         for file in &report.files {
             // The file that triggered the failure is usually already gone
             // from the FS; deleting the survivors is metadata-only.
             self.fs.delete(*file);
+        }
+        let _ = self.pool.release(report.bytes);
+        if !was_quarantined {
+            let key = self.registry.view(vid).key.clone();
+            self.journal_emit(CatalogRecord::ViewQuarantined {
+                view: key,
+                at: tnow,
+            });
         }
         (self.registry.view(vid).name.clone(), report)
     }
@@ -115,5 +126,101 @@ impl DeepSea {
         ctx.trace.recovery.quarantined_views += 1;
         ctx.trace.recovery.quarantined_bytes += report.bytes;
         ctx.quarantined.push(name);
+    }
+
+    /// The post-replay **fsck sweep** of `DeepSea::recover`: reconcile the
+    /// recovered catalog against the file system.
+    ///
+    /// The *fs-first, journal-after* commit convention bounds what a crash
+    /// can tear to exactly two shapes, and fsck repairs both:
+    ///
+    /// 1. **Orphans** — a file was created but the crash hit before its
+    ///    record was journaled. No catalog entry references it: delete it
+    ///    (releasing its simulated bytes, charged at the delete weight).
+    /// 2. **Dangling entries** — the journal references a file the FS no
+    ///    longer has (deleted pre-crash, its eviction record lost), or one
+    ///    whose checksum no longer verifies. The owning view is quarantined;
+    ///    its statistics survive for re-materialization.
+    ///
+    /// Afterwards the pool ledger is re-derived from the reconciled catalog
+    /// and the three-way invariant `pool.used == registry.pool_bytes() ==
+    /// fs.total_bytes()` is asserted.
+    pub(crate) fn fsck(&mut self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let tnow = self.clock;
+
+        // Pass 1: verify every catalog-referenced file; collect damaged views.
+        let mut damaged: Vec<ViewId> = Vec::new();
+        for view in self.registry.iter() {
+            let mut files: Vec<FileId> = Vec::new();
+            files.extend(view.whole_file);
+            files.extend(
+                view.partitions
+                    .values()
+                    .flat_map(|ps| ps.fragments.iter().filter_map(|f| f.file)),
+            );
+            let mut broken = false;
+            for f in files {
+                match self.fs.verify(f) {
+                    None => {
+                        report.missing_files += 1;
+                        broken = true;
+                    }
+                    Some(false) => {
+                        report.corrupt_files += 1;
+                        broken = true;
+                    }
+                    Some(true) => {}
+                }
+            }
+            if broken {
+                damaged.push(view.id);
+            }
+        }
+        for vid in damaged {
+            let (_, q) = self.quarantine_view(vid, tnow);
+            report.quarantined_views += 1;
+            report.quarantined_bytes += q.bytes;
+        }
+
+        // Pass 2: delete files no live catalog entry references (orphans of
+        // a crash between create and journal append, plus whatever the
+        // quarantines above just unlinked from the catalog).
+        let referenced: BTreeSet<FileId> = self
+            .registry
+            .iter()
+            .flat_map(|v| {
+                v.whole_file.into_iter().chain(
+                    v.partitions
+                        .values()
+                        .flat_map(|ps| ps.fragments.iter().filter_map(|f| f.file)),
+                )
+            })
+            .collect();
+        for f in self.fs.file_ids() {
+            if !referenced.contains(&f) {
+                if let Some((bytes, secs)) = self.fs.delete_costed(f) {
+                    report.orphan_files += 1;
+                    report.orphan_bytes += bytes;
+                    report.gc_secs += secs;
+                }
+            }
+        }
+
+        // Reconcile the pool ledger and assert the recovery invariant.
+        let live = self.registry.pool_bytes();
+        self.pool.set_used(live);
+        report.pool_used = live;
+        assert_eq!(
+            live,
+            self.fs.total_bytes(),
+            "fsck: catalog bytes and file-system bytes disagree"
+        );
+        assert_eq!(self.pool.used(), live, "fsck: pool ledger disagrees");
+
+        let debt = self.drain_journal_debt();
+        report.journal_retries = debt.retries;
+        report.journal_penalty_secs = debt.penalty_secs;
+        report
     }
 }

@@ -28,6 +28,10 @@
 //!   execution backend,
 //! - **Fragment merging** ([`merging`]) — the §11 extension: re-merge
 //!   consecutive fragments that are always accessed together,
+//! - **Crash-restart durability** ([`durability`]) — a catalog journal of
+//!   every registry mutation with periodic snapshots, cold-start replay
+//!   (`DeepSea::recover`), and an fsck sweep reconciling the catalog with
+//!   the file system (orphan GC, missing/corrupt-file quarantine),
 //! - **Baselines** ([`policy`], [`baselines`]) — vanilla Hive (H),
 //!   non-partitioned materialization (NP), Nectar (N), Nectar+ (N+),
 //!   equi-depth partitioning (E-k), and DeepSea without repartitioning (NR).
@@ -36,6 +40,7 @@ pub mod baselines;
 pub mod candidates;
 pub mod config;
 pub mod driver;
+pub mod durability;
 pub mod filter_tree;
 pub mod fragment;
 pub mod interval;
@@ -49,5 +54,6 @@ pub mod stats;
 
 pub use config::DeepSeaConfig;
 pub use driver::{DeepSea, QueryOutcome, QueryTrace, RecoveryTrace};
+pub use durability::{CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};

@@ -69,6 +69,10 @@ pub enum ExecError {
     /// A fragment file is permanently gone (lost or evicted); retries cannot
     /// help and the caller must fall back to base tables.
     PermanentIo(IoError),
+    /// A fragment file failed checksum verification. The data was never
+    /// served; the caller must quarantine the owning view and fall back to
+    /// base tables.
+    CorruptIo(IoError),
 }
 
 impl ExecError {
@@ -81,7 +85,9 @@ impl ExecError {
     pub fn file(&self) -> Option<FileId> {
         match self {
             ExecError::MissingFile(id) => Some(*id),
-            ExecError::TransientIo(e) | ExecError::PermanentIo(e) => e.file(),
+            ExecError::TransientIo(e) | ExecError::PermanentIo(e) | ExecError::CorruptIo(e) => {
+                e.file()
+            }
             _ => None,
         }
     }
@@ -89,10 +95,10 @@ impl ExecError {
 
 impl From<IoError> for ExecError {
     fn from(e: IoError) -> Self {
-        if e.is_transient() {
-            ExecError::TransientIo(e)
-        } else {
-            ExecError::PermanentIo(e)
+        match e {
+            IoError::Corrupt(_) => ExecError::CorruptIo(e),
+            _ if e.is_transient() => ExecError::TransientIo(e),
+            _ => ExecError::PermanentIo(e),
         }
     }
 }
@@ -105,6 +111,7 @@ impl fmt::Display for ExecError {
             ExecError::MissingFile(id) => write!(f, "missing fragment file {id}"),
             ExecError::TransientIo(e) => write!(f, "transient I/O failure: {e}"),
             ExecError::PermanentIo(e) => write!(f, "permanent I/O failure: {e}"),
+            ExecError::CorruptIo(e) => write!(f, "corrupt fragment: {e}"),
         }
     }
 }
@@ -112,7 +119,9 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ExecError::TransientIo(e) | ExecError::PermanentIo(e) => Some(e),
+            ExecError::TransientIo(e) | ExecError::PermanentIo(e) | ExecError::CorruptIo(e) => {
+                Some(e)
+            }
             _ => None,
         }
     }
@@ -705,6 +714,25 @@ mod tests {
         let err = execute(&plan, &c, &fs).unwrap_err();
         assert_eq!(err, ExecError::TransientIo(IoError::TransientRead(id1)));
         assert!(err.is_transient());
+    }
+
+    #[test]
+    fn view_scan_surfaces_corruption_without_serving_data() {
+        let (c, fs) = fixture();
+        let frag_schema = Schema::new(vec![Field::new("v.a", DataType::Int)]);
+        let f1 = Table::new(frag_schema.clone(), vec![vec![Value::Int(1)]], 500);
+        let (id1, _) = fs.create("f1", f1.sim_bytes(), f1);
+        fs.corrupt_file(id1);
+        let plan = LogicalPlan::ViewScan(crate::plan::ViewScanInfo {
+            view_name: "v".into(),
+            files: vec![id1],
+            schema: frag_schema,
+        });
+        let err = execute(&plan, &c, &fs).unwrap_err();
+        assert_eq!(err, ExecError::CorruptIo(IoError::Corrupt(id1)));
+        assert!(!err.is_transient(), "corruption is never retryable");
+        assert_eq!(err.file(), Some(id1));
+        assert_eq!(fs.ledger().files_read, 0, "corrupt data is never served");
     }
 
     #[test]

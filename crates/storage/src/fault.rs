@@ -11,6 +11,11 @@
 //!   lost); retries cannot help and the caller must degrade gracefully.
 //! * **Latency spikes** — the operation succeeds but costs extra simulated
 //!   seconds (a straggling datanode).
+//! * **Corruption** — the file's payload is intact but its checksum no longer
+//!   matches (bit rot, a torn write surviving a crash); the read detects the
+//!   mismatch and fails instead of serving bad data. Corruption is sticky:
+//!   once a file is corrupted, every subsequent read fails until the file is
+//!   quarantined or deleted.
 //!
 //! The injector is seed-driven (xoshiro256++) and consumes exactly one random
 //! draw per consulted operation, so a fault schedule is a pure function of
@@ -46,6 +51,9 @@ pub struct FaultConfig {
     pub latency_spike_rate: f64,
     /// Extra simulated seconds charged by a latency spike.
     pub latency_spike_secs: f64,
+    /// Probability a read discovers the file corrupt (payload intact,
+    /// checksum mismatch). Corruption is sticky: the file stays corrupt.
+    pub corruption_rate: f64,
 }
 
 impl FaultConfig {
@@ -58,6 +66,7 @@ impl FaultConfig {
             transient_write_rate: 0.0,
             latency_spike_rate: 0.0,
             latency_spike_secs: 0.0,
+            corruption_rate: 0.0,
         }
     }
 
@@ -95,12 +104,19 @@ impl FaultConfig {
         self
     }
 
+    /// Set the checksum-corruption rate.
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.corruption_rate = rate;
+        self
+    }
+
     /// Whether any failure mode has a non-zero rate.
     pub fn enabled(&self) -> bool {
         self.transient_read_rate > 0.0
             || self.permanent_loss_rate > 0.0
             || self.transient_write_rate > 0.0
             || self.latency_spike_rate > 0.0
+            || self.corruption_rate > 0.0
     }
 }
 
@@ -121,6 +137,8 @@ pub struct FaultStats {
     pub transient_writes: u64,
     /// Operations that straggled.
     pub latency_spikes: u64,
+    /// Reads that discovered a corrupt file (checksum mismatch).
+    pub corruptions: u64,
 }
 
 /// Verdict for a single read operation.
@@ -132,6 +150,8 @@ pub(crate) enum ReadFault {
     Transient,
     /// The file is lost; remove it.
     Permanent,
+    /// The file's checksum no longer matches; mark it corrupt.
+    Corrupt,
     /// Succeed, but charge extra seconds.
     Spike(f64),
 }
@@ -215,6 +235,11 @@ impl FaultInjector {
             st.stats.transient_reads += 1;
             return ReadFault::Transient;
         }
+        edge += c.corruption_rate;
+        if u < edge {
+            st.stats.corruptions += 1;
+            return ReadFault::Corrupt;
+        }
         edge += c.latency_spike_rate;
         if u < edge {
             st.stats.latency_spikes += 1;
@@ -258,6 +283,10 @@ pub enum IoError {
     /// The file is gone — either never existed, was deleted, or all replicas
     /// were lost. Retries cannot help.
     PermanentLoss(FileId),
+    /// The file exists but its checksum no longer matches its contents.
+    /// Corruption is sticky, so retries cannot help; the file must never be
+    /// served and should be quarantined or deleted.
+    Corrupt(FileId),
 }
 
 impl IoError {
@@ -269,7 +298,7 @@ impl IoError {
     /// The file involved, when the operation names one.
     pub fn file(&self) -> Option<FileId> {
         match self {
-            Self::TransientRead(id) | Self::PermanentLoss(id) => Some(*id),
+            Self::TransientRead(id) | Self::PermanentLoss(id) | Self::Corrupt(id) => Some(*id),
             Self::TransientWrite => None,
         }
     }
@@ -281,6 +310,7 @@ impl fmt::Display for IoError {
             Self::TransientRead(id) => write!(f, "transient read failure on file {id}"),
             Self::TransientWrite => write!(f, "transient write failure"),
             Self::PermanentLoss(id) => write!(f, "file {id} permanently lost"),
+            Self::Corrupt(id) => write!(f, "file {id} corrupt (checksum mismatch)"),
         }
     }
 }
@@ -362,9 +392,21 @@ mod tests {
         assert!(IoError::TransientRead(f).is_transient());
         assert!(IoError::TransientWrite.is_transient());
         assert!(!IoError::PermanentLoss(f).is_transient());
+        assert!(!IoError::Corrupt(f).is_transient(), "corruption is sticky");
         assert_eq!(IoError::TransientRead(f).file(), Some(f));
         assert_eq!(IoError::PermanentLoss(f).file(), Some(f));
+        assert_eq!(IoError::Corrupt(f).file(), Some(f));
         assert_eq!(IoError::TransientWrite.file(), None);
         assert!(IoError::PermanentLoss(f).to_string().contains("lost"));
+        assert!(IoError::Corrupt(f).to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn corruption_rate_fires_and_counts() {
+        let inj = FaultInjector::new(FaultConfig::seeded(5).with_corruption(1.0));
+        assert_eq!(inj.decide_read(), ReadFault::Corrupt);
+        assert_eq!(inj.stats().corruptions, 1);
+        // Corruption is a read-side mode; writes are unaffected.
+        assert_eq!(inj.decide_write(), WriteFault::None);
     }
 }

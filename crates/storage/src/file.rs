@@ -13,6 +13,10 @@ impl fmt::Display for FileId {
     }
 }
 
+/// Bit pattern XORed into a stored checksum to model corruption: the payload
+/// is left intact but verification can never succeed again.
+const CORRUPTION_MASK: u64 = 0xDEAD_BEEF_DEAD_BEEF;
+
 /// A file stored in the simulated distributed FS.
 ///
 /// `P` is the in-memory payload type (in DeepSea: the rows of a view
@@ -20,6 +24,11 @@ impl fmt::Display for FileId {
 /// `sim_bytes` is the *simulated* on-disk size — the quantity all cost and
 /// pool accounting uses — which is deliberately decoupled from the in-memory
 /// size so scaled-down instances can model cluster-scale data.
+///
+/// Every file carries a checksum computed at create time and verified on
+/// every read. Corruption (bit rot, a torn write surviving a crash) is
+/// modeled by perturbing the *stored* checksum — payload intact, checksum
+/// mismatch — so a corrupt file is detected rather than silently served.
 #[derive(Debug, Clone)]
 pub struct StoredFile<P> {
     /// Human-readable name (for reports and debugging).
@@ -28,16 +37,54 @@ pub struct StoredFile<P> {
     pub sim_bytes: u64,
     /// In-memory payload.
     pub payload: Arc<P>,
+    /// Checksum recorded at create time; [`StoredFile::verify`] recomputes
+    /// and compares.
+    checksum: u64,
 }
 
 impl<P> StoredFile<P> {
-    /// Create a new stored file.
+    /// Create a new stored file, computing its checksum.
     pub fn new(name: impl Into<String>, sim_bytes: u64, payload: P) -> Self {
+        let name = name.into();
+        let checksum = Self::compute_checksum(&name, sim_bytes);
         Self {
-            name: name.into(),
+            name,
             sim_bytes,
             payload: Arc::new(payload),
+            checksum,
         }
+    }
+
+    /// FNV-1a over the file's durable identity. The payload itself is opaque
+    /// (`P` carries no hashing bound), so the simulated checksum covers the
+    /// metadata that determines all cost and pool accounting.
+    fn compute_checksum(name: &str, sim_bytes: u64) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in name.bytes().chain(sim_bytes.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// The checksum recorded at create time.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recompute the checksum and compare against the recorded one. `false`
+    /// means the file is corrupt and must not be served.
+    pub fn verify(&self) -> bool {
+        self.checksum == Self::compute_checksum(&self.name, self.sim_bytes)
+    }
+
+    /// Corrupt the file in place: the payload stays intact but the stored
+    /// checksum is perturbed, so every subsequent [`StoredFile::verify`]
+    /// fails. Idempotent in effect (a corrupt file stays corrupt).
+    pub(crate) fn corrupt(&mut self) {
+        self.checksum = Self::compute_checksum(&self.name, self.sim_bytes) ^ CORRUPTION_MASK;
     }
 }
 
@@ -57,5 +104,30 @@ mod tests {
         assert!(Arc::ptr_eq(&f.payload, &g.payload));
         assert_eq!(g.sim_bytes, 1024);
         assert_eq!(g.name, "v1");
+    }
+
+    #[test]
+    fn fresh_file_verifies() {
+        let f = StoredFile::new("v1", 1024, vec![1u8]);
+        assert!(f.verify());
+    }
+
+    #[test]
+    fn checksum_depends_on_identity() {
+        let a = StoredFile::new("v1", 1024, vec![1u8]);
+        let b = StoredFile::new("v2", 1024, vec![1u8]);
+        let c = StoredFile::new("v1", 1025, vec![1u8]);
+        assert_ne!(a.checksum(), b.checksum());
+        assert_ne!(a.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn corruption_breaks_verification_persistently() {
+        let mut f = StoredFile::new("v1", 1024, vec![1u8]);
+        f.corrupt();
+        assert!(!f.verify(), "corrupt file must fail verification");
+        f.corrupt();
+        assert!(!f.verify(), "corrupting twice stays corrupt");
+        assert_eq!(*f.payload, vec![1u8], "payload itself is intact");
     }
 }

@@ -84,10 +84,16 @@ impl<P> SimFs<P> {
     }
 
     /// Read a file; returns the payload, its simulated size, and the cost of
-    /// the read. Returns `None` for an unknown id.
+    /// the read. Returns `None` for an unknown id — or for a corrupt file:
+    /// checksums are verified on every read and corrupt data is never served.
+    /// (Files only become corrupt through fault injection or
+    /// [`SimFs::corrupt_file`], so the zero-fault path is unaffected.)
     pub fn read(&self, id: FileId) -> Option<(Arc<P>, u64, f64)> {
         let mut inner = self.locked();
         let file = inner.files.get(&id)?;
+        if !file.verify() {
+            return None;
+        }
         let bytes = file.sim_bytes;
         let payload = Arc::clone(&file.payload);
         inner.ledger.record_read(bytes);
@@ -104,8 +110,12 @@ impl<P> SimFs<P> {
     /// ledger charge either), or straggle (success plus `spike_secs`).
     pub fn try_read(&self, id: FileId) -> Result<IoOutcome<Arc<P>>, IoError> {
         let mut inner = self.locked();
-        if !inner.files.contains_key(&id) {
-            return Err(IoError::PermanentLoss(id));
+        match inner.files.get(&id) {
+            None => return Err(IoError::PermanentLoss(id)),
+            // Corruption is sticky: a file that failed verification once
+            // keeps failing, without consuming further fault draws.
+            Some(f) if !f.verify() => return Err(IoError::Corrupt(id)),
+            Some(_) => {}
         }
         let spike_secs = match self.faults.decide_read() {
             ReadFault::None => 0.0,
@@ -113,6 +123,12 @@ impl<P> SimFs<P> {
             ReadFault::Permanent => {
                 inner.files.remove(&id);
                 return Err(IoError::PermanentLoss(id));
+            }
+            ReadFault::Corrupt => {
+                if let Some(f) = inner.files.get_mut(&id) {
+                    f.corrupt();
+                }
+                return Err(IoError::Corrupt(id));
             }
             ReadFault::Spike(secs) => secs,
         };
@@ -164,13 +180,43 @@ impl<P> SimFs<P> {
         inner.files.get(&id).map(|f| (f.name.clone(), f.sim_bytes))
     }
 
-    /// Delete a file (eviction). Deletion is metadata-only and free, matching
-    /// HDFS semantics. Returns the freed simulated bytes, or `None` if absent.
-    pub fn delete(&self, id: FileId) -> Option<u64> {
+    /// Verify a file's checksum without charging a read (an fsck probe).
+    /// Returns `None` for an unknown id.
+    pub fn verify(&self, id: FileId) -> Option<bool> {
+        let inner = self.locked();
+        inner.files.get(&id).map(StoredFile::verify)
+    }
+
+    /// Corrupt a file in place: payload intact, checksum mismatch. Every
+    /// subsequent read fails until the file is deleted. Returns whether the
+    /// file existed. Deterministic corruption hook for crash/fsck tests; the
+    /// seeded path is [`FaultConfig::with_corruption`].
+    ///
+    /// [`FaultConfig::with_corruption`]: crate::fault::FaultConfig::with_corruption
+    pub fn corrupt_file(&self, id: FileId) -> bool {
+        let mut inner = self.locked();
+        match inner.files.get_mut(&id) {
+            Some(f) => {
+                f.corrupt();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Delete a file (eviction). Returns the freed simulated bytes and the
+    /// simulated cost of the delete (`CostWeights::wdelete`, zero by default
+    /// to match HDFS metadata-only semantics), or `None` if absent.
+    pub fn delete_costed(&self, id: FileId) -> Option<(u64, f64)> {
         let mut inner = self.locked();
         let file = inner.files.remove(&id)?;
         inner.ledger.record_delete();
-        Some(file.sim_bytes)
+        Some((file.sim_bytes, self.weights.delete_cost()))
+    }
+
+    /// Delete a file, discarding the delete cost. See [`SimFs::delete_costed`].
+    pub fn delete(&self, id: FileId) -> Option<u64> {
+        self.delete_costed(id).map(|(bytes, _)| bytes)
     }
 
     /// Number of map tasks a scan of the given files launches.
@@ -191,6 +237,11 @@ impl<P> SimFs<P> {
     /// Number of live files.
     pub fn file_count(&self) -> usize {
         self.locked().files.len()
+    }
+
+    /// Ids of all live files, in id order (an fsck directory listing).
+    pub fn file_ids(&self) -> Vec<FileId> {
+        self.locked().files.keys().copied().collect()
     }
 
     /// Total simulated bytes across live files.
@@ -357,5 +408,63 @@ mod tests {
         // The infallible path bypasses the injector entirely.
         let (id, _) = fs.create("frag", 250, vec![7]);
         assert!(fs.stat(id).is_some());
+    }
+
+    #[test]
+    fn corrupt_file_is_never_served() {
+        let fs = fs();
+        let (id, _) = fs.create("frag", 250, vec![7]);
+        assert_eq!(fs.verify(id), Some(true));
+        assert!(fs.corrupt_file(id));
+        assert_eq!(fs.verify(id), Some(false));
+        let before = fs.ledger();
+        assert!(
+            fs.read(id).is_none(),
+            "infallible read refuses corrupt data"
+        );
+        assert_eq!(fs.try_read(id).unwrap_err(), IoError::Corrupt(id));
+        assert_eq!(fs.ledger(), before, "corrupt reads charge nothing");
+        // The file still exists and still counts against storage: detection
+        // is the caller's cue to quarantine, not an implicit delete.
+        assert_eq!(fs.total_bytes(), 250);
+        assert_eq!(fs.delete(id), Some(250));
+    }
+
+    #[test]
+    fn injected_corruption_is_sticky() {
+        let fs = faulty_fs(FaultConfig::seeded(5).with_corruption(1.0));
+        let (id, _) = fs.create("frag", 250, vec![7]);
+        assert_eq!(fs.try_read(id).unwrap_err(), IoError::Corrupt(id));
+        assert_eq!(fs.fault_stats().corruptions, 1);
+        // Subsequent reads keep failing without consuming more draws.
+        assert_eq!(fs.try_read(id).unwrap_err(), IoError::Corrupt(id));
+        assert_eq!(fs.fault_stats().corruptions, 1);
+        assert_eq!(fs.verify(id), Some(false));
+    }
+
+    #[test]
+    fn delete_costed_charges_wdelete() {
+        let weights = CostWeights {
+            wdelete: 0.25,
+            ..CostWeights::default()
+        };
+        let costed: SimFs<Vec<u32>> = SimFs::new(BlockConfig::new(100), weights);
+        let (id, _) = costed.create("x", 500, vec![]);
+        assert_eq!(costed.delete_costed(id), Some((500, 0.25)));
+        assert_eq!(costed.delete_costed(id), None);
+        // Default weights keep deletion free (metadata-only HDFS semantics).
+        let free = fs();
+        let (id, _) = free.create("x", 500, vec![]);
+        assert_eq!(free.delete_costed(id), Some((500, 0.0)));
+    }
+
+    #[test]
+    fn file_ids_lists_live_files_in_order() {
+        let fs = fs();
+        let (a, _) = fs.create("a", 1, vec![]);
+        let (b, _) = fs.create("b", 1, vec![]);
+        let (c, _) = fs.create("c", 1, vec![]);
+        fs.delete(b);
+        assert_eq!(fs.file_ids(), vec![a, c]);
     }
 }

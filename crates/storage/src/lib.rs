@@ -16,8 +16,15 @@
 //!    stay below `Smax` ([`PoolAccountant`]).
 //!
 //! For robustness testing the FS can also inject deterministic, seed-driven
-//! faults — transient read/write failures, permanent fragment loss, and
-//! latency spikes — via [`FaultInjector`]; see the [`fault`] module.
+//! faults — transient read/write failures, permanent fragment loss, checksum
+//! corruption, and latency spikes — via [`FaultInjector`]; see the [`fault`]
+//! module. Every stored file carries a checksum verified on read, so corrupt
+//! data is detected rather than served.
+//!
+//! For crash-restart durability the crate provides an append-only,
+//! snapshot-truncated [`Journal`] with monotonic LSNs and an armable crash
+//! latch ([`SimulatedCrash`]); DeepSea journals catalog mutations through it
+//! and replays them on cold start.
 //!
 //! Files carry an arbitrary in-memory payload (the actual rows of a view
 //! fragment) *and* a simulated byte size, so the same object supports real
@@ -27,6 +34,7 @@ pub mod block;
 pub mod fault;
 pub mod file;
 pub mod fs;
+pub mod journal;
 pub mod ledger;
 pub mod pool;
 pub mod weights;
@@ -35,6 +43,7 @@ pub use block::BlockConfig;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, IoError, IoOutcome};
 pub use file::{FileId, StoredFile};
 pub use fs::SimFs;
+pub use journal::{Journal, JournalStats, Lsn, ReplayedLog, SimulatedCrash};
 pub use ledger::CostLedger;
 pub use pool::{PoolAccountant, PoolError};
 pub use weights::CostWeights;

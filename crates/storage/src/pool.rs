@@ -1,11 +1,14 @@
 //! Materialized-view pool storage accounting.
 
-/// Error returned when a reservation would exceed the pool limit.
+/// Error returned when an accounting operation is inconsistent: a reservation
+/// that would exceed the pool limit, or a release of more bytes than are
+/// reserved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolError {
     /// Bytes that were requested.
     pub requested: u64,
-    /// Bytes available under the limit.
+    /// Bytes available for the operation (headroom for a reserve, reserved
+    /// bytes for a release).
     pub available: u64,
 }
 
@@ -29,6 +32,7 @@ impl std::error::Error for PoolError {}
 pub struct PoolAccountant {
     smax: Option<u64>,
     used: u64,
+    violations: u64,
 }
 
 impl PoolAccountant {
@@ -37,6 +41,7 @@ impl PoolAccountant {
         Self {
             smax: Some(smax),
             used: 0,
+            violations: 0,
         }
     }
 
@@ -45,6 +50,7 @@ impl PoolAccountant {
         Self {
             smax: None,
             used: 0,
+            violations: 0,
         }
     }
 
@@ -85,11 +91,35 @@ impl PoolAccountant {
 
     /// Release previously reserved bytes.
     ///
-    /// # Panics
-    /// Panics in debug builds if releasing more than is reserved.
-    pub fn release(&mut self, bytes: u64) {
-        debug_assert!(bytes <= self.used, "releasing more than reserved");
-        self.used = self.used.saturating_sub(bytes);
+    /// Releasing more than is reserved is an accounting bug in the caller.
+    /// It used to panic in debug builds and saturate silently in release
+    /// builds; now it is ledger-visible in every build: usage is clamped to
+    /// zero, the [`PoolAccountant::violations`] counter is bumped, and the
+    /// error reports how many bytes were actually reserved.
+    pub fn release(&mut self, bytes: u64) -> Result<(), PoolError> {
+        if bytes > self.used {
+            let available = self.used;
+            self.used = 0;
+            self.violations += 1;
+            return Err(PoolError {
+                requested: bytes,
+                available,
+            });
+        }
+        self.used -= bytes;
+        Ok(())
+    }
+
+    /// Number of over-release accounting violations observed so far. Any
+    /// non-zero value indicates a bookkeeping bug in the caller.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Overwrite the usage counter with an externally reconciled value (the
+    /// fsck sweep re-derives usage from the live catalog after recovery).
+    pub fn set_used(&mut self, bytes: u64) {
+        self.used = bytes;
     }
 }
 
@@ -109,7 +139,31 @@ mod tests {
         assert_eq!(err.requested, 41);
         assert_eq!(err.available, 40);
         assert_eq!(p.used(), 60, "failed reserve must not change state");
-        p.release(60);
+        p.release(60).expect("release within reservation");
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn over_release_is_ledger_visible() {
+        let mut p = PoolAccountant::bounded(100);
+        p.reserve(10).unwrap();
+        let err = p.release(25).unwrap_err();
+        assert_eq!(err.requested, 25);
+        assert_eq!(err.available, 10);
+        assert_eq!(p.used(), 0, "usage clamps to zero, never wraps");
+        assert_eq!(p.violations(), 1);
+        // Well-formed releases afterwards don't add violations.
+        p.reserve(5).unwrap();
+        p.release(5).unwrap();
+        assert_eq!(p.violations(), 1);
+    }
+
+    #[test]
+    fn set_used_reconciles() {
+        let mut p = PoolAccountant::unbounded();
+        p.set_used(42);
+        assert_eq!(p.used(), 42);
+        p.release(42).unwrap();
         assert_eq!(p.used(), 0);
     }
 

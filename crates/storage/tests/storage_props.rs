@@ -82,7 +82,7 @@ proptest! {
         for (i, r) in requests.iter().enumerate() {
             if i % 3 == 2 && !held.is_empty() {
                 let b = held.pop().unwrap();
-                pool.release(b);
+                prop_assert!(pool.release(b).is_ok(), "releasing held bytes cannot fail");
             } else {
                 let before = pool.used();
                 match pool.reserve(*r) {

@@ -17,9 +17,9 @@ use std::sync::{Arc, OnceLock};
 use deepsea::bench::golden::{golden_catalog, golden_plans};
 use deepsea::bench::harness::run_workload;
 use deepsea::core::baselines;
-use deepsea::core::{DeepSea, DeepSeaConfig};
+use deepsea::core::{CatalogJournal, DeepSea, DeepSeaConfig};
 use deepsea::engine::{Catalog, ClusterSim, LogicalPlan, RetryPolicy, RetryingBackend, SimBackend};
-use deepsea::storage::{BlockConfig, FaultConfig, FaultInjector, SimFs};
+use deepsea::storage::{BlockConfig, FaultConfig, FaultInjector, Lsn, SimFs, SimulatedCrash};
 use proptest::prelude::*;
 
 /// The DS variant of the golden scenario (progressive partitioning, φ bound).
@@ -46,11 +46,28 @@ struct ChaosOutcome {
     fallbacks: u64,
     /// A view quarantined earlier in the run was materialized again later.
     rematerialized: bool,
+    /// Corrupt reads detected by checksum verification (never served).
+    corrupt: u64,
+    /// Corruptions the injector actually introduced.
+    injected_corruptions: u64,
+    /// Catalog-journal activity summed over the run's traces.
+    journal_appends: u64,
+    journal_penalty_secs: f64,
+    snapshots: u64,
 }
 
 /// Replay the first `limit` golden queries under `faults`, checking the
 /// pool-accounting invariant after every query.
 fn run_chaos(faults: FaultConfig, limit: usize) -> ChaosOutcome {
+    run_chaos_with(faults, limit, None)
+}
+
+/// [`run_chaos`], optionally with a catalog journal attached to the driver.
+fn run_chaos_with(
+    faults: FaultConfig,
+    limit: usize,
+    journal: Option<Arc<CatalogJournal>>,
+) -> ChaosOutcome {
     let (catalog, plans) = setup();
     let cluster = ClusterSim::paper_default();
     let fs = Arc::new(SimFs::with_faults(
@@ -66,6 +83,9 @@ fn run_chaos(faults: FaultConfig, limit: usize) -> ChaosOutcome {
         backend,
         chaos_config().with_retry(policy),
     );
+    if let Some(journal) = journal {
+        ds = ds.with_journal(journal);
+    }
     let mut out = ChaosOutcome::default();
     let mut quarantined_names: HashSet<String> = HashSet::new();
     for (i, plan) in plans.iter().take(limit).enumerate() {
@@ -83,6 +103,10 @@ fn run_chaos(faults: FaultConfig, limit: usize) -> ChaosOutcome {
         out.penalty_secs += o.trace.recovery.penalty_secs;
         out.quarantines += o.trace.recovery.quarantined_views as u64;
         out.fallbacks += o.trace.recovery.base_table_fallbacks as u64;
+        out.corrupt += o.trace.recovery.corrupt_fragments as u64;
+        out.journal_appends += o.trace.durability.journal_appends as u64;
+        out.journal_penalty_secs += o.trace.durability.journal_penalty_secs;
+        out.snapshots += o.trace.durability.snapshots as u64;
         if o.materialized.iter().any(|m| {
             quarantined_names
                 .iter()
@@ -92,6 +116,7 @@ fn run_chaos(faults: FaultConfig, limit: usize) -> ChaosOutcome {
         }
         quarantined_names.extend(o.quarantined.iter().cloned());
     }
+    out.injected_corruptions = fs.fault_stats().corruptions;
     out
 }
 
@@ -182,6 +207,266 @@ fn zero_fault_schedule_is_bit_transparent() {
     assert_eq!(chaos.penalty_secs, 0.0);
     assert_eq!(chaos.quarantines, 0);
     assert_eq!(chaos.fallbacks, 0);
+}
+
+/// Seeds for the crash-restart sweep, from `CRASH_SEEDS` (comma-separated,
+/// default `3,11`): `CRASH_SEEDS=3,11 cargo test -q --test chaos`.
+fn crash_seeds() -> Vec<u64> {
+    std::env::var("CRASH_SEEDS")
+        .unwrap_or_else(|_| "3,11".into())
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("CRASH_SEEDS must be comma-separated u64s"))
+        .collect()
+}
+
+/// Minimal deterministic generator for crash-point schedules (Knuth LCG,
+/// high bits only).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Suppress panic output for [`SimulatedCrash`] payloads: the crash harness
+/// throws and catches them by design, and the default hook would spam the
+/// test log. Every other panic keeps the default hook.
+fn silence_simulated_crashes() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The durability headline: kill the driver at seeded journal-record
+/// boundaries mid-query, cold-start it from the journal (`DeepSea::recover`),
+/// and replay the interrupted query. Asserts, per seed:
+///
+/// - every answer is bit-identical to the fault-free golden run,
+/// - recovery is idempotent (recovering twice from the same journal yields
+///   the same registry digest and a second fsck with nothing to repair),
+/// - the pool invariant `fs == registry == ledger` holds after every query
+///   and after every recovery, with zero over-release violations.
+#[test]
+fn crash_restart_replay_is_bit_identical_and_recovery_idempotent() {
+    silence_simulated_crashes();
+    let golden = fault_free_fingerprints();
+    let (catalog, plans) = setup();
+    for seed in crash_seeds() {
+        let cluster = ClusterSim::paper_default();
+        let fs = Arc::new(SimFs::with_faults(
+            BlockConfig::default(),
+            cluster.weights,
+            FaultInjector::disabled(),
+        ));
+        let journal = Arc::new(CatalogJournal::new());
+        let policy = RetryPolicy::default();
+        let mut ds = DeepSea::with_backend(
+            Arc::clone(catalog),
+            Arc::clone(&fs),
+            Box::new(RetryingBackend::new(SimBackend::new(cluster), policy)),
+            chaos_config().with_retry(policy),
+        )
+        .with_journal(Arc::clone(&journal));
+
+        let mut rng = Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1);
+        let mut crashes = 0u32;
+        // Arm the first crash a few records out so it lands inside an early
+        // query; later crashes are spread wider so the run makes progress.
+        journal.arm_crash(Lsn(journal.next_lsn().0 + 1 + rng.next() % 8));
+
+        let mut i = 0;
+        while i < plans.len() {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ds.process_query(&plans[i])
+            })) {
+                Ok(res) => {
+                    let o = res.unwrap_or_else(|e| {
+                        panic!("seed {seed}, query {i}: fault-free query failed: {e}")
+                    });
+                    assert_eq!(
+                        o.result.fingerprint(),
+                        golden[i],
+                        "seed {seed}, query {i}: answer diverged across crash-restarts"
+                    );
+                    assert_eq!(
+                        fs.total_bytes(),
+                        ds.pool_bytes(),
+                        "seed {seed}, query {i}: pool accounting must match the file system"
+                    );
+                    assert_eq!(
+                        ds.pool_accountant().used(),
+                        ds.pool_bytes(),
+                        "seed {seed}, query {i}: mirror ledger diverged"
+                    );
+                    assert_eq!(
+                        ds.pool_accountant().violations(),
+                        0,
+                        "seed {seed}, query {i}: pool over-release"
+                    );
+                    i += 1;
+                }
+                Err(payload) => {
+                    payload.downcast::<SimulatedCrash>().unwrap_or_else(|p| {
+                        std::panic::resume_unwind(p); // a real bug, not a crash point
+                    });
+                    crashes += 1;
+                    // The disk (SimFs) and the journal survive the crash; the
+                    // in-memory driver is gone. Recover twice from the same
+                    // journal: both restarts must converge on the same state,
+                    // and the second fsck must find nothing left to repair.
+                    let (first, _) = DeepSea::recover(
+                        Arc::clone(catalog),
+                        Arc::clone(&fs),
+                        Box::new(RetryingBackend::new(
+                            SimBackend::new(ClusterSim::paper_default()),
+                            policy,
+                        )),
+                        chaos_config().with_retry(policy),
+                        Arc::clone(&journal),
+                    );
+                    let (second, refsck) = DeepSea::recover(
+                        Arc::clone(catalog),
+                        Arc::clone(&fs),
+                        Box::new(RetryingBackend::new(
+                            SimBackend::new(ClusterSim::paper_default()),
+                            policy,
+                        )),
+                        chaos_config().with_retry(policy),
+                        Arc::clone(&journal),
+                    );
+                    assert_eq!(
+                        first.registry().state_digest(),
+                        second.registry().state_digest(),
+                        "seed {seed}, crash {crashes}: recovery is not idempotent"
+                    );
+                    assert_eq!(
+                        first.clock(),
+                        second.clock(),
+                        "seed {seed}, crash {crashes}: recovered clocks diverged"
+                    );
+                    assert_eq!(
+                        (
+                            refsck.orphan_files,
+                            refsck.missing_files,
+                            refsck.corrupt_files,
+                            refsck.quarantined_views,
+                        ),
+                        (0, 0, 0, 0),
+                        "seed {seed}, crash {crashes}: second fsck found repairs: {refsck:?}"
+                    );
+                    ds = second;
+                    assert_eq!(
+                        fs.total_bytes(),
+                        ds.pool_bytes(),
+                        "seed {seed}, crash {crashes}: fsck left the pool inconsistent"
+                    );
+                    if crashes < 4 {
+                        journal.arm_crash(Lsn(journal.next_lsn().0 + 1 + rng.next() % 40));
+                    }
+                    // Replay the interrupted query (same index, no advance).
+                }
+            }
+        }
+        assert!(
+            crashes >= 1,
+            "seed {seed}: the schedule never crashed the driver"
+        );
+        assert_eq!(
+            journal.stats().crashes,
+            u64::from(crashes),
+            "seed {seed}: journal crash counter disagrees with the harness"
+        );
+    }
+}
+
+/// A journaled run that never crashes must be bit-transparent: attaching the
+/// journal adds appends, checkpoints, and snapshots, but with no faults it
+/// charges zero simulated seconds, so per-query elapsed times are
+/// bit-identical to the plain (journal-free) harness.
+#[test]
+fn journaled_zero_crash_run_is_bit_transparent() {
+    let (catalog, plans) = setup();
+    let journal = Arc::new(CatalogJournal::new());
+    let run = run_chaos_with(
+        FaultConfig::disabled(),
+        plans.len(),
+        Some(Arc::clone(&journal)),
+    );
+    let plain = run_workload("DS", catalog, chaos_config(), plans);
+    assert_eq!(run.elapsed.len(), plain.per_query.len());
+    for (i, (a, b)) in run.elapsed.iter().zip(&plain.per_query).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.elapsed.to_bits(),
+            "query {i}: journaling must not perturb timing ({a} vs {})",
+            b.elapsed
+        );
+    }
+    for (i, (got, want)) in run
+        .fingerprints
+        .iter()
+        .zip(fault_free_fingerprints())
+        .enumerate()
+    {
+        assert_eq!(got, want, "query {i}: journaling changed an answer");
+    }
+    assert!(
+        run.journal_appends > 0,
+        "no records were journaled: {run:?}"
+    );
+    assert!(run.snapshots >= 1, "no snapshot was installed: {run:?}");
+    assert_eq!(
+        run.journal_penalty_secs, 0.0,
+        "a fault-free journal charged time"
+    );
+    assert!(journal.stats().appends > 0);
+    assert!(journal.stats().snapshots >= 1);
+}
+
+/// Checksummed fragments: under a seeded corruption schedule every corrupt
+/// read is detected on read (the trace counts it), the owning view is
+/// quarantined, and the corrupt bytes are never served — answers stay
+/// bit-identical to the fault-free run.
+#[test]
+fn corrupt_reads_are_detected_quarantined_and_never_served() {
+    let golden = fault_free_fingerprints();
+    for seed in chaos_seeds() {
+        let run = run_chaos(
+            FaultConfig::seeded(seed).with_corruption(0.10),
+            golden.len(),
+        );
+        for (i, (got, want)) in run.fingerprints.iter().zip(golden).enumerate() {
+            assert_eq!(
+                got, want,
+                "seed {seed}, query {i}: corrupt data reached the client"
+            );
+        }
+        assert!(
+            run.injected_corruptions >= 1,
+            "seed {seed}: the schedule injected no corruption: {run:?}"
+        );
+        assert!(
+            run.corrupt >= 1,
+            "seed {seed}: no corrupt read was detected: {run:?}"
+        );
+        assert!(
+            run.quarantines >= 1,
+            "seed {seed}: corruption did not quarantine the view: {run:?}"
+        );
+    }
 }
 
 proptest! {
