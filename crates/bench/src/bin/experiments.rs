@@ -1,25 +1,68 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations]...
+//! experiments [--quick] [--metrics-out PATH] [--events-out PATH]
+//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` scales workloads
 //! down (used by CI/smoke runs); the default is paper scale.
+//!
+//! Whenever `fig5a` runs (alone or as part of `all`), its DS variant runs
+//! under an attached observer and the machine-readable summary is written to
+//! `BENCH.json` in the current directory. `--metrics-out` additionally dumps
+//! the observer's metrics in Prometheus text format, and `--events-out` the
+//! decision-event audit log as JSONL.
 
 use std::io::Write;
 
-use deepsea_bench::experiments::{self, ExperimentReport, Scale};
+use deepsea_bench::experiments::{self, ExperimentReport, Fig5aRun, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let metrics_out = flag_value("--metrics-out");
+    let events_out = flag_value("--events-out");
+    let flag_values: Vec<&String> = [&metrics_out, &events_out]
+        .iter()
+        .filter_map(|o| o.as_ref())
+        .collect();
+    let wanted: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !flag_values.contains(a))
+        .collect();
 
-    let reports: Vec<ExperimentReport> = if wanted.is_empty() || wanted.iter().any(|w| *w == "all")
-    {
-        experiments::all(scale)
+    let mut fig5a_run: Option<Fig5aRun> = None;
+    let run_fig5a = |fig5a_run: &mut Option<Fig5aRun>| -> ExperimentReport {
+        let run = experiments::fig5a_observed(scale);
+        let report = run.report.clone();
+        *fig5a_run = Some(run);
+        report
+    };
+
+    let everything = wanted.is_empty() || wanted.iter().any(|w| *w == "all");
+    let reports: Vec<ExperimentReport> = if everything {
+        vec![
+            experiments::fig1(),
+            experiments::fig2(),
+            experiments::table1(),
+            run_fig5a(&mut fig5a_run),
+            experiments::fig5b(scale),
+            experiments::fig6(scale),
+            experiments::fig7(scale),
+            experiments::fig8a(scale),
+            experiments::fig8b(scale),
+            experiments::fig9(scale),
+            experiments::fig10(scale),
+            experiments::ablations(scale),
+        ]
     } else {
         wanted
             .iter()
@@ -27,7 +70,7 @@ fn main() {
                 "fig1" => experiments::fig1(),
                 "fig2" => experiments::fig2(),
                 "table1" => experiments::table1(),
-                "fig5a" => experiments::fig5a(scale),
+                "fig5a" => run_fig5a(&mut fig5a_run),
                 "fig5b" => experiments::fig5b(scale),
                 "fig6" => experiments::fig6(scale),
                 "fig7" => experiments::fig7(scale),
@@ -49,5 +92,22 @@ fn main() {
     for r in &reports {
         writeln!(out, "## {} — {}\n", r.id, r.title).unwrap();
         writeln!(out, "{}", r.body).unwrap();
+    }
+    drop(out);
+
+    if let Some(run) = &fig5a_run {
+        std::fs::write("BENCH.json", format!("{}\n", run.bench_json)).expect("write BENCH.json");
+        eprintln!("wrote BENCH.json");
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, run.observer.render_prometheus()).expect("write metrics");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &events_out {
+            std::fs::write(path, run.observer.events_jsonl()).expect("write events");
+            eprintln!("wrote {path}");
+        }
+    } else if metrics_out.is_some() || events_out.is_some() {
+        eprintln!("--metrics-out/--events-out require fig5a (or all) to run");
+        std::process::exit(2);
     }
 }

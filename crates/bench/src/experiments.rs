@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use deepsea_core::baselines;
+use deepsea_core::{baselines, ObsConfig, Observer};
 use deepsea_engine::Catalog;
 use deepsea_workload::schema::{BigBenchData, InstanceSize, ItemDistribution};
 use deepsea_workload::sdss::{sdss_like_histogram, SdssTrace};
@@ -17,9 +17,10 @@ use deepsea_workload::sequences::{
     fig9_workload, item_domain,
 };
 use deepsea_workload::{Selectivity, Skew};
+use serde::ObjectBuilder;
 
-use crate::harness::{recoup_point, run_variants, run_workload, RunResult};
-use crate::report::{bar_chart, pct, secs, series, stage_breakdown, table};
+use crate::harness::{recoup_point, run_variants, run_workload, run_workload_observed, RunResult};
+use crate::report::{bar_chart, pct, secs, series, stage_breakdown, table, top_n_table};
 
 /// How much work to do: `Quick` for criterion benches and smoke runs,
 /// `Paper` for the full experiment suite.
@@ -117,20 +118,48 @@ pub fn fig2() -> ExperimentReport {
     ExperimentReport::new("fig2", "Evolution of selection ranges", body)
 }
 
+/// Figure 5a plus its machine-readable side products. The DS variant runs
+/// under an attached [`Observer`] (bit-transparent, so the numbers match the
+/// unobserved figure exactly); the observer feeds the hot-views table, the
+/// `BENCH.json` document, and — via the `experiments` binary's
+/// `--metrics-out` / `--events-out` flags — the raw metric/event dumps.
+pub struct Fig5aRun {
+    /// The rendered report (the same body `fig5a` returns).
+    pub report: ExperimentReport,
+    /// `BENCH.json`: per-variant totals, query count, DS stage totals and
+    /// pool high-water mark.
+    pub bench_json: String,
+    /// The observer that watched the DS run (metrics, spans, events).
+    pub observer: Observer,
+}
+
 /// Figure 5a: DS vs NP vs H on the SDSS-mapped workload, unlimited pool.
 pub fn fig5a(scale: Scale) -> ExperimentReport {
+    fig5a_observed(scale).report
+}
+
+/// [`fig5a`] with the observer and `BENCH.json` document exposed.
+pub fn fig5a_observed(scale: Scale) -> Fig5aRun {
     let catalog = sdss_catalog(scale.instance());
     let plans = fig5_workload(scale.fig5_queries(), SEED);
-    let runs = run_variants(
+    let baselines_runs = run_variants(
         &catalog,
         &[
             ("H", baselines::hive()),
             ("NP", baselines::non_partitioned()),
-            // Mixed-template SDSS workload: fragment-size bounding on (§9).
-            ("DS", baselines::deepsea().with_phi(0.05)),
         ],
         &plans,
     );
+    let obs = Observer::new(ObsConfig::on());
+    // Mixed-template SDSS workload: fragment-size bounding on (§9).
+    let ds_run = run_workload_observed(
+        "DS",
+        &catalog,
+        baselines::deepsea().with_phi(0.05),
+        &plans,
+        obs.clone(),
+    );
+    let runs = [&baselines_runs[0], &baselines_runs[1], &ds_run];
     let items: Vec<(String, f64)> = runs
         .iter()
         .map(|r| (r.label.clone(), r.total_secs()))
@@ -147,8 +176,17 @@ pub fn fig5a(scale: Scale) -> ExperimentReport {
     ));
     // Where DS spent its time and effort, stage by stage.
     body.push('\n');
-    body.push_str(&stage_breakdown(&runs[2].label, &runs[2].stage_totals()));
-    ExperimentReport::new(
+    body.push_str(&stage_breakdown(&ds_run.label, &ds_run.stage_totals()));
+    // The views DS leaned on hardest, straight from the metrics registry.
+    let hot = obs
+        .metrics_snapshot()
+        .top_counters("deepsea_view_hits_total", 5);
+    if !hot.is_empty() {
+        body.push('\n');
+        body.push_str(&top_n_table("hottest views (DS)", "hits", &hot));
+    }
+    let bench_json = fig5a_bench_json(scale, &runs, &ds_run);
+    let report = ExperimentReport::new(
         "fig5a",
         &format!(
             "Workload simulating SDSS ({} queries, {:?}): DS vs NP vs H",
@@ -156,7 +194,48 @@ pub fn fig5a(scale: Scale) -> ExperimentReport {
             scale.instance()
         ),
         body,
-    )
+    );
+    Fig5aRun {
+        report,
+        bench_json,
+        observer: obs,
+    }
+}
+
+/// Render the `BENCH.json` document for a fig5a run: one deterministic JSON
+/// object with the variant totals, the query count, and the DS run's stage
+/// totals plus pool high-water mark.
+fn fig5a_bench_json(scale: Scale, runs: &[&RunResult], ds: &RunResult) -> String {
+    let mut variants = ObjectBuilder::new();
+    for r in runs {
+        variants = variants.field(&r.label, r.total_secs());
+    }
+    let mut totals = ObjectBuilder::new();
+    for (name, v) in ds.stage_totals().fields() {
+        totals = totals.field(name, v);
+    }
+    ObjectBuilder::new()
+        .field("experiment", "fig5a")
+        .field(
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Paper => "paper",
+            },
+        )
+        .field("queries", ds.per_query.len() as u64)
+        .field("total_secs", variants.build())
+        .field(
+            "ds",
+            ObjectBuilder::new()
+                .field("total_secs", ds.total_secs())
+                .field("final_pool_bytes", ds.final_pool_bytes)
+                .field("pool_high_water_bytes", ds.pool_high_water)
+                .field("stage_totals", totals.build())
+                .build(),
+        )
+        .build()
+        .to_json()
 }
 
 /// Figure 5b: selection strategies N / N+ / DS across pool-size limits.
@@ -650,6 +729,28 @@ mod tests {
         for v in ["DS", "E-6", "E-15", "E-30", "E-60"] {
             assert!(r.body.contains(v), "missing {v} in:\n{}", r.body);
         }
+    }
+
+    #[test]
+    fn fig5a_bench_json_has_expected_shape() {
+        let catalog = uniform_catalog(InstanceSize::Gb100);
+        let plans = fig6_workload(SEED);
+        let h = run_workload("H", &catalog, baselines::hive(), &plans);
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let json = fig5a_bench_json(Scale::Quick, &[&h, &ds], &ds);
+        for key in [
+            "\"experiment\":\"fig5a\"",
+            "\"scale\":\"quick\"",
+            "\"queries\":10",
+            "\"total_secs\"",
+            "\"pool_high_water_bytes\"",
+            "\"stage_totals\"",
+            "\"matching.roots\"",
+            "\"durability.snapshots\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use deepsea_core::{DeepSea, DeepSeaConfig, QueryTrace};
+use deepsea_core::{DeepSea, DeepSeaConfig, Observer, QueryTrace};
 use deepsea_engine::{Catalog, ClusterSim, LogicalPlan};
 use deepsea_relation::Table;
 use deepsea_storage::{BlockConfig, SimFs};
@@ -41,16 +41,28 @@ pub struct StageTotals {
     pub match_hits: u64,
     /// Matches backed by materialized bytes in the pool.
     pub materialized_hits: u64,
+    /// Views whose statistics recorded a (potential) benefit event.
+    pub views_updated: u64,
     /// Rewritings costed by rewriting selection.
     pub rewrites_costed: u64,
+    /// Simulated seconds the original (unrewritten) plans would have cost.
+    pub base_cost_secs: f64,
+    /// Simulated seconds of the chosen (possibly rewritten) plans.
+    pub best_cost_secs: f64,
     /// View candidates derived (Definition 6).
     pub view_candidates: u64,
+    /// View candidates newly registered (first time seen).
+    pub new_views: u64,
     /// Partition-candidate selections processed (Definition 7).
     pub partition_selections: u64,
+    /// Fragment candidates newly tracked by those selections.
+    pub new_fragments: u64,
     /// Candidates ranked by the Φ knapsack.
     pub candidates_considered: u64,
     /// Creations the knapsack planned.
     pub planned_creations: u64,
+    /// Evictions the knapsack planned.
+    pub planned_evictions: u64,
     /// Simulated seconds executing (possibly rewritten) queries.
     pub execution_secs: f64,
     /// Simulated seconds creating/repartitioning views.
@@ -91,6 +103,91 @@ pub struct StageTotals {
     pub journal_snapshots: u64,
 }
 
+impl StageTotals {
+    /// Flatten to `(name, value)` pairs using the same leaf names as
+    /// [`QueryTrace::fields`]. The destructuring is exhaustive (no `..`), so
+    /// adding a field here without naming it fails to compile — and the
+    /// completeness test below compares this list name-for-name against the
+    /// per-query trace flatten, failing whenever a `QueryTrace` field is not
+    /// aggregated (or aggregated twice).
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        let StageTotals {
+            match_roots,
+            match_hits,
+            materialized_hits,
+            views_updated,
+            rewrites_costed,
+            base_cost_secs,
+            best_cost_secs,
+            view_candidates,
+            new_views,
+            partition_selections,
+            new_fragments,
+            candidates_considered,
+            planned_creations,
+            planned_evictions,
+            execution_secs,
+            creation_secs,
+            bytes_read,
+            bytes_written,
+            files_written,
+            fragments_covered,
+            evictions_selected,
+            evictions_forced,
+            retries,
+            retry_penalty_secs,
+            quarantined_views,
+            quarantined_bytes,
+            base_table_fallbacks,
+            corrupt_fragments,
+            journal_appends,
+            journal_retries,
+            journal_penalty_secs,
+            journal_snapshots,
+        } = *self;
+        vec![
+            ("matching.roots", match_roots as f64),
+            ("matching.hits", match_hits as f64),
+            ("matching.materialized_hits", materialized_hits as f64),
+            ("matching.views_updated", views_updated as f64),
+            ("rewriting.rewrites_costed", rewrites_costed as f64),
+            ("rewriting.base_cost_secs", base_cost_secs),
+            ("rewriting.best_cost_secs", best_cost_secs),
+            ("candidates.view_candidates", view_candidates as f64),
+            ("candidates.new_views", new_views as f64),
+            (
+                "candidates.partition_selections",
+                partition_selections as f64,
+            ),
+            ("candidates.new_fragments", new_fragments as f64),
+            ("selection.considered", candidates_considered as f64),
+            ("selection.planned_creations", planned_creations as f64),
+            ("selection.planned_evictions", planned_evictions as f64),
+            ("execution.query_secs", execution_secs),
+            ("materialization.bytes_read", bytes_read as f64),
+            ("materialization.bytes_written", bytes_written as f64),
+            ("materialization.files_written", files_written as f64),
+            (
+                "materialization.fragments_covered",
+                fragments_covered as f64,
+            ),
+            ("materialization.creation_secs", creation_secs),
+            ("eviction.selected", evictions_selected as f64),
+            ("eviction.limit_forced", evictions_forced as f64),
+            ("recovery.retries", retries as f64),
+            ("recovery.penalty_secs", retry_penalty_secs),
+            ("recovery.quarantined_views", quarantined_views as f64),
+            ("recovery.quarantined_bytes", quarantined_bytes as f64),
+            ("recovery.base_table_fallbacks", base_table_fallbacks as f64),
+            ("recovery.corrupt_fragments", corrupt_fragments as f64),
+            ("durability.journal_appends", journal_appends as f64),
+            ("durability.journal_retries", journal_retries as f64),
+            ("durability.journal_penalty_secs", journal_penalty_secs),
+            ("durability.snapshots", journal_snapshots as f64),
+        ]
+    }
+}
+
 /// The result of running one workload under one variant.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -100,6 +197,8 @@ pub struct RunResult {
     pub per_query: Vec<QueryRecord>,
     /// Pool bytes at the end of the run.
     pub final_pool_bytes: u64,
+    /// Largest pool footprint observed at any query boundary.
+    pub pool_high_water: u64,
 }
 
 impl RunResult {
@@ -142,11 +241,17 @@ impl RunResult {
             t.match_roots += tr.matching.roots as u64;
             t.match_hits += tr.matching.hits as u64;
             t.materialized_hits += tr.matching.materialized_hits as u64;
+            t.views_updated += tr.matching.views_updated as u64;
             t.rewrites_costed += tr.rewriting.rewrites_costed as u64;
+            t.base_cost_secs += tr.rewriting.base_cost_secs;
+            t.best_cost_secs += tr.rewriting.best_cost_secs;
             t.view_candidates += tr.candidates.view_candidates as u64;
+            t.new_views += tr.candidates.new_views as u64;
             t.partition_selections += tr.candidates.partition_selections as u64;
+            t.new_fragments += tr.candidates.new_fragments as u64;
             t.candidates_considered += tr.selection.considered as u64;
             t.planned_creations += tr.selection.planned_creations as u64;
+            t.planned_evictions += tr.selection.planned_evictions as u64;
             t.execution_secs += tr.execution.query_secs;
             t.creation_secs += tr.materialization.creation_secs;
             t.bytes_read += tr.materialization.bytes_read;
@@ -246,12 +351,41 @@ pub fn run_workload_on(
     config: DeepSeaConfig,
     plans: &[LogicalPlan],
 ) -> RunResult {
-    let mut ds = DeepSea::with_parts(Arc::clone(catalog), fs, cluster, config);
+    let ds = DeepSea::with_parts(Arc::clone(catalog), fs, cluster, config);
+    drive_workload(label, ds, config, plans)
+}
+
+/// Like [`run_workload`], but with an attached [`Observer`]: metrics, spans
+/// and decision events accumulate in `obs` (shared via its internal `Arc`,
+/// so the caller's handle sees everything after the run). The observed run
+/// must be bit-identical to the unobserved one — `tests/obs_transparency.rs`
+/// enforces this against the golden workload.
+pub fn run_workload_observed(
+    label: impl Into<String>,
+    catalog: &Arc<Catalog>,
+    config: DeepSeaConfig,
+    plans: &[LogicalPlan],
+    obs: Observer,
+) -> RunResult {
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::new(BlockConfig::default(), cluster.weights));
+    let ds = DeepSea::with_parts(Arc::clone(catalog), fs, cluster, config).with_observer(obs);
+    drive_workload(label, ds, config, plans)
+}
+
+fn drive_workload(
+    label: impl Into<String>,
+    mut ds: DeepSea,
+    config: DeepSeaConfig,
+    plans: &[LogicalPlan],
+) -> RunResult {
     let mut per_query = Vec::with_capacity(plans.len());
+    let mut pool_high_water = 0u64;
     for plan in plans {
         let out = ds
             .process_query(plan)
             .unwrap_or_else(|e| panic!("query failed under {:?}: {e}", config));
+        pool_high_water = pool_high_water.max(ds.pool_bytes());
         per_query.push(QueryRecord {
             elapsed: out.elapsed_secs,
             query: out.query_secs,
@@ -268,6 +402,7 @@ pub fn run_workload_on(
         label: label.into(),
         per_query,
         final_pool_bytes: ds.pool_bytes(),
+        pool_high_water,
     }
 }
 
@@ -375,6 +510,7 @@ mod tests {
                 })
                 .collect(),
             final_pool_bytes: 0,
+            pool_high_water: 0,
         };
         // Variant pays 30 up front then 1/query; baseline pays 10/query.
         let variant = mk(vec![30.0, 1.0, 1.0, 1.0, 1.0]);
@@ -410,6 +546,72 @@ mod tests {
                 ..StageTotals::default()
             },
             ht
+        );
+    }
+
+    /// The completeness audit: every `QueryTrace` leaf must be aggregated by
+    /// `stage_totals()` exactly once, under the same name. Both flattens use
+    /// exhaustive destructuring, so adding a trace field without extending
+    /// `StageTotals` (or vice versa) fails to compile; aggregating a field
+    /// into the wrong total (or forgetting the `+=`) fails here.
+    #[test]
+    fn stage_totals_cover_every_trace_field_exactly_once() {
+        let (catalog, plans) = small_setup();
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let totals = ds.stage_totals().fields();
+
+        // Sum the per-query flattens by leaf name, preserving order.
+        let mut summed: Vec<(&'static str, f64)> = Vec::new();
+        for q in &ds.per_query {
+            for (name, value) in q.trace.fields() {
+                match summed.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, acc)) => *acc += value,
+                    None => summed.push((name, value)),
+                }
+            }
+        }
+
+        let total_names: Vec<&str> = totals.iter().map(|(n, _)| *n).collect();
+        let trace_names: Vec<&str> = summed.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            total_names, trace_names,
+            "StageTotals::fields() must list exactly the QueryTrace leaves, in order"
+        );
+        for ((name, total), (_, sum)) in totals.iter().zip(&summed) {
+            assert!(
+                (total - sum).abs() <= 1e-9 * sum.abs().max(1.0),
+                "{name}: stage_totals()={total} but per-query traces sum to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_high_water_bounds_final_pool() {
+        let (catalog, plans) = small_setup();
+        let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        assert!(ds.pool_high_water >= ds.final_pool_bytes);
+        assert!(ds.pool_high_water > 0);
+        let h = run_workload("H", &catalog, baselines::hive(), &plans);
+        assert_eq!(h.pool_high_water, 0);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_collects_metrics() {
+        let (catalog, plans) = small_setup();
+        let plain = run_workload("DS", &catalog, baselines::deepsea(), &plans);
+        let obs = Observer::new(deepsea_core::ObsConfig::on());
+        let observed =
+            run_workload_observed("DS", &catalog, baselines::deepsea(), &plans, obs.clone());
+        for (a, b) in plain.per_query.iter().zip(&observed.per_query) {
+            assert_eq!(a.elapsed.to_bits(), b.elapsed.to_bits());
+            assert_eq!(a.materialized, b.materialized);
+            assert_eq!(a.evicted, b.evicted);
+        }
+        assert_eq!(plain.final_pool_bytes, observed.final_pool_bytes);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(
+            snap.counter("deepsea_queries_total", None),
+            plans.len() as u64
         );
     }
 

@@ -12,4 +12,6 @@ pub mod golden;
 pub mod harness;
 pub mod report;
 
-pub use harness::{run_variants, run_workload, QueryRecord, RunResult, StageTotals};
+pub use harness::{
+    run_variants, run_workload, run_workload_observed, QueryRecord, RunResult, StageTotals,
+};

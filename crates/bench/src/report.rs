@@ -87,29 +87,34 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
         vec![
             "matching".into(),
             format!(
-                "{} roots, {} hits ({} on materialized data)",
-                t.match_roots, t.match_hits, t.materialized_hits
+                "{} roots, {} hits ({} on materialized data), {} views updated",
+                t.match_roots, t.match_hits, t.materialized_hits, t.views_updated
             ),
             "-".into(),
         ],
         vec![
             "rewriting".into(),
-            format!("{} rewritings costed", t.rewrites_costed),
+            format!(
+                "{} rewritings costed (base {}s, best {}s)",
+                t.rewrites_costed,
+                secs(t.base_cost_secs),
+                secs(t.best_cost_secs)
+            ),
             "-".into(),
         ],
         vec![
             "candidates".into(),
             format!(
-                "{} view, {} partition selections",
-                t.view_candidates, t.partition_selections
+                "{} view ({} new), {} partition selections ({} new fragments)",
+                t.view_candidates, t.new_views, t.partition_selections, t.new_fragments
             ),
             "-".into(),
         ],
         vec![
             "selection".into(),
             format!(
-                "{} considered, {} creations planned",
-                t.candidates_considered, t.planned_creations
+                "{} considered, {} creations, {} evictions planned",
+                t.candidates_considered, t.planned_creations, t.planned_evictions
             ),
             "-".into(),
         ],
@@ -163,6 +168,18 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
 /// Format a fraction as a percentage.
 pub fn pct(v: f64) -> String {
     format!("{:.0}%", v * 100.0)
+}
+
+/// Render a top-N ranking (e.g. hottest views by hit count, from
+/// [`MetricsRegistry::top_counters`](deepsea_obs::MetricsRegistry::top_counters))
+/// as a two-column table with 1-based ranks.
+pub fn top_n_table(title: &str, value_header: &str, rows: &[(String, u64)]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (label, v))| vec![format!("{}", i + 1), label.clone(), v.to_string()])
+        .collect();
+    format!("{title}:\n{}", table(&["#", "name", value_header], &body))
 }
 
 #[cfg(test)]
@@ -221,11 +238,17 @@ mod tests {
             match_roots: 12,
             match_hits: 5,
             materialized_hits: 3,
+            views_updated: 8,
             rewrites_costed: 5,
+            base_cost_secs: 900.0,
+            best_cost_secs: 450.0,
             view_candidates: 2,
+            new_views: 1,
             partition_selections: 7,
+            new_fragments: 4,
             candidates_considered: 40,
             planned_creations: 4,
+            planned_evictions: 2,
             execution_secs: 100.5,
             creation_secs: 20.25,
             bytes_read: 1_000_000,
@@ -262,8 +285,77 @@ mod tests {
         assert!(s.contains("DS"));
         assert!(s.contains("100.5"));
         assert!(s.contains("2.0 GB"));
-        assert!(s.contains("12 roots, 5 hits (3 on materialized data)"));
+        assert!(s.contains("12 roots, 5 hits (3 on materialized data), 8 views updated"));
+        assert!(s.contains("5 rewritings costed (base 900.0s, best 450.0s)"));
+        assert!(s.contains("2 view (1 new), 7 partition selections (4 new fragments)"));
+        assert!(s.contains("40 considered, 4 creations, 2 evictions planned"));
         assert!(s.contains("9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks, 2 corrupt"));
         assert!(s.contains("120 journal records, 2 snapshots, 3 retries"));
+    }
+
+    /// Print-coverage half of the completeness audit (the aggregation half
+    /// lives in `harness::tests`): every field `StageTotals::fields()` lists
+    /// must surface somewhere in the rendered breakdown. Each field gets a
+    /// distinct sentinel so a dropped `format!` argument is caught.
+    #[test]
+    fn stage_breakdown_prints_every_aggregated_field() {
+        let t = StageTotals {
+            match_roots: 101,
+            match_hits: 103,
+            materialized_hits: 105,
+            views_updated: 107,
+            rewrites_costed: 109,
+            base_cost_secs: 111.5,
+            best_cost_secs: 113.5,
+            view_candidates: 115,
+            new_views: 117,
+            partition_selections: 119,
+            new_fragments: 121,
+            candidates_considered: 123,
+            planned_creations: 125,
+            planned_evictions: 127,
+            execution_secs: 129.5,
+            bytes_read: 131,
+            bytes_written: 133,
+            files_written: 135,
+            fragments_covered: 137,
+            creation_secs: 139.5,
+            evictions_selected: 141,
+            evictions_forced: 143,
+            retries: 145,
+            retry_penalty_secs: 147.5,
+            quarantined_views: 149,
+            quarantined_bytes: 151,
+            base_table_fallbacks: 153,
+            corrupt_fragments: 155,
+            journal_appends: 157,
+            journal_retries: 159,
+            journal_penalty_secs: 161.5,
+            journal_snapshots: 163,
+        };
+        let s = stage_breakdown("DS", &t);
+        for (name, v) in t.fields() {
+            let as_int = format!("{}", v as u64);
+            let as_secs = secs(v);
+            let as_bytes = bytes(v as u64);
+            assert!(
+                s.contains(&as_int) || s.contains(&as_secs) || s.contains(&as_bytes),
+                "field {name} (= {v}) is not printed by stage_breakdown:\n{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_n_table_ranks_rows() {
+        let s = top_n_table(
+            "hottest views",
+            "hits",
+            &[("store_sales.q30".into(), 42), ("web_clicks.q5".into(), 7)],
+        );
+        assert!(s.starts_with("hottest views:"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].contains('1') && lines[3].contains("store_sales.q30"));
+        assert!(lines[4].ends_with('7'));
     }
 }

@@ -28,6 +28,13 @@ impl DeepSea {
         let (selections, new_frags) = self.register_partition_candidates(&ctx.qbest, ctx.tnow);
         ctx.trace.candidates.partition_selections = selections;
         ctx.trace.candidates.new_fragments = new_frags;
+        self.obs.counter_add(
+            "deepsea_new_views_total",
+            None,
+            ctx.trace.candidates.new_views as u64,
+        );
+        self.obs
+            .counter_add("deepsea_new_fragments_total", None, new_frags as u64);
         ctx.new_cands = new_cands;
     }
 

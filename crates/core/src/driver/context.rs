@@ -2,6 +2,7 @@
 //! instrumentation ([`QueryTrace`]) every [`super::QueryOutcome`] carries.
 
 use deepsea_engine::plan::LogicalPlan;
+use serde::{ObjectBuilder, Serialize, Value};
 
 use crate::filter_tree::ViewId;
 use crate::selection::SelectionResult;
@@ -154,6 +155,226 @@ pub struct QueryTrace {
     pub durability: DurabilityTrace,
 }
 
+impl QueryTrace {
+    /// Every trace field, flattened to `("stage.field", value)` pairs.
+    ///
+    /// This destructures every sub-trace exhaustively (no `..` patterns), so
+    /// adding a field to any trace struct **fails to compile** until it is
+    /// represented here — and the completeness tests in the bench harness
+    /// then force it into `StageTotals` and `stage_breakdown` too.
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        let QueryTrace {
+            matching:
+                MatchingTrace {
+                    roots,
+                    hits,
+                    materialized_hits,
+                    views_updated,
+                },
+            rewriting:
+                RewritingTrace {
+                    rewrites_costed,
+                    base_cost_secs,
+                    best_cost_secs,
+                },
+            candidates:
+                CandidatesTrace {
+                    view_candidates,
+                    new_views,
+                    partition_selections,
+                    new_fragments,
+                },
+            selection:
+                SelectionTrace {
+                    considered,
+                    planned_creations,
+                    planned_evictions,
+                },
+            execution: ExecutionTrace { query_secs },
+            materialization:
+                MaterializationTrace {
+                    bytes_read,
+                    bytes_written,
+                    files_written,
+                    fragments_covered,
+                    creation_secs,
+                },
+            eviction:
+                EvictionTrace {
+                    selected,
+                    limit_forced,
+                },
+            recovery:
+                RecoveryTrace {
+                    retries,
+                    penalty_secs,
+                    quarantined_views,
+                    quarantined_bytes,
+                    base_table_fallbacks,
+                    corrupt_fragments,
+                },
+            durability:
+                DurabilityTrace {
+                    journal_appends,
+                    journal_retries,
+                    journal_penalty_secs,
+                    snapshots,
+                },
+        } = *self;
+        vec![
+            ("matching.roots", roots as f64),
+            ("matching.hits", hits as f64),
+            ("matching.materialized_hits", materialized_hits as f64),
+            ("matching.views_updated", views_updated as f64),
+            ("rewriting.rewrites_costed", rewrites_costed as f64),
+            ("rewriting.base_cost_secs", base_cost_secs),
+            ("rewriting.best_cost_secs", best_cost_secs),
+            ("candidates.view_candidates", view_candidates as f64),
+            ("candidates.new_views", new_views as f64),
+            (
+                "candidates.partition_selections",
+                partition_selections as f64,
+            ),
+            ("candidates.new_fragments", new_fragments as f64),
+            ("selection.considered", considered as f64),
+            ("selection.planned_creations", planned_creations as f64),
+            ("selection.planned_evictions", planned_evictions as f64),
+            ("execution.query_secs", query_secs),
+            ("materialization.bytes_read", bytes_read as f64),
+            ("materialization.bytes_written", bytes_written as f64),
+            ("materialization.files_written", files_written as f64),
+            (
+                "materialization.fragments_covered",
+                fragments_covered as f64,
+            ),
+            ("materialization.creation_secs", creation_secs),
+            ("eviction.selected", selected as f64),
+            ("eviction.limit_forced", limit_forced as f64),
+            ("recovery.retries", retries as f64),
+            ("recovery.penalty_secs", penalty_secs),
+            ("recovery.quarantined_views", quarantined_views as f64),
+            ("recovery.quarantined_bytes", quarantined_bytes as f64),
+            ("recovery.base_table_fallbacks", base_table_fallbacks as f64),
+            ("recovery.corrupt_fragments", corrupt_fragments as f64),
+            ("durability.journal_appends", journal_appends as f64),
+            ("durability.journal_retries", journal_retries as f64),
+            ("durability.journal_penalty_secs", journal_penalty_secs),
+            ("durability.snapshots", snapshots as f64),
+        ]
+    }
+}
+
+impl Serialize for MatchingTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("roots", self.roots)
+            .field("hits", self.hits)
+            .field("materialized_hits", self.materialized_hits)
+            .field("views_updated", self.views_updated)
+            .build()
+    }
+}
+
+impl Serialize for RewritingTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("rewrites_costed", self.rewrites_costed)
+            .field("base_cost_secs", self.base_cost_secs)
+            .field("best_cost_secs", self.best_cost_secs)
+            .build()
+    }
+}
+
+impl Serialize for CandidatesTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("view_candidates", self.view_candidates)
+            .field("new_views", self.new_views)
+            .field("partition_selections", self.partition_selections)
+            .field("new_fragments", self.new_fragments)
+            .build()
+    }
+}
+
+impl Serialize for SelectionTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("considered", self.considered)
+            .field("planned_creations", self.planned_creations)
+            .field("planned_evictions", self.planned_evictions)
+            .build()
+    }
+}
+
+impl Serialize for ExecutionTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("query_secs", self.query_secs)
+            .build()
+    }
+}
+
+impl Serialize for MaterializationTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("bytes_read", self.bytes_read)
+            .field("bytes_written", self.bytes_written)
+            .field("files_written", self.files_written)
+            .field("fragments_covered", self.fragments_covered)
+            .field("creation_secs", self.creation_secs)
+            .build()
+    }
+}
+
+impl Serialize for EvictionTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("selected", self.selected)
+            .field("limit_forced", self.limit_forced)
+            .build()
+    }
+}
+
+impl Serialize for RecoveryTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("retries", self.retries)
+            .field("penalty_secs", self.penalty_secs)
+            .field("quarantined_views", self.quarantined_views)
+            .field("quarantined_bytes", self.quarantined_bytes)
+            .field("base_table_fallbacks", self.base_table_fallbacks)
+            .field("corrupt_fragments", self.corrupt_fragments)
+            .build()
+    }
+}
+
+impl Serialize for DurabilityTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("journal_appends", self.journal_appends)
+            .field("journal_retries", self.journal_retries)
+            .field("journal_penalty_secs", self.journal_penalty_secs)
+            .field("snapshots", self.snapshots)
+            .build()
+    }
+}
+
+impl Serialize for QueryTrace {
+    fn to_value(&self) -> Value {
+        ObjectBuilder::new()
+            .field("matching", self.matching)
+            .field("rewriting", self.rewriting)
+            .field("candidates", self.candidates)
+            .field("selection", self.selection)
+            .field("execution", self.execution)
+            .field("materialization", self.materialization)
+            .field("eviction", self.eviction)
+            .field("recovery", self.recovery)
+            .field("durability", self.durability)
+            .build()
+    }
+}
+
 /// Accumulated I/O of the materializations a query performs; converted to
 /// seconds once per query (all writes of one query run as a single
 /// instrumented MapReduce job).
@@ -265,6 +486,75 @@ mod tests {
         assert_eq!(a.cover_reads, 44);
         assert_eq!(a.retries, 55);
         assert_eq!(a.penalty_secs, 66.0);
+    }
+
+    #[test]
+    fn trace_fields_and_serialization_cover_every_field() {
+        // Give every field a distinct non-zero value so both representations
+        // can be cross-checked field by field.
+        let mut trace = QueryTrace::default();
+        for (i, (_, _)) in trace.fields().iter().enumerate() {
+            set_field_by_index(&mut trace, i, (i + 1) as f64);
+        }
+        let flat = trace.fields();
+        assert_eq!(flat.len(), 32);
+        // Names are unique and values survived the round trip.
+        let mut names: Vec<&str> = flat.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), flat.len(), "duplicate flattened name");
+        for (i, (name, v)) in flat.iter().enumerate() {
+            assert_eq!(*v, (i + 1) as f64, "{name}");
+        }
+        // The serialized object exposes the same leaves under stage objects.
+        let json = serde::to_string(&trace);
+        for (name, v) in &flat {
+            let leaf = name.split('.').next_back().unwrap();
+            assert!(
+                json.contains(&format!("\"{leaf}\":{v}")),
+                "missing {name}={v} in {json}"
+            );
+        }
+    }
+
+    /// Poke trace field `i` (in `fields()` order) to `v`. Kept in sync by
+    /// the assertion above: a mismatch in count or order fails the test.
+    fn set_field_by_index(t: &mut QueryTrace, i: usize, v: f64) {
+        match i {
+            0 => t.matching.roots = v as u32,
+            1 => t.matching.hits = v as u32,
+            2 => t.matching.materialized_hits = v as u32,
+            3 => t.matching.views_updated = v as u32,
+            4 => t.rewriting.rewrites_costed = v as u32,
+            5 => t.rewriting.base_cost_secs = v,
+            6 => t.rewriting.best_cost_secs = v,
+            7 => t.candidates.view_candidates = v as u32,
+            8 => t.candidates.new_views = v as u32,
+            9 => t.candidates.partition_selections = v as u32,
+            10 => t.candidates.new_fragments = v as u32,
+            11 => t.selection.considered = v as u32,
+            12 => t.selection.planned_creations = v as u32,
+            13 => t.selection.planned_evictions = v as u32,
+            14 => t.execution.query_secs = v,
+            15 => t.materialization.bytes_read = v as u64,
+            16 => t.materialization.bytes_written = v as u64,
+            17 => t.materialization.files_written = v as u64,
+            18 => t.materialization.fragments_covered = v as u64,
+            19 => t.materialization.creation_secs = v,
+            20 => t.eviction.selected = v as u32,
+            21 => t.eviction.limit_forced = v as u32,
+            22 => t.recovery.retries = v as u32,
+            23 => t.recovery.penalty_secs = v,
+            24 => t.recovery.quarantined_views = v as u32,
+            25 => t.recovery.quarantined_bytes = v as u64,
+            26 => t.recovery.base_table_fallbacks = v as u32,
+            27 => t.recovery.corrupt_fragments = v as u32,
+            28 => t.durability.journal_appends = v as u32,
+            29 => t.durability.journal_retries = v as u32,
+            30 => t.durability.journal_penalty_secs = v,
+            31 => t.durability.snapshots = v as u32,
+            _ => panic!("fields() grew without extending set_field_by_index"),
+        }
     }
 
     #[test]

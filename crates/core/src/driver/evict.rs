@@ -3,13 +3,14 @@
 //! estimates selection used), and the §11 fragment-merging maintenance pass.
 
 use deepsea_engine::exec::ExecError;
+use deepsea_obs::{DecisionEvent, PhiBreakdown};
 use deepsea_relation::Table;
 use deepsea_storage::FileId;
 
 use crate::durability::CatalogRecord;
 use crate::filter_tree::ViewId;
 use crate::selection::{CandidateKind, RankedItem};
-use crate::stats::LogicalTime;
+use crate::stats::{decay, LogicalTime};
 
 use super::context::{CreationCharge, QueryContext};
 use super::DeepSea;
@@ -18,12 +19,120 @@ impl DeepSea {
     /// Apply the evictions the selection stage planned.
     pub(crate) fn stage_apply_evictions(&mut self, ctx: &mut QueryContext) {
         let to_evict = ctx.selection.to_evict.clone();
+        // Audit context: the weakest item *kept* is the runner-up victim had
+        // selection pressure been one notch higher. Computed only when the
+        // audit log listens — it feeds no decision.
+        let runner_up = if self.obs.events_enabled() {
+            ctx.selection
+                .to_keep
+                .iter()
+                .filter(|i| i.materialized)
+                .min_by(|a, b| a.phi.total_cmp(&b.phi))
+                .map(|i| (self.describe_item(&i.kind), i.phi))
+        } else {
+            None
+        };
         for item in &to_evict {
+            let breakdown = self
+                .obs
+                .events_enabled()
+                .then(|| self.phi_breakdown(&item.kind, item.phi, ctx.tnow));
             if let Some(desc) = self.evict(&item.kind) {
+                if let Some(breakdown) = breakdown {
+                    self.obs.event(
+                        ctx.tnow,
+                        DecisionEvent::Eviction {
+                            victim: desc.clone(),
+                            breakdown,
+                            runner_up: runner_up.as_ref().map(|(d, _)| d.clone()),
+                            runner_up_phi: runner_up.as_ref().map(|&(_, phi)| phi),
+                            forced: false,
+                        },
+                    );
+                }
                 ctx.evicted.push(desc);
             }
         }
         ctx.trace.eviction.selected = ctx.evicted.len() as u32;
+    }
+
+    /// Human-readable description of a candidate item (`V3` or
+    /// `V3.item.k[0, 99]`), matching the strings `evict` returns.
+    pub(crate) fn describe_item(&self, kind: &CandidateKind) -> String {
+        match kind {
+            CandidateKind::WholeView(vid) => self.registry.view(*vid).name.clone(),
+            CandidateKind::Fragment(vid, attr, fid) => {
+                let view = self.registry.view(*vid);
+                match view.partitions.get(attr).and_then(|ps| ps.frag(*fid)) {
+                    Some(frag) => format!("{}.{attr}{}", view.name, frag.interval),
+                    None => format!("{}.{attr}?", view.name),
+                }
+            }
+        }
+    }
+
+    /// Reconstruct the Φ = COST·B/S breakdown behind a ranked item's value,
+    /// for the audit log. `phi` is the policy's actual ranking value and is
+    /// carried through verbatim; the components are recomputed from the same
+    /// statistics the policy read, so `tests` can assert they agree.
+    pub(crate) fn phi_breakdown(
+        &self,
+        kind: &CandidateKind,
+        phi: f64,
+        tnow: LogicalTime,
+    ) -> PhiBreakdown {
+        let tmax = self.config.tmax;
+        let vm = self.config.value_model;
+        match kind {
+            CandidateKind::WholeView(vid) => {
+                let stats = &self.registry.view(*vid).stats;
+                PhiBreakdown {
+                    phi,
+                    cost: stats.cost,
+                    benefit: vm.view_benefit(stats, tnow, tmax),
+                    benefit_raw: stats.undecayed_benefit(),
+                    ha_hits: stats.events.iter().map(|e| decay(tnow, e.t, tmax)).sum(),
+                    raw_hits: stats.events.len() as u64,
+                    size: stats.size,
+                }
+            }
+            CandidateKind::Fragment(vid, attr, fid) => {
+                let view = self.registry.view(*vid);
+                let (cost, view_size) = (view.stats.cost, view.stats.size);
+                let Some((ps, idx)) = view.partitions.get(attr).and_then(|ps| {
+                    ps.fragments
+                        .iter()
+                        .position(|f| f.id == *fid)
+                        .map(|idx| (ps, idx))
+                }) else {
+                    return PhiBreakdown {
+                        phi,
+                        cost,
+                        benefit: 0.0,
+                        benefit_raw: 0.0,
+                        ha_hits: 0.0,
+                        raw_hits: 0,
+                        size: 0,
+                    };
+                };
+                let frag = &ps.fragments[idx];
+                let ha = vm.fragment_adjusted_hits(ps, tnow, tmax)[idx];
+                let share = if view_size == 0 {
+                    0.0
+                } else {
+                    frag.size as f64 / view_size as f64
+                };
+                PhiBreakdown {
+                    phi,
+                    cost,
+                    benefit: share * cost * ha,
+                    benefit_raw: share * cost * frag.stats.raw_hits() as f64,
+                    ha_hits: ha,
+                    raw_hits: frag.stats.raw_hits() as u64,
+                    size: frag.size,
+                }
+            }
+        }
     }
 
     /// Stage 7: evict lowest-value items until the pool fits `Smax` again.
@@ -80,11 +189,36 @@ impl DeepSea {
                 .into_iter()
                 .filter(|i| i.materialized)
                 .collect();
-            let Some(worst) = items.into_iter().min_by(|a, b| a.phi.total_cmp(&b.phi)) else {
+            let Some(worst) = items.iter().min_by(|a, b| a.phi.total_cmp(&b.phi)).cloned() else {
                 break;
             };
+            // Audit context only — the victim choice above is untouched.
+            let audit = if self.obs.events_enabled() {
+                let runner_up = items
+                    .iter()
+                    .filter(|i| i.kind != worst.kind)
+                    .min_by(|a, b| a.phi.total_cmp(&b.phi))
+                    .map(|i| (self.describe_item(&i.kind), i.phi));
+                Some((self.phi_breakdown(&worst.kind, worst.phi, tnow), runner_up))
+            } else {
+                None
+            };
             match self.evict(&worst.kind) {
-                Some(d) => evicted.push(d),
+                Some(d) => {
+                    if let Some((breakdown, runner_up)) = audit {
+                        self.obs.event(
+                            tnow,
+                            DecisionEvent::Eviction {
+                                victim: d.clone(),
+                                breakdown,
+                                runner_up: runner_up.as_ref().map(|(desc, _)| desc.clone()),
+                                runner_up_phi: runner_up.as_ref().map(|&(_, phi)| phi),
+                                forced: true,
+                            },
+                        );
+                    }
+                    evicted.push(d)
+                }
                 None => break,
             }
         }
@@ -210,6 +344,15 @@ impl DeepSea {
                 size,
                 schema: None,
             });
+            self.obs.event(
+                tnow,
+                DecisionEvent::FragmentMerge {
+                    view: name.clone(),
+                    attr: attr.clone(),
+                    merged: cand.merged.to_string(),
+                    bytes: size,
+                },
+            );
             merged.push(format!("{name}.{attr}{}", cand.merged));
         }
         let debt = self.drain_journal_debt();

@@ -67,6 +67,15 @@ impl DeepSea {
         ctx.trace.matching.hits = hits.len() as u32;
         ctx.trace.matching.materialized_hits =
             hits.iter().filter(|h| h.access.is_some()).count() as u32;
+        self.obs
+            .counter_add("deepsea_match_roots_total", None, roots as u64);
+        self.obs
+            .counter_add("deepsea_match_hits_total", None, hits.len() as u64);
+        self.obs.counter_add(
+            "deepsea_match_materialized_hits_total",
+            None,
+            ctx.trace.matching.materialized_hits as u64,
+        );
         ctx.hits = hits;
     }
 

@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use deepsea_engine::exec::ExecError;
+use deepsea_obs::DecisionEvent;
 use deepsea_relation::Table;
 use deepsea_storage::FileId;
 
@@ -212,6 +213,13 @@ impl DeepSea {
                 schema,
             }),
         }
+        self.obs.counter_add(
+            "deepsea_mat_bytes_written_total",
+            Some(&name),
+            charge.write_bytes,
+        );
+        self.obs
+            .counter_add("deepsea_mat_files_total", Some(&name), charge.files);
         Ok((charge, descs))
     }
 
@@ -372,6 +380,20 @@ impl DeepSea {
         charge.write_bytes += new_size;
         charge.files += 1;
 
+        // Audit the refinement decision: in overlapping mode the sources
+        // stay; in horizontal mode they are split and rewritten.
+        if overlapping_mode {
+            self.obs.event(
+                self.clock,
+                DecisionEvent::OverlapKept {
+                    view: name.clone(),
+                    attr: attr.to_string(),
+                    target: target.to_string(),
+                    sources: sources.len() as u64,
+                },
+            );
+        }
+
         let mut remainder_meta: Vec<(Interval, FileId, u64)> = Vec::new();
         let mut dropped: Vec<FragmentId> = Vec::new();
         for (sid, iv, _size) in &split_work {
@@ -405,6 +427,18 @@ impl DeepSea {
                 remainder_meta.push((piece, file, size));
             }
             dropped.push(*sid);
+        }
+        if !overlapping_mode {
+            self.obs.event(
+                self.clock,
+                DecisionEvent::FragmentSplit {
+                    view: name.clone(),
+                    attr: attr.to_string(),
+                    target: target.to_string(),
+                    sources: cover.len() as u64,
+                    remainders: remainder_meta.len() as u64,
+                },
+            );
         }
 
         // Update registry metadata, collecting what actually changed so the
@@ -461,6 +495,18 @@ impl DeepSea {
             });
         }
 
+        self.obs.counter_add(
+            "deepsea_mat_bytes_read_total",
+            Some(&name),
+            charge.read_bytes,
+        );
+        self.obs.counter_add(
+            "deepsea_mat_bytes_written_total",
+            Some(&name),
+            charge.write_bytes,
+        );
+        self.obs
+            .counter_add("deepsea_mat_files_total", Some(&name), charge.files);
         Ok(Some((charge, format!("{name}.{attr}{target}"))))
     }
 
@@ -559,6 +605,13 @@ impl DeepSea {
             size,
             schema: Some(schema),
         });
+        self.obs.counter_add(
+            "deepsea_mat_bytes_written_total",
+            Some(&name),
+            charge.write_bytes,
+        );
+        self.obs
+            .counter_add("deepsea_mat_files_total", Some(&name), charge.files);
         Ok(Some((charge, format!("{name}.{attr}{target}"))))
     }
 }

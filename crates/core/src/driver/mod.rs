@@ -39,6 +39,7 @@ use deepsea_engine::cost::CostEstimator;
 use deepsea_engine::exec::{ExecError, ExecMetrics};
 use deepsea_engine::plan::LogicalPlan;
 use deepsea_engine::{ClusterSim, ExecutionBackend, SimBackend};
+use deepsea_obs::{DecisionEvent, Observer};
 use deepsea_relation::Table;
 use deepsea_storage::{BlockConfig, PoolAccountant, SimFs};
 
@@ -112,6 +113,17 @@ pub struct DeepSea {
     /// `Smax` is enforced by selection and `enforce_limit`, not here.
     pub(crate) pool: PoolAccountant,
     pub(crate) journal_debt: JournalDebt,
+    /// Observability handle. Disabled (the default) it is a no-op; enabled it
+    /// only ever *reads* driver state — decisions are identical either way
+    /// (enforced by `tests/obs_transparency.rs`).
+    pub(crate) obs: Observer,
+    /// Cumulative simulated seconds across all processed queries — the span
+    /// clock. Advanced unconditionally so attaching an observer mid-run
+    /// cannot shift later timestamps.
+    pub(crate) sim_elapsed: f64,
+    /// Journal records appended since the last installed snapshot; reported
+    /// in the `journal_snapshot` audit event.
+    pub(crate) appends_since_snapshot: u64,
 }
 
 impl DeepSea {
@@ -150,7 +162,22 @@ impl DeepSea {
             journal: None,
             pool: PoolAccountant::unbounded(),
             journal_debt: JournalDebt::default(),
+            obs: Observer::off(),
+            sim_elapsed: 0.0,
+            appends_since_snapshot: 0,
         }
+    }
+
+    /// Builder-style: attach an observability handle. The disabled handle
+    /// (`Observer::off()`) keeps every instrumentation site a no-op.
+    pub fn with_observer(mut self, obs: Observer) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle.
+    pub fn observer(&self) -> &Observer {
+        &self.obs
     }
 
     /// Builder-style: attach a catalog journal. Every registry mutation from
@@ -199,6 +226,54 @@ impl DeepSea {
             });
         }
         (ds, report)
+    }
+
+    /// [`DeepSea::recover`] with an observer attached from the start: the
+    /// fsck outcome is recorded as counters and an `fsck` audit event.
+    pub fn recover_with_observer(
+        catalog: Arc<Catalog>,
+        fs: Arc<SimFs<Table>>,
+        backend: Box<dyn ExecutionBackend>,
+        config: DeepSeaConfig,
+        journal: Arc<CatalogJournal>,
+        obs: Observer,
+    ) -> (Self, FsckReport) {
+        let (mut ds, report) = Self::recover(catalog, fs, backend, config, journal);
+        ds.obs = obs;
+        ds.observe_fsck(&report);
+        (ds, report)
+    }
+
+    /// Record a completed fsck sweep. Pure observation of the report.
+    fn observe_fsck(&self, report: &FsckReport) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.counter_add(
+            "deepsea_fsck_replayed_records_total",
+            None,
+            report.replayed_records,
+        );
+        self.obs.counter_add(
+            "deepsea_fsck_orphan_files_total",
+            None,
+            report.orphan_files as u64,
+        );
+        self.obs.counter_add(
+            "deepsea_fsck_quarantined_views_total",
+            None,
+            report.quarantined_views as u64,
+        );
+        self.obs.event(
+            self.clock,
+            DecisionEvent::Fsck {
+                missing_files: report.missing_files as u64,
+                corrupt_files: report.corrupt_files as u64,
+                orphan_files: report.orphan_files as u64,
+                quarantined_views: report.quarantined_views as u64,
+                replayed_records: report.replayed_records,
+            },
+        );
     }
 
     /// The configuration in force.
@@ -257,6 +332,7 @@ impl DeepSea {
             return;
         };
         self.journal_debt.appends += 1;
+        self.appends_since_snapshot += 1;
         let mut attempt = 0u32;
         loop {
             match journal.append(record.clone()) {
@@ -299,6 +375,15 @@ impl DeepSea {
                         clock: tnow,
                     });
                     ctx.trace.durability.snapshots += 1;
+                    self.obs
+                        .counter_inc("deepsea_journal_snapshots_total", None);
+                    self.obs.event(
+                        tnow,
+                        DecisionEvent::JournalSnapshot {
+                            appended_since_last: self.appends_since_snapshot,
+                        },
+                    );
+                    self.appends_since_snapshot = 0;
                 }
             }
         }
@@ -307,6 +392,10 @@ impl DeepSea {
         ctx.trace.durability.journal_retries += debt.retries;
         ctx.trace.durability.journal_penalty_secs += debt.penalty_secs;
         ctx.creation_secs += debt.penalty_secs;
+        self.obs
+            .counter_add("deepsea_journal_appends_total", None, debt.appends as u64);
+        self.obs
+            .counter_add("deepsea_journal_retries_total", None, debt.retries as u64);
     }
 
     /// Process one query — Algorithm 1, as a linear sequence of stages over
@@ -340,7 +429,7 @@ impl DeepSea {
         // ── 8. Durable commit point ──────────────────────────────────────
         self.journal_commit(&mut ctx);
 
-        Ok(QueryOutcome {
+        let outcome = QueryOutcome {
             result,
             elapsed_secs: ctx.query_secs + ctx.creation_secs,
             query_secs: ctx.query_secs,
@@ -351,7 +440,68 @@ impl DeepSea {
             quarantined: ctx.quarantined,
             metrics,
             trace: ctx.trace,
-        })
+        };
+        self.observe_query(&outcome);
+        Ok(outcome)
+    }
+
+    /// Record the per-query metrics and spans from the finished outcome.
+    /// Reads only — no decision depends on anything done here.
+    fn observe_query(&mut self, outcome: &QueryOutcome) {
+        let start = self.sim_elapsed;
+        // Advance the span clock even when disabled, so enabling observation
+        // mid-run cannot shift later span timestamps.
+        self.sim_elapsed += outcome.elapsed_secs;
+        if !self.obs.enabled() {
+            return;
+        }
+        let tnow = self.clock;
+        self.obs.counter_inc("deepsea_queries_total", None);
+        self.obs
+            .observe("deepsea_query_secs", None, outcome.query_secs);
+        self.obs.span(
+            tnow,
+            "execute",
+            outcome.used_view.as_deref(),
+            start,
+            start + outcome.query_secs,
+        );
+        if outcome.creation_secs > 0.0 {
+            self.obs
+                .observe("deepsea_creation_secs", None, outcome.creation_secs);
+            self.obs.span(
+                tnow,
+                "materialize",
+                None,
+                start + outcome.query_secs,
+                start + outcome.elapsed_secs,
+            );
+        }
+        if let Some(view) = &outcome.used_view {
+            self.obs.counter_inc("deepsea_view_hits_total", Some(view));
+        }
+        self.obs.counter_add(
+            "deepsea_exec_bytes_read_total",
+            outcome.used_view.as_deref(),
+            outcome.metrics.bytes_read,
+        );
+        self.obs.counter_add(
+            "deepsea_exec_map_tasks_total",
+            None,
+            outcome.metrics.map_tasks,
+        );
+        self.obs.counter_add(
+            "deepsea_evictions_total",
+            None,
+            outcome.evicted.len() as u64,
+        );
+        self.obs.counter_add(
+            "deepsea_quarantines_total",
+            None,
+            outcome.quarantined.len() as u64,
+        );
+        self.obs
+            .gauge_set("deepsea_pool_bytes", None, self.pool_bytes() as f64);
     }
 
     /// The Hive baseline: no matching, no materialization — and, unlike
@@ -365,7 +515,7 @@ impl DeepSea {
         ctx.query_secs = query_secs;
         ctx.trace.execution.query_secs = query_secs;
         self.journal_commit(&mut ctx);
-        Ok(QueryOutcome {
+        let outcome = QueryOutcome {
             result,
             elapsed_secs: query_secs + ctx.creation_secs,
             query_secs,
@@ -376,7 +526,9 @@ impl DeepSea {
             quarantined: Vec::new(),
             metrics,
             trace: ctx.trace,
-        })
+        };
+        self.observe_query(&outcome);
+        Ok(outcome)
     }
 
     /// Execute the chosen plan through the backend, with graceful

@@ -111,6 +111,18 @@ impl DeepSea {
                 view: key,
                 at: tnow,
             });
+            let name = self.registry.view(vid).name.clone();
+            self.obs
+                .counter_inc("deepsea_quarantined_views_total", Some(&name));
+            self.obs.event(
+                tnow,
+                deepsea_obs::DecisionEvent::Quarantine {
+                    view: name,
+                    files: report.files.len() as u64,
+                    bytes: report.bytes,
+                    fragments: report.fragments as u64,
+                },
+            );
         }
         (self.registry.view(vid).name.clone(), report)
     }

@@ -4,10 +4,13 @@
 
 use std::collections::BTreeSet;
 
+use deepsea_obs::DecisionEvent;
+
 use crate::filter_tree::ViewId;
 use crate::matching::partition_matching;
-use crate::policy::PartitionPolicy;
-use crate::selection::{select_configuration, CandidateKind, RankedItem};
+use crate::mle::fit_normal;
+use crate::policy::{PartitionPolicy, ValueModel};
+use crate::selection::{select_configuration, CandidateKind, RankedItem, SelectionResult};
 use crate::stats::LogicalTime;
 
 use super::context::QueryContext;
@@ -19,10 +22,105 @@ impl DeepSea {
     pub(crate) fn stage_select_configuration(&self, ctx: &mut QueryContext) {
         let items = self.build_allcand(&ctx.new_cands, ctx.tnow);
         ctx.trace.selection.considered = items.len() as u32;
+        // Audit copy of ALLCAND, taken only when the decision log listens —
+        // the selection below runs on the exact same items either way.
+        let audit_items = if self.obs.events_enabled() {
+            Some(items.clone())
+        } else {
+            None
+        };
         let selection = select_configuration(items, self.config.smax);
         ctx.trace.selection.planned_creations = selection.to_create.len() as u32;
         ctx.trace.selection.planned_evictions = selection.to_evict.len() as u32;
+        if let Some(items) = audit_items {
+            self.observe_selection(&items, &selection, ctx.tnow);
+        }
+        if self.obs.enabled() {
+            self.obs.counter_add(
+                "deepsea_candidates_considered_total",
+                None,
+                ctx.trace.selection.considered as u64,
+            );
+            self.observe_mle_fits(ctx.tnow);
+        }
         ctx.selection = selection;
+    }
+
+    /// Log one `selection_verdict` audit event per `ALLCAND` item. An item
+    /// absent from all three result lists was rejected by admission sizing
+    /// (unmaterialized, didn't fit the Φ-ranked prefix).
+    fn observe_selection(
+        &self,
+        items: &[RankedItem],
+        selection: &SelectionResult,
+        tnow: LogicalTime,
+    ) {
+        for item in items {
+            let verdict = if selection.to_create.iter().any(|i| i.kind == item.kind) {
+                "create"
+            } else if selection.to_evict.iter().any(|i| i.kind == item.kind) {
+                "evict"
+            } else if selection.to_keep.iter().any(|i| i.kind == item.kind) {
+                "keep"
+            } else {
+                "reject"
+            };
+            self.obs.observe("deepsea_phi", None, item.phi);
+            self.obs.event(
+                tnow,
+                DecisionEvent::SelectionVerdict {
+                    item: self.describe_item(&item.kind),
+                    verdict,
+                    phi: item.phi,
+                    size: item.size,
+                    materialized: item.materialized,
+                },
+            );
+        }
+    }
+
+    /// Record MLE fit quality (§7.1) for every partition the policy smooths.
+    /// The fit is recomputed here — a pure function of the same statistics
+    /// `fragment_values` read — so observation feeds no decision.
+    fn observe_mle_fits(&self, tnow: LogicalTime) {
+        if !matches!(
+            self.config.value_model,
+            ValueModel::DeepSea { use_mle: true }
+        ) {
+            return;
+        }
+        let tmax = self.config.tmax;
+        for view in self.registry.iter() {
+            for ps in view.partitions.values() {
+                if !ps.any_materialized() {
+                    continue;
+                }
+                let weighted: Vec<_> = ps
+                    .fragments
+                    .iter()
+                    .map(|f| (f.interval, f.stats.decayed_hits(tnow, tmax)))
+                    .collect();
+                let total: f64 = weighted.iter().map(|(_, h)| h).sum();
+                let Some(fit) = fit_normal(&weighted) else {
+                    continue;
+                };
+                let label = format!("{}.{}", view.name, ps.attr);
+                self.obs
+                    .gauge_set("deepsea_mle_mean", Some(&label), fit.mean);
+                self.obs.gauge_set("deepsea_mle_std", Some(&label), fit.std);
+                self.obs.event(
+                    tnow,
+                    DecisionEvent::MleFit {
+                        view: view.name.clone(),
+                        attr: ps.attr.clone(),
+                        mean: fit.mean,
+                        std: fit.std,
+                        total_hits: total,
+                        fragments: ps.fragments.len() as u64,
+                    },
+                );
+            }
+        }
     }
 
     /// Build `ALLCAND` — also used by `enforce_limit` to re-rank the pool.

@@ -545,3 +545,163 @@ fn custom_backend_is_used_for_execution() {
         calls.load(Ordering::SeqCst)
     );
 }
+
+#[test]
+fn forced_eviction_event_logs_the_policy_phi() {
+    use crate::selection::RankedItem;
+    use deepsea_obs::{DecisionEvent, ObsConfig};
+
+    let obs = Observer::new(ObsConfig::on());
+    let mut d = ds(DeepSeaConfig::default()).with_observer(obs.clone());
+    for i in 0..8 {
+        d.process_query(&query(i * 40, i * 40 + 100)).unwrap();
+    }
+    assert!(d.pool_bytes() > 0, "the pool holds something to evict");
+    let tnow = d.clock();
+
+    // Rank the pool exactly as stage 7 will: same ALLCAND, same tnow.
+    let items: Vec<RankedItem> = d
+        .build_allcand(&[], tnow)
+        .into_iter()
+        .filter(|i| i.materialized)
+        .collect();
+    let expected = items
+        .iter()
+        .min_by(|a, b| a.phi.total_cmp(&b.phi))
+        .cloned()
+        .unwrap();
+    let expected_desc = d.describe_item(&expected.kind);
+    let expected_runner_up = items
+        .iter()
+        .filter(|i| i.kind != expected.kind)
+        .min_by(|a, b| a.phi.total_cmp(&b.phi))
+        .cloned();
+
+    // Force the limit below current usage and enforce it.
+    d.config.smax = Some(d.pool_bytes() - 1);
+    let before = obs.events_snapshot().len();
+    let mut ctx = QueryContext::new(&query(0, 10), tnow);
+    d.stage_enforce_limit(&mut ctx);
+    assert!(
+        !ctx.evicted.is_empty(),
+        "limit enforcement evicted something"
+    );
+
+    let events = obs.events_snapshot();
+    let (victim, breakdown, runner_up, runner_up_phi, forced) = events[before..]
+        .iter()
+        .find_map(|r| match &r.event {
+            DecisionEvent::Eviction {
+                victim,
+                breakdown,
+                runner_up,
+                runner_up_phi,
+                forced,
+            } => Some((
+                victim.clone(),
+                breakdown.clone(),
+                runner_up.clone(),
+                *runner_up_phi,
+                *forced,
+            )),
+            _ => None,
+        })
+        .expect("the eviction logged an audit event");
+
+    // The logged victim and Φ are exactly what the policy ranked by.
+    assert_eq!(victim, expected_desc);
+    assert_eq!(
+        breakdown.phi.to_bits(),
+        expected.phi.to_bits(),
+        "logged Φ {} != policy Φ {}",
+        breakdown.phi,
+        expected.phi
+    );
+    assert!(forced, "stage-7 evictions are Smax-forced");
+    assert_eq!(breakdown.size, expected.size);
+    // The breakdown's components reconstruct Φ = COST·B/S.
+    let rebuilt = breakdown.cost * breakdown.benefit / breakdown.size as f64;
+    assert!(
+        (breakdown.phi - rebuilt).abs() <= 1e-9 * rebuilt.abs().max(1e-12),
+        "Φ {} != COST·B/S {} for {breakdown:?}",
+        breakdown.phi,
+        rebuilt
+    );
+    // Runner-up is the second-weakest item still in the pool.
+    match expected_runner_up {
+        Some(r) => {
+            assert_eq!(
+                runner_up.as_deref(),
+                Some(d.describe_item(&r.kind).as_str())
+            );
+            assert_eq!(runner_up_phi.unwrap().to_bits(), r.phi.to_bits());
+        }
+        None => assert!(runner_up.is_none()),
+    }
+}
+
+#[test]
+fn every_eviction_produces_an_audit_event() {
+    use deepsea_obs::{DecisionEvent, ObsConfig};
+
+    let obs = Observer::new(ObsConfig::on());
+    let mut d = ds(DeepSeaConfig::default().with_smax(5_000_000_000)).with_observer(obs.clone());
+    let mut evicted_total = 0usize;
+    for i in 0..20 {
+        let out = d.process_query(&query(i * 30, i * 30 + 120)).unwrap();
+        evicted_total += out.evicted.len();
+    }
+    assert!(evicted_total > 0, "pool pressure must trigger evictions");
+
+    let events = obs.events_snapshot();
+    let evictions: Vec<_> = events
+        .iter()
+        .filter_map(|r| match &r.event {
+            DecisionEvent::Eviction {
+                victim, breakdown, ..
+            } => Some((victim, breakdown)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        evictions.len(),
+        evicted_total,
+        "one audit event per evicted item"
+    );
+    for (victim, b) in evictions {
+        assert!(b.size > 0, "{victim}: victims were materialized");
+        let rebuilt = b.cost * b.benefit / b.size as f64;
+        assert!(
+            (b.phi - rebuilt).abs() <= 1e-9 * rebuilt.abs().max(1e-12),
+            "{victim}: Φ {} != COST·B/S {} ({b:?})",
+            b.phi,
+            rebuilt
+        );
+    }
+}
+
+#[test]
+fn selection_verdicts_cover_every_allcand_item() {
+    use deepsea_obs::{DecisionEvent, ObsConfig};
+
+    let obs = Observer::new(ObsConfig::on());
+    let mut d = ds(DeepSeaConfig::default()).with_observer(obs.clone());
+    let mut considered_total = 0u64;
+    for i in 0..6 {
+        let out = d.process_query(&query(i * 50, i * 50 + 150)).unwrap();
+        considered_total += out.trace.selection.considered as u64;
+    }
+    let verdicts: Vec<&'static str> = obs
+        .events_snapshot()
+        .iter()
+        .filter_map(|r| match &r.event {
+            DecisionEvent::SelectionVerdict { verdict, .. } => Some(*verdict),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(verdicts.len() as u64, considered_total);
+    assert!(verdicts.contains(&"create"));
+    for v in verdicts {
+        assert!(matches!(v, "create" | "evict" | "keep" | "reject"));
+    }
+}

@@ -125,6 +125,55 @@ impl ValueModel {
                 .collect(),
         }
     }
+
+    /// The per-fragment hit counts `HA(I)` this model's [`fragment_values`]
+    /// weighs benefit by — MLE-adjusted where the fit is active, decayed
+    /// hits otherwise (Nectar: 1 iff ever hit; Nectar+: raw hits). Exposed
+    /// so the decision audit log can report the exact hits a fragment's Φ
+    /// was derived from.
+    ///
+    /// [`fragment_values`]: ValueModel::fragment_values
+    pub fn fragment_adjusted_hits(
+        &self,
+        partition: &PartitionState,
+        tnow: LogicalTime,
+        tmax: LogicalTime,
+    ) -> Vec<f64> {
+        match self {
+            ValueModel::DeepSea { use_mle } => {
+                if *use_mle {
+                    let weighted: Vec<_> = partition
+                        .fragments
+                        .iter()
+                        .map(|f| (f.interval, f.stats.decayed_hits(tnow, tmax)))
+                        .collect();
+                    let total: f64 = weighted.iter().map(|(_, h)| h).sum();
+                    if let Some(fit) = fit_normal(&weighted) {
+                        return partition
+                            .fragments
+                            .iter()
+                            .map(|f| adjusted_hits(total, &fit, &f.interval))
+                            .collect();
+                    }
+                }
+                partition
+                    .fragments
+                    .iter()
+                    .map(|f| f.stats.decayed_hits(tnow, tmax))
+                    .collect()
+            }
+            ValueModel::Nectar => partition
+                .fragments
+                .iter()
+                .map(|f| if f.stats.raw_hits() > 0 { 1.0 } else { 0.0 })
+                .collect(),
+            ValueModel::NectarPlus => partition
+                .fragments
+                .iter()
+                .map(|f| f.stats.raw_hits() as f64)
+                .collect(),
+        }
+    }
 }
 
 /// Time since last access, floored at 1 so "used this query" divides by one.
@@ -285,6 +334,26 @@ mod tests {
         assert_eq!(n[1], 0.0);
         assert_eq!(n[2], 0.0);
         assert!(nplus[0] > n[0], "N+ accumulates the 20 hits");
+    }
+
+    #[test]
+    fn adjusted_hits_reconstruct_fragment_values() {
+        // The audit log derives a fragment's Φ breakdown from
+        // `fragment_adjusted_hits`; that reconstruction must agree with the
+        // values the selection policy actually ranks by.
+        let p = partition_with_hits();
+        for vm in [
+            ValueModel::DeepSea { use_mle: true },
+            ValueModel::DeepSea { use_mle: false },
+        ] {
+            let vals = vm.fragment_values(&p, 300, 50.0, 10, 100);
+            let ha = vm.fragment_adjusted_hits(&p, 10, 100);
+            assert_eq!(vals.len(), ha.len());
+            for (i, f) in p.fragments.iter().enumerate() {
+                let rebuilt = FragStats::phi_with_hits(ha[i], f.size, 300, 50.0);
+                assert_eq!(vals[i], rebuilt, "{vm:?} fragment {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! # deepsea-obs
+//!
+//! Observability for the DeepSea view pool: a typed metrics registry
+//! (counters / gauges / log-bucket histograms with percentile estimation),
+//! span tracing driven by the *simulated* clock, and a structured decision
+//! audit log (JSONL) explaining every selection, eviction, split/merge and
+//! recovery decision — plus a Prometheus text exporter.
+//!
+//! ## Determinism contract
+//!
+//! Everything here is replay-stable: spans and events are timestamped with
+//! sim-seconds and a monotonic sequence number, never wall-clock, and all
+//! map iteration is ordered (`BTreeMap`). Two runs of the same workload
+//! produce byte-identical dumps.
+//!
+//! ## Transparency contract
+//!
+//! A disabled observer ([`Observer::default`] or [`ObsConfig::off`]) is a
+//! no-op handle: every method returns immediately and no state is
+//! allocated. The driver's decisions must be identical with observation on
+//! or off — the observer only *reads* engine state, and enabling it must
+//! never change a query result, an eviction choice, or `state_digest()`.
+//! `tests/obs_transparency.rs` in the workspace root enforces this against
+//! the golden 50-query workload.
+
+pub mod events;
+pub mod metrics;
+pub mod prometheus;
+pub mod span;
+
+pub use events::{DecisionEvent, EventLog, EventRecord, PhiBreakdown};
+pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS, OVERFLOW_LABEL};
+pub use prometheus::{parse_prometheus, render_prometheus, PromSample};
+pub use span::{SpanLog, SpanRecord};
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// What to collect. [`ObsConfig::off`] (the `Default`) collects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect counters / gauges / histograms.
+    pub metrics: bool,
+    /// Record per-stage spans.
+    pub spans: bool,
+    /// Record decision audit events.
+    pub events: bool,
+    /// Per-metric label cardinality budget (see
+    /// [`metrics::MetricsRegistry`]).
+    pub max_label_cardinality: usize,
+}
+
+impl ObsConfig {
+    /// Collect nothing (the default).
+    pub fn off() -> Self {
+        Self {
+            metrics: false,
+            spans: false,
+            events: false,
+            max_label_cardinality: 0,
+        }
+    }
+
+    /// Collect everything, with a budget of 256 labels per metric.
+    pub fn on() -> Self {
+        Self {
+            metrics: true,
+            spans: true,
+            events: true,
+            max_label_cardinality: 256,
+        }
+    }
+
+    /// True when at least one collector is enabled.
+    pub fn any(&self) -> bool {
+        self.metrics || self.spans || self.events
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    metrics: MetricsRegistry,
+    spans: SpanLog,
+    events: EventLog,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: ObsConfig,
+    state: Mutex<State>,
+}
+
+/// A cheap, cloneable handle to the collectors. The default-constructed
+/// handle is disabled and allocation-free; every method on it is a no-op.
+///
+/// The handle uses interior mutability (`Mutex`) so instrumentation sites
+/// only need `&self`; contention is nil because the driver is
+/// single-threaded per `DeepSea` instance (the bench harness gives each
+/// variant its own driver and observer).
+#[derive(Debug, Default, Clone)]
+pub struct Observer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Observer {
+    /// Build from a config; `ObsConfig::off()` yields the disabled handle.
+    pub fn new(config: ObsConfig) -> Self {
+        if !config.any() {
+            return Self::default();
+        }
+        Self {
+            inner: Some(Arc::new(Inner {
+                config,
+                state: Mutex::new(State {
+                    metrics: MetricsRegistry::new(config.max_label_cardinality.max(1)),
+                    spans: SpanLog::default(),
+                    events: EventLog::default(),
+                }),
+            })),
+        }
+    }
+
+    /// The fully-disabled handle (same as `Default`).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// True when any collector is active. Instrumentation sites use this to
+    /// skip *pure* derived computation (e.g. a Φ breakdown) when nobody is
+    /// listening; effectful code must never hide behind it.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when decision events are being recorded.
+    pub fn events_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.config.events)
+    }
+
+    fn lock(&self) -> Option<(MutexGuard<'_, State>, ObsConfig)> {
+        let inner = self.inner.as_ref()?;
+        Some((
+            inner.state.lock().unwrap_or_else(|e| e.into_inner()),
+            inner.config,
+        ))
+    }
+
+    /// Add to a counter.
+    pub fn counter_add(&self, name: &'static str, label: Option<&str>, delta: u64) {
+        if let Some((mut s, c)) = self.lock() {
+            if c.metrics {
+                s.metrics.counter_add(name, label, delta);
+            }
+        }
+    }
+
+    /// Increment a counter by one.
+    pub fn counter_inc(&self, name: &'static str, label: Option<&str>) {
+        self.counter_add(name, label, 1);
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&self, name: &'static str, label: Option<&str>, v: f64) {
+        if let Some((mut s, c)) = self.lock() {
+            if c.metrics {
+                s.metrics.gauge_set(name, label, v);
+            }
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&self, name: &'static str, label: Option<&str>, v: f64) {
+        if let Some((mut s, c)) = self.lock() {
+            if c.metrics {
+                s.metrics.observe(name, label, v);
+            }
+        }
+    }
+
+    /// Record a completed span (`start`/`end` in cumulative sim-seconds).
+    pub fn span(
+        &self,
+        tnow: u64,
+        name: &'static str,
+        label: Option<&str>,
+        start_sim_secs: f64,
+        end_sim_secs: f64,
+    ) {
+        if let Some((mut s, c)) = self.lock() {
+            if c.spans {
+                s.spans
+                    .record(tnow, name, label, start_sim_secs, end_sim_secs);
+            }
+        }
+    }
+
+    /// Record a decision event.
+    pub fn event(&self, tnow: u64, event: DecisionEvent) {
+        if let Some((mut s, c)) = self.lock() {
+            if c.events {
+                s.events.record(tnow, event);
+            }
+        }
+    }
+
+    /// Snapshot the metrics registry (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.lock()
+            .map(|(s, _)| s.metrics.clone())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot the recorded events (empty when disabled).
+    pub fn events_snapshot(&self) -> Vec<EventRecord> {
+        self.lock()
+            .map(|(s, _)| s.events.events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot the recorded spans (empty when disabled).
+    pub fn spans_snapshot(&self) -> Vec<SpanRecord> {
+        self.lock()
+            .map(|(s, _)| s.spans.spans().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Render the metrics in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        self.lock()
+            .map(|(s, _)| prometheus::render_prometheus(&s.metrics))
+            .unwrap_or_default()
+    }
+
+    /// Render the event log as JSONL.
+    pub fn events_jsonl(&self) -> String {
+        self.lock()
+            .map(|(s, _)| s.events.to_jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Render the span log as JSONL.
+    pub fn spans_jsonl(&self) -> String {
+        self.lock()
+            .map(|(s, _)| s.spans.to_jsonl())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_allocation_free_and_inert() {
+        let obs = Observer::default();
+        assert!(!obs.enabled());
+        obs.counter_inc("c", None);
+        obs.gauge_set("g", None, 1.0);
+        obs.observe("h", None, 1.0);
+        obs.span(1, "s", None, 0.0, 1.0);
+        obs.event(
+            1,
+            DecisionEvent::JournalSnapshot {
+                appended_since_last: 1,
+            },
+        );
+        assert_eq!(obs.metrics_snapshot().counter("c", None), 0);
+        assert!(obs.events_snapshot().is_empty());
+        assert!(obs.spans_snapshot().is_empty());
+        assert_eq!(obs.render_prometheus(), "");
+        assert_eq!(obs.events_jsonl(), "");
+        assert!(Observer::new(ObsConfig::off()).inner.is_none());
+    }
+
+    #[test]
+    fn enabled_observer_records_across_clones() {
+        let obs = Observer::new(ObsConfig::on());
+        assert!(obs.enabled() && obs.events_enabled());
+        let clone = obs.clone();
+        clone.counter_add("q_total", None, 2);
+        obs.counter_inc("q_total", None);
+        assert_eq!(obs.metrics_snapshot().counter("q_total", None), 3);
+        clone.span(1, "execute", Some("V1"), 0.0, 2.0);
+        assert_eq!(obs.spans_snapshot().len(), 1);
+        obs.event(
+            4,
+            DecisionEvent::JournalSnapshot {
+                appended_since_last: 9,
+            },
+        );
+        let evs = obs.events_snapshot();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].tnow, 4);
+    }
+
+    #[test]
+    fn partial_configs_gate_each_collector() {
+        let cfg = ObsConfig {
+            metrics: true,
+            spans: false,
+            events: false,
+            max_label_cardinality: 8,
+        };
+        let obs = Observer::new(cfg);
+        assert!(obs.enabled());
+        assert!(!obs.events_enabled());
+        obs.counter_inc("c", None);
+        obs.span(1, "s", None, 0.0, 1.0);
+        obs.event(
+            1,
+            DecisionEvent::JournalSnapshot {
+                appended_since_last: 1,
+            },
+        );
+        assert_eq!(obs.metrics_snapshot().counter("c", None), 1);
+        assert!(obs.spans_snapshot().is_empty());
+        assert!(obs.events_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! The typed metrics registry: monotonic counters, gauges, and fixed
+//! log-bucket histograms with percentile estimation.
+//!
+//! Every metric is addressed by a `&'static str` name plus an optional
+//! label (a view or fragment identifier). Label cardinality is bounded per
+//! metric: once a metric has [`MetricsRegistry::max_cardinality`] distinct
+//! labels, further *new* labels collapse into [`OVERFLOW_LABEL`] — existing
+//! labels keep updating. This is the standard defence against unbounded
+//! time-series growth when fragment churn mints new identifiers.
+
+use std::collections::BTreeMap;
+
+/// The label that absorbs updates once a metric's cardinality limit is hit.
+pub const OVERFLOW_LABEL: &str = "__other__";
+
+/// Number of histogram buckets: underflow + 62 log₂ buckets + overflow.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Exponent of the smallest bucket's upper bound: bucket 0 holds
+/// `v ≤ 2^MIN_EXP` (including zero and negatives).
+pub const MIN_EXP: i32 = -20;
+
+/// A fixed log₂-bucket histogram.
+///
+/// Bucket layout over a value `v`:
+/// - bucket `0`: `v ≤ 2^MIN_EXP` (underflow — also zero/negative/NaN),
+/// - bucket `i` (1 ≤ i ≤ 62): `2^(MIN_EXP+i−1) < v ≤ 2^(MIN_EXP+i)`,
+/// - bucket `63`: `v > 2^(MIN_EXP+62)` (overflow).
+///
+/// Exact powers of two land in the bucket whose *upper bound* they equal
+/// (inclusive upper bounds, like Prometheus `le` buckets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+}
+
+/// Map a value to its bucket index.
+pub fn bucket_of(v: f64) -> usize {
+    let lowest = (MIN_EXP as f64).exp2();
+    if v.partial_cmp(&lowest) != Some(std::cmp::Ordering::Greater) {
+        // NaN, negatives, zero and tiny values all land in the underflow
+        // bucket (`partial_cmp` returns `None` for NaN, routing it here too).
+        return 0;
+    }
+    let e = v.log2().ceil() as i32; // v ≤ 2^e, v > 2^(e−1)
+    let idx = e - MIN_EXP;
+    (idx.max(1) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound of bucket `i` (`+∞` for the overflow bucket).
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    if i >= HISTOGRAM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        ((MIN_EXP + i as i32) as f64).exp2()
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Estimate the `q`-quantile (`0 < q ≤ 1`) as the upper bound of the
+    /// first bucket whose cumulative count reaches `⌈q·count⌉`. Returns
+    /// `None` on an empty histogram. The estimate is exact when all
+    /// observations in the deciding bucket sit on its upper bound, and
+    /// otherwise overestimates by at most one bucket width (a factor of 2).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// p50 / p95 / p99 in one call (`None` when empty).
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
+    }
+}
+
+/// One metric's per-label series. `None` is the unlabeled series.
+pub type Series<T> = BTreeMap<Option<String>, T>;
+
+/// The registry: three metric families, each `name → label → value`.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, Series<u64>>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<&'static str, Series<f64>>,
+    /// Log-bucket histograms.
+    pub histograms: BTreeMap<&'static str, Series<Histogram>>,
+    /// Per-metric label cardinality limit.
+    pub max_cardinality: usize,
+}
+
+impl MetricsRegistry {
+    /// A registry bounding each metric to `max_cardinality` labels.
+    pub fn new(max_cardinality: usize) -> Self {
+        Self {
+            max_cardinality: max_cardinality.max(1),
+            ..Self::default()
+        }
+    }
+
+    fn slot<'a, T: Default>(
+        series: &'a mut Series<T>,
+        label: Option<&str>,
+        max: usize,
+    ) -> &'a mut T {
+        let key = match label {
+            None => None,
+            Some(l) => {
+                let owned = Some(l.to_string());
+                if series.contains_key(&owned) || series.len() < max {
+                    owned
+                } else {
+                    Some(OVERFLOW_LABEL.to_string())
+                }
+            }
+        };
+        series.entry(key).or_default()
+    }
+
+    /// Add to a counter.
+    pub fn counter_add(&mut self, name: &'static str, label: Option<&str>, delta: u64) {
+        let max = self.max_cardinality;
+        *Self::slot(self.counters.entry(name).or_default(), label, max) += delta;
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&mut self, name: &'static str, label: Option<&str>, v: f64) {
+        let max = self.max_cardinality;
+        *Self::slot(self.gauges.entry(name).or_default(), label, max) = v;
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&mut self, name: &'static str, label: Option<&str>, v: f64) {
+        let max = self.max_cardinality;
+        Self::slot(self.histograms.entry(name).or_default(), label, max).observe(v);
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str, label: Option<&str>) -> u64 {
+        self.counters
+            .get(name)
+            .and_then(|s| s.get(&label.map(String::from)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, name: &str, label: Option<&str>) -> Option<f64> {
+        self.gauges
+            .get(name)
+            .and_then(|s| s.get(&label.map(String::from)))
+            .copied()
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, name: &str, label: Option<&str>) -> Option<&Histogram> {
+        self.histograms
+            .get(name)
+            .and_then(|s| s.get(&label.map(String::from)))
+    }
+
+    /// The `n` largest labeled series of a counter, descending (ties broken
+    /// by label, ascending, for determinism). Unlabeled and overflow series
+    /// are excluded.
+    pub fn top_counters(&self, name: &str, n: usize) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .counters
+            .get(name)
+            .map(|s| {
+                s.iter()
+                    .filter_map(|(k, v)| k.clone().map(|k| (k, *v)))
+                    .filter(|(k, _)| k != OVERFLOW_LABEL)
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        // Exact powers of two land in the bucket they bound.
+        for e in [-5i32, 0, 1, 10] {
+            let v = (e as f64).exp2();
+            let b = bucket_of(v);
+            assert_eq!(
+                bucket_upper_bound(b),
+                v,
+                "2^{e} must land on its own upper bound"
+            );
+            // Nudging above moves exactly one bucket up.
+            assert_eq!(bucket_of(v * 1.0001), b + 1, "just above 2^{e}");
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_buckets() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-3.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(
+            bucket_of((MIN_EXP as f64).exp2()),
+            0,
+            "≤ 2^MIN_EXP underflows"
+        );
+        assert_eq!(bucket_of(f64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn every_finite_bucket_has_doubling_bounds() {
+        for i in 1..HISTOGRAM_BUCKETS - 2 {
+            assert_eq!(bucket_upper_bound(i + 1), bucket_upper_bound(i) * 2.0);
+        }
+    }
+
+    #[test]
+    fn quantiles_at_bucket_edges() {
+        let mut h = Histogram::default();
+        // 50 observations at exactly 1.0 (bucket upper bound), 50 at 100.0.
+        for _ in 0..50 {
+            h.observe(1.0);
+        }
+        for _ in 0..50 {
+            h.observe(100.0);
+        }
+        // p50's deciding observation is the 50th — still in the 1.0 bucket,
+        // whose upper bound is exactly 1.0.
+        assert_eq!(h.quantile(0.50), Some(1.0));
+        // p95/p99 land in 100.0's bucket: (64, 128].
+        assert_eq!(h.quantile(0.95), Some(128.0));
+        assert_eq!(h.quantile(0.99), Some(128.0));
+        let (p50, p95, p99) = h.percentiles().unwrap();
+        assert_eq!((p50, p95, p99), (1.0, 128.0, 128.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram");
+        h.observe(8.0);
+        // A single observation decides every quantile.
+        assert_eq!(h.quantile(0.01), Some(8.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 8.0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let mut h = Histogram::default();
+        for i in 1..=1000u32 {
+            h.observe(i as f64);
+        }
+        let qs = [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0];
+        let vals: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
+        // The p50 estimate must bracket the true median within one bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((500.0..=1024.0).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut m = MetricsRegistry::new(16);
+        m.counter_add("q_total", None, 1);
+        m.counter_add("q_total", None, 2);
+        m.counter_add("hits", Some("V1"), 5);
+        assert_eq!(m.counter("q_total", None), 3);
+        assert_eq!(m.counter("hits", Some("V1")), 5);
+        assert_eq!(m.counter("hits", Some("V2")), 0);
+        m.gauge_set("pool", None, 1.5);
+        m.gauge_set("pool", None, 2.5);
+        assert_eq!(m.gauge("pool", None), Some(2.5));
+        assert_eq!(m.gauge("nope", None), None);
+    }
+
+    #[test]
+    fn label_cardinality_collapses_to_overflow() {
+        let mut m = MetricsRegistry::new(3);
+        for i in 0..10 {
+            m.counter_add("hits", Some(&format!("V{i}")), 1);
+        }
+        let series = &m.counters["hits"];
+        // 3 real labels + the overflow series.
+        assert_eq!(series.len(), 4);
+        assert_eq!(m.counter("hits", Some(OVERFLOW_LABEL)), 7);
+        // Existing labels keep updating after the limit is hit.
+        m.counter_add("hits", Some("V0"), 10);
+        assert_eq!(m.counter("hits", Some("V0")), 11);
+        assert_eq!(series_len(&m, "hits"), 4);
+        // Gauges and histograms share the rule.
+        let mut g = MetricsRegistry::new(1);
+        g.gauge_set("g", Some("a"), 1.0);
+        g.gauge_set("g", Some("b"), 2.0);
+        assert_eq!(g.gauge("g", Some(OVERFLOW_LABEL)), Some(2.0));
+        let mut h = MetricsRegistry::new(1);
+        h.observe("h", Some("a"), 1.0);
+        h.observe("h", Some("b"), 1.0);
+        assert_eq!(h.histogram("h", Some(OVERFLOW_LABEL)).unwrap().count, 1);
+    }
+
+    fn series_len(m: &MetricsRegistry, name: &str) -> usize {
+        m.counters[name].len()
+    }
+
+    #[test]
+    fn unlabeled_series_shares_the_budget() {
+        let mut m = MetricsRegistry::new(2);
+        m.counter_add("c", None, 1);
+        m.counter_add("c", Some("a"), 1);
+        m.counter_add("c", Some("b"), 1);
+        // None + a + overflow(b): the unlabeled slot consumed one budget
+        // entry (documented behaviour: the limit bounds total series).
+        assert_eq!(m.counter("c", None), 1);
+        assert_eq!(m.counter("c", Some("a")), 1);
+        assert_eq!(m.counter("c", Some(OVERFLOW_LABEL)), 1);
+    }
+
+    #[test]
+    fn top_counters_sorted_and_truncated() {
+        let mut m = MetricsRegistry::new(16);
+        m.counter_add("hits", Some("V1"), 5);
+        m.counter_add("hits", Some("V2"), 9);
+        m.counter_add("hits", Some("V3"), 9);
+        m.counter_add("hits", Some("V4"), 1);
+        m.counter_add("hits", None, 100); // unlabeled excluded
+        let top = m.top_counters("hits", 3);
+        assert_eq!(
+            top,
+            vec![
+                ("V2".to_string(), 9),
+                ("V3".to_string(), 9),
+                ("V1".to_string(), 5)
+            ]
+        );
+        assert!(m.top_counters("absent", 3).is_empty());
+    }
+}

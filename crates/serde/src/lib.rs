@@ -1,0 +1,326 @@
+//! # deepsea-serde
+//!
+//! A minimal, std-only serialization shim exposed to the workspace under the
+//! familiar name `serde` (the build environment has no registry access, so
+//! the small API surface this project needs — a [`Serialize`] trait plus a
+//! JSON value model and writer — is vendored here, following the same
+//! pattern as the local `rand` / `proptest` / `criterion` stand-ins).
+//!
+//! Design points:
+//!
+//! - **Deterministic output.** [`Value::Object`] keeps fields in insertion
+//!   order (a `Vec`, not a hash map), so two identical structures always
+//!   render the same bytes — a requirement for replay-stable event logs.
+//! - **Lossless integers.** `u64`/`i64` have their own variants; they are
+//!   never routed through `f64`.
+//! - **Valid JSON always.** Non-finite floats render as `null`; strings are
+//!   escaped per RFC 8259.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered losslessly.
+    U64(u64),
+    /// A signed integer, rendered losslessly.
+    I64(i64),
+    /// A float; NaN / ±∞ render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Look up a field of an object (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of `U64` / `I64` / `F64` variants, as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string content of a `Str` variant.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> String {
+    v.to_value().to_json()
+}
+
+macro_rules! impl_serialize_u {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+macro_rules! impl_serialize_i {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_u!(u8, u16, u32, u64, usize);
+impl_serialize_i!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// Insertion-ordered builder for [`Value::Object`].
+#[derive(Debug, Default, Clone)]
+pub struct ObjectBuilder {
+    fields: Vec<(String, Value)>,
+}
+
+impl ObjectBuilder {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one field.
+    pub fn field(mut self, key: &str, value: impl Serialize) -> Self {
+        self.fields.push((key.to_string(), value.to_value()));
+        self
+    }
+
+    /// Finish into a [`Value`].
+    pub fn build(self) -> Value {
+        Value::Object(self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&Option::<u64>::None), "null");
+        assert_eq!(to_string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn integers_are_lossless() {
+        let big = u64::MAX;
+        assert_eq!(to_string(&big), big.to_string());
+        assert_eq!(to_string(&i64::MIN), i64::MIN.to_string());
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        assert_eq!(to_string(&f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(to_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let v = ObjectBuilder::new()
+            .field("z", 1u64)
+            .field("a", 2u64)
+            .field("m", "x")
+            .build();
+        assert_eq!(v.to_json(), "{\"z\":1,\"a\":2,\"m\":\"x\"}");
+        assert_eq!(v.get("a"), Some(&Value::U64(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let v = Value::Array(vec![
+            Value::U64(1),
+            ObjectBuilder::new().field("k", vec![1u64, 2]).build(),
+        ]);
+        assert_eq!(v.to_json(), "[1,{\"k\":[1,2]}]");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::I64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Str("s".into()).as_f64(), None);
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+    }
+}
