@@ -255,7 +255,10 @@ impl DeepSea {
                 let Some(schema) = view.schema.clone() else {
                     continue;
                 };
-                let ps = view.partitions.get(&attr).expect("candidate source");
+                let ps = view
+                    .partitions
+                    .get(&attr)
+                    .expect("invariant: candidates come from existing partitions");
                 let pair: Vec<(FileId, u64)> = [cand.left, cand.right]
                     .iter()
                     .filter_map(|id| ps.frag(*id))
@@ -309,7 +312,10 @@ impl DeepSea {
             let mut dropped: Vec<(crate::interval::Interval, u64)> = Vec::new();
             {
                 let view = self.registry.view_mut(vid);
-                let ps = view.partitions.get_mut(&attr).expect("checked");
+                let ps = view
+                    .partitions
+                    .get_mut(&attr)
+                    .expect("invariant: partition existence checked above");
                 let mut hits: Vec<LogicalTime> = Vec::new();
                 for id in [cand.left, cand.right] {
                     if let Some(f) = ps.frag_mut(id) {
@@ -322,7 +328,7 @@ impl DeepSea {
                 }
                 hits.sort_unstable();
                 let mid = ps.track(cand.merged, size);
-                let f = ps.frag_mut(mid).expect("just tracked");
+                let f = ps.frag_mut(mid).expect("invariant: just tracked");
                 f.file = Some(new_file);
                 f.size = size;
                 f.stats.hits = hits;

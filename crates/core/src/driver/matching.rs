@@ -128,8 +128,13 @@ impl DeepSea {
             let mut files = Vec::with_capacity(cover.len());
             let mut bytes = 0;
             for fid in &cover {
-                let frag = ps.frag(*fid).expect("cover returns tracked fragments");
-                files.push(frag.file.expect("cover returns materialized fragments"));
+                let frag = ps
+                    .frag(*fid)
+                    .expect("invariant: cover returns tracked fragments");
+                files.push(
+                    frag.file
+                        .expect("invariant: cover returns materialized fragments"),
+                );
                 bytes += frag.size;
             }
             if best.as_ref().is_none_or(|b| bytes < b.bytes) {

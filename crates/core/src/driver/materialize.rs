@@ -3,7 +3,7 @@
 //! write/repartition overhead is charged to the query (§7.2), as one
 //! combined instrumented MapReduce job.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use deepsea_engine::exec::ExecError;
@@ -32,7 +32,10 @@ impl DeepSea {
     /// `ctx.charge` and the written names into `ctx.materialized`.
     pub(crate) fn stage_materialize(&mut self, ctx: &mut QueryContext) -> Result<(), ExecError> {
         // Views computed once per query for multi-fragment materialization.
-        let mut view_cache: HashMap<ViewId, Arc<Table>> = HashMap::new();
+        // BTreeMap (not HashMap): this cache sits on the decision path, and
+        // the D1 lint bans hash collections there — any future iteration
+        // would depend on hash order and break bit-identical replay.
+        let mut view_cache: BTreeMap<ViewId, Arc<Table>> = BTreeMap::new();
         let to_create = ctx.selection.to_create.clone();
         for item in &to_create {
             let (CandidateKind::WholeView(vid) | CandidateKind::Fragment(vid, _, _)) = &item.kind;
@@ -162,9 +165,9 @@ impl DeepSea {
                     let ps = view
                         .partitions
                         .get_mut(&attr)
-                        .expect("layout chosen from existing partition");
+                        .expect("invariant: layout chosen from existing partition");
                     let fid = ps.track(*iv, size);
-                    let frag = ps.frag_mut(fid).expect("just tracked");
+                    let frag = ps.frag_mut(fid).expect("invariant: just tracked");
                     frag.file = Some(file);
                     frag.size = size;
                     let _ = self.pool.reserve(size);
@@ -263,7 +266,7 @@ impl DeepSea {
         vid: ViewId,
         attr: &str,
         fid: FragmentId,
-        view_cache: &mut HashMap<ViewId, Arc<Table>>,
+        view_cache: &mut BTreeMap<ViewId, Arc<Table>>,
     ) -> Result<Option<(CreationCharge, String)>, ExecError> {
         let overlapping_mode = self.config.partition_policy.overlapping();
         let (name, key, schema, target, sources): (String, String, _, Interval, Vec<SourceFrag>) = {
@@ -282,7 +285,12 @@ impl DeepSea {
                 .fragments
                 .iter()
                 .filter(|f| f.is_materialized() && f.interval.overlaps(&target))
-                .map(|f| (f.id, f.interval, f.file.unwrap(), f.size))
+                .map(|f| {
+                    let file = f
+                        .file
+                        .expect("invariant: is_materialized() checked in the filter above");
+                    (f.id, f.interval, file, f.size)
+                })
                 .collect::<Vec<_>>();
             let schema = view.schema.clone();
             match schema {
@@ -322,7 +330,10 @@ impl DeepSea {
         let mut next_lo = target.lo;
         let mut source_tables = Vec::new();
         for fid2 in &cover {
-            let (_, iv, file, _) = sources.iter().find(|(id, ..)| id == fid2).unwrap();
+            let (_, iv, file, _) = sources
+                .iter()
+                .find(|(id, ..)| id == fid2)
+                .expect("invariant: partition_matching covers only from the given sources");
             let (payload, bytes) = self
                 .read_retrying(*file, &mut charge)
                 .map_err(ExecError::from)?;
@@ -352,12 +363,17 @@ impl DeepSea {
                 split_work.push((*sid, *iv, *size));
             }
         }
-        let mut extra_payloads: HashMap<FragmentId, Arc<Table>> = HashMap::new();
+        // BTreeMap for the same D1 reason as `view_cache` above.
+        let mut extra_payloads: BTreeMap<FragmentId, Arc<Table>> = BTreeMap::new();
         for (sid, _iv, _size) in &split_work {
             if source_tables.iter().any(|(id, _)| id == sid) {
                 continue;
             }
-            let file = sources.iter().find(|(id, ..)| id == sid).unwrap().2;
+            let file = sources
+                .iter()
+                .find(|(id, ..)| id == sid)
+                .expect("invariant: split_work is built from sources")
+                .2;
             let (p, bytes) = self
                 .read_retrying(file, &mut charge)
                 .map_err(ExecError::from)?;
@@ -410,7 +426,7 @@ impl DeepSea {
                 .find(|(id, _)| id == sid)
                 .map(|(_, t)| Arc::clone(t))
                 .or_else(|| extra_payloads.get(sid).cloned())
-                .expect("every split source was read above");
+                .expect("invariant: every split source was read above");
             for piece in pieces {
                 let rows: Vec<_> = payload
                     .rows
@@ -446,7 +462,10 @@ impl DeepSea {
         let mut dropped_meta: Vec<(Interval, u64)> = Vec::new();
         {
             let view = self.registry.view_mut(vid);
-            let ps = view.partitions.get_mut(attr).expect("checked above");
+            let ps = view
+                .partitions
+                .get_mut(attr)
+                .expect("invariant: partition existence checked above");
             if let Some(f) = ps.frag_mut(fid) {
                 f.file = Some(new_file);
                 f.size = new_size;
@@ -461,7 +480,7 @@ impl DeepSea {
             }
             for (piece, file, size) in &remainder_meta {
                 let pid = ps.track(*piece, *size);
-                let f = ps.frag_mut(pid).expect("just tracked");
+                let f = ps.frag_mut(pid).expect("invariant: just tracked");
                 f.file = Some(*file);
                 f.size = *size;
             }
@@ -519,7 +538,7 @@ impl DeepSea {
         vid: ViewId,
         attr: &str,
         fid: FragmentId,
-        view_cache: &mut HashMap<ViewId, Arc<Table>>,
+        view_cache: &mut BTreeMap<ViewId, Arc<Table>>,
     ) -> Result<Option<(CreationCharge, String)>, ExecError> {
         let (plan, name, key, target) = {
             let view = self.registry.view(vid);
@@ -582,7 +601,10 @@ impl DeepSea {
             view.stats.set_measured(full_size, recompute + overhead);
             view.creation_overhead = overhead;
         }
-        let ps = view.partitions.get_mut(attr).expect("checked above");
+        let ps = view
+            .partitions
+            .get_mut(attr)
+            .expect("invariant: partition existence checked above");
         if let Some(f) = ps.frag_mut(fid) {
             f.file = Some(file);
             f.size = size;

@@ -9,6 +9,10 @@
 //! sample_size`; the report prints min / median / max per-iteration time.
 //! No statistical outlier analysis, plots, or baselines.
 
+// The bench harness is the one place wall-clock time is the point; both the
+// deepsea-lint D2 rule and clippy.toml's disallowed lists exempt it here.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use std::time::{Duration, Instant};
 
 /// Benchmark runner configuration and entry point.

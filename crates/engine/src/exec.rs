@@ -305,6 +305,8 @@ fn run(
             } else {
                 (&r, &l, &rk, &lk, false)
             };
+            // deepsea-lint: allow(hash_iter) -- join build table: probed per
+            // row, never iterated; output order follows the probe side scan.
             let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.len());
             for (i, row) in build.rows().iter().enumerate() {
                 let key: Vec<Value> = build_keys.iter().map(|&k| row[k].clone()).collect();
@@ -373,6 +375,8 @@ fn run(
                 })
                 .collect::<Result<_, _>>()?;
 
+            // deepsea-lint: allow(hash_iter) -- aggregation states keyed by
+            // group; drained below into rows that are then sorted.
             let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
             for row in child.rows() {
                 let key: Vec<Value> = gidx.iter().map(|&i| row[i].clone()).collect();
@@ -406,6 +410,8 @@ fn run(
                 fields.push(Field::new(a.alias.clone(), dtype));
             }
             let schema = Schema::new(fields);
+            // deepsea-lint: allow(hash_iter) -- hash order is erased by the
+            // `rows.sort_unstable()` below before anything observes the rows.
             let mut rows: Vec<Row> = groups
                 .into_iter()
                 .map(|(key, states)| {

@@ -1,0 +1,496 @@
+//! A hand-rolled Rust lexer, sufficient for token-stream lint analysis.
+//!
+//! The goal is *sound tokenization*, not parsing: every construct that could
+//! make a naive scanner misread source as code (or code as text) is handled —
+//! raw strings with arbitrary `#` fences, nested block comments, char
+//! literals vs. lifetimes, byte strings, multi-line strings with escapes.
+//! Everything else is emitted as single-character punctuation tokens; the
+//! rule layer matches token sequences, so multi-character operators never
+//! need to be recognized here.
+
+/// Token classification. Comments are real tokens (the allow-marker grammar
+/// lives in line comments); whitespace is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (no trailing quote).
+    Lifetime,
+    /// String literal (`"..."`, `b"..."`), text is the unescaped-as-written
+    /// body (escape sequences are preserved verbatim minus the delimiters).
+    Str,
+    /// Raw string literal (`r"..."`, `br#"..."#`, any fence depth).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integers, floats, all radixes, with suffixes).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// `// ...` comment; text is everything after the `//`.
+    LineComment,
+    /// `/* ... */` comment (nesting handled); text is the body.
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text: identifier name, literal body, comment body, or the
+    /// punctuation character.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this a punctuation token for exactly `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this an identifier token with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Lex `src` into tokens. Never fails: malformed trailing input degrades to
+/// punctuation/ident tokens rather than aborting the scan (a linter must not
+/// give up on a file because of an unterminated literal at EOF).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or(' ');
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume `//`
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated at EOF
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// A `"..."` string starting at the current `"`. Escapes are skipped as
+    /// two-char units so an escaped quote never terminates the literal.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                '\\' => {
+                    text.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw string body after the `r`/`br` prefix has been consumed: count
+    /// the `#` fence, then scan for `"` followed by the same fence.
+    fn raw_string(&mut self, line: u32) {
+        let mut fence = 0usize;
+        while self.peek(0) == Some('#') {
+            fence += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a string: emit the ident.
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, name, line);
+            return;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Candidate close: check the fence.
+                let mut ok = true;
+                for k in 0..fence {
+                    if self.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump();
+                    for _ in 0..fence {
+                        self.bump();
+                    }
+                    break 'scan;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::RawStr, text, line);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal). A lifetime is a
+    /// quote followed by an ident char that is *not* closed by another quote.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_lifetime =
+            matches!(one, Some(c) if c.is_alphabetic() || c == '_') && two != Some('\'');
+        self.bump(); // the quote
+        if is_lifetime {
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line);
+            return;
+        }
+        // Char literal: either an escape or a single char, then `'`.
+        let mut text = String::new();
+        match self.peek(0) {
+            Some('\\') => {
+                text.push('\\');
+                self.bump();
+                match self.bump() {
+                    Some('u') => {
+                        text.push('u');
+                        // `\u{...}`
+                        while let Some(c) = self.peek(0) {
+                            let done = c == '}';
+                            text.push(c);
+                            self.bump();
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                    Some(e) => text.push(e),
+                    None => {}
+                }
+            }
+            Some(c) => {
+                text.push(c);
+                self.bump();
+            }
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump(); // closing quote
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    /// Numeric literal. Approximate but safe: consumes digits, radix bodies
+    /// and suffixes; a `.` is only part of the number when followed by a
+    /// digit, so `0..10` lexes as `0` `.` `.` `10`.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let radix_body = |c: char| c.is_ascii_alphanumeric() || c == '_';
+        while let Some(c) = self.peek(0) {
+            let continues = radix_body(c)
+                || (c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(text.chars().last(), Some('e') | Some('E'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// Identifier — or, when the ident is a literal prefix (`r`, `b`, `br`)
+    /// directly followed by a literal start, the prefixed literal itself.
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (name.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"' | '#')) => self.raw_string(line),
+            ("b", Some('"')) => self.string_as(line),
+            ("b", Some('\'')) => {
+                self.char_or_lifetime();
+                // Re-stamp the line of the emitted char token to the prefix.
+                if let Some(t) = self.out.last_mut() {
+                    t.line = line;
+                }
+            }
+            _ => self.push(TokKind::Ident, name, line),
+        }
+    }
+
+    /// `b"..."` — same body rules as a plain string.
+    fn string_as(&mut self, line: u32) {
+        self.string();
+        if let Some(t) = self.out.last_mut() {
+            t.line = line;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = 42;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Num, "42".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_does_not_eat_dots() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn floats_hex_and_suffixes() {
+        assert_eq!(kinds("1.5e-3")[0], (TokKind::Num, "1.5e-3".into()));
+        assert_eq!(kinds("0xFF_u64")[0], (TokKind::Num, "0xFF_u64".into()));
+        assert_eq!(kinds("12f64")[0], (TokKind::Num, "12f64".into()));
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        let toks = kinds(r#"let s = "a \" b"; x"#);
+        assert_eq!(toks[3], (TokKind::Str, r#"a \" b"#.into()));
+        assert_eq!(toks[5], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        // A raw string containing a quote and even a `"#` that is not the
+        // real fence must not terminate early.
+        let toks = kinds(r###"r##"has " and "# inside"## after"###);
+        assert_eq!(
+            toks[0],
+            (TokKind::RawStr, r##"has " and "# inside"##.into())
+        );
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(kinds(r#"b"xy""#)[0], (TokKind::Str, "xy".into()));
+        assert_eq!(kinds(r##"br#"x"#"##)[0], (TokKind::RawStr, "x".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("r#type");
+        assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(
+            toks[1],
+            (
+                TokKind::BlockComment,
+                " outer /* inner */ still outer ".into()
+            )
+        );
+        assert_eq!(toks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comment_text_and_lines() {
+        let toks = lex("x\n// deepsea-lint: allow(panic) -- why\ny");
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[1].text, " deepsea-lint: allow(panic) -- why");
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("'a' 'x &'b T 'static '\\'' '\\u{1F}'");
+        assert_eq!(toks[0], (TokKind::Char, "a".into()));
+        // `'x` with no closing quote is a lifetime.
+        assert_eq!(toks[1], (TokKind::Lifetime, "x".into()));
+        assert_eq!(toks[3], (TokKind::Lifetime, "b".into()));
+        assert_eq!(toks[5], (TokKind::Lifetime, "static".into()));
+        assert_eq!(toks[6], (TokKind::Char, "\\'".into()));
+        assert_eq!(toks[7], (TokKind::Char, "\\u{1F}".into()));
+    }
+
+    #[test]
+    fn byte_char() {
+        let toks = kinds("b'\\n' z");
+        assert_eq!(toks[0], (TokKind::Char, "\\n".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "z".into()));
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("\"a\nb\"\nx");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokens() {
+        // The classic trap: source text inside a string must not produce
+        // ident tokens the rules could match.
+        let toks = kinds(r#"let s = "HashMap::new().iter()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokKind::Ident || t != "HashMap"));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        let _ = lex("\"abc");
+        let _ = lex("r#\"abc");
+        let _ = lex("/* abc");
+        let _ = lex("'");
+        let _ = lex("b'");
+    }
+}

@@ -1,0 +1,198 @@
+//! Diagnostic rendering: human-readable text for terminals and CI logs,
+//! plus a machine-readable JSON report through the vendored serde shim.
+
+use serde::{ObjectBuilder, Value};
+
+use crate::baseline::Ratchet;
+use crate::rules::{RuleId, Violation};
+
+/// One `path:line: [CODE slug] message` diagnostic line.
+pub fn render_violation(v: &Violation) -> String {
+    format!(
+        "{}:{}: [{} {}] {}",
+        v.file,
+        v.line,
+        v.rule.code(),
+        v.rule.slug(),
+        v.message
+    )
+}
+
+/// Human-readable report for a run without a baseline: every violation,
+/// then a per-rule summary.
+pub fn render_plain(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&render_violation(v));
+        out.push('\n');
+    }
+    out.push_str(&summary_line(violations, files_scanned));
+    out
+}
+
+/// Human-readable report for a ratcheted run: new violations and count
+/// regressions (hard failures), then improvement suggestions.
+pub fn render_ratcheted(
+    violations: &[Violation],
+    ratchet: &Ratchet,
+    files_scanned: usize,
+) -> String {
+    let mut out = String::new();
+    if ratchet.failed() {
+        out.push_str("FAIL: new violations or baseline count regressions\n\n");
+        for v in &ratchet.new_violations {
+            out.push_str(&render_violation(v));
+            out.push('\n');
+        }
+        out.push('\n');
+        for d in &ratchet.regressions {
+            out.push_str(&format!(
+                "  {} {}: baseline allows {}, found {}\n",
+                d.rule, d.file, d.baselined, d.current
+            ));
+        }
+        out.push('\n');
+    }
+    if !ratchet.improvements.is_empty() {
+        out.push_str(&format!(
+            "{} baseline entr{} can be ratcheted down (run with --write-baseline):\n",
+            ratchet.improvements.len(),
+            if ratchet.improvements.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        ));
+        for d in &ratchet.improvements {
+            out.push_str(&format!(
+                "  {} {}: {} -> {}\n",
+                d.rule, d.file, d.baselined, d.current
+            ));
+        }
+    }
+    out.push_str(&summary_line(violations, files_scanned));
+    if !ratchet.failed() {
+        out.push_str("baseline ratchet: OK\n");
+    }
+    out
+}
+
+fn summary_line(violations: &[Violation], files_scanned: usize) -> String {
+    let mut per_rule = String::new();
+    for rule in RuleId::all() {
+        let n = violations.iter().filter(|v| v.rule == rule).count();
+        if n > 0 {
+            if !per_rule.is_empty() {
+                per_rule.push_str(", ");
+            }
+            per_rule.push_str(&format!("{} {}", rule.code(), n));
+        }
+    }
+    if per_rule.is_empty() {
+        per_rule.push_str("none");
+    }
+    format!(
+        "deepsea-lint: {files_scanned} files scanned, {} violation{} ({per_rule})\n",
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" },
+    )
+}
+
+/// Machine-readable JSON report: all violations, per-rule totals, and (when
+/// a baseline was used) the ratchet outcome.
+pub fn render_json(
+    violations: &[Violation],
+    ratchet: Option<&Ratchet>,
+    files_scanned: usize,
+) -> String {
+    let vio_values: Vec<Value> = violations
+        .iter()
+        .map(|v| {
+            ObjectBuilder::new()
+                .field("rule", v.rule.code())
+                .field("slug", v.rule.slug())
+                .field("file", v.file.as_str())
+                .field("line", u64::from(v.line))
+                .field("message", v.message.as_str())
+                .build()
+        })
+        .collect();
+    let mut totals = ObjectBuilder::new();
+    for rule in RuleId::all() {
+        let n = violations.iter().filter(|v| v.rule == rule).count();
+        if n > 0 {
+            totals = totals.field(rule.code(), n as u64);
+        }
+    }
+    let mut root = ObjectBuilder::new()
+        .field("files_scanned", files_scanned as u64)
+        .field("violations", Value::Array(vio_values))
+        .field("totals", totals.build());
+    if let Some(r) = ratchet {
+        let delta = |d: &crate::baseline::CountDelta| {
+            ObjectBuilder::new()
+                .field("rule", d.rule.as_str())
+                .field("file", d.file.as_str())
+                .field("baselined", d.baselined)
+                .field("current", d.current)
+                .build()
+        };
+        root = root.field(
+            "ratchet",
+            ObjectBuilder::new()
+                .field("failed", r.failed())
+                .field(
+                    "regressions",
+                    Value::Array(r.regressions.iter().map(delta).collect()),
+                )
+                .field(
+                    "improvements",
+                    Value::Array(r.improvements.iter().map(delta).collect()),
+                )
+                .build(),
+        );
+    }
+    let mut s = serde::to_string(&root.build());
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: RuleId, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn diagnostic_names_rule_file_and_line() {
+        let d = render_violation(&v(RuleId::Panic, "crates/core/src/x.rs", 7));
+        assert_eq!(d, "crates/core/src/x.rs:7: [P1 panic] msg");
+    }
+
+    #[test]
+    fn json_report_is_valid_and_complete() {
+        let vs = vec![v(RuleId::Panic, "a.rs", 1), v(RuleId::HashIter, "b.rs", 2)];
+        let json = render_json(&vs, None, 10);
+        assert!(json.contains("\"files_scanned\":10"));
+        assert!(json.contains("\"rule\":\"P1\""));
+        assert!(json.contains("\"rule\":\"D1\""));
+        assert!(json.contains("\"totals\":{\"D1\":1,\"P1\":1}"));
+    }
+
+    #[test]
+    fn summary_counts_per_rule() {
+        let vs = vec![v(RuleId::Panic, "a.rs", 1), v(RuleId::Panic, "a.rs", 2)];
+        let text = render_plain(&vs, 3);
+        assert!(
+            text.contains("3 files scanned, 2 violations (P1 2)"),
+            "{text}"
+        );
+    }
+}

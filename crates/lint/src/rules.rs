@@ -1,0 +1,776 @@
+//! The invariant rules, evaluated over the token stream of one file.
+//!
+//! Rule catalog (see DESIGN.md §10 for the rationale tied to each
+//! determinism guarantee):
+//!
+//! - **D1 `hash_iter`** — no `HashMap`/`HashSet` in decision-path crates
+//!   (`core`, `engine`, `storage`, `workload`): both binding one and
+//!   iterating one (`iter`/`keys`/`values`/`into_iter`/`drain`/for-loops)
+//!   are flagged, because iteration order feeds nondeterminism into replay.
+//! - **D2 `wall_clock`** — no wall-clock or ambient entropy (`Instant`,
+//!   `SystemTime`, `thread_rng`, …) outside the `criterion` shim.
+//! - **P1 `panic`** — no `unwrap()` / `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` in non-test product code; `expect("invariant: …")` is
+//!   the only sanctioned escape.
+//! - **E1 `discard`** — no `let _ =` discarding a call matching fallible
+//!   name patterns (`try_*`, `*_costed`, `append`, `write!`/`writeln!`),
+//!   except `write!`/`writeln!` into a `String` (infallible by contract).
+//! - **L1 `layering`** — no `std::fs` / `std::net` / `std::thread` outside
+//!   `crates/storage` and the bench harness: core I/O goes through
+//!   `ExecutionBackend` / `SimFs` only.
+//!
+//! Any site may be exempted with a justified marker on the same line or the
+//! line directly above:
+//!
+//! ```text
+//! // deepsea-lint: allow(hash_iter) -- drained via sort_unstable, order-free
+//! ```
+//!
+//! A marker without a `-- justification` (or naming an unknown rule) is
+//! itself a violation (**M0 `marker`**). Test code — files under `tests/`,
+//! `benches/` or `examples/`, and `#[cfg(test)]` / `#[test]` items — is
+//! exempt from every rule.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Typed rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// D1: hash-collection binding/iteration in a decision-path crate.
+    HashIter,
+    /// D2: wall-clock or ambient entropy outside the criterion shim.
+    WallClock,
+    /// P1: panic paths in non-test product code.
+    Panic,
+    /// E1: `let _ =` discarding a fallible call.
+    Discard,
+    /// L1: direct `std::fs`/`std::net`/`std::thread` outside storage/bench.
+    Layering,
+    /// M0: malformed or unjustified allow-marker.
+    Marker,
+}
+
+impl RuleId {
+    /// Short code used in reports and the baseline file.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::HashIter => "D1",
+            RuleId::WallClock => "D2",
+            RuleId::Panic => "P1",
+            RuleId::Discard => "E1",
+            RuleId::Layering => "L1",
+            RuleId::Marker => "M0",
+        }
+    }
+
+    /// The slug accepted by `allow(...)` markers.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::HashIter => "hash_iter",
+            RuleId::WallClock => "wall_clock",
+            RuleId::Panic => "panic",
+            RuleId::Discard => "discard",
+            RuleId::Layering => "layering",
+            RuleId::Marker => "marker",
+        }
+    }
+
+    /// Parse a marker slug (M0 itself is not allowable).
+    pub fn from_slug(s: &str) -> Option<RuleId> {
+        match s {
+            "hash_iter" => Some(RuleId::HashIter),
+            "wall_clock" => Some(RuleId::WallClock),
+            "panic" => Some(RuleId::Panic),
+            "discard" => Some(RuleId::Discard),
+            "layering" => Some(RuleId::Layering),
+            _ => None,
+        }
+    }
+
+    /// Every reportable rule, in code order.
+    pub fn all() -> [RuleId; 6] {
+        [
+            RuleId::HashIter,
+            RuleId::WallClock,
+            RuleId::Panic,
+            RuleId::Discard,
+            RuleId::Layering,
+            RuleId::Marker,
+        ]
+    }
+}
+
+/// One diagnostic: a rule violated at `file:line`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule violated.
+    pub rule: RuleId,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the specific site.
+    pub message: String,
+}
+
+/// Crates whose control flow decides what gets materialized, evicted,
+/// journaled or replayed — any iteration-order dependence here breaks
+/// bit-identical replay.
+const DECISION_CRATES: [&str; 4] = ["core", "engine", "storage", "workload"];
+
+/// Crates holding product code held to panic-freedom (P1) and discard (E1).
+const PRODUCT_CRATES: [&str; 6] = ["core", "engine", "storage", "workload", "obs", "relation"];
+
+/// Vendored stand-ins for registry crates; exempt from product rules.
+const SHIM_CRATES: [&str; 4] = ["rand", "proptest", "criterion", "serde"];
+
+/// Identifiers that reach for wall-clock time or ambient entropy.
+const WALL_CLOCK_IDENTS: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "RandomState",
+    "thread_rng",
+    "from_entropy",
+];
+
+/// Hash-collection iteration methods whose order is nondeterministic.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// `std::` modules that touch the outside world; only `crates/storage` (the
+/// simulated filesystem boundary) and the bench harness may name them.
+const LAYERING_MODULES: [&str; 3] = ["fs", "net", "thread"];
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`), or a
+/// pseudo-crate for top-level dirs (`src/` → `deepsea`, `tests/` → `tests`).
+fn crate_of(rel: &str) -> &str {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("")
+    } else {
+        rel.split('/').next().unwrap_or("")
+    }
+}
+
+/// Whole-file test/bench/example scope: nothing in these files is linted.
+/// Covers `tests/`, `benches/` and `examples/` dirs, plus module files named
+/// `tests.rs` / `*_tests.rs` (their `#[cfg(test)]` lives on the `mod`
+/// declaration in the parent file, out of this file's token stream).
+fn is_test_path(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.contains(&"tests") || parts.contains(&"benches") || parts.contains(&"examples") {
+        return true;
+    }
+    let file = parts.last().copied().unwrap_or("");
+    file == "tests.rs" || file.ends_with("_tests.rs")
+}
+
+/// Does `rule` apply to the file at `rel` at all?
+fn rule_enabled(rule: RuleId, rel: &str) -> bool {
+    let c = crate_of(rel);
+    let shim = SHIM_CRATES.contains(&c);
+    match rule {
+        RuleId::HashIter => DECISION_CRATES.contains(&c),
+        RuleId::WallClock => c != "criterion",
+        RuleId::Panic | RuleId::Discard => PRODUCT_CRATES.contains(&c),
+        RuleId::Layering => !matches!(c, "storage" | "bench" | "lint") && !shim,
+        RuleId::Marker => true,
+    }
+}
+
+/// A parsed `// deepsea-lint: allow(slug[, slug]) -- justification` marker.
+struct Marker {
+    line: u32,
+    rules: Vec<RuleId>,
+}
+
+/// Lint one file's source. `rel` is the workspace-relative path (used for
+/// crate scoping); returns violations sorted by line.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    if is_test_path(rel) {
+        return Vec::new();
+    }
+    let all = lex(src);
+    let (src_toks, comments): (Vec<Token>, Vec<Token>) = all
+        .into_iter()
+        .partition(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment));
+
+    let mut out = Vec::new();
+    let (markers, marker_violations) = collect_markers(rel, &comments);
+    out.extend(marker_violations);
+
+    let test_spans = test_item_spans(&src_toks);
+    let in_test = |idx: usize| test_spans.iter().any(|&(a, b)| idx >= a && idx < b);
+
+    let hash_idents = collect_typed_idents(&src_toks, &["HashMap", "HashSet"]);
+    let string_idents = collect_typed_idents(&src_toks, &["String"]);
+
+    let t = &src_toks;
+    for i in 0..t.len() {
+        if in_test(i) {
+            continue;
+        }
+        rule_hash(rel, t, i, &hash_idents, &mut out);
+        rule_wall_clock(rel, t, i, &mut out);
+        rule_panic(rel, t, i, &mut out);
+        rule_discard(rel, t, i, &string_idents, &mut out);
+        rule_layering(rel, t, i, &mut out);
+    }
+
+    // Apply markers: a marker suppresses matching violations on its own line
+    // and on the next line holding a source token.
+    let suppressed = |v: &Violation| {
+        markers.iter().any(|m| {
+            if !m.rules.contains(&v.rule) {
+                return false;
+            }
+            if v.line == m.line {
+                return true;
+            }
+            let next = t.iter().map(|tok| tok.line).find(|&l| l > m.line);
+            next == Some(v.line)
+        })
+    };
+    out.retain(|v| v.rule == RuleId::Marker || !suppressed(v));
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+/// Extract allow-markers from line comments; malformed ones are violations.
+fn collect_markers(rel: &str, comments: &[Token]) -> (Vec<Marker>, Vec<Violation>) {
+    let mut markers = Vec::new();
+    let mut violations = Vec::new();
+    for c in comments {
+        if c.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("deepsea-lint:") else {
+            continue;
+        };
+        let mut bad = |why: &str| {
+            violations.push(Violation {
+                rule: RuleId::Marker,
+                file: rel.to_string(),
+                line: c.line,
+                message: format!("malformed deepsea-lint marker: {why}"),
+            });
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad("expected `allow(<rule>)`");
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad("unterminated `allow(`");
+            continue;
+        };
+        let (slugs, tail) = args.split_at(close);
+        let tail = tail[1..].trim();
+        let justified = tail
+            .strip_prefix("--")
+            .is_some_and(|j| !j.trim().is_empty());
+        if !justified {
+            bad("missing `-- <justification>`");
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut unknown = None;
+        for slug in slugs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match RuleId::from_slug(slug) {
+                Some(r) => rules.push(r),
+                None => unknown = Some(slug.to_string()),
+            }
+        }
+        if let Some(u) = unknown {
+            bad(&format!("unknown rule `{u}`"));
+            continue;
+        }
+        if rules.is_empty() {
+            bad("empty rule list");
+            continue;
+        }
+        markers.push(Marker {
+            line: c.line,
+            rules,
+        });
+    }
+    (markers, violations)
+}
+
+/// Token-index spans of `#[cfg(test)]` / `#[test]` items (the attribute up
+/// to the end of the item's brace block or terminating `;`).
+fn test_item_spans(t: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].is_punct('#') && t.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            let (attr_end, is_test) = scan_attribute(t, i + 1);
+            if is_test {
+                let mut j = attr_end;
+                // Skip any stacked attributes (`#[cfg(test)] #[allow(...)]`).
+                while j < t.len()
+                    && t[j].is_punct('#')
+                    && t.get(j + 1).is_some_and(|n| n.is_punct('['))
+                {
+                    let (e, _) = scan_attribute(t, j + 1);
+                    j = e;
+                }
+                let end = scan_item_end(t, j);
+                spans.push((i, end));
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Scan a `[...]` attribute starting at its `[`; returns (index past `]`,
+/// whether it marks test-only code). `#[test]`, `#[cfg(test)]` and any
+/// `cfg(...)` whose argument list mentions `test` qualify.
+fn scan_attribute(t: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    let mut j = open;
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if tok.kind == TokKind::Ident {
+            idents.push(tok.text.as_str().to_string());
+        }
+        j += 1;
+    }
+    let first = idents.first().map(String::as_str);
+    let is_test =
+        first == Some("test") || (first == Some("cfg") && idents.iter().any(|s| s == "test"));
+    (j, is_test)
+}
+
+/// From the first token of an item, find the index just past its end: the
+/// matching `}` of its first depth-0 brace block, or a depth-0 `;`.
+fn scan_item_end(t: &[Token], start: usize) -> usize {
+    let mut j = start;
+    let mut depth = 0i32; // (), [] nesting inside the signature
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is_punct('(') || tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            depth -= 1;
+        } else if tok.is_punct(';') && depth <= 0 {
+            return j + 1;
+        } else if tok.is_punct('{') && depth <= 0 {
+            let mut braces = 1i32;
+            j += 1;
+            while j < t.len() && braces > 0 {
+                if t[j].is_punct('{') {
+                    braces += 1;
+                } else if t[j].is_punct('}') {
+                    braces -= 1;
+                }
+                j += 1;
+            }
+            return j;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Names of identifiers bound with one of `type_names` in this file:
+/// `x: [&][mut] T`, `let [mut] x = T::...`, struct fields, fn params.
+fn collect_typed_idents(t: &[Token], type_names: &[&str]) -> Vec<String> {
+    let mut found: Vec<String> = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokKind::Ident || !type_names.contains(&t[i].text.as_str()) {
+            continue;
+        }
+        // Walk back over `&` and `mut` to the binding shape.
+        let mut k = i;
+        while k > 0 && (t[k - 1].is_punct('&') || t[k - 1].is_ident("mut")) {
+            k -= 1;
+        }
+        if k >= 2 && t[k - 1].is_punct(':') && t[k - 2].kind == TokKind::Ident {
+            push_unique(&mut found, &t[k - 2].text);
+            continue;
+        }
+        // `let [mut] x = T::new()` — walk back from `=` to the binding.
+        if k >= 2 && t[k - 1].is_punct('=') {
+            let mut m = k - 1;
+            while m > 0 {
+                let p = &t[m - 1];
+                if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                    break;
+                }
+                if p.is_ident("let") {
+                    // Binding ident is the first ident after `let`/`let mut`.
+                    let mut b = m;
+                    if t.get(b).is_some_and(|x| x.is_ident("mut")) {
+                        b += 1;
+                    }
+                    if let Some(x) = t.get(b) {
+                        if x.kind == TokKind::Ident {
+                            push_unique(&mut found, &x.text);
+                        }
+                    }
+                    break;
+                }
+                m -= 1;
+            }
+        }
+    }
+    found
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+/// Is token `i` inside a `use` declaration? (Statement scan back to the
+/// nearest `;`/`{`/`}`, then look for a leading `use`.)
+fn in_use_stmt(t: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        let p = &t[k - 1];
+        if p.is_punct(';') || p.is_punct('}') {
+            break;
+        }
+        // `{` only ends the scan when it opens a block, not a use-group
+        // (`use std::{fs, io}`); a use-group brace is preceded by `::`.
+        if p.is_punct('{') && !(k >= 3 && t[k - 2].is_punct(':') && t[k - 3].is_punct(':')) {
+            break;
+        }
+        if p.is_ident("use") {
+            return true;
+        }
+        k -= 1;
+    }
+    false
+}
+
+fn violation(out: &mut Vec<Violation>, rule: RuleId, rel: &str, line: u32, msg: String) {
+    out.push(Violation {
+        rule,
+        file: rel.to_string(),
+        line,
+        message: msg,
+    });
+}
+
+/// D1 — hash collections in decision-path crates: flag the binding site of
+/// any `HashMap`/`HashSet` (outside `use`), iteration-method calls on a
+/// known hash binding, and `for … in` loops over one.
+fn rule_hash(rel: &str, t: &[Token], i: usize, hash_idents: &[String], out: &mut Vec<Violation>) {
+    if !rule_enabled(RuleId::HashIter, rel) {
+        return;
+    }
+    let tok = &t[i];
+    if tok.kind != TokKind::Ident {
+        return;
+    }
+    if (tok.text == "HashMap" || tok.text == "HashSet") && !in_use_stmt(t, i) {
+        // Don't double-report the constructor of an annotated binding
+        // (`let m: HashMap<..> = HashMap::new()` → one diagnostic).
+        let constructor = t.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && t.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        let annotated = i >= 1 && {
+            let mut k = i;
+            while k > 0 && (t[k - 1].is_punct('&') || t[k - 1].is_ident("mut")) {
+                k -= 1;
+            }
+            k >= 1 && t[k - 1].is_punct('=')
+        };
+        if !(constructor && annotated) {
+            violation(
+                out,
+                RuleId::HashIter,
+                rel,
+                tok.line,
+                format!(
+                    "`{}` in a decision-path crate: iteration order is \
+                     nondeterministic; use `BTreeMap`/`BTreeSet` or justify with \
+                     `// deepsea-lint: allow(hash_iter) -- <why>`",
+                    tok.text
+                ),
+            );
+        }
+        return;
+    }
+    if !hash_idents.iter().any(|h| h == &tok.text) {
+        return;
+    }
+    // `name.iter()` and friends.
+    if t.get(i + 1).is_some_and(|n| n.is_punct('.')) {
+        if let Some(m) = t.get(i + 2) {
+            if m.kind == TokKind::Ident
+                && HASH_ITER_METHODS.contains(&m.text.as_str())
+                && t.get(i + 3).is_some_and(|n| n.is_punct('('))
+            {
+                violation(
+                    out,
+                    RuleId::HashIter,
+                    rel,
+                    tok.line,
+                    format!(
+                        "iteration `{}.{}()` over a hash collection — order is \
+                         nondeterministic",
+                        tok.text, m.text
+                    ),
+                );
+            }
+        }
+    }
+    // `for x in [&][mut] name {` — direct loop over the collection.
+    if t.get(i + 1).is_some_and(|n| n.is_punct('{')) {
+        let mut k = i;
+        while k > 0 && (t[k - 1].is_punct('&') || t[k - 1].is_ident("mut")) {
+            k -= 1;
+        }
+        if k >= 1 && t[k - 1].is_ident("in") {
+            violation(
+                out,
+                RuleId::HashIter,
+                rel,
+                tok.line,
+                format!(
+                    "`for … in {}` iterates a hash collection — order is \
+                     nondeterministic",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// D2 — wall-clock / ambient entropy identifiers.
+fn rule_wall_clock(rel: &str, t: &[Token], i: usize, out: &mut Vec<Violation>) {
+    if !rule_enabled(RuleId::WallClock, rel) {
+        return;
+    }
+    let tok = &t[i];
+    if tok.kind == TokKind::Ident && WALL_CLOCK_IDENTS.contains(&tok.text.as_str()) {
+        violation(
+            out,
+            RuleId::WallClock,
+            rel,
+            tok.line,
+            format!(
+                "`{}` is wall-clock/ambient entropy — all time and randomness \
+                 must flow from the simulated clock or an explicit seed",
+                tok.text
+            ),
+        );
+    }
+}
+
+/// P1 — panic paths: `.unwrap()`, panic-family macros, and `.expect(msg)`
+/// whose message does not start with `invariant: `.
+fn rule_panic(rel: &str, t: &[Token], i: usize, out: &mut Vec<Violation>) {
+    if !rule_enabled(RuleId::Panic, rel) {
+        return;
+    }
+    let tok = &t[i];
+    if tok.kind != TokKind::Ident {
+        return;
+    }
+    let after_dot = i >= 1 && t[i - 1].is_punct('.');
+    let called = t.get(i + 1).is_some_and(|n| n.is_punct('('));
+    if tok.text == "unwrap" && after_dot && called {
+        violation(
+            out,
+            RuleId::Panic,
+            rel,
+            tok.line,
+            "`.unwrap()` in product code — propagate with `?` or use \
+             `.expect(\"invariant: …\")`"
+                .to_string(),
+        );
+        return;
+    }
+    if tok.text == "expect" && after_dot && called {
+        let arg = t.get(i + 2);
+        let sanctioned = arg.is_some_and(|a| {
+            matches!(a.kind, TokKind::Str | TokKind::RawStr) && a.text.starts_with("invariant: ")
+        });
+        if !sanctioned {
+            violation(
+                out,
+                RuleId::Panic,
+                rel,
+                tok.line,
+                "`.expect(…)` message must be a literal starting with \
+                 `invariant: ` (documenting why the invariant holds)"
+                    .to_string(),
+            );
+        }
+        return;
+    }
+    if matches!(
+        tok.text.as_str(),
+        "panic" | "unreachable" | "todo" | "unimplemented"
+    ) && t.get(i + 1).is_some_and(|n| n.is_punct('!'))
+    {
+        violation(
+            out,
+            RuleId::Panic,
+            rel,
+            tok.line,
+            format!("`{}!` in product code — return an error instead", tok.text),
+        );
+    }
+}
+
+/// E1 — `let _ = <expr>;` discarding a fallible call. The `write!`/
+/// `writeln!` exemption for `String` receivers is encoded here directly:
+/// `fmt::Write` into a `String` cannot fail, so discarding its `Result` is
+/// the idiomatic pattern and needs no marker.
+fn rule_discard(
+    rel: &str,
+    t: &[Token],
+    i: usize,
+    string_idents: &[String],
+    out: &mut Vec<Violation>,
+) {
+    if !rule_enabled(RuleId::Discard, rel) {
+        return;
+    }
+    if !(t[i].is_ident("let")
+        && t.get(i + 1).is_some_and(|n| n.is_ident("_"))
+        && t.get(i + 2).is_some_and(|n| n.is_punct('=')))
+    {
+        return;
+    }
+    // Scan the discarded expression up to the statement's `;`.
+    let mut depth = 0i32;
+    let mut j = i + 3;
+    while let Some(tok) = t.get(j) {
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            depth -= 1;
+        } else if tok.is_punct(';') && depth <= 0 {
+            break;
+        } else if tok.kind == TokKind::Ident {
+            let name = tok.text.as_str();
+            // `write!(recv, …)` / `writeln!(recv, …)`.
+            if (name == "write" || name == "writeln")
+                && t.get(j + 1).is_some_and(|n| n.is_punct('!'))
+                && t.get(j + 2).is_some_and(|n| n.is_punct('('))
+            {
+                let mut a = j + 3;
+                while t
+                    .get(a)
+                    .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+                {
+                    a += 1;
+                }
+                let recv_is_string = t.get(a).is_some_and(|r| {
+                    r.kind == TokKind::Ident && string_idents.iter().any(|s| s == &r.text)
+                });
+                if !recv_is_string {
+                    violation(
+                        out,
+                        RuleId::Discard,
+                        rel,
+                        tok.line,
+                        format!(
+                            "`let _ = {name}!(…)` discards an I/O write result — \
+                             only `fmt::Write` into a `String` is infallible"
+                        ),
+                    );
+                }
+                return;
+            }
+            let fallible =
+                name.starts_with("try_") || name.ends_with("_costed") || name == "append";
+            if fallible && (t.get(j + 1).is_some_and(|n| n.is_punct('('))) {
+                violation(
+                    out,
+                    RuleId::Discard,
+                    rel,
+                    tok.line,
+                    format!(
+                        "`let _ =` discards the result of fallible `{name}(…)` — \
+                         handle or propagate the error"
+                    ),
+                );
+                return;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// L1 — `std::fs` / `std::net` / `std::thread` outside the storage crate
+/// and bench harness, in both path and `use std::{…}` group form.
+fn rule_layering(rel: &str, t: &[Token], i: usize, out: &mut Vec<Violation>) {
+    if !rule_enabled(RuleId::Layering, rel) {
+        return;
+    }
+    let tok = &t[i];
+    if !(tok.is_ident("std")
+        && t.get(i + 1).is_some_and(|n| n.is_punct(':'))
+        && t.get(i + 2).is_some_and(|n| n.is_punct(':')))
+    {
+        return;
+    }
+    let mut flag = |name: &str, line: u32| {
+        violation(
+            out,
+            RuleId::Layering,
+            rel,
+            line,
+            format!(
+                "`std::{name}` outside `crates/storage`/bench — real I/O and \
+                 threads go through `ExecutionBackend`/`SimFs` only"
+            ),
+        );
+    };
+    if let Some(m) = t.get(i + 3) {
+        if m.kind == TokKind::Ident && LAYERING_MODULES.contains(&m.text.as_str()) {
+            flag(&m.text.clone(), m.line);
+            return;
+        }
+        // `use std::{fs, io::Write}` group form.
+        if m.is_punct('{') {
+            let mut depth = 1i32;
+            let mut j = i + 4;
+            while let Some(g) = t.get(j) {
+                if g.is_punct('{') {
+                    depth += 1;
+                } else if g.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1
+                    && g.kind == TokKind::Ident
+                    && LAYERING_MODULES.contains(&g.text.as_str())
+                {
+                    flag(&g.text.clone(), g.line);
+                }
+                j += 1;
+            }
+        }
+    }
+}

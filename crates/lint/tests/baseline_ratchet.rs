@@ -1,0 +1,134 @@
+//! Baseline ratchet semantics: counts may only decrease. A regression (or a
+//! violation in an unlisted or pinned-clean file) is a hard failure; a drop
+//! below the grandfathered count is reported as a ratchet opportunity.
+
+use deepsea_lint::{compare, Baseline, RuleId, Violation};
+
+fn v(rule: RuleId, file: &str, line: u32) -> Violation {
+    Violation {
+        rule,
+        file: file.to_string(),
+        line,
+        message: "fixture".to_string(),
+    }
+}
+
+fn baseline(entries: &[(&str, &str, u64)]) -> Baseline {
+    let mut b = Baseline::default();
+    for (rule, file, n) in entries {
+        b.counts
+            .entry((*rule).to_string())
+            .or_default()
+            .insert((*file).to_string(), *n);
+    }
+    b
+}
+
+#[test]
+fn count_regression_fails_and_reports_every_site() {
+    let b = baseline(&[("P1", "a.rs", 1)]);
+    let vs = vec![v(RuleId::Panic, "a.rs", 3), v(RuleId::Panic, "a.rs", 9)];
+    let r = compare(&b, &vs);
+    assert!(r.failed());
+    // Both violations at the regressed key are reported with their lines, so
+    // the offender is findable even though only one of them is "new".
+    assert_eq!(r.new_violations.len(), 2);
+    assert_eq!(r.regressions.len(), 1);
+    assert_eq!(r.regressions[0].baselined, 1);
+    assert_eq!(r.regressions[0].current, 2);
+}
+
+#[test]
+fn violation_in_unlisted_file_fails() {
+    let b = baseline(&[("P1", "a.rs", 5)]);
+    let r = compare(&b, &[v(RuleId::Panic, "b.rs", 1)]);
+    assert!(r.failed());
+    assert_eq!(r.new_violations.len(), 1);
+}
+
+#[test]
+fn same_rule_different_file_keys_are_independent() {
+    let b = baseline(&[("P1", "a.rs", 1), ("P1", "b.rs", 1)]);
+    // a.rs regresses to 2, b.rs improves to 0: the failure and the
+    // improvement are both reported, against their own keys.
+    let r = compare(
+        &b,
+        &[v(RuleId::Panic, "a.rs", 1), v(RuleId::Panic, "a.rs", 2)],
+    );
+    assert!(r.failed());
+    assert_eq!(r.regressions.len(), 1);
+    assert_eq!(r.regressions[0].file, "a.rs");
+    assert_eq!(r.improvements.len(), 1);
+    assert_eq!(r.improvements[0].file, "b.rs");
+}
+
+#[test]
+fn at_allowance_is_green_below_is_an_improvement() {
+    let b = baseline(&[("P1", "a.rs", 2)]);
+    let at_allowance = compare(
+        &b,
+        &[v(RuleId::Panic, "a.rs", 1), v(RuleId::Panic, "a.rs", 2)],
+    );
+    assert!(!at_allowance.failed());
+    assert!(at_allowance.improvements.is_empty());
+
+    let below = compare(&b, &[v(RuleId::Panic, "a.rs", 1)]);
+    assert!(!below.failed());
+    assert_eq!(below.improvements.len(), 1);
+    assert_eq!(below.improvements[0].baselined, 2);
+    assert_eq!(below.improvements[0].current, 1);
+}
+
+#[test]
+fn fully_fixed_file_is_still_suggested_for_ratcheting() {
+    let b = baseline(&[("P1", "a.rs", 4)]);
+    let r = compare(&b, &[]);
+    assert!(!r.failed());
+    assert_eq!(r.improvements.len(), 1);
+    assert_eq!(r.improvements[0].current, 0);
+}
+
+#[test]
+fn explicit_zero_pins_a_file_clean() {
+    // An explicit 0 entry behaves like "no entry" for the ratchet (any
+    // violation fails) but documents intent and survives --write-baseline.
+    let b = baseline(&[("P1", "a.rs", 0)]);
+    assert!(compare(&b, &[v(RuleId::Panic, "a.rs", 7)]).failed());
+    assert!(!compare(&b, &[]).failed());
+}
+
+#[test]
+fn rules_are_ratcheted_independently() {
+    let b = baseline(&[("P1", "a.rs", 1)]);
+    // A D1 violation in the same file has no P1 allowance to hide under.
+    let r = compare(&b, &[v(RuleId::HashIter, "a.rs", 2)]);
+    assert!(r.failed());
+    assert_eq!(r.regressions[0].rule, "D1");
+}
+
+#[test]
+fn write_baseline_preserves_pinned_zeros() {
+    let pinned = baseline(&[("P1", "clean.rs", 0), ("P1", "stale.rs", 3)]);
+    let b = Baseline::from_violations(&[v(RuleId::Panic, "dirty.rs", 1)], &pinned);
+    // The zero pin survives regeneration; the stale non-zero count does not
+    // (the ratchet only ever tightens), and the live violation is counted.
+    assert_eq!(b.allowed("P1", "clean.rs"), 0);
+    assert!(b.counts["P1"].contains_key("clean.rs"));
+    assert!(!b.counts["P1"].contains_key("stale.rs"));
+    assert_eq!(b.allowed("P1", "dirty.rs"), 1);
+}
+
+#[test]
+fn render_parse_compare_roundtrip() {
+    let pinned = Baseline::default();
+    let vs = vec![
+        v(RuleId::Panic, "crates/engine/src/sql.rs", 449),
+        v(RuleId::HashIter, "crates/engine/src/exec.rs", 10),
+        v(RuleId::HashIter, "crates/engine/src/exec.rs", 20),
+    ];
+    let b = Baseline::from_violations(&vs, &pinned);
+    let parsed = Baseline::parse(&b.render()).expect("roundtrip");
+    assert_eq!(parsed, b);
+    // The exact run that generated a baseline always passes against it.
+    assert!(!compare(&parsed, &vs).failed());
+}

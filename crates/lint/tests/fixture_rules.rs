@@ -1,0 +1,380 @@
+//! Fixture self-tests for the rule catalog: every rule gets a positive case
+//! (the violation is caught, at the right line), a negative case (idiomatic
+//! code passes), and an allow-marker case (a justified marker suppresses
+//! exactly the marked site).
+
+use deepsea_lint::{lint_source, RuleId, Violation};
+
+/// Lint `src` as if it lived at `path`, returning `(rule, line)` pairs.
+fn at(path: &str, src: &str) -> Vec<(RuleId, u32)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let vs: Vec<Violation> = lint_source(path, src);
+    assert!(vs.is_empty(), "expected clean, got: {vs:?}");
+}
+
+const CORE: &str = "crates/core/src/fixture.rs";
+
+// ---------------------------------------------------------------- D1 hash_iter
+
+#[test]
+fn d1_flags_binding_and_iteration() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: &HashMap<u32, u32>) -> usize {\n\
+               \x20   m.iter().count()\n\
+               }\n";
+    let got = at(CORE, src);
+    // Line 1 (`use`) is exempt; line 2 flags the binding, line 3 the iteration.
+    assert_eq!(got, vec![(RuleId::HashIter, 2), (RuleId::HashIter, 3)]);
+}
+
+#[test]
+fn d1_flags_for_loop_over_hash_binding() {
+    // The ident tracker follows unqualified type annotations (`set: &HashSet`,
+    // the idiomatic form after a `use`); fully-qualified paths fall back to
+    // being caught at the binding site only.
+    let src = "use std::collections::HashSet;\n\
+               fn f(set: &HashSet<u32>) {\n\
+               \x20   for _x in set {\n\
+               \x20   }\n\
+               }\n";
+    let got = at(CORE, src);
+    assert!(
+        got.contains(&(RuleId::HashIter, 3)),
+        "for-loop over hash binding not flagged: {got:?}"
+    );
+}
+
+#[test]
+fn d1_annotated_constructor_reports_once() {
+    let src = "fn f() {\n\
+               \x20   let m: std::collections::HashMap<u32, u32> = HashMap::new();\n\
+               \x20   m.insert(1, 2);\n\
+               }\n";
+    let got = at(CORE, src);
+    // One diagnostic for the binding, not a second for the constructor;
+    // `insert` is a point operation and never flagged.
+    assert_eq!(got, vec![(RuleId::HashIter, 2)]);
+}
+
+#[test]
+fn d1_ignores_btree_and_point_lookups() {
+    assert_clean(
+        CORE,
+        "use std::collections::BTreeMap;\n\
+         fn f(m: &BTreeMap<u32, u32>) -> usize {\n\
+         \x20   m.iter().count()\n\
+         }\n",
+    );
+}
+
+#[test]
+fn d1_scoped_to_decision_crates() {
+    let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> usize {\n\
+               \x20   m.iter().count()\n\
+               }\n";
+    assert_clean("crates/obs/src/fixture.rs", src);
+    assert_clean("crates/lint/src/fixture.rs", src);
+    assert!(!at("crates/workload/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn d1_allow_marker_suppresses_marked_line_only() {
+    let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> usize {\n\
+               \x20   // deepsea-lint: allow(hash_iter) -- fixture: order-free count\n\
+               \x20   m.iter().count()\n\
+               }\n";
+    let got = at(CORE, src);
+    // The binding on line 1 still violates; the iteration on line 3 is allowed.
+    assert_eq!(got, vec![(RuleId::HashIter, 1)]);
+}
+
+#[test]
+fn d1_marker_spanning_comment_lines_still_covers_next_source_line() {
+    // A justification wrapped over two comment lines must still cover the
+    // first *source* line after the marker (comments are not source tokens).
+    let src = "struct S {\n\
+               \x20   // deepsea-lint: allow(hash_iter) -- point-lookup index,\n\
+               \x20   // never iterated (fixture)\n\
+               \x20   by_key: std::collections::HashMap<u32, u32>,\n\
+               }\n";
+    assert_clean(CORE, src);
+}
+
+// --------------------------------------------------------------- D2 wall_clock
+
+#[test]
+fn d2_flags_instant_and_system_time() {
+    let src = "fn f() {\n\
+               \x20   let _t = std::time::Instant::now();\n\
+               \x20   let _s = std::time::SystemTime::now();\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::WallClock, 2), (RuleId::WallClock, 3)]);
+}
+
+#[test]
+fn d2_flags_ambient_entropy() {
+    let got = at(CORE, "fn f() { let _r = thread_rng(); }\n");
+    assert_eq!(got, vec![(RuleId::WallClock, 1)]);
+}
+
+#[test]
+fn d2_exempts_criterion_shim_only() {
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    assert_clean("crates/criterion/src/lib.rs", src);
+    assert!(!at("crates/rand/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn d2_allow_marker() {
+    assert_clean(
+        CORE,
+        "// deepsea-lint: allow(wall_clock) -- fixture: display-only timestamp\n\
+         fn f() { let _t = std::time::Instant::now(); }\n",
+    );
+}
+
+// -------------------------------------------------------------------- P1 panic
+
+#[test]
+fn p1_flags_unwrap_and_panic_macros() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   if x.is_none() { panic!(\"boom\"); }\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::Panic, 2), (RuleId::Panic, 3)]);
+}
+
+#[test]
+fn p1_flags_unreachable_todo_unimplemented() {
+    let src = "fn f(k: u32) {\n\
+               \x20   match k {\n\
+               \x20       0 => todo!(),\n\
+               \x20       1 => unimplemented!(),\n\
+               \x20       _ => unreachable!(),\n\
+               \x20   }\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(
+        got,
+        vec![(RuleId::Panic, 3), (RuleId::Panic, 4), (RuleId::Panic, 5)]
+    );
+}
+
+#[test]
+fn p1_expect_requires_invariant_prefix() {
+    // A bare reason is not enough…
+    let got = at(
+        CORE,
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"tracked\") }\n",
+    );
+    assert_eq!(got, vec![(RuleId::Panic, 1)]);
+    // …a non-literal message is not enough…
+    let got = at(
+        CORE,
+        "fn f(x: Option<u32>, m: &str) -> u32 { x.expect(m) }\n",
+    );
+    assert_eq!(got, vec![(RuleId::Panic, 1)]);
+    // …the sanctioned escape is a literal documenting the invariant.
+    assert_clean(
+        CORE,
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: tracked above\") }\n",
+    );
+}
+
+#[test]
+fn p1_exempts_test_code() {
+    // `#[test]` item span.
+    assert_clean(
+        CORE,
+        "#[test]\n\
+         fn t() { Some(1).unwrap(); }\n",
+    );
+    // `#[cfg(test)]` module span.
+    assert_clean(
+        CORE,
+        "#[cfg(test)]\n\
+         mod tests {\n\
+         \x20   fn helper(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         }\n",
+    );
+    // Whole-file scopes: tests/ dirs and `tests.rs` module files (their
+    // `#[cfg(test)]` lives on the `mod` declaration in the parent file).
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_clean("crates/core/tests/golden.rs", src);
+    assert_clean("crates/core/src/driver/tests.rs", src);
+    assert_clean("crates/core/src/driver/evict_tests.rs", src);
+    assert_clean("crates/core/benches/bench.rs", src);
+}
+
+#[test]
+fn p1_allow_marker() {
+    assert_clean(
+        CORE,
+        "// deepsea-lint: allow(panic) -- fixture: documented poison path\n\
+         fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+}
+
+// ------------------------------------------------------------------ E1 discard
+
+#[test]
+fn e1_flags_discarded_fallible_calls() {
+    let src = "fn f(j: &mut Journal) {\n\
+               \x20   let _ = j.append(b\"rec\");\n\
+               \x20   let _ = try_reserve(16);\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::Discard, 2), (RuleId::Discard, 3)]);
+}
+
+#[test]
+fn e1_flags_discarded_io_write() {
+    let src = "fn f(sink: &mut Sink) {\n\
+               \x20   let _ = write!(sink, \"x\");\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::Discard, 2)]);
+}
+
+/// Pins the in-rule E1 exemption: `fmt::Write` into a `String` cannot fail,
+/// so discarding its `Result` is idiomatic and needs no marker. These two
+/// shapes mirror the real call sites in `crates/obs/src/prometheus.rs`
+/// (`out: &mut String` parameter) and `crates/engine/src/signature.rs`
+/// (`let mut s = String::new()` local).
+#[test]
+fn e1_string_fmt_write_is_exempt() {
+    assert_clean(
+        "crates/obs/src/fixture.rs",
+        "fn render(out: &mut String) {\n\
+         \x20   let _ = write!(out, \"metric {}\", 1);\n\
+         \x20   let _ = writeln!(out, \"eol\");\n\
+         }\n",
+    );
+    assert_clean(
+        "crates/engine/src/fixture.rs",
+        "fn sig() -> String {\n\
+         \x20   let mut s = String::new();\n\
+         \x20   let _ = write!(&mut s, \"k={}\", 2);\n\
+         \x20   s\n\
+         }\n",
+    );
+}
+
+#[test]
+fn e1_ignores_infallible_discards() {
+    assert_clean(CORE, "fn f(x: u32) { let _ = compute(x); }\n");
+}
+
+#[test]
+fn e1_allow_marker() {
+    assert_clean(
+        CORE,
+        "fn f(j: &mut Journal) {\n\
+         \x20   // deepsea-lint: allow(discard) -- fixture: best-effort append\n\
+         \x20   let _ = j.append(b\"rec\");\n\
+         }\n",
+    );
+}
+
+// ----------------------------------------------------------------- L1 layering
+
+#[test]
+fn l1_flags_direct_io_modules() {
+    let src = "use std::fs;\n\
+               fn f() {\n\
+               \x20   std::thread::spawn(|| {});\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::Layering, 1), (RuleId::Layering, 3)]);
+}
+
+#[test]
+fn l1_flags_use_group_form() {
+    let got = at(CORE, "use std::{fs, io::Read, net};\n");
+    assert_eq!(got, vec![(RuleId::Layering, 1), (RuleId::Layering, 1)]);
+}
+
+#[test]
+fn l1_exempts_storage_and_harness_crates() {
+    let src = "use std::fs;\n";
+    assert_clean("crates/storage/src/fs.rs", src);
+    assert_clean("crates/lint/src/lib.rs", src);
+    assert_clean("crates/criterion/src/lib.rs", src);
+    // `std::io` alone is fine anywhere: only fs/net/thread are walled off.
+    assert_clean(CORE, "use std::io::Read;\n");
+}
+
+#[test]
+fn l1_allow_marker() {
+    assert_clean(
+        CORE,
+        "// deepsea-lint: allow(layering) -- fixture: documented boundary hole\n\
+         use std::fs;\n",
+    );
+}
+
+// ------------------------------------------------------------------- M0 marker
+
+#[test]
+fn m0_flags_unjustified_marker() {
+    let got = at(CORE, "// deepsea-lint: allow(hash_iter)\nfn f() {}\n");
+    assert_eq!(got, vec![(RuleId::Marker, 1)]);
+}
+
+#[test]
+fn m0_flags_unknown_rule() {
+    let got = at(
+        CORE,
+        "// deepsea-lint: allow(no_such_rule) -- because\nfn f() {}\n",
+    );
+    assert_eq!(got, vec![(RuleId::Marker, 1)]);
+}
+
+#[test]
+fn m0_flags_malformed_shapes() {
+    for src in [
+        "// deepsea-lint: disallow(panic) -- nope\n",
+        "// deepsea-lint: allow(panic -- unterminated\n",
+        "// deepsea-lint: allow() -- empty\n",
+        "// deepsea-lint: allow(panic) --\n",
+    ] {
+        let got = at(CORE, src);
+        assert_eq!(got, vec![(RuleId::Marker, 1)], "not flagged: {src:?}");
+    }
+}
+
+#[test]
+fn m0_cannot_be_self_suppressed() {
+    // An unjustified marker stays a violation even when another marker
+    // sits above it; `marker` is not an allowable slug.
+    let src = "// deepsea-lint: allow(marker) -- nice try\n\
+               // deepsea-lint: allow(hash_iter)\n\
+               fn f() {}\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::Marker, 1), (RuleId::Marker, 2)]);
+}
+
+#[test]
+fn m0_multi_rule_marker_suppresses_each_listed_rule() {
+    assert_clean(
+        CORE,
+        "// deepsea-lint: allow(panic, wall_clock) -- fixture: both on one line\n\
+         fn f(x: Option<u32>) -> u32 { let _t = Instant::now(); x.unwrap() }\n",
+    );
+}
+
+#[test]
+fn marker_does_not_suppress_other_rules() {
+    let src = "// deepsea-lint: allow(wall_clock) -- wrong slug for this site\n\
+               fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::Panic, 2)]);
+}

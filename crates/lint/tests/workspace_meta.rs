@@ -1,0 +1,114 @@
+//! Meta-test: the linter runs over the real workspace and the checked-in
+//! `lint-baseline.json` holds. This is the same gate CI runs; keeping it in
+//! the test suite means `cargo test` alone catches a lint regression.
+
+use std::path::Path;
+
+use deepsea_lint::{compare, lint_source, lint_workspace, Baseline, RuleId};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+fn checked_in_baseline() -> Baseline {
+    let path = workspace_root().join("lint-baseline.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Baseline::parse(&text).expect("lint-baseline.json parses")
+}
+
+#[test]
+fn workspace_is_clean_against_checked_in_baseline() {
+    let root = workspace_root();
+    let run = lint_workspace(root).expect("workspace scan");
+    assert!(
+        run.files.len() > 50,
+        "scan looks truncated: {} files",
+        run.files.len()
+    );
+    let ratchet = compare(&checked_in_baseline(), &run.violations);
+    let mut msg = String::new();
+    for v in &ratchet.new_violations {
+        msg.push_str(&format!(
+            "\n  {}:{}: [{}] {}",
+            v.file,
+            v.line,
+            v.rule.code(),
+            v.message
+        ));
+    }
+    assert!(
+        !ratchet.failed(),
+        "lint ratchet failed — fix the sites or justify with a marker:{msg}"
+    );
+}
+
+#[test]
+fn driver_hot_files_are_pinned_clean() {
+    // The PR that introduced the linter burned these to zero; the explicit
+    // 0 entries in the baseline keep them there.
+    let b = checked_in_baseline();
+    for file in [
+        "crates/core/src/driver/evict.rs",
+        "crates/core/src/driver/matching.rs",
+        "crates/core/src/driver/selection.rs",
+    ] {
+        assert!(
+            b.counts["P1"].contains_key(file),
+            "{file} lost its explicit P1 pin"
+        );
+        assert_eq!(b.allowed("P1", file), 0, "{file} must stay panic-free");
+    }
+    assert_eq!(
+        b.allowed("D1", "crates/core/src/driver/materialize.rs"),
+        0,
+        "materialize.rs must stay free of hash collections"
+    );
+}
+
+#[test]
+fn injected_violation_fails_the_ratchet() {
+    // Take a real, pinned-clean source file, append a violation, and check
+    // the whole chain (lexer → rules → ratchet) reports it as a failure.
+    let root = workspace_root();
+    let rel = "crates/core/src/driver/selection.rs";
+    let mut src = std::fs::read_to_string(root.join(rel)).expect("read selection.rs");
+    assert!(
+        lint_source(rel, &src).is_empty(),
+        "selection.rs should currently be clean"
+    );
+    src.push_str("\nfn injected(x: Option<u32>) -> u32 { x.unwrap() }\n");
+    let vs = lint_source(rel, &src);
+    assert!(
+        vs.iter().any(|v| v.rule == RuleId::Panic),
+        "injected unwrap not caught: {vs:?}"
+    );
+    let ratchet = compare(&checked_in_baseline(), &vs);
+    assert!(
+        ratchet.failed(),
+        "pinned-zero file did not fail the ratchet"
+    );
+    assert!(ratchet
+        .new_violations
+        .iter()
+        .any(|v| v.file == rel && v.rule == RuleId::Panic));
+}
+
+#[test]
+fn grandfathered_counts_are_exact() {
+    // The baseline is a ratchet, not a budget: if someone fixes a
+    // grandfathered site, the next --write-baseline must shrink. This test
+    // nags by failing the moment the workspace count drops below an
+    // allowance, so stale slack never accumulates.
+    let root = workspace_root();
+    let run = lint_workspace(root).expect("workspace scan");
+    let ratchet = compare(&checked_in_baseline(), &run.violations);
+    assert!(
+        ratchet.improvements.is_empty(),
+        "baseline has slack — ratchet it down with --write-baseline: {:?}",
+        ratchet.improvements
+    );
+}
