@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--metrics-out PATH] [--events-out PATH]
-//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations]...
+//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations|pressure]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` scales workloads
@@ -12,11 +12,14 @@
 //! under an attached observer and the machine-readable summary is written to
 //! `BENCH.json` in the current directory. `--metrics-out` additionally dumps
 //! the observer's metrics in Prometheus text format, and `--events-out` the
-//! decision-event audit log as JSONL.
+//! decision-event audit log as JSONL. Whenever `pressure` runs, the
+//! eviction-pressure serving scenario's summary (client latency
+//! percentiles under concurrency) is written to `BENCH_pressure.json`.
 
 use std::io::Write;
 
 use deepsea_bench::experiments::{self, ExperimentReport, Fig5aRun, Scale};
+use deepsea_bench::pressure::{self, PressureRun};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +49,13 @@ fn main() {
         *fig5a_run = Some(run);
         report
     };
+    let mut pressure_run: Option<PressureRun> = None;
+    let run_pressure = |pressure_run: &mut Option<PressureRun>| -> ExperimentReport {
+        let run = pressure::pressure(scale);
+        let report = run.report.clone();
+        *pressure_run = Some(run);
+        report
+    };
 
     let everything = wanted.is_empty() || wanted.iter().any(|w| *w == "all");
     let reports: Vec<ExperimentReport> = if everything {
@@ -62,6 +72,7 @@ fn main() {
             experiments::fig9(scale),
             experiments::fig10(scale),
             experiments::ablations(scale),
+            run_pressure(&mut pressure_run),
         ]
     } else {
         wanted
@@ -79,6 +90,7 @@ fn main() {
                 "fig9" => experiments::fig9(scale),
                 "fig10" => experiments::fig10(scale),
                 "ablations" => experiments::ablations(scale),
+                "pressure" => run_pressure(&mut pressure_run),
                 other => {
                     eprintln!("unknown experiment {other:?}");
                     std::process::exit(2);
@@ -109,5 +121,11 @@ fn main() {
     } else if metrics_out.is_some() || events_out.is_some() {
         eprintln!("--metrics-out/--events-out require fig5a (or all) to run");
         std::process::exit(2);
+    }
+
+    if let Some(run) = &pressure_run {
+        std::fs::write("BENCH_pressure.json", format!("{}\n", run.bench_json))
+            .expect("write BENCH_pressure.json");
+        eprintln!("wrote BENCH_pressure.json");
     }
 }

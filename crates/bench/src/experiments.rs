@@ -33,14 +33,14 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn fig5_queries(&self) -> usize {
+    pub(crate) fn fig5_queries(&self) -> usize {
         match self {
             Scale::Quick => 60,
             Scale::Paper => 1000,
         }
     }
 
-    fn instance(&self) -> InstanceSize {
+    pub(crate) fn instance(&self) -> InstanceSize {
         match self {
             Scale::Quick => InstanceSize::Gb100,
             Scale::Paper => InstanceSize::Gb500,
@@ -60,7 +60,7 @@ pub struct ExperimentReport {
 }
 
 impl ExperimentReport {
-    fn new(id: &str, title: &str, body: String) -> Self {
+    pub(crate) fn new(id: &str, title: &str, body: String) -> Self {
         Self {
             id: id.to_string(),
             title: title.to_string(),
@@ -69,9 +69,9 @@ impl ExperimentReport {
     }
 }
 
-const SEED: u64 = 0xDEE9_5EA0;
+pub(crate) const SEED: u64 = 0xDEE9_5EA0;
 
-fn sdss_catalog(size: InstanceSize) -> Arc<Catalog> {
+pub(crate) fn sdss_catalog(size: InstanceSize) -> Arc<Catalog> {
     let (lo, hi) = item_domain();
     let hist = sdss_like_histogram(lo, hi);
     Arc::new(BigBenchData::generate(size, &ItemDistribution::Histogram(hist), SEED).catalog)

@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod golden;
 pub mod harness;
+pub mod pressure;
 pub mod report;
 
 pub use harness::{

@@ -1,0 +1,198 @@
+//! Eviction-pressure serving scenario: the DS-tight variant (reduced
+//! `Smax`) served to multiple concurrent clients through [`ViewServer`].
+//!
+//! Under a tight pool limit the writer keeps materializing and evicting,
+//! so snapshot readers routinely race epoch churn — exactly the regime
+//! where client-visible latency separates from the writer's serialized
+//! pipeline. The scenario runs the standard fig5 workload under the
+//! deterministic simulated scheduler and reports client latency
+//! percentiles (p50/p95/p99) straight from the observer's histograms,
+//! plus the epoch-lag and divergence counters the serving layer emits.
+//!
+//! `BENCH_pressure.json` is the machine-readable side product, in the
+//! same spirit as fig5a's `BENCH.json`.
+
+use std::sync::Arc;
+
+use deepsea_core::{baselines, DeepSea, ObsConfig, Observer, ServerConfig, ViewServer};
+use deepsea_engine::ClusterSim;
+use deepsea_storage::{BlockConfig, SimFs};
+use serde::ObjectBuilder;
+
+use crate::experiments::{sdss_catalog, ExperimentReport, Scale, SEED};
+use crate::report::{secs, table};
+
+/// Divisor applied to the catalog's base bytes to get the tight pool
+/// limit: small enough that the knapsack is forced to evict throughout
+/// the run, matching the DS-tight variant of the concurrency suite.
+const TIGHT_SMAX_DIVISOR: u64 = 40;
+
+/// Logical clients hammering the server in the pressure scenario.
+const PRESSURE_CLIENTS: usize = 4;
+
+/// Seed for the scheduler's arrival/interleaving LCG.
+const PRESSURE_SEED: u64 = 42;
+
+/// Mean open-loop inter-arrival gap in simulated seconds — short enough
+/// that reads overlap commits and each other.
+const PRESSURE_GAP_SECS: f64 = 5.0;
+
+/// The pressure scenario plus its machine-readable side products.
+pub struct PressureRun {
+    /// The rendered report.
+    pub report: ExperimentReport,
+    /// `BENCH_pressure.json`: scheduler parameters, latency percentiles
+    /// (overall and per client), divergence and epoch-lag summary.
+    pub bench_json: String,
+    /// The observer that watched the run (latency histograms, spans,
+    /// server counters).
+    pub observer: Observer,
+}
+
+/// Run the eviction-pressure serving scenario.
+pub fn pressure(scale: Scale) -> PressureRun {
+    let catalog = sdss_catalog(scale.instance());
+    let plans = deepsea_workload::sequences::fig5_workload(scale.fig5_queries(), SEED);
+    let smax = catalog.total_base_bytes() / TIGHT_SMAX_DIVISOR;
+    let config = baselines::deepsea().with_phi(0.05).with_smax(smax);
+
+    let obs = Observer::new(ObsConfig::on());
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::new(BlockConfig::default(), cluster.weights));
+    let ds =
+        DeepSea::with_parts(Arc::clone(&catalog), fs, cluster, config).with_observer(obs.clone());
+    let mut server = ViewServer::new(
+        ds,
+        ServerConfig {
+            clients: PRESSURE_CLIENTS,
+            seed: PRESSURE_SEED,
+            mean_gap_secs: PRESSURE_GAP_SECS,
+        },
+    );
+    let served = server
+        .run(&plans)
+        .unwrap_or_else(|e| panic!("pressure scenario failed: {e}"));
+
+    let snap = obs.metrics_snapshot();
+    let overall = snap
+        .histogram("deepsea_client_latency_secs", None)
+        .and_then(|h| h.percentiles())
+        .unwrap_or((0.0, 0.0, 0.0));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut clients_json = ObjectBuilder::new();
+    for k in 0..PRESSURE_CLIENTS {
+        let label = format!("client{k}");
+        if let Some((p50, p95, p99)) = snap
+            .histogram("deepsea_client_latency_secs", Some(&label))
+            .and_then(|h| h.percentiles())
+        {
+            rows.push(vec![label.clone(), secs(p50), secs(p95), secs(p99)]);
+            clients_json = clients_json.field(
+                &label,
+                ObjectBuilder::new()
+                    .field("p50_secs", p50)
+                    .field("p95_secs", p95)
+                    .field("p99_secs", p99)
+                    .build(),
+            );
+        }
+    }
+    rows.push(vec![
+        "all".to_string(),
+        secs(overall.0),
+        secs(overall.1),
+        secs(overall.2),
+    ]);
+
+    let commits = snap.counter("deepsea_server_commits_total", None);
+    let divergent = snap.counter("deepsea_server_divergent_reads_total", None);
+
+    let mut body = table(&["client", "p50", "p95", "p99"], &rows);
+    body.push_str(&format!(
+        "\npool limit Smax = base/{TIGHT_SMAX_DIVISOR}; {PRESSURE_CLIENTS} clients, \
+         mean gap {PRESSURE_GAP_SECS}s, seed {PRESSURE_SEED}\n\
+         commits: {commits}   divergent reads: {divergent}   \
+         max epoch lag: {}   makespan: {}\n",
+        served.max_epoch_lag,
+        secs(served.makespan_secs),
+    ));
+
+    let bench_json = ObjectBuilder::new()
+        .field("experiment", "pressure")
+        .field(
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Paper => "paper",
+            },
+        )
+        .field("queries", plans.len() as u64)
+        .field("clients", PRESSURE_CLIENTS as u64)
+        .field("seed", PRESSURE_SEED)
+        .field("mean_gap_secs", PRESSURE_GAP_SECS)
+        .field("smax_bytes", smax)
+        .field(
+            "latency_secs",
+            ObjectBuilder::new()
+                .field("p50", overall.0)
+                .field("p95", overall.1)
+                .field("p99", overall.2)
+                .field("per_client", clients_json.build())
+                .build(),
+        )
+        .field("commits", commits)
+        .field("divergent_reads", divergent)
+        .field("max_epoch_lag", served.max_epoch_lag)
+        .field("makespan_secs", served.makespan_secs)
+        .field("state_digest", served.state_digest)
+        .build()
+        .to_json();
+
+    let report = ExperimentReport::new(
+        "pressure",
+        &format!(
+            "Eviction pressure under concurrency ({} queries, {} clients, Smax = base/{})",
+            plans.len(),
+            PRESSURE_CLIENTS,
+            TIGHT_SMAX_DIVISOR
+        ),
+        body,
+    );
+    PressureRun {
+        report,
+        bench_json,
+        observer: obs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_quick_reports_percentiles_and_pressure() {
+        let run = pressure(Scale::Quick);
+        assert!(run.bench_json.contains("\"experiment\":\"pressure\""));
+        assert!(run.bench_json.contains("\"p99\""));
+        let snap = run.observer.metrics_snapshot();
+        // Every query commits, and the tight pool must actually evict.
+        assert_eq!(snap.counter("deepsea_server_commits_total", None), 60);
+        let (p50, p95, p99) = snap
+            .histogram("deepsea_client_latency_secs", None)
+            .and_then(|h| h.percentiles())
+            .expect("latency histogram populated");
+        assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99);
+        assert!(
+            snap.counter("deepsea_evictions_total", None) > 0,
+            "tight Smax should evict during the run"
+        );
+    }
+
+    #[test]
+    fn pressure_is_deterministic() {
+        let a = pressure(Scale::Quick);
+        let b = pressure(Scale::Quick);
+        assert_eq!(a.bench_json, b.bench_json);
+    }
+}

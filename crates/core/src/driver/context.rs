@@ -8,7 +8,7 @@ use crate::filter_tree::ViewId;
 use crate::selection::SelectionResult;
 use crate::stats::LogicalTime;
 
-use super::matching::MatchHit;
+use super::read_path::MatchHit;
 
 /// Counters from the matching stage (Algorithm 1 lines 1–2).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

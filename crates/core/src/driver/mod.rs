@@ -1,56 +1,39 @@
 //! The online driver — Algorithm 1 (`ProcessQuery`) of the paper, as a
-//! staged query-lifecycle pipeline.
+//! staged query-lifecycle pipeline split along the read/write axis:
 //!
-//! Each stage lives in its own submodule and communicates through a
-//! [`context::QueryContext`] threaded down the pipeline:
+//! - [`read_path`] — the stages that only *consult* catalog state
+//!   (signature matching, rewriting selection, execution of the chosen
+//!   plan), expressed over an immutable [`read_path::ReadView`] so they can
+//!   run against either the writer's live state or a published
+//!   [`crate::snapshot::ReadSnapshot`];
+//! - [`write_path`] — the stages that *mutate* it (statistics updates,
+//!   candidate registration, Φ-selection, materialization, eviction, `Smax`
+//!   enforcement, the durable commit point), serialized behind `&mut self`.
 //!
-//! 1. [`matching`] — compute the possible **rewritings** against every
-//!    tracked view (materialized or not) via signature matching and, for
-//!    partitioned views, Algorithm-2 fragment covers;
-//! 2. [`matching`] — **update statistics**: every view/fragment that could
-//!    answer the query records a (potential) benefit event;
-//! 3. [`rewriting`] — pick the **cheapest rewriting** among those backed by
-//!    the pool (or the original plan);
-//! 4. [`candidates`] — derive **view candidates** (Definition 6) and
-//!    **partition candidates** (Definition 7) from the chosen plan;
-//! 5. [`selection`] — admission filters (`COST ≤ B`), Φ-ranked greedy
-//!    knapsack under `Smax` — deciding what to materialize and what to evict;
-//! 6. execution via the pluggable [`ExecutionBackend`], then [`evict`] and
-//!    [`materialize`] apply the chosen configuration as a by-product (only
-//!    the write/repartition overhead is charged to the query, §7.2);
-//! 7. [`evict`] — enforce `Smax` with measured sizes.
-//!
-//! Every stage also fills its slice of the per-query [`QueryTrace`] exposed
-//! on [`QueryOutcome`].
+//! Each stage communicates through a [`context::QueryContext`] threaded down
+//! the pipeline and fills its slice of the per-query [`QueryTrace`] exposed
+//! on [`QueryOutcome`]. [`DeepSea::process_query`] (in [`write_path`])
+//! remains the single serialized entry point; the concurrent serving layer
+//! on top of it lives in [`crate::server`].
 
-pub(crate) mod candidates;
 pub(crate) mod context;
-pub(crate) mod evict;
-pub(crate) mod matching;
-pub(crate) mod materialize;
-pub(crate) mod recover;
-pub(crate) mod rewriting;
-pub(crate) mod selection;
+pub(crate) mod read_path;
+pub(crate) mod write_path;
 
 use std::sync::Arc;
 
 use deepsea_engine::catalog::Catalog;
 use deepsea_engine::cost::CostEstimator;
-use deepsea_engine::exec::{ExecError, ExecMetrics};
-use deepsea_engine::plan::LogicalPlan;
+use deepsea_engine::exec::ExecMetrics;
 use deepsea_engine::{ClusterSim, ExecutionBackend, SimBackend};
 use deepsea_obs::{DecisionEvent, Observer};
 use deepsea_relation::Table;
 use deepsea_storage::{BlockConfig, PoolAccountant, SimFs};
 
 use crate::config::DeepSeaConfig;
-use crate::durability::{
-    replay_catalog, stats_checkpoint, CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport,
-};
+use crate::durability::{replay_catalog, CatalogJournal, CatalogSnapshot, FsckReport};
 use crate::registry::ViewRegistry;
 use crate::stats::LogicalTime;
-
-use context::QueryContext;
 
 pub use context::{
     CandidatesTrace, DurabilityTrace, EvictionTrace, ExecutionTrace, MatchingTrace,
@@ -321,133 +304,9 @@ impl DeepSea {
         CostEstimator::new(&self.catalog, &self.fs, self.backend.cluster())
     }
 
-    /// Append one record to the attached journal (no-op without one).
-    /// Transient journal-write failures are retried under the configured
-    /// retry policy, accumulating backoff seconds into the journal debt; a
-    /// record is never dropped (the final attempt forces the write). An armed
-    /// simulated crash fires from inside the append and propagates as a
-    /// panic — exactly the torn-state semantics the crash harness exercises.
-    pub(crate) fn journal_emit(&mut self, record: CatalogRecord) {
-        let Some(journal) = &self.journal else {
-            return;
-        };
-        self.journal_debt.appends += 1;
-        self.appends_since_snapshot += 1;
-        let mut attempt = 0u32;
-        loop {
-            match journal.append(record.clone()) {
-                Ok(_) => return,
-                Err(_) if attempt < self.config.retry.max_retries => {
-                    self.journal_debt.retries += 1;
-                    self.journal_debt.penalty_secs += self.config.retry.backoff_secs(attempt);
-                    attempt += 1;
-                }
-                Err(_) => {
-                    // Out of retries: a catalog record must not be lost, so
-                    // force the write (modelling a synchronous fsync path).
-                    journal.append_infallible(record);
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Take the journal debt accumulated since the last drain.
-    pub(crate) fn drain_journal_debt(&mut self) -> JournalDebt {
-        std::mem::take(&mut self.journal_debt)
-    }
-
-    /// The commit point of one processed query: record the clock advance,
-    /// emit a statistics checkpoint / install a snapshot at the configured
-    /// cadence, and charge the accumulated journal debt to the query.
-    fn journal_commit(&mut self, ctx: &mut QueryContext) {
-        if self.journal.is_some() {
-            let tnow = ctx.tnow;
-            if tnow.is_multiple_of(self.config.journal_checkpoint_every.max(1)) {
-                let ckpt = stats_checkpoint(&self.registry, tnow);
-                self.journal_emit(ckpt);
-            }
-            self.journal_emit(CatalogRecord::QueryCommitted { tnow });
-            if tnow.is_multiple_of(self.config.journal_snapshot_every.max(1)) {
-                if let Some(journal) = &self.journal {
-                    journal.install_snapshot(CatalogSnapshot {
-                        registry: self.registry.clone(),
-                        clock: tnow,
-                    });
-                    ctx.trace.durability.snapshots += 1;
-                    self.obs
-                        .counter_inc("deepsea_journal_snapshots_total", None);
-                    self.obs.event(
-                        tnow,
-                        DecisionEvent::JournalSnapshot {
-                            appended_since_last: self.appends_since_snapshot,
-                        },
-                    );
-                    self.appends_since_snapshot = 0;
-                }
-            }
-        }
-        let debt = self.drain_journal_debt();
-        ctx.trace.durability.journal_appends += debt.appends;
-        ctx.trace.durability.journal_retries += debt.retries;
-        ctx.trace.durability.journal_penalty_secs += debt.penalty_secs;
-        ctx.creation_secs += debt.penalty_secs;
-        self.obs
-            .counter_add("deepsea_journal_appends_total", None, debt.appends as u64);
-        self.obs
-            .counter_add("deepsea_journal_retries_total", None, debt.retries as u64);
-    }
-
-    /// Process one query — Algorithm 1, as a linear sequence of stages over
-    /// a per-query [`QueryContext`].
-    pub fn process_query(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
-        self.clock += 1;
-        let tnow = self.clock;
-
-        if !self.config.partition_policy.materializes() {
-            return self.run_baseline(plan);
-        }
-
-        let mut ctx = QueryContext::new(plan, tnow);
-        // ── 1. COMPUTEREWRITINGS ─────────────────────────────────────────
-        self.stage_compute_rewritings(plan, &mut ctx);
-        // ── 2. UPDATESTATS for every (potential) match ───────────────────
-        self.stage_update_stats(plan, &mut ctx);
-        // ── 3. SELECTREWRITING ───────────────────────────────────────────
-        self.stage_select_rewriting(plan, &mut ctx);
-        // ── 4. COMPUTEVIEWCAND / ADDCANDIDATES ───────────────────────────
-        self.stage_register_candidates(&mut ctx);
-        // ── 5. VIEWSELECTION ─────────────────────────────────────────────
-        self.stage_select_configuration(&mut ctx);
-        // ── 6. INSTRUMENT + EXECUTE, apply the chosen configuration ──────
-        let (result, metrics) = self.stage_execute(plan, &mut ctx)?;
-        self.stage_apply_evictions(&mut ctx);
-        self.stage_materialize(&mut ctx)?;
-        self.stage_charge_creation(&mut ctx);
-        // ── 7. Enforce Smax with measured sizes ──────────────────────────
-        self.stage_enforce_limit(&mut ctx);
-        // ── 8. Durable commit point ──────────────────────────────────────
-        self.journal_commit(&mut ctx);
-
-        let outcome = QueryOutcome {
-            result,
-            elapsed_secs: ctx.query_secs + ctx.creation_secs,
-            query_secs: ctx.query_secs,
-            creation_secs: ctx.creation_secs,
-            used_view: ctx.used_view,
-            materialized: ctx.materialized,
-            evicted: ctx.evicted,
-            quarantined: ctx.quarantined,
-            metrics,
-            trace: ctx.trace,
-        };
-        self.observe_query(&outcome);
-        Ok(outcome)
-    }
-
     /// Record the per-query metrics and spans from the finished outcome.
     /// Reads only — no decision depends on anything done here.
-    fn observe_query(&mut self, outcome: &QueryOutcome) {
+    pub(crate) fn observe_query(&mut self, outcome: &QueryOutcome) {
         let start = self.sim_elapsed;
         // Advance the span clock even when disabled, so enabling observation
         // mid-run cannot shift later span timestamps.
@@ -502,92 +361,6 @@ impl DeepSea {
         );
         self.obs
             .gauge_set("deepsea_pool_bytes", None, self.pool_bytes() as f64);
-    }
-
-    /// The Hive baseline: no matching, no materialization — and, unlike
-    /// DeepSea's instrumented plans, full predicate pushdown ("most
-    /// optimizers will push down selections", §10.2).
-    fn run_baseline(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
-        let optimized = deepsea_engine::optimize::push_down_selections(plan, &self.catalog);
-        let (result, metrics) = self.backend.execute(&optimized, &self.catalog, &self.fs)?;
-        let query_secs = self.backend.elapsed_secs(&metrics);
-        let mut ctx = QueryContext::new(plan, self.clock);
-        ctx.query_secs = query_secs;
-        ctx.trace.execution.query_secs = query_secs;
-        self.journal_commit(&mut ctx);
-        let outcome = QueryOutcome {
-            result,
-            elapsed_secs: query_secs + ctx.creation_secs,
-            query_secs,
-            creation_secs: ctx.creation_secs,
-            used_view: None,
-            materialized: Vec::new(),
-            evicted: Vec::new(),
-            quarantined: Vec::new(),
-            metrics,
-            trace: ctx.trace,
-        };
-        self.observe_query(&outcome);
-        Ok(outcome)
-    }
-
-    /// Execute the chosen plan through the backend, with graceful
-    /// degradation: if a rewritten plan fails (transient retries exhausted or
-    /// a fragment permanently lost), quarantine the broken view and re-answer
-    /// the query from base tables within the same call. Base tables are
-    /// durable in this model — views only ever accelerate, never gate, an
-    /// answer.
-    fn stage_execute(
-        &mut self,
-        plan: &LogicalPlan,
-        ctx: &mut QueryContext,
-    ) -> Result<(Table, ExecMetrics), ExecError> {
-        match self.backend.execute(&ctx.qbest, &self.catalog, &self.fs) {
-            Ok((result, metrics)) => {
-                ctx.trace.recovery.retries += metrics.retries as u32;
-                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
-                ctx.query_secs = self.backend.elapsed_secs(&metrics);
-                ctx.trace.execution.query_secs = ctx.query_secs;
-                Ok((result, metrics))
-            }
-            Err(e) => {
-                if matches!(e, ExecError::CorruptIo(_)) {
-                    ctx.trace.recovery.corrupt_fragments += 1;
-                }
-                // Whatever retries the backend burned on the doomed attempt
-                // still cost simulated time — collect the debt.
-                let (debt_retries, debt_secs) = self.backend.drain_retry_debt();
-                // Attribute the failure to a view: the file the error names,
-                // or failing that the view the rewriting chose to read.
-                let vid = e
-                    .file()
-                    .and_then(|f| self.registry.view_owning_file(f))
-                    .or_else(|| {
-                        ctx.used_view
-                            .as_deref()
-                            .and_then(|name| self.registry.by_name(name))
-                    });
-                let Some(vid) = vid else {
-                    // No view involved — the base plan itself failed, which
-                    // this model cannot recover from.
-                    return Err(e);
-                };
-                self.quarantine_into_ctx(vid, ctx);
-                ctx.trace.recovery.base_table_fallbacks += 1;
-                ctx.used_view = None;
-                ctx.qbest = plan.clone();
-                // The original plan reads only durable base tables, so this
-                // cannot hit another fragment fault.
-                let (result, mut metrics) = self.backend.execute(plan, &self.catalog, &self.fs)?;
-                metrics.retries += debt_retries;
-                metrics.penalty_secs += debt_secs;
-                ctx.trace.recovery.retries += metrics.retries as u32;
-                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
-                ctx.query_secs = self.backend.elapsed_secs(&metrics);
-                ctx.trace.execution.query_secs = ctx.query_secs;
-                Ok((result, metrics))
-            }
-        }
     }
 }
 

@@ -1,8 +1,10 @@
-//! Stages 1–2 of Algorithm 1: compute the possible rewritings against every
-//! tracked view (signature matching plus Algorithm-2 fragment covers) and
-//! record a benefit event for every view/fragment that could have answered
-//! the query — "no matter whether the view or fragment is currently in the
-//! pool or not" (§8.4).
+//! Stage 1 of Algorithm 1: compute the possible rewritings against every
+//! tracked view (signature matching plus Algorithm-2 fragment covers).
+//!
+//! Pure reads over a [`ReadView`]: the same code serves the serial commit
+//! path and concurrent snapshot readers. The statistics updates the paper
+//! folds into this stage (§8.4) are a catalog *mutation* and live on the
+//! write path (`write_path::stats`).
 
 use deepsea_engine::plan::LogicalPlan;
 use deepsea_engine::signature::{matches, Compensation, Signature};
@@ -11,13 +13,11 @@ use deepsea_storage::FileId;
 
 use crate::candidates::clamp_to_domain;
 use crate::filter_tree::ViewId;
-use crate::interval::Interval;
 use crate::matching::partition_matching;
 use crate::registry::ViewMeta;
 
-use super::candidates::attr_matches;
-use super::context::QueryContext;
-use super::DeepSea;
+use super::super::context::QueryContext;
+use super::ReadView;
 
 /// A matched (sub)query/view pair.
 pub(crate) struct MatchHit {
@@ -36,14 +36,14 @@ pub(crate) struct Access {
     pub(crate) bytes: u64,
 }
 
-impl DeepSea {
+impl ReadView<'_> {
     /// Stage 1 — `COMPUTEREWRITINGS`: match every Definition-6-shaped
     /// subplan against the signature buckets of the registry.
-    pub(crate) fn stage_compute_rewritings(&self, plan: &LogicalPlan, ctx: &mut QueryContext) {
+    pub(crate) fn compute_rewritings(&self, plan: &LogicalPlan, ctx: &mut QueryContext) {
         let estimator = self.estimator();
         let mut hits = Vec::new();
         let mut roots = 0u32;
-        for (path, sub) in Self::match_roots(plan) {
+        for (path, sub) in match_roots(plan) {
             roots += 1;
             let Some(qsig) = Signature::of(sub) else {
                 continue;
@@ -77,26 +77,6 @@ impl DeepSea {
             ctx.trace.matching.materialized_hits as u64,
         );
         ctx.hits = hits;
-    }
-
-    /// Subplans a view may be matched against: Definition 6 shapes, plus any
-    /// chain of selections directly above one (the enclosing range selection
-    /// must take part in matching so it can become fragment-selecting
-    /// compensation, §8.2).
-    pub(crate) fn match_roots(plan: &LogicalPlan) -> Vec<(Vec<usize>, &LogicalPlan)> {
-        fn is_root(p: &LogicalPlan) -> bool {
-            match p {
-                LogicalPlan::Join { .. }
-                | LogicalPlan::Aggregate { .. }
-                | LogicalPlan::Project { .. } => true,
-                LogicalPlan::Select { input, .. } => is_root(input),
-                _ => false,
-            }
-        }
-        all_subplans(plan)
-            .into_iter()
-            .filter(|(_, p)| is_root(p))
-            .collect()
     }
 
     /// Cheapest way to read the view for this query: the whole file, or an
@@ -144,81 +124,9 @@ impl DeepSea {
         best
     }
 
-    /// Stage 2 — `UPDATESTATS`: record benefit events for matched views and
-    /// hits for overlapped fragments.
-    pub(crate) fn stage_update_stats(&mut self, plan: &LogicalPlan, ctx: &mut QueryContext) {
-        let block = self.fs.block_config().block_bytes;
-        let tnow = ctx.tnow;
-        // Pre-compute (view, saving, needed-range) outside the mutable loop;
-        // several subqueries can match the same view — keep the hit with the
-        // largest saving (the most specific, e.g. the one carrying the range
-        // selection).
-        let mut updates: std::collections::BTreeMap<ViewId, (f64, Vec<(String, Interval)>)> =
-            std::collections::BTreeMap::new();
-        for hit in &ctx.hits {
-            let view = self.registry.view(hit.view);
-            let scan_bytes = match &hit.access {
-                Some(a) => a.bytes,
-                // Not materialized yet: COST(Q/V) anticipates *partitioned*
-                // access — a future query only reads the fragments its range
-                // needs (this is the whole point of partitioned views).
-                None => {
-                    let mut bytes = view.stats.size;
-                    if self.config.partition_policy.partitions() {
-                        let frac = self.comp_range_fraction(view, &hit.comp);
-                        bytes = ((bytes as f64 * frac) as u64).max(1);
-                    }
-                    bytes
-                }
-            };
-            let saving = (hit.sub_cost - self.backend.scan_secs(scan_bytes, block)).max(0.0);
-            // Which fragments were (or would have been) hit, per partition.
-            let sub = deepsea_engine::subquery::subplan_at(plan, &hit.path);
-            let qsig = sub.and_then(Signature::of);
-            let mut ranges = Vec::new();
-            for ps in view.partitions.values() {
-                let needed = qsig
-                    .as_ref()
-                    .and_then(|s| s.range_on_attr(&ps.attr))
-                    .and_then(|r| clamp_to_domain(r, &ps.domain))
-                    .unwrap_or(ps.domain);
-                ranges.push((ps.attr.clone(), needed));
-            }
-            match updates.get_mut(&hit.view) {
-                Some(prev) if prev.0 >= saving => {}
-                slot => {
-                    let update = (saving, ranges);
-                    match slot {
-                        Some(prev) => *prev = update,
-                        None => {
-                            updates.insert(hit.view, update);
-                        }
-                    }
-                }
-            }
-        }
-        ctx.trace.matching.views_updated = updates.len() as u32;
-        for (vid, (saving, ranges)) in updates {
-            let tmax = self.config.tmax;
-            let view = self.registry.view_mut(vid);
-            view.stats.record_use(tnow, saving);
-            view.stats.prune(tnow, tmax);
-            for (attr, needed) in ranges {
-                if let Some(ps) = view.partitions.get_mut(&attr) {
-                    for frag in &mut ps.fragments {
-                        if frag.interval.overlaps(&needed) {
-                            frag.stats.record_hit(tnow);
-                            frag.stats.prune(tnow, tmax);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// The fraction of the view a partitioned access needs for the given
     /// compensation ranges (1.0 when no applicable range is known).
-    fn comp_range_fraction(&self, view: &ViewMeta, comp: &Compensation) -> f64 {
+    pub(crate) fn comp_range_fraction(&self, view: &ViewMeta, comp: &Compensation) -> f64 {
         let mut frac: f64 = 1.0;
         for (col, lo, hi) in &comp.ranges {
             let domain = view
@@ -237,13 +145,51 @@ impl DeepSea {
     }
 }
 
+/// Subplans a view may be matched against: Definition 6 shapes, plus any
+/// chain of selections directly above one (the enclosing range selection
+/// must take part in matching so it can become fragment-selecting
+/// compensation, §8.2).
+pub(crate) fn match_roots(plan: &LogicalPlan) -> Vec<(Vec<usize>, &LogicalPlan)> {
+    fn is_root(p: &LogicalPlan) -> bool {
+        match p {
+            LogicalPlan::Join { .. }
+            | LogicalPlan::Aggregate { .. }
+            | LogicalPlan::Project { .. } => true,
+            LogicalPlan::Select { input, .. } => is_root(input),
+            _ => false,
+        }
+    }
+    all_subplans(plan)
+        .into_iter()
+        .filter(|(_, p)| is_root(p))
+        .collect()
+}
+
+/// Do two attribute names refer to the same column?
+///
+/// Equal names always match. When exactly one side is qualified
+/// (`fact.item_sk` vs `item_sk`) the bare name matches the qualified one's
+/// suffix. Two *differently qualified* names never match, even with the same
+/// bare suffix — `store.item_sk` and `web.item_sk` are distinct columns.
+pub(crate) fn attr_matches(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.rsplit_once('.'), b.rsplit_once('.')) {
+        (Some(_), Some(_)) => false,
+        (Some((_, suffix)), None) => suffix == b,
+        (None, Some((_, suffix))) => suffix == a,
+        (None, None) => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use deepsea_engine::plan::AggExpr;
     use deepsea_engine::plan::LogicalPlan;
     use deepsea_relation::Predicate;
 
-    use super::DeepSea;
+    use super::{attr_matches, match_roots};
 
     /// `match_roots` must expose joins/aggregates/projections and any chain
     /// of selections stacked on one, but not bare scans or selections over
@@ -259,7 +205,7 @@ mod tests {
             .clone()
             .aggregate(vec!["a.k"], vec![AggExpr::count("cnt")]);
 
-        let roots = DeepSea::match_roots(&agg);
+        let roots = match_roots(&agg);
         // The aggregate, the double- and single-selected join, and the join.
         assert_eq!(
             roots.len(),
@@ -275,6 +221,24 @@ mod tests {
     #[test]
     fn match_roots_rejects_scans_and_selects_over_scans() {
         let plan = LogicalPlan::scan("a").select(Predicate::range("a.k", 0, 10));
-        assert!(DeepSea::match_roots(&plan).is_empty());
+        assert!(match_roots(&plan).is_empty());
+    }
+
+    #[test]
+    fn attr_matches_qualified_and_bare() {
+        assert!(attr_matches("fact.item_sk", "fact.item_sk"));
+        assert!(attr_matches("item_sk", "item_sk"));
+        assert!(attr_matches("fact.item_sk", "item_sk"));
+        assert!(attr_matches("item_sk", "fact.item_sk"));
+    }
+
+    #[test]
+    fn attr_matches_rejects_different_qualifiers() {
+        // Same bare suffix under different qualifiers is a *different* column.
+        assert!(!attr_matches("store.item_sk", "web.item_sk"));
+        assert!(!attr_matches("fact.k", "dim.k"));
+        // And plainly different names never match.
+        assert!(!attr_matches("item_sk", "order_sk"));
+        assert!(!attr_matches("fact.item_sk", "fact.order_sk"));
     }
 }

@@ -1,0 +1,119 @@
+//! The **read side** of the driver: everything a query needs to be
+//! *answered* — signature matching, rewriting selection, and execution —
+//! expressed over an immutable [`ReadView`] instead of the driver itself.
+//!
+//! The split is what makes a concurrent serving layer possible: a
+//! [`ReadView`] borrows only shared state (registry, catalog, file system,
+//! backend, config, observer), so the whole read path is `&self` end-to-end
+//! and can run against either
+//!
+//! - the writer's live state (the serial `process_query` path — borrow via
+//!   [`super::DeepSea::read_view`]), or
+//! - a published [`crate::snapshot::ReadSnapshot`] (the concurrent path —
+//!   many clients answering queries against the same frozen epoch while the
+//!   single writer commits mutations behind them).
+//!
+//! Nothing in this module takes `&mut` anything except the per-query
+//! [`QueryContext`], which is where all trace state accumulates.
+
+pub(crate) mod matching;
+pub(crate) mod rewriting;
+
+use deepsea_engine::catalog::Catalog;
+use deepsea_engine::cost::CostEstimator;
+use deepsea_engine::exec::{ExecError, ExecMetrics};
+use deepsea_engine::plan::LogicalPlan;
+use deepsea_engine::ExecutionBackend;
+use deepsea_obs::Observer;
+use deepsea_relation::Table;
+use deepsea_storage::SimFs;
+
+use crate::interval::Interval;
+use crate::registry::ViewRegistry;
+
+use super::context::QueryContext;
+use super::DeepSea;
+
+pub(crate) use matching::MatchHit;
+
+/// An immutable borrow of everything the read path consults.
+///
+/// Cheap to construct (six references), impossible to mutate through: the
+/// read path sees one consistent catalog state for the duration of a query,
+/// whether that state is the writer's live registry or a frozen snapshot.
+pub(crate) struct ReadView<'a> {
+    pub(crate) registry: &'a ViewRegistry,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) fs: &'a SimFs<Table>,
+    pub(crate) backend: &'a dyn ExecutionBackend,
+    pub(crate) obs: &'a Observer,
+}
+
+impl DeepSea {
+    /// Borrow the writer's live state as a read view — the serial path.
+    pub(crate) fn read_view(&self) -> ReadView<'_> {
+        ReadView {
+            registry: &self.registry,
+            catalog: &self.catalog,
+            fs: &self.fs,
+            backend: self.backend.as_ref(),
+            obs: &self.obs,
+        }
+    }
+}
+
+impl<'a> ReadView<'a> {
+    /// A cost estimator over this view's catalog, pool, and cluster model.
+    pub(crate) fn estimator(&self) -> CostEstimator<'a> {
+        CostEstimator::new(self.catalog, self.fs, self.backend.cluster())
+    }
+
+    /// The domain `D(A)` of an attribute, from base-table statistics.
+    pub(crate) fn attr_domain(&self, plan: &LogicalPlan, col: &str) -> Option<Interval> {
+        for t in plan.base_tables() {
+            if let Some(s) = self.catalog.column_stats(t, col) {
+                return Some(Interval::new(s.min, s.max));
+            }
+        }
+        None
+    }
+
+    /// Answer one query against this view: matching, rewriting selection,
+    /// then execution of the chosen plan — the full client-facing read path,
+    /// with no catalog mutation anywhere.
+    ///
+    /// If the chosen rewriting fails mid-read (a fragment evicted between
+    /// snapshot publication and the actual file read — possible only under
+    /// the real-thread server, where file GC is not epoch-deferred), the
+    /// query is re-answered from durable base tables: views accelerate,
+    /// never gate, an answer. The fallback is reported in the context's
+    /// recovery trace, not hidden.
+    pub(crate) fn answer(
+        &self,
+        plan: &LogicalPlan,
+        ctx: &mut QueryContext,
+    ) -> Result<(Table, ExecMetrics), ExecError> {
+        self.compute_rewritings(plan, ctx);
+        self.select_rewriting(plan, ctx);
+        match self.backend.execute(&ctx.qbest, self.catalog, self.fs) {
+            Ok((result, metrics)) => {
+                ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                ctx.trace.execution.query_secs = ctx.query_secs;
+                Ok((result, metrics))
+            }
+            Err(_) if ctx.used_view.is_some() => {
+                let (debt_retries, debt_secs) = self.backend.drain_retry_debt();
+                ctx.trace.recovery.base_table_fallbacks += 1;
+                ctx.used_view = None;
+                ctx.qbest = plan.clone();
+                let (result, mut metrics) = self.backend.execute(plan, self.catalog, self.fs)?;
+                metrics.retries += debt_retries;
+                metrics.penalty_secs += debt_secs;
+                ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                ctx.trace.execution.query_secs = ctx.query_secs;
+                Ok((result, metrics))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

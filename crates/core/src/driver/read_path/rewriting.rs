@@ -4,14 +4,14 @@
 use deepsea_engine::plan::{LogicalPlan, ViewScanInfo};
 use deepsea_engine::rewrite::rewrite_with_view;
 
-use super::context::QueryContext;
-use super::DeepSea;
+use super::super::context::QueryContext;
+use super::ReadView;
 
-impl DeepSea {
+impl ReadView<'_> {
     /// Pick the cheapest plan among the original and every rewriting whose
     /// view access is backed by the pool. Updates `ctx.qbest` /
     /// `ctx.used_view` only when a rewriting wins.
-    pub(crate) fn stage_select_rewriting(&self, plan: &LogicalPlan, ctx: &mut QueryContext) {
+    pub(crate) fn select_rewriting(&self, plan: &LogicalPlan, ctx: &mut QueryContext) {
         let estimator = self.estimator();
         let base_cost = estimator.estimated_secs(plan);
         let mut best_cost = base_cost;
@@ -30,7 +30,7 @@ impl DeepSea {
                 schema,
             };
             if let Some(rewritten) =
-                rewrite_with_view(plan, &hit.path, info, &hit.comp, &self.catalog)
+                rewrite_with_view(plan, &hit.path, info, &hit.comp, self.catalog)
             {
                 costed += 1;
                 let cost = estimator.estimated_secs(&rewritten);

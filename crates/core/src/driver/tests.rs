@@ -1,9 +1,12 @@
 //! End-to-end tests of the staged query-lifecycle pipeline.
 
+use super::context::QueryContext;
 use super::*;
 use crate::interval::Interval;
 use crate::policy::{PartitionPolicy, ValueModel};
+use deepsea_engine::exec::ExecError;
 use deepsea_engine::plan::AggExpr;
+use deepsea_engine::plan::LogicalPlan;
 use deepsea_relation::generate::{ColumnGen, TableGen};
 use deepsea_relation::{DataType, Field, Predicate, Schema};
 

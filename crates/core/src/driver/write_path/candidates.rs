@@ -14,8 +14,9 @@ use crate::interval::Interval;
 use crate::registry::PartitionState;
 use crate::stats::LogicalTime;
 
-use super::context::QueryContext;
-use super::DeepSea;
+use super::super::context::QueryContext;
+use super::super::read_path::matching::attr_matches;
+use super::super::DeepSea;
 
 impl DeepSea {
     /// Derive and register this query's candidates, recording how much new
@@ -79,7 +80,7 @@ impl DeepSea {
                 if self.config.partition_policy.partitions() {
                     let mut frac: f64 = 1.0;
                     for (col, (lo, hi)) in &query_ranges {
-                        if let Some(d) = self.attr_domain(sub, col) {
+                        if let Some(d) = self.read_view().attr_domain(sub, col) {
                             if let Some(iv) = clamp_to_domain((*lo, *hi), &d) {
                                 frac = frac.min(iv.width() as f64 / d.width() as f64);
                             }
@@ -150,7 +151,7 @@ impl DeepSea {
                     continue;
                 };
                 for (col, (lo, hi)) in collect_ranges(pred) {
-                    let Some(domain) = self.attr_domain(input, &col) else {
+                    let Some(domain) = self.read_view().attr_domain(input, &col) else {
                         continue;
                     };
                     let Some(qiv) = clamp_to_domain((lo, hi), &domain) else {
@@ -180,7 +181,7 @@ impl DeepSea {
                         Some(x) => x,
                         None => {
                             let plan = self.registry.view(vid).plan.clone();
-                            match self.attr_domain(&plan, &col) {
+                            match self.read_view().attr_domain(&plan, &col) {
                                 Some(d) => (col.clone(), d),
                                 None => continue,
                             }
@@ -277,16 +278,6 @@ impl DeepSea {
         }
         (selections, new_frags)
     }
-
-    /// The domain `D(A)` of an attribute, from base-table statistics.
-    pub(crate) fn attr_domain(&self, plan: &LogicalPlan, col: &str) -> Option<Interval> {
-        for t in plan.base_tables() {
-            if let Some(s) = self.catalog.column_stats(t, col) {
-                return Some(Interval::new(s.min, s.max));
-            }
-        }
-        None
-    }
 }
 
 /// The view name a plan scans, reached through any chain of
@@ -298,24 +289,6 @@ pub(crate) fn viewscan_name(plan: &LogicalPlan) -> Option<&str> {
             viewscan_name(input)
         }
         _ => None,
-    }
-}
-
-/// Do two attribute names refer to the same column?
-///
-/// Equal names always match. When exactly one side is qualified
-/// (`fact.item_sk` vs `item_sk`) the bare name matches the qualified one's
-/// suffix. Two *differently qualified* names never match, even with the same
-/// bare suffix — `store.item_sk` and `web.item_sk` are distinct columns.
-pub(crate) fn attr_matches(a: &str, b: &str) -> bool {
-    if a == b {
-        return true;
-    }
-    match (a.rsplit_once('.'), b.rsplit_once('.')) {
-        (Some(_), Some(_)) => false,
-        (Some((_, suffix)), None) => suffix == b,
-        (None, Some((_, suffix))) => suffix == a,
-        (None, None) => false,
     }
 }
 
@@ -333,24 +306,6 @@ pub(crate) fn collect_ranges(pred: &Predicate) -> Vec<(String, (i64, i64))> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn attr_matches_qualified_and_bare() {
-        assert!(attr_matches("fact.item_sk", "fact.item_sk"));
-        assert!(attr_matches("item_sk", "item_sk"));
-        assert!(attr_matches("fact.item_sk", "item_sk"));
-        assert!(attr_matches("item_sk", "fact.item_sk"));
-    }
-
-    #[test]
-    fn attr_matches_rejects_different_qualifiers() {
-        // Same bare suffix under different qualifiers is a *different* column.
-        assert!(!attr_matches("store.item_sk", "web.item_sk"));
-        assert!(!attr_matches("fact.k", "dim.k"));
-        // And plainly different names never match.
-        assert!(!attr_matches("item_sk", "order_sk"));
-        assert!(!attr_matches("fact.item_sk", "fact.order_sk"));
-    }
 
     #[test]
     fn collect_ranges_takes_range_conjuncts_only() {

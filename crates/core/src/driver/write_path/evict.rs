@@ -12,8 +12,8 @@ use crate::filter_tree::ViewId;
 use crate::selection::{CandidateKind, RankedItem};
 use crate::stats::{decay, LogicalTime};
 
-use super::context::{CreationCharge, QueryContext};
-use super::DeepSea;
+use super::super::context::{CreationCharge, QueryContext};
+use super::super::DeepSea;
 
 impl DeepSea {
     /// Apply the evictions the selection stage planned.

@@ -21,8 +21,8 @@ use crate::registry::PartitionState;
 use crate::selection::{apply_size_bounds, equi_depth_intervals, CandidateKind};
 use crate::stats::LogicalTime;
 
-use super::context::{CreationCharge, QueryContext};
-use super::DeepSea;
+use super::super::context::{CreationCharge, QueryContext};
+use super::super::DeepSea;
 
 /// A materialized source fragment: id, interval, file, size.
 type SourceFrag = (FragmentId, Interval, FileId, u64);

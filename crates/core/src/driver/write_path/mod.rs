@@ -1,0 +1,248 @@
+//! The **write side** of the driver: every stage that mutates the catalog,
+//! the pool, or the journal — statistics updates, candidate registration,
+//! Φ-selection, materialization, eviction, `Smax` enforcement, and the
+//! durable commit point.
+//!
+//! All of it runs behind the single writer (`&mut DeepSea`), one query at a
+//! time, in ticket order. [`DeepSea::process_query`] is the serialized
+//! commit: it re-runs the read path against the writer's *live* state (so
+//! the committed decision never acts on a stale snapshot), then applies the
+//! chosen configuration and publishes the next catalog epoch. Concurrent
+//! readers meanwhile answer queries from the last published
+//! [`crate::snapshot::ReadSnapshot`]; see [`crate::server`].
+
+pub(crate) mod candidates;
+pub(crate) mod evict;
+pub(crate) mod materialize;
+pub(crate) mod recover;
+pub(crate) mod selection;
+pub(crate) mod stats;
+
+use deepsea_engine::exec::{ExecError, ExecMetrics};
+use deepsea_engine::plan::LogicalPlan;
+use deepsea_obs::DecisionEvent;
+use deepsea_relation::Table;
+
+use crate::durability::{stats_checkpoint, CatalogRecord, CatalogSnapshot};
+
+use super::context::QueryContext;
+use super::{DeepSea, JournalDebt, QueryOutcome};
+
+impl DeepSea {
+    /// Append one record to the attached journal (no-op without one).
+    /// Transient journal-write failures are retried under the configured
+    /// retry policy, accumulating backoff seconds into the journal debt; a
+    /// record is never dropped (the final attempt forces the write). An armed
+    /// simulated crash fires from inside the append and propagates as a
+    /// panic — exactly the torn-state semantics the crash harness exercises.
+    pub(crate) fn journal_emit(&mut self, record: CatalogRecord) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        self.journal_debt.appends += 1;
+        self.appends_since_snapshot += 1;
+        let mut attempt = 0u32;
+        loop {
+            match journal.append(record.clone()) {
+                Ok(_) => return,
+                Err(_) if attempt < self.config.retry.max_retries => {
+                    self.journal_debt.retries += 1;
+                    self.journal_debt.penalty_secs += self.config.retry.backoff_secs(attempt);
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // Out of retries: a catalog record must not be lost, so
+                    // force the write (modelling a synchronous fsync path).
+                    journal.append_infallible(record);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Take the journal debt accumulated since the last drain.
+    pub(crate) fn drain_journal_debt(&mut self) -> JournalDebt {
+        std::mem::take(&mut self.journal_debt)
+    }
+
+    /// The commit point of one processed query: record the clock advance,
+    /// emit a statistics checkpoint / install a snapshot at the configured
+    /// cadence, and charge the accumulated journal debt to the query.
+    pub(crate) fn journal_commit(&mut self, ctx: &mut QueryContext) {
+        if self.journal.is_some() {
+            let tnow = ctx.tnow;
+            if tnow.is_multiple_of(self.config.journal_checkpoint_every.max(1)) {
+                let ckpt = stats_checkpoint(&self.registry, tnow);
+                self.journal_emit(ckpt);
+            }
+            self.journal_emit(CatalogRecord::QueryCommitted { tnow });
+            if tnow.is_multiple_of(self.config.journal_snapshot_every.max(1)) {
+                if let Some(journal) = &self.journal {
+                    journal.install_snapshot(CatalogSnapshot {
+                        registry: self.registry.clone(),
+                        clock: tnow,
+                    });
+                    ctx.trace.durability.snapshots += 1;
+                    self.obs
+                        .counter_inc("deepsea_journal_snapshots_total", None);
+                    self.obs.event(
+                        tnow,
+                        DecisionEvent::JournalSnapshot {
+                            appended_since_last: self.appends_since_snapshot,
+                        },
+                    );
+                    self.appends_since_snapshot = 0;
+                }
+            }
+        }
+        let debt = self.drain_journal_debt();
+        ctx.trace.durability.journal_appends += debt.appends;
+        ctx.trace.durability.journal_retries += debt.retries;
+        ctx.trace.durability.journal_penalty_secs += debt.penalty_secs;
+        ctx.creation_secs += debt.penalty_secs;
+        self.obs
+            .counter_add("deepsea_journal_appends_total", None, debt.appends as u64);
+        self.obs
+            .counter_add("deepsea_journal_retries_total", None, debt.retries as u64);
+    }
+
+    /// Process one query — Algorithm 1, as a linear sequence of stages over
+    /// a per-query [`QueryContext`].
+    ///
+    /// This is the **serialized commit**: stages 1 and 3 are pure read-path
+    /// code run against the writer's live state (via
+    /// [`DeepSea::read_view`]); everything else mutates the catalog and must
+    /// hold the writer. Under the concurrent server this method is invoked
+    /// once per ticket, in ticket order, and its committed outcome is
+    /// bit-identical to the single-client serial run by construction.
+    pub fn process_query(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
+        self.clock += 1;
+        let tnow = self.clock;
+
+        if !self.config.partition_policy.materializes() {
+            return self.run_baseline(plan);
+        }
+
+        let mut ctx = QueryContext::new(plan, tnow);
+        // ── 1. COMPUTEREWRITINGS (read path, live state) ─────────────────
+        self.read_view().compute_rewritings(plan, &mut ctx);
+        // ── 2. UPDATESTATS for every (potential) match ───────────────────
+        self.stage_update_stats(plan, &mut ctx);
+        // ── 3. SELECTREWRITING (read path, live state) ───────────────────
+        self.read_view().select_rewriting(plan, &mut ctx);
+        // ── 4. COMPUTEVIEWCAND / ADDCANDIDATES ───────────────────────────
+        self.stage_register_candidates(&mut ctx);
+        // ── 5. VIEWSELECTION ─────────────────────────────────────────────
+        self.stage_select_configuration(&mut ctx);
+        // ── 6. INSTRUMENT + EXECUTE, apply the chosen configuration ──────
+        let (result, metrics) = self.stage_execute(plan, &mut ctx)?;
+        self.stage_apply_evictions(&mut ctx);
+        self.stage_materialize(&mut ctx)?;
+        self.stage_charge_creation(&mut ctx);
+        // ── 7. Enforce Smax with measured sizes ──────────────────────────
+        self.stage_enforce_limit(&mut ctx);
+        // ── 8. Durable commit point ──────────────────────────────────────
+        self.journal_commit(&mut ctx);
+
+        let outcome = QueryOutcome {
+            result,
+            elapsed_secs: ctx.query_secs + ctx.creation_secs,
+            query_secs: ctx.query_secs,
+            creation_secs: ctx.creation_secs,
+            used_view: ctx.used_view,
+            materialized: ctx.materialized,
+            evicted: ctx.evicted,
+            quarantined: ctx.quarantined,
+            metrics,
+            trace: ctx.trace,
+        };
+        self.observe_query(&outcome);
+        Ok(outcome)
+    }
+
+    /// The Hive baseline: no matching, no materialization — and, unlike
+    /// DeepSea's instrumented plans, full predicate pushdown ("most
+    /// optimizers will push down selections", §10.2).
+    fn run_baseline(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
+        let optimized = deepsea_engine::optimize::push_down_selections(plan, &self.catalog);
+        let (result, metrics) = self.backend.execute(&optimized, &self.catalog, &self.fs)?;
+        let query_secs = self.backend.elapsed_secs(&metrics);
+        let mut ctx = QueryContext::new(plan, self.clock);
+        ctx.query_secs = query_secs;
+        ctx.trace.execution.query_secs = query_secs;
+        self.journal_commit(&mut ctx);
+        let outcome = QueryOutcome {
+            result,
+            elapsed_secs: query_secs + ctx.creation_secs,
+            query_secs,
+            creation_secs: ctx.creation_secs,
+            used_view: None,
+            materialized: Vec::new(),
+            evicted: Vec::new(),
+            quarantined: Vec::new(),
+            metrics,
+            trace: ctx.trace,
+        };
+        self.observe_query(&outcome);
+        Ok(outcome)
+    }
+
+    /// Execute the chosen plan through the backend, with graceful
+    /// degradation: if a rewritten plan fails (transient retries exhausted or
+    /// a fragment permanently lost), quarantine the broken view and re-answer
+    /// the query from base tables within the same call. Base tables are
+    /// durable in this model — views only ever accelerate, never gate, an
+    /// answer.
+    fn stage_execute(
+        &mut self,
+        plan: &LogicalPlan,
+        ctx: &mut QueryContext,
+    ) -> Result<(Table, ExecMetrics), ExecError> {
+        match self.backend.execute(&ctx.qbest, &self.catalog, &self.fs) {
+            Ok((result, metrics)) => {
+                ctx.trace.recovery.retries += metrics.retries as u32;
+                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
+                ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                ctx.trace.execution.query_secs = ctx.query_secs;
+                Ok((result, metrics))
+            }
+            Err(e) => {
+                if matches!(e, ExecError::CorruptIo(_)) {
+                    ctx.trace.recovery.corrupt_fragments += 1;
+                }
+                // Whatever retries the backend burned on the doomed attempt
+                // still cost simulated time — collect the debt.
+                let (debt_retries, debt_secs) = self.backend.drain_retry_debt();
+                // Attribute the failure to a view: the file the error names,
+                // or failing that the view the rewriting chose to read.
+                let vid = e
+                    .file()
+                    .and_then(|f| self.registry.view_owning_file(f))
+                    .or_else(|| {
+                        ctx.used_view
+                            .as_deref()
+                            .and_then(|name| self.registry.by_name(name))
+                    });
+                let Some(vid) = vid else {
+                    // No view involved — the base plan itself failed, which
+                    // this model cannot recover from.
+                    return Err(e);
+                };
+                self.quarantine_into_ctx(vid, ctx);
+                ctx.trace.recovery.base_table_fallbacks += 1;
+                ctx.used_view = None;
+                ctx.qbest = plan.clone();
+                // The original plan reads only durable base tables, so this
+                // cannot hit another fragment fault.
+                let (result, mut metrics) = self.backend.execute(plan, &self.catalog, &self.fs)?;
+                metrics.retries += debt_retries;
+                metrics.penalty_secs += debt_secs;
+                ctx.trace.recovery.retries += metrics.retries as u32;
+                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
+                ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                ctx.trace.execution.query_secs = ctx.query_secs;
+                Ok((result, metrics))
+            }
+        }
+    }
+}

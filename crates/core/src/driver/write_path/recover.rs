@@ -21,8 +21,8 @@ use crate::filter_tree::ViewId;
 use crate::registry::QuarantineReport;
 use crate::stats::LogicalTime;
 
-use super::context::{CreationCharge, QueryContext};
-use super::DeepSea;
+use super::super::context::{CreationCharge, QueryContext};
+use super::super::DeepSea;
 
 impl DeepSea {
     /// Read a fragment file, retrying transient failures under

@@ -13,8 +13,8 @@ use crate::policy::{PartitionPolicy, ValueModel};
 use crate::selection::{select_configuration, CandidateKind, RankedItem, SelectionResult};
 use crate::stats::LogicalTime;
 
-use super::context::QueryContext;
-use super::DeepSea;
+use super::super::context::QueryContext;
+use super::super::DeepSea;
 
 impl DeepSea {
     /// Run selection over this query's candidates plus everything the pool

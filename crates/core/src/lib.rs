@@ -34,7 +34,11 @@
 //!   the file system (orphan GC, missing/corrupt-file quarantine),
 //! - **Baselines** ([`policy`], [`baselines`]) — vanilla Hive (H),
 //!   non-partitioned materialization (NP), Nectar (N), Nectar+ (N+),
-//!   equi-depth partitioning (E-k), and DeepSea without repartitioning (NR).
+//!   equi-depth partitioning (E-k), and DeepSea without repartitioning (NR),
+//! - **Serving layer** ([`snapshot`], [`server`]) — immutable catalog
+//!   snapshots published per committed epoch, a deterministic multi-client
+//!   scheduler replaying seeded interleavings bit-identically, and real
+//!   `std::thread` workers behind `--features real-threads`.
 
 pub mod baselines;
 pub mod candidates;
@@ -50,6 +54,8 @@ pub mod mle;
 pub mod policy;
 pub mod registry;
 pub mod selection;
+pub mod server;
+pub mod snapshot;
 pub mod stats;
 
 pub use config::DeepSeaConfig;
@@ -58,3 +64,5 @@ pub use driver::{DeepSea, QueryOutcome, QueryTrace, RecoveryTrace};
 pub use durability::{CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};
+pub use server::{ClientRecord, ServeReport, ServerConfig, ViewServer};
+pub use snapshot::{ReadSnapshot, SnapshotAnswer};

@@ -1,0 +1,354 @@
+//! The serving layer: N logical clients answering queries from published
+//! [`ReadSnapshot`]s while a single writer serializes commits — driven by a
+//! **deterministic simulated scheduler** in the spirit of the chaos/crash
+//! suites.
+//!
+//! ## Execution model
+//!
+//! - **Tickets.** Queries carry a global ticket (their index in the
+//!   workload). Open-loop arrival times are drawn from a seeded LCG; each
+//!   ticket's *read* starts on whichever client frees first (ties break to
+//!   the lowest client id), at `max(arrival, client_free)`.
+//! - **Reads** run the full read path ([`ReadSnapshot::answer`]) against
+//!   the latest snapshot published at their start time. They never touch
+//!   the catalog.
+//! - **Commits** apply strictly in ticket order: commit *i* becomes
+//!   eligible once read *i* has finished and commit *i−1* is done, and
+//!   re-runs the full Algorithm-1 pipeline ([`DeepSea::process_query`])
+//!   against the writer's live state. The catalog mutation is atomic at
+//!   commit start (publish-at-apply): the next snapshot epoch is visible
+//!   immediately, while the materialization overhead (`creation_secs`)
+//!   occupies the writer until the commit completes.
+//! - **Tie-breaking.** When a read start and a commit start fall on the
+//!   same instant, the commit goes first — readers see the freshest epoch
+//!   an interleaving permits.
+//!
+//! Because commits are serialized in ticket order and re-run the canonical
+//! pipeline, the committed state trajectory — every materialization,
+//! eviction, Φ ranking and journal record — is **bit-identical to the
+//! single-client serial run**, for every seed and client count.
+//! Interleavings only move client latencies and snapshot epochs. Reads are
+//! *semantically* identical too (a rewritten plan returns the same rows as
+//! the base plan), so a read's result fingerprint always matches the
+//! committed one; what may diverge is its *cost* (a stale snapshot may lack
+//! a view the writer has since materialized), which the scheduler reports
+//! as `divergent_reads` instead of hiding.
+//!
+//! The whole schedule unfolds in simulated time from one seed — replaying
+//! with the same seed reproduces every arrival, interleaving, latency and
+//! epoch bit for bit. Real `std::thread` workers behind the
+//! `real-threads` feature ([`ViewServer::run_threaded`]) exercise the same
+//! commit protocol under genuine preemption.
+
+#[cfg(feature = "real-threads")]
+mod workers;
+
+#[cfg(feature = "real-threads")]
+pub use workers::ThreadedReport;
+
+use deepsea_engine::exec::ExecError;
+use deepsea_engine::plan::LogicalPlan;
+
+use crate::driver::DeepSea;
+use crate::snapshot::ReadSnapshot;
+
+/// Scheduler parameters: how many logical clients, and the seed and mean
+/// inter-arrival gap driving the open-loop arrival process.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of logical clients issuing queries (≥ 1).
+    pub clients: usize,
+    /// Seed for the arrival/interleaving LCG. Same seed ⇒ same schedule,
+    /// bit for bit.
+    pub seed: u64,
+    /// Mean inter-arrival gap in simulated seconds; actual gaps are
+    /// `mean_gap_secs * (0.5 + u)` with `u` uniform in `[0, 1)`.
+    pub mean_gap_secs: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            clients: 2,
+            seed: 1,
+            mean_gap_secs: 30.0,
+        }
+    }
+}
+
+/// Knuth's MMIX LCG: the deterministic heart of the scheduler. The high 31
+/// bits feed the uniform draws (low LCG bits are weak).
+#[derive(Debug, Clone, Copy)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as f64 * (1.0 / (1u64 << 31) as f64)
+    }
+}
+
+/// The full lifecycle of one ticket under the simulated scheduler.
+#[derive(Debug, Clone)]
+pub struct ClientRecord {
+    /// Global ticket (index into the workload).
+    pub ticket: usize,
+    /// The logical client that served the read.
+    pub client: usize,
+    /// Open-loop arrival time (simulated seconds).
+    pub arrival_secs: f64,
+    /// When the read actually started (`max(arrival, client free)`).
+    pub read_start_secs: f64,
+    /// When the read finished; `read_done − arrival` is the client-visible
+    /// latency.
+    pub read_done_secs: f64,
+    /// When this ticket's serialized commit completed.
+    pub commit_done_secs: f64,
+    /// Client-visible latency (`read_done − arrival`).
+    pub latency_secs: f64,
+    /// Snapshot epoch the read was answered against.
+    pub read_epoch: u64,
+    /// Commits the read was behind the serial order (`ticket − read_epoch`).
+    pub epoch_lag: u64,
+    /// The read's result fingerprint (always equals the committed one —
+    /// rewritings are semantically transparent).
+    pub read_fingerprint: Vec<String>,
+    /// The committed result fingerprint from the serialized pipeline.
+    pub committed_fingerprint: Vec<String>,
+    /// Simulated execution seconds of the read, against its (possibly
+    /// stale) snapshot.
+    pub read_query_secs: f64,
+    /// Simulated execution seconds of the committed (canonical) execution.
+    pub committed_query_secs: f64,
+    /// Materialization/eviction overhead charged at commit.
+    pub committed_creation_secs: f64,
+    /// View used by the read, if any.
+    pub read_used_view: Option<String>,
+    /// View used by the committed execution, if any.
+    pub committed_used_view: Option<String>,
+    /// True when the read priced differently than the committed execution
+    /// (stale snapshot: a view materialized/evicted after the read's epoch
+    /// changed the chosen rewriting).
+    pub divergent: bool,
+}
+
+/// The outcome of serving one workload: per-ticket records plus the
+/// committed-state summary the determinism tests fingerprint.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-ticket lifecycle records, in ticket order.
+    pub records: Vec<ClientRecord>,
+    /// Digest of the writer's registry after all commits drained.
+    pub state_digest: u64,
+    /// Number of reads whose cost diverged from the committed execution.
+    pub divergent_reads: u32,
+    /// Largest `ticket − read_epoch` over all reads.
+    pub max_epoch_lag: u64,
+    /// Simulated completion time of the whole schedule.
+    pub makespan_secs: f64,
+}
+
+impl ServeReport {
+    /// The committed result fingerprints, in ticket order — the series that
+    /// must be bit-identical to the serial golden capture.
+    pub fn committed_fingerprints(&self) -> Vec<Vec<String>> {
+        self.records
+            .iter()
+            .map(|r| r.committed_fingerprint.clone())
+            .collect()
+    }
+
+    /// The committed per-query execution seconds, in ticket order.
+    pub fn committed_query_secs(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.committed_query_secs)
+            .collect()
+    }
+
+    /// Client-visible latencies, in ticket order.
+    pub fn latencies_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency_secs).collect()
+    }
+}
+
+/// A DeepSea instance wrapped in the multi-client serving layer.
+pub struct ViewServer {
+    ds: DeepSea,
+    cfg: ServerConfig,
+}
+
+impl ViewServer {
+    /// Wrap a driver. The execution backend must support
+    /// [`deepsea_engine::ExecutionBackend::fork_reader`] so snapshot
+    /// readers can price I/O independently of the writer.
+    ///
+    /// # Panics
+    /// If the backend cannot fork read-only copies.
+    pub fn new(ds: DeepSea, cfg: ServerConfig) -> Self {
+        assert!(
+            ds.publish_snapshot().is_some(),
+            "ViewServer requires a backend that supports fork_reader()"
+        );
+        Self { ds, cfg }
+    }
+
+    /// The wrapped driver (e.g. to inspect the registry between workloads).
+    pub fn driver(&self) -> &DeepSea {
+        &self.ds
+    }
+
+    /// Unwrap the driver.
+    pub fn into_inner(self) -> DeepSea {
+        self.ds
+    }
+
+    /// Serve one workload under the deterministic simulated scheduler.
+    ///
+    /// Commits are serialized in ticket order, so the committed state and
+    /// outcome series are bit-identical to calling
+    /// [`DeepSea::process_query`] on the same plans one by one — for every
+    /// seed and client count. See the module docs for the event model.
+    pub fn run(&mut self, plans: &[LogicalPlan]) -> Result<ServeReport, ExecError> {
+        let n = plans.len();
+        let clients = self.cfg.clients.max(1);
+        let mut lcg = Lcg(self.cfg.seed);
+
+        // Open-loop arrivals: the whole arrival process is fixed up front by
+        // the seed, independent of service times (clients queue, arrivals
+        // don't wait).
+        let mut arrivals = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        for _ in 0..n {
+            t += self.cfg.mean_gap_secs * (0.5 + lcg.next_f64());
+            arrivals.push(t);
+        }
+
+        let mut snapshot: ReadSnapshot = self
+            .ds
+            .publish_snapshot()
+            .expect("invariant: forkability is checked in ViewServer::new");
+        let obs = self.ds.observer().clone();
+
+        let mut client_free = vec![0.0f64; clients];
+        let mut records: Vec<ClientRecord> = Vec::with_capacity(n);
+        let mut next_read = 0usize; // next ticket to start reading
+        let mut next_commit = 0usize; // next ticket to commit
+        let mut writer_free = 0.0f64;
+        let mut divergent_reads = 0u32;
+        let mut max_epoch_lag = 0u64;
+
+        while next_commit < n {
+            // Earliest possible read start: the next ticket, on whichever
+            // client frees first (ties to the lowest id — deterministic).
+            let read_ev = (next_read < n).then(|| {
+                let (k, free) = client_free
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by(|(ak, af), (bk, bf)| af.total_cmp(bf).then(ak.cmp(bk)))
+                    .expect("invariant: clients is clamped to >= 1");
+                (arrivals[next_read].max(free), k)
+            });
+            // Earliest possible commit: strictly in ticket order, once its
+            // read is done and the writer is free.
+            let commit_ev = (next_commit < next_read)
+                .then(|| records[next_commit].read_done_secs.max(writer_free));
+
+            let do_commit = match (commit_ev, read_ev) {
+                // Tie → commit first: readers see the freshest epoch.
+                (Some(ct), Some((rt, _))) => ct <= rt,
+                (Some(_), None) => true,
+                // While commits remain and none is eligible, a read must be
+                // pending (reads precede their own commit in ticket order).
+                (None, _) => false,
+            };
+
+            if do_commit {
+                let start =
+                    commit_ev.expect("invariant: do_commit implies an eligible commit event");
+                let ticket = next_commit;
+                let outcome = self.ds.process_query(&plans[ticket])?;
+                // Publish-at-apply: the new epoch is visible from commit
+                // start; creation overhead occupies the writer afterwards.
+                snapshot = self
+                    .ds
+                    .publish_snapshot()
+                    .expect("invariant: a backend that forked once forks again");
+                writer_free = start + outcome.creation_secs;
+
+                let rec = &mut records[ticket];
+                rec.commit_done_secs = writer_free;
+                rec.committed_fingerprint = outcome.result.fingerprint();
+                rec.committed_query_secs = outcome.query_secs;
+                rec.committed_creation_secs = outcome.creation_secs;
+                rec.committed_used_view = outcome.used_view.clone();
+                rec.divergent = rec.read_query_secs.to_bits() != outcome.query_secs.to_bits()
+                    || rec.read_used_view != outcome.used_view;
+                if rec.divergent {
+                    divergent_reads += 1;
+                    obs.counter_inc("deepsea_server_divergent_reads_total", None);
+                }
+                obs.counter_inc("deepsea_server_commits_total", None);
+                next_commit += 1;
+            } else {
+                let (start, k) =
+                    read_ev.expect("invariant: commits pending implies a read event exists");
+                let ticket = next_read;
+                let ans = snapshot.answer(&plans[ticket])?;
+                let done = start + ans.query_secs;
+                client_free[k] = done;
+                // Commits can't outrun reads (commit i needs read i done),
+                // so epoch ≤ ticket; the lag is how many commits this read
+                // missed relative to the serial order.
+                let lag = (ticket as u64).saturating_sub(ans.epoch);
+                max_epoch_lag = max_epoch_lag.max(lag);
+                let latency = done - arrivals[ticket];
+
+                obs.observe("deepsea_client_latency_secs", None, latency);
+                let label = format!("client{k}");
+                obs.observe("deepsea_client_latency_secs", Some(&label), latency);
+                obs.observe("deepsea_snapshot_epoch_lag", None, lag as f64);
+                obs.span(ticket as u64 + 1, "client_read", Some(&label), start, done);
+
+                records.push(ClientRecord {
+                    ticket,
+                    client: k,
+                    arrival_secs: arrivals[ticket],
+                    read_start_secs: start,
+                    read_done_secs: done,
+                    commit_done_secs: 0.0,
+                    latency_secs: latency,
+                    read_epoch: ans.epoch,
+                    epoch_lag: lag,
+                    read_fingerprint: ans.result.fingerprint(),
+                    committed_fingerprint: Vec::new(),
+                    read_query_secs: ans.query_secs,
+                    committed_query_secs: 0.0,
+                    committed_creation_secs: 0.0,
+                    read_used_view: ans.used_view,
+                    committed_used_view: None,
+                    divergent: false,
+                });
+                next_read += 1;
+            }
+        }
+
+        let makespan_secs = records
+            .iter()
+            .map(|r| r.read_done_secs)
+            .fold(writer_free, f64::max);
+        obs.gauge_set("deepsea_server_makespan_secs", None, makespan_secs);
+
+        Ok(ServeReport {
+            state_digest: self.ds.registry().state_digest(),
+            records,
+            divergent_reads,
+            max_epoch_lag,
+            makespan_secs,
+        })
+    }
+}

@@ -1,0 +1,162 @@
+//! Immutable catalog snapshots for concurrent readers.
+//!
+//! A [`ReadSnapshot`] is what the single writer *publishes* after each
+//! committed query: a frozen copy of the view registry (and, transitively,
+//! its filter tree and statistics) plus `Arc` handles on the shared
+//! substrates, stamped with the epoch it was taken at. Readers answer
+//! queries against a snapshot through the same read-path code the serial
+//! driver uses ([`crate::driver`]'s `ReadView`), so a query answered from a
+//! snapshot is bit-identical to the same query answered by the writer at
+//! that epoch.
+//!
+//! The registry is the only deep copy; everything else is a reference-count
+//! bump. Copy-on-write at publication granularity: each epoch's registry is
+//! immutable once published, so any number of readers share one copy and
+//! the writer never waits for them.
+
+use std::sync::Arc;
+
+use deepsea_engine::catalog::Catalog;
+use deepsea_engine::exec::{ExecError, ExecMetrics};
+use deepsea_engine::plan::LogicalPlan;
+use deepsea_engine::ExecutionBackend;
+use deepsea_obs::Observer;
+use deepsea_relation::Table;
+use deepsea_storage::SimFs;
+
+use crate::config::DeepSeaConfig;
+use crate::driver::read_path::ReadView;
+use crate::driver::{DeepSea, QueryTrace};
+use crate::registry::ViewRegistry;
+use crate::stats::LogicalTime;
+
+/// A frozen, shareable view of everything the read path consults, stamped
+/// with the epoch (committed-query count) it was published at.
+pub struct ReadSnapshot {
+    /// The epoch this snapshot captures — equal to the writer's logical
+    /// clock (number of committed queries) at publication time.
+    epoch: u64,
+    clock: LogicalTime,
+    registry: Arc<ViewRegistry>,
+    catalog: Arc<Catalog>,
+    fs: Arc<SimFs<Table>>,
+    backend: Box<dyn ExecutionBackend>,
+    config: DeepSeaConfig,
+    obs: Observer,
+}
+
+/// The result of answering one query from a snapshot: no catalog mutation,
+/// so there is nothing to report but the answer and its read-path trace.
+#[derive(Debug, Clone)]
+pub struct SnapshotAnswer {
+    /// The query's result table.
+    pub result: Table,
+    /// Execution time of the (possibly rewritten) query, simulated seconds.
+    pub query_secs: f64,
+    /// Name of the view used to answer the query, if any.
+    pub used_view: Option<String>,
+    /// Execution metrics of the chosen plan.
+    pub metrics: ExecMetrics,
+    /// Read-path slices of the per-query trace (matching, rewriting,
+    /// execution, recovery); the write-path slices stay zero.
+    pub trace: QueryTrace,
+    /// The epoch the answer was computed against.
+    pub epoch: u64,
+}
+
+impl DeepSea {
+    /// Publish a snapshot of the current catalog state for concurrent
+    /// readers. Fails (returns `None`) only if the execution backend cannot
+    /// be forked for read-only use (see
+    /// [`ExecutionBackend::fork_reader`]).
+    pub fn publish_snapshot(&self) -> Option<ReadSnapshot> {
+        Some(ReadSnapshot {
+            epoch: self.clock(),
+            clock: self.clock(),
+            registry: Arc::new(self.registry().clone()),
+            catalog: Arc::clone(&self.catalog),
+            fs: Arc::clone(&self.fs),
+            backend: self.backend.fork_reader()?,
+            config: self.config,
+            obs: self.obs.clone(),
+        })
+    }
+}
+
+impl ReadSnapshot {
+    /// The epoch (committed-query count) this snapshot captures.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The writer's logical clock at publication.
+    pub fn clock(&self) -> LogicalTime {
+        self.clock
+    }
+
+    /// The frozen registry (views, partitions, fragments, statistics).
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// The configuration the snapshot was published under.
+    pub fn config(&self) -> &DeepSeaConfig {
+        &self.config
+    }
+
+    /// Borrow the frozen state as a read view — the concurrent path.
+    pub(crate) fn read_view(&self) -> ReadView<'_> {
+        ReadView {
+            registry: &self.registry,
+            catalog: &self.catalog,
+            fs: &self.fs,
+            backend: self.backend.as_ref(),
+            obs: &self.obs,
+        }
+    }
+
+    /// Answer one query against this frozen epoch: matching, rewriting
+    /// selection, execution — the full read path, with zero catalog
+    /// mutation. Many readers may call this concurrently on clones of the
+    /// same snapshot.
+    pub fn answer(&self, plan: &LogicalPlan) -> Result<SnapshotAnswer, ExecError> {
+        let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock);
+        let (result, metrics) = self.read_view().answer(plan, &mut ctx)?;
+        Ok(SnapshotAnswer {
+            result,
+            query_secs: ctx.query_secs,
+            used_view: ctx.used_view,
+            metrics,
+            trace: ctx.trace,
+            epoch: self.epoch,
+        })
+    }
+}
+
+impl Clone for ReadSnapshot {
+    fn clone(&self) -> Self {
+        Self {
+            epoch: self.epoch,
+            clock: self.clock,
+            registry: Arc::clone(&self.registry),
+            catalog: Arc::clone(&self.catalog),
+            fs: Arc::clone(&self.fs),
+            backend: self
+                .backend
+                .fork_reader()
+                .expect("invariant: a backend that forked once forks again"),
+            config: self.config,
+            obs: self.obs.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadSnapshot")
+            .field("epoch", &self.epoch)
+            .field("clock", &self.clock)
+            .field("views", &self.registry.len())
+            .finish()
+    }
+}

@@ -56,6 +56,15 @@ pub trait ExecutionBackend: Send + Sync {
     fn drain_retry_debt(&self) -> (u64, f64) {
         (0, 0.0)
     }
+
+    /// A read-only clone of this backend for a concurrent snapshot reader,
+    /// pricing I/O identically (same cluster model, bit for bit). `None`
+    /// (the default) means the backend cannot be shared across readers —
+    /// e.g. it carries retry debt or other mutable bookkeeping that must
+    /// stay attributed to the single writer.
+    fn fork_reader(&self) -> Option<Box<dyn ExecutionBackend>> {
+        None
+    }
 }
 
 /// Retry budget and exponential-backoff schedule for transient I/O failures.
@@ -228,6 +237,12 @@ impl ExecutionBackend for SimBackend {
 
     fn cluster(&self) -> &ClusterSim {
         &self.cluster
+    }
+
+    fn fork_reader(&self) -> Option<Box<dyn ExecutionBackend>> {
+        // Stateless (the cluster model is `Copy`): a fork prices and
+        // executes identically to the original.
+        Some(Box::new(*self))
     }
 }
 

@@ -313,6 +313,38 @@ fn l1_exempts_storage_and_harness_crates() {
 }
 
 #[test]
+fn l1_sanctioned_concurrency_allows_thread_only() {
+    const WORKERS: &str = "crates/core/src/server/workers.rs";
+    // The sanctioned serving-layer file may name std::thread, in both
+    // path and use-group form.
+    assert_clean(WORKERS, "fn f() { std::thread::scope(|_s| {}); }\n");
+    assert_clean(WORKERS, "use std::{thread, sync::mpsc};\n");
+    // fs/net stay forbidden even there.
+    let got = at(
+        WORKERS,
+        "use std::fs;\nfn f() { std::thread::yield_now(); }\n",
+    );
+    assert_eq!(got, vec![(RuleId::Layering, 1)]);
+    let got = at(WORKERS, "use std::{thread, net};\n");
+    assert_eq!(got, vec![(RuleId::Layering, 1)]);
+}
+
+#[test]
+fn l1_thread_stays_forbidden_outside_sanctioned_surface() {
+    // A neighboring server file does not inherit the allowance…
+    let got = at(
+        "crates/core/src/server/mod.rs",
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    assert_eq!(got, vec![(RuleId::Layering, 1)]);
+    // …and neither does any other core/engine file.
+    let got = at(CORE, "use std::thread;\n");
+    assert_eq!(got, vec![(RuleId::Layering, 1)]);
+    let got = at("crates/engine/src/backend.rs", "use std::{thread};\n");
+    assert_eq!(got, vec![(RuleId::Layering, 1)]);
+}
+
+#[test]
 fn l1_allow_marker() {
     assert_clean(
         CORE,

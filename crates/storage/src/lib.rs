@@ -37,6 +37,7 @@ pub mod fs;
 pub mod journal;
 pub mod ledger;
 pub mod pool;
+pub mod sync;
 pub mod weights;
 
 pub use block::BlockConfig;
@@ -46,4 +47,5 @@ pub use fs::SimFs;
 pub use journal::{Journal, JournalStats, Lsn, ReplayedLog, SimulatedCrash};
 pub use ledger::CostLedger;
 pub use pool::{PoolAccountant, PoolError};
+pub use sync::EpochCell;
 pub use weights::CostWeights;
