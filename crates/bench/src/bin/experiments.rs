@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--metrics-out PATH] [--events-out PATH]
-//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations|pressure]...
+//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations|pressure|node-failure]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` scales workloads
@@ -14,7 +14,10 @@
 //! the observer's metrics in Prometheus text format, and `--events-out` the
 //! decision-event audit log as JSONL. Whenever `pressure` runs, the
 //! eviction-pressure serving scenario's summary (client latency
-//! percentiles under concurrency) is written to `BENCH_pressure.json`.
+//! percentiles under concurrency) is written to `BENCH_pressure.json`, and
+//! whenever `node-failure` runs, the rolling-outage serving scenario's
+//! summary (latency percentiles and degraded-read rate at replication 1
+//! and 2) is written to `BENCH_node_failure.json`.
 
 use std::io::Write;
 
@@ -56,6 +59,13 @@ fn main() {
         *pressure_run = Some(run);
         report
     };
+    let mut node_failure_run: Option<PressureRun> = None;
+    let run_node_failure = |node_failure_run: &mut Option<PressureRun>| -> ExperimentReport {
+        let run = pressure::node_failure(scale);
+        let report = run.report.clone();
+        *node_failure_run = Some(run);
+        report
+    };
 
     let everything = wanted.is_empty() || wanted.iter().any(|w| *w == "all");
     let reports: Vec<ExperimentReport> = if everything {
@@ -73,6 +83,7 @@ fn main() {
             experiments::fig10(scale),
             experiments::ablations(scale),
             run_pressure(&mut pressure_run),
+            run_node_failure(&mut node_failure_run),
         ]
     } else {
         wanted
@@ -91,6 +102,7 @@ fn main() {
                 "fig10" => experiments::fig10(scale),
                 "ablations" => experiments::ablations(scale),
                 "pressure" => run_pressure(&mut pressure_run),
+                "node-failure" => run_node_failure(&mut node_failure_run),
                 other => {
                     eprintln!("unknown experiment {other:?}");
                     std::process::exit(2);
@@ -127,5 +139,11 @@ fn main() {
         std::fs::write("BENCH_pressure.json", format!("{}\n", run.bench_json))
             .expect("write BENCH_pressure.json");
         eprintln!("wrote BENCH_pressure.json");
+    }
+
+    if let Some(run) = &node_failure_run {
+        std::fs::write("BENCH_node_failure.json", format!("{}\n", run.bench_json))
+            .expect("write BENCH_node_failure.json");
+        eprintln!("wrote BENCH_node_failure.json");
     }
 }

@@ -90,6 +90,9 @@ pub struct StageTotals {
     pub quarantined_bytes: u64,
     /// Rewritten plans re-answered from base tables after a view failed.
     pub base_table_fallbacks: u64,
+    /// Fragment reads blocked by a node outage and patched at fragment
+    /// granularity from base tables.
+    pub fragment_fallbacks: u64,
     /// Fragment reads that failed checksum verification (detected, never
     /// served).
     pub corrupt_fragments: u64,
@@ -139,6 +142,7 @@ impl StageTotals {
             quarantined_views,
             quarantined_bytes,
             base_table_fallbacks,
+            fragment_fallbacks,
             corrupt_fragments,
             journal_appends,
             journal_retries,
@@ -179,6 +183,7 @@ impl StageTotals {
             ("recovery.quarantined_views", quarantined_views as f64),
             ("recovery.quarantined_bytes", quarantined_bytes as f64),
             ("recovery.base_table_fallbacks", base_table_fallbacks as f64),
+            ("recovery.fragment_fallbacks", fragment_fallbacks as f64),
             ("recovery.corrupt_fragments", corrupt_fragments as f64),
             ("durability.journal_appends", journal_appends as f64),
             ("durability.journal_retries", journal_retries as f64),
@@ -265,6 +270,7 @@ impl RunResult {
             t.quarantined_views += tr.recovery.quarantined_views as u64;
             t.quarantined_bytes += tr.recovery.quarantined_bytes;
             t.base_table_fallbacks += tr.recovery.base_table_fallbacks as u64;
+            t.fragment_fallbacks += tr.recovery.fragment_fallbacks as u64;
             t.corrupt_fragments += tr.recovery.corrupt_fragments as u64;
             t.journal_appends += tr.durability.journal_appends as u64;
             t.journal_retries += tr.durability.journal_retries as u64;

@@ -14,9 +14,9 @@
 
 use std::sync::Arc;
 
-use deepsea_core::{baselines, DeepSea, ObsConfig, Observer, ServerConfig, ViewServer};
+use deepsea_core::{baselines, DeepSea, NodeAction, ObsConfig, Observer, ServerConfig, ViewServer};
 use deepsea_engine::ClusterSim;
-use deepsea_storage::{BlockConfig, SimFs};
+use deepsea_storage::{BlockConfig, FaultInjector, NodeConfig, NodeSet, SimFs};
 use serde::ObjectBuilder;
 
 use crate::experiments::{sdss_catalog, ExperimentReport, Scale, SEED};
@@ -67,6 +67,7 @@ pub fn pressure(scale: Scale) -> PressureRun {
             clients: PRESSURE_CLIENTS,
             seed: PRESSURE_SEED,
             mean_gap_secs: PRESSURE_GAP_SECS,
+            node_schedule: Vec::new(),
         },
     );
     let served = server
@@ -166,6 +167,171 @@ pub fn pressure(scale: Scale) -> PressureRun {
     }
 }
 
+/// Datanodes in the node-failure scenario's simulated cluster.
+const NODE_FAILURE_NODES: u32 = 4;
+
+/// Commits each node spends down in the rolling outage (one node is down at
+/// any time; the outage hops to the next node every window).
+const NODE_OUTAGE_WINDOW: usize = 5;
+
+/// The rolling one-node outage: node `w % NODES` goes down at commit
+/// `w * WINDOW` and comes back at commit `(w + 1) * WINDOW`, where the next
+/// node's outage begins. Up events precede Down events at each boundary so
+/// exactly one node is down at any instant.
+fn rolling_outage(n: usize) -> Vec<(usize, u32, NodeAction)> {
+    let mut schedule = Vec::new();
+    for w in 0..n.div_ceil(NODE_OUTAGE_WINDOW) {
+        let node = (w % NODE_FAILURE_NODES as usize) as u32;
+        if w > 0 {
+            let prev = ((w - 1) % NODE_FAILURE_NODES as usize) as u32;
+            schedule.push((w * NODE_OUTAGE_WINDOW, prev, NodeAction::Up));
+        }
+        schedule.push((w * NODE_OUTAGE_WINDOW, node, NodeAction::Down));
+    }
+    schedule
+}
+
+/// One sub-run of the node-failure scenario at a fixed replication factor.
+struct NodeFailureOutcome {
+    replication: u32,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    degraded_reads: u64,
+    degraded_rate: f64,
+    commits: u64,
+    makespan_secs: f64,
+    state_digest: u64,
+    observer: Observer,
+}
+
+fn node_failure_at(replication: u32, scale: Scale) -> NodeFailureOutcome {
+    let catalog = sdss_catalog(scale.instance());
+    let plans = deepsea_workload::sequences::fig5_workload(scale.fig5_queries(), SEED);
+    let smax = catalog.total_base_bytes() / TIGHT_SMAX_DIVISOR;
+    let config = baselines::deepsea().with_phi(0.05).with_smax(smax);
+
+    let obs = Observer::new(ObsConfig::on());
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::with_cluster(
+        BlockConfig::default(),
+        cluster.weights,
+        FaultInjector::disabled(),
+        NodeSet::new(NodeConfig::new(NODE_FAILURE_NODES, replication)),
+    ));
+    let ds =
+        DeepSea::with_parts(Arc::clone(&catalog), fs, cluster, config).with_observer(obs.clone());
+    let mut server = ViewServer::new(
+        ds,
+        ServerConfig {
+            clients: PRESSURE_CLIENTS,
+            seed: PRESSURE_SEED,
+            mean_gap_secs: PRESSURE_GAP_SECS,
+            node_schedule: rolling_outage(plans.len()),
+        },
+    );
+    let served = server
+        .run(&plans)
+        .unwrap_or_else(|e| panic!("node-failure scenario failed: {e}"));
+
+    let snap = obs.metrics_snapshot();
+    let (p50, p95, p99) = snap
+        .histogram("deepsea_client_latency_secs", None)
+        .and_then(|h| h.percentiles())
+        .unwrap_or((0.0, 0.0, 0.0));
+    NodeFailureOutcome {
+        replication,
+        p50,
+        p95,
+        p99,
+        degraded_reads: served.degraded_reads,
+        degraded_rate: served.degraded_reads as f64 / plans.len() as f64,
+        commits: snap.counter("deepsea_server_commits_total", None),
+        makespan_secs: served.makespan_secs,
+        state_digest: served.state_digest,
+        observer: obs,
+    }
+}
+
+/// Run the node-failure serving scenario: the pressure workload on a
+/// 4-node sharded FS under a rolling one-node outage, once at replication 1
+/// (fragment-level base-table patching shows up as degraded reads) and once
+/// at replication 2 (failover to the surviving replica is free — the
+/// degraded-read rate must be zero). `BENCH_node_failure.json` carries
+/// latency percentiles and the degraded-read rate for both.
+pub fn node_failure(scale: Scale) -> PressureRun {
+    let r1 = node_failure_at(1, scale);
+    let r2 = node_failure_at(2, scale);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut repl_json = ObjectBuilder::new();
+    for o in [&r1, &r2] {
+        rows.push(vec![
+            format!("r={}", o.replication),
+            secs(o.p50),
+            secs(o.p95),
+            secs(o.p99),
+            format!("{:.1}%", o.degraded_rate * 100.0),
+        ]);
+        repl_json = repl_json.field(
+            &format!("r{}", o.replication),
+            ObjectBuilder::new()
+                .field("replication", o.replication as u64)
+                .field("p50_secs", o.p50)
+                .field("p95_secs", o.p95)
+                .field("p99_secs", o.p99)
+                .field("degraded_reads", o.degraded_reads)
+                .field("degraded_rate", o.degraded_rate)
+                .field("commits", o.commits)
+                .field("makespan_secs", o.makespan_secs)
+                .field("state_digest", o.state_digest)
+                .build(),
+        );
+    }
+
+    let mut body = table(&["replication", "p50", "p95", "p99", "degraded"], &rows);
+    body.push_str(&format!(
+        "\n{NODE_FAILURE_NODES}-node cluster, rolling one-node outage every \
+         {NODE_OUTAGE_WINDOW} commits; Smax = base/{TIGHT_SMAX_DIVISOR}, \
+         {PRESSURE_CLIENTS} clients, mean gap {PRESSURE_GAP_SECS}s, seed {PRESSURE_SEED}\n\
+         degraded reads r=1: {}   r=2: {}\n",
+        r1.degraded_reads, r2.degraded_reads,
+    ));
+
+    let bench_json = ObjectBuilder::new()
+        .field("experiment", "node_failure")
+        .field(
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Paper => "paper",
+            },
+        )
+        .field("queries", r1.commits)
+        .field("nodes", NODE_FAILURE_NODES as u64)
+        .field("outage_window", NODE_OUTAGE_WINDOW as u64)
+        .field("clients", PRESSURE_CLIENTS as u64)
+        .field("seed", PRESSURE_SEED)
+        .field("mean_gap_secs", PRESSURE_GAP_SECS)
+        .field("by_replication", repl_json.build())
+        .build()
+        .to_json();
+
+    let report = ExperimentReport::new(
+        "node-failure",
+        &format!(
+            "Serving under a rolling one-node outage ({NODE_FAILURE_NODES} nodes, \
+             replication 1 vs 2, window {NODE_OUTAGE_WINDOW} commits)"
+        ),
+        body,
+    );
+    PressureRun {
+        report,
+        bench_json,
+        observer: r1.observer,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +359,51 @@ mod tests {
     fn pressure_is_deterministic() {
         let a = pressure(Scale::Quick);
         let b = pressure(Scale::Quick);
+        assert_eq!(a.bench_json, b.bench_json);
+    }
+
+    #[test]
+    fn rolling_outage_keeps_one_node_down() {
+        let schedule = rolling_outage(60);
+        // Replay the schedule: exactly one node down after each boundary.
+        let mut down: Vec<u32> = Vec::new();
+        let mut boundary = 0usize;
+        for &(when, node, action) in &schedule {
+            assert!(when >= boundary, "schedule must be in ticket order");
+            boundary = when;
+            match action {
+                NodeAction::Down => down.push(node),
+                NodeAction::Up => down.retain(|&n| n != node),
+                NodeAction::Kill => unreachable!("rolling outage never kills"),
+            }
+            if matches!(action, NodeAction::Down) {
+                assert_eq!(down.len(), 1, "exactly one node down at a time");
+            }
+        }
+    }
+
+    #[test]
+    fn node_failure_quick_degrades_only_unreplicated() {
+        let run = node_failure(Scale::Quick);
+        assert!(run.bench_json.contains("\"experiment\":\"node_failure\""));
+        let r1 = node_failure_at(1, Scale::Quick);
+        let r2 = node_failure_at(2, Scale::Quick);
+        assert_eq!(r1.commits, 60);
+        assert_eq!(r2.commits, 60);
+        assert!(
+            r1.degraded_reads > 0,
+            "replication 1 under a rolling outage must hit degraded reads"
+        );
+        assert_eq!(
+            r2.degraded_reads, 0,
+            "replication 2 fails over to the surviving replica — no degradation"
+        );
+    }
+
+    #[test]
+    fn node_failure_is_deterministic() {
+        let a = node_failure(Scale::Quick);
+        let b = node_failure(Scale::Quick);
         assert_eq!(a.bench_json, b.bench_json);
     }
 }

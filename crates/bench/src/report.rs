@@ -141,11 +141,13 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
         vec![
             "recovery".into(),
             format!(
-                "{} retries, {} quarantined ({}), {} base-table fallbacks, {} corrupt",
+                "{} retries, {} quarantined ({}), {} base-table fallbacks, \
+                 {} fragment fallbacks, {} corrupt",
                 t.retries,
                 t.quarantined_views,
                 bytes(t.quarantined_bytes),
                 t.base_table_fallbacks,
+                t.fragment_fallbacks,
                 t.corrupt_fragments
             ),
             secs(t.retry_penalty_secs),
@@ -262,6 +264,7 @@ mod tests {
             quarantined_views: 1,
             quarantined_bytes: 3_000_000,
             base_table_fallbacks: 1,
+            fragment_fallbacks: 0,
             corrupt_fragments: 2,
             journal_appends: 120,
             journal_retries: 3,
@@ -289,7 +292,10 @@ mod tests {
         assert!(s.contains("5 rewritings costed (base 900.0s, best 450.0s)"));
         assert!(s.contains("2 view (1 new), 7 partition selections (4 new fragments)"));
         assert!(s.contains("40 considered, 4 creations, 2 evictions planned"));
-        assert!(s.contains("9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks, 2 corrupt"));
+        assert!(s.contains(
+            "9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks, \
+             0 fragment fallbacks, 2 corrupt"
+        ));
         assert!(s.contains("120 journal records, 2 snapshots, 3 retries"));
     }
 
@@ -327,6 +333,7 @@ mod tests {
             quarantined_views: 149,
             quarantined_bytes: 151,
             base_table_fallbacks: 153,
+            fragment_fallbacks: 154,
             corrupt_fragments: 155,
             journal_appends: 157,
             journal_retries: 159,

@@ -107,6 +107,10 @@ pub struct RecoveryTrace {
     pub quarantined_bytes: u64,
     /// Rewritten plans that failed and were re-answered from base tables.
     pub base_table_fallbacks: u32,
+    /// Fragment reads blocked by a node outage and patched at fragment
+    /// granularity (re-planned around the offline fragment rather than
+    /// abandoning the whole view).
+    pub fragment_fallbacks: u32,
     /// Fragment reads that failed checksum verification (corruption detected
     /// on read, never served). Each routes through the quarantine path.
     pub corrupt_fragments: u32,
@@ -211,6 +215,7 @@ impl QueryTrace {
                     quarantined_views,
                     quarantined_bytes,
                     base_table_fallbacks,
+                    fragment_fallbacks,
                     corrupt_fragments,
                 },
             durability:
@@ -255,6 +260,7 @@ impl QueryTrace {
             ("recovery.quarantined_views", quarantined_views as f64),
             ("recovery.quarantined_bytes", quarantined_bytes as f64),
             ("recovery.base_table_fallbacks", base_table_fallbacks as f64),
+            ("recovery.fragment_fallbacks", fragment_fallbacks as f64),
             ("recovery.corrupt_fragments", corrupt_fragments as f64),
             ("durability.journal_appends", journal_appends as f64),
             ("durability.journal_retries", journal_retries as f64),
@@ -343,6 +349,7 @@ impl Serialize for RecoveryTrace {
             .field("quarantined_views", self.quarantined_views)
             .field("quarantined_bytes", self.quarantined_bytes)
             .field("base_table_fallbacks", self.base_table_fallbacks)
+            .field("fragment_fallbacks", self.fragment_fallbacks)
             .field("corrupt_fragments", self.corrupt_fragments)
             .build()
     }
@@ -497,7 +504,7 @@ mod tests {
             set_field_by_index(&mut trace, i, (i + 1) as f64);
         }
         let flat = trace.fields();
-        assert_eq!(flat.len(), 32);
+        assert_eq!(flat.len(), 33);
         // Names are unique and values survived the round trip.
         let mut names: Vec<&str> = flat.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
@@ -548,11 +555,12 @@ mod tests {
             24 => t.recovery.quarantined_views = v as u32,
             25 => t.recovery.quarantined_bytes = v as u64,
             26 => t.recovery.base_table_fallbacks = v as u32,
-            27 => t.recovery.corrupt_fragments = v as u32,
-            28 => t.durability.journal_appends = v as u32,
-            29 => t.durability.journal_retries = v as u32,
-            30 => t.durability.journal_penalty_secs = v,
-            31 => t.durability.snapshots = v as u32,
+            27 => t.recovery.fragment_fallbacks = v as u32,
+            28 => t.recovery.corrupt_fragments = v as u32,
+            29 => t.durability.journal_appends = v as u32,
+            30 => t.durability.journal_retries = v as u32,
+            31 => t.durability.journal_penalty_secs = v,
+            32 => t.durability.snapshots = v as u32,
             _ => panic!("fields() grew without extending set_field_by_index"),
         }
     }

@@ -20,6 +20,7 @@ pub(crate) mod context;
 pub(crate) mod read_path;
 pub(crate) mod write_path;
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use deepsea_engine::catalog::Catalog;
@@ -28,10 +29,12 @@ use deepsea_engine::exec::ExecMetrics;
 use deepsea_engine::{ClusterSim, ExecutionBackend, SimBackend};
 use deepsea_obs::{DecisionEvent, Observer};
 use deepsea_relation::Table;
-use deepsea_storage::{BlockConfig, PoolAccountant, SimFs};
+use deepsea_storage::{BlockConfig, FaultStats, FileId, NodeId, PoolAccountant, SimFs};
 
 use crate::config::DeepSeaConfig;
-use crate::durability::{replay_catalog, CatalogJournal, CatalogSnapshot, FsckReport};
+use crate::durability::{
+    replay_catalog, CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport,
+};
 use crate::registry::ViewRegistry;
 use crate::stats::LogicalTime;
 
@@ -107,6 +110,14 @@ pub struct DeepSea {
     /// Journal records appended since the last installed snapshot; reported
     /// in the `journal_snapshot` audit event.
     pub(crate) appends_since_snapshot: u64,
+    /// Fragment files currently unreachable because every replica sits on a
+    /// down node. Bookkeeping only — routing consults the cluster map
+    /// directly — so quarantined-by-outage fragments can be re-admitted (and
+    /// audited) the moment their node returns.
+    pub(crate) offline: BTreeSet<FileId>,
+    /// Fault counters at the last `observe_query`, so per-kind deltas can be
+    /// surfaced as `deepsea_faults_total{kind=...}` without double counting.
+    pub(crate) last_fault_stats: FaultStats,
 }
 
 impl DeepSea {
@@ -148,6 +159,8 @@ impl DeepSea {
             obs: Observer::off(),
             sim_elapsed: 0.0,
             appends_since_snapshot: 0,
+            offline: BTreeSet::new(),
+            last_fault_stats: FaultStats::default(),
         }
     }
 
@@ -194,6 +207,21 @@ impl DeepSea {
         let mut ds = Self::with_backend(catalog, fs, backend, config).with_journal(journal);
         ds.registry = registry;
         ds.clock = clock;
+
+        // Restore the cluster placement map from the replayed record suffix
+        // (files covered by the snapshot keep their placement in the
+        // surviving namenode, i.e. the SimFs cluster map). Idempotent:
+        // re-placing the same list is a no-op.
+        if ds.fs.cluster().is_some() {
+            for (_, record) in &records {
+                if let CatalogRecord::ViewMaterialized { file, nodes, .. }
+                | CatalogRecord::FragmentMaterialized { file, nodes, .. } = record
+                {
+                    let nodes: Vec<NodeId> = nodes.iter().map(|n| NodeId(*n)).collect();
+                    ds.fs.place(*file, &nodes);
+                }
+            }
+        }
 
         let mut report = ds.fsck();
         report.replayed_records = replayed_records;
@@ -299,6 +327,12 @@ impl DeepSea {
         self.backend.cluster()
     }
 
+    /// Fragment files currently unreachable due to a node outage (temporarily
+    /// quarantined at fragment granularity, auto re-admitted on node return).
+    pub fn offline_fragments(&self) -> Vec<FileId> {
+        self.offline.iter().copied().collect()
+    }
+
     /// A cost estimator over the backend's cluster model.
     pub(crate) fn estimator(&self) -> CostEstimator<'_> {
         CostEstimator::new(&self.catalog, &self.fs, self.backend.cluster())
@@ -361,6 +395,41 @@ impl DeepSea {
         );
         self.obs
             .gauge_set("deepsea_pool_bytes", None, self.pool_bytes() as f64);
+        self.observe_fault_deltas();
+    }
+
+    /// Surface the file system's fault counters as per-kind
+    /// `deepsea_faults_total{kind=...}` deltas since the last query. Reads
+    /// only — the counters are cumulative on the FS side.
+    fn observe_fault_deltas(&mut self) {
+        let now = self.fs.fault_stats();
+        let last = self.last_fault_stats;
+        self.last_fault_stats = now;
+        let kinds: [(&str, u64, u64); 8] = [
+            ("transient_read", now.transient_reads, last.transient_reads),
+            (
+                "permanent_loss",
+                now.permanent_losses,
+                last.permanent_losses,
+            ),
+            (
+                "transient_write",
+                now.transient_writes,
+                last.transient_writes,
+            ),
+            ("latency_spike", now.latency_spikes, last.latency_spikes),
+            ("corruption", now.corruptions, last.corruptions),
+            ("node_down", now.node_downs, last.node_downs),
+            ("node_up", now.node_ups, last.node_ups),
+            ("node_kill", now.node_kills, last.node_kills),
+        ];
+        for (kind, now, last) in kinds {
+            let delta = now.saturating_sub(last);
+            if delta > 0 {
+                self.obs
+                    .counter_add("deepsea_faults_total", Some(kind), delta);
+            }
+        }
     }
 }
 

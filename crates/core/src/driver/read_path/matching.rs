@@ -43,6 +43,7 @@ impl ReadView<'_> {
         let estimator = self.estimator();
         let mut hits = Vec::new();
         let mut roots = 0u32;
+        let mut outage_skips = 0u32;
         for (path, sub) in match_roots(plan) {
             roots += 1;
             let Some(qsig) = Signature::of(sub) else {
@@ -53,7 +54,7 @@ impl ReadView<'_> {
                 let Some(comp) = matches(&view.sig, &qsig) else {
                     continue;
                 };
-                let access = self.find_access(vid, &qsig);
+                let access = self.find_access(vid, &qsig, &mut outage_skips);
                 hits.push(MatchHit {
                     path: path.clone(),
                     view: vid,
@@ -67,6 +68,15 @@ impl ReadView<'_> {
         ctx.trace.matching.hits = hits.len() as u32;
         ctx.trace.matching.materialized_hits =
             hits.iter().filter(|h| h.access.is_some()).count() as u32;
+        // Degraded-mode routing: every access the matcher refused because
+        // all replicas of its backing file were down is a fragment-level
+        // patch — the planner answers that region from base tables instead
+        // of failing the whole rewriting. Always zero without a cluster.
+        ctx.trace.recovery.fragment_fallbacks += outage_skips;
+        if outage_skips > 0 {
+            self.obs
+                .counter_add("deepsea_degraded_accesses_total", None, outage_skips as u64);
+        }
         self.obs
             .counter_add("deepsea_match_roots_total", None, roots as u64);
         self.obs
@@ -81,17 +91,39 @@ impl ReadView<'_> {
 
     /// Cheapest way to read the view for this query: the whole file, or an
     /// Algorithm-2 fragment cover of the needed range on some partition.
-    fn find_access(&self, vid: ViewId, qsig: &Signature) -> Option<Access> {
+    ///
+    /// Files whose every replica sits on a down node are routed *around*
+    /// rather than read into a guaranteed transient failure: the whole-file
+    /// copy is skipped and blocked fragments are dropped from the cover
+    /// candidates (a gap in the cover falls back to base tables for that
+    /// subquery only). Each refusal bumps `outage_skips`. The probe is
+    /// metadata-only (the simulated namenode knows node liveness) and is
+    /// always `false` without a cluster, so un-sharded runs are bit-exact.
+    fn find_access(&self, vid: ViewId, qsig: &Signature, outage_skips: &mut u32) -> Option<Access> {
         let view = self.registry.view(vid);
         let mut best: Option<Access> = None;
         if let Some(f) = view.whole_file {
-            best = Some(Access {
-                files: vec![f],
-                bytes: view.stats.size,
-            });
+            if self.fs.outage_blocked(f) {
+                *outage_skips += 1;
+            } else {
+                best = Some(Access {
+                    files: vec![f],
+                    bytes: view.stats.size,
+                });
+            }
         }
         for ps in view.partitions.values() {
-            let mats = ps.materialized();
+            let mut mats = ps.materialized();
+            mats.retain(|(fid, _)| {
+                let blocked = ps
+                    .frag(*fid)
+                    .and_then(|f| f.file)
+                    .is_some_and(|file| self.fs.outage_blocked(file));
+                if blocked {
+                    *outage_skips += 1;
+                }
+                !blocked
+            });
             if mats.is_empty() {
                 continue;
             }

@@ -298,11 +298,12 @@ impl DeepSea {
             }
             let merged_table = Table::new(schema, rows, bpr);
             let size = merged_table.sim_bytes();
-            let new_file = self.create_retrying(
+            let (new_file, new_nodes) = self.create_placed(
                 format!("{name}.{attr}{}", cand.merged),
                 size,
                 merged_table,
                 &mut charge,
+                self.replicas_for(vid),
             );
             secs += self.backend.scan_secs(read_bytes, block)
                 + self.backend.write_secs(size, size.div_ceil(block).max(1))
@@ -349,6 +350,7 @@ impl DeepSea {
                 file: new_file,
                 size,
                 schema: None,
+                nodes: new_nodes,
             });
             self.obs.event(
                 tnow,

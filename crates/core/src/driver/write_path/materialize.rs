@@ -136,6 +136,8 @@ impl DeepSea {
         let mut descs = Vec::new();
         let mut charge = CreationCharge::default();
         let mut whole_file = None;
+        let mut whole_nodes: Vec<u32> = Vec::new();
+        let replicas = self.replicas_for(vid);
         match attr_choice {
             Some((attr, _domain, intervals)) if self.config.partition_policy.partitions() => {
                 let col_idx = schema
@@ -153,11 +155,12 @@ impl DeepSea {
                         .collect();
                     let frag_table = Table::new(schema.clone(), rows, table.bytes_per_row);
                     let size = frag_table.sim_bytes();
-                    let file = self.create_retrying(
+                    let (file, nodes) = self.create_placed(
                         format!("{name}.{attr}{iv}"),
                         size,
                         frag_table,
                         &mut charge,
+                        replicas,
                     );
                     charge.write_bytes += size;
                     charge.files += 1;
@@ -178,13 +181,16 @@ impl DeepSea {
                         file,
                         size,
                         schema: Some(schema.clone()),
+                        nodes,
                     });
                     descs.push(format!("{name}.{attr}{iv}"));
                 }
             }
             _ => {
                 let size = table.sim_bytes();
-                let file = self.create_retrying(name.clone(), size, table, &mut charge);
+                let (file, nodes) =
+                    self.create_placed(name.clone(), size, table, &mut charge, replicas);
+                whole_nodes = nodes;
                 charge.write_bytes += size;
                 charge.files += 1;
                 self.registry.view_mut(vid).whole_file = Some(file);
@@ -207,6 +213,7 @@ impl DeepSea {
                 cost: recompute,
                 overhead: secs,
                 schema,
+                nodes: whole_nodes,
             }),
             None => self.journal_emit(CatalogRecord::ViewStatsMeasured {
                 view: key,
@@ -385,13 +392,15 @@ impl DeepSea {
             .first()
             .map(|(_, t)| t.bytes_per_row)
             .unwrap_or(1);
+        let replicas = self.replicas_for(vid);
         let frag_table = Table::new(schema.clone(), rows, bytes_per_row);
         let new_size = frag_table.sim_bytes();
-        let new_file = self.create_retrying(
+        let (new_file, new_nodes) = self.create_placed(
             format!("{name}.{attr}{target}"),
             new_size,
             frag_table,
             &mut charge,
+            replicas,
         );
         charge.write_bytes += new_size;
         charge.files += 1;
@@ -410,7 +419,7 @@ impl DeepSea {
             );
         }
 
-        let mut remainder_meta: Vec<(Interval, FileId, u64)> = Vec::new();
+        let mut remainder_meta: Vec<(Interval, FileId, u64, Vec<u32>)> = Vec::new();
         let mut dropped: Vec<FragmentId> = Vec::new();
         for (sid, iv, _size) in &split_work {
             // Remainder pieces of iv not covered by target.
@@ -436,11 +445,16 @@ impl DeepSea {
                     .collect();
                 let t = Table::new(schema.clone(), rows, payload.bytes_per_row);
                 let size = t.sim_bytes();
-                let file =
-                    self.create_retrying(format!("{name}.{attr}{piece}"), size, t, &mut charge);
+                let (file, nodes) = self.create_placed(
+                    format!("{name}.{attr}{piece}"),
+                    size,
+                    t,
+                    &mut charge,
+                    replicas,
+                );
                 charge.write_bytes += size;
                 charge.files += 1;
-                remainder_meta.push((piece, file, size));
+                remainder_meta.push((piece, file, size, nodes));
             }
             dropped.push(*sid);
         }
@@ -478,7 +492,7 @@ impl DeepSea {
                     }
                 }
             }
-            for (piece, file, size) in &remainder_meta {
+            for (piece, file, size, _) in &remainder_meta {
                 let pid = ps.track(*piece, *size);
                 let f = ps.frag_mut(pid).expect("invariant: just tracked");
                 f.file = Some(*file);
@@ -493,6 +507,7 @@ impl DeepSea {
             file: new_file,
             size: new_size,
             schema: None,
+            nodes: new_nodes,
         });
         for (interval, size) in dropped_meta {
             let _ = self.pool.release(size);
@@ -502,7 +517,7 @@ impl DeepSea {
                 interval,
             });
         }
-        for (piece, file, size) in remainder_meta {
+        for (piece, file, size, nodes) in remainder_meta {
             let _ = self.pool.reserve(size);
             self.journal_emit(CatalogRecord::FragmentMaterialized {
                 view: key.clone(),
@@ -511,6 +526,7 @@ impl DeepSea {
                 file,
                 size,
                 schema: None,
+                nodes,
             });
         }
 
@@ -586,11 +602,12 @@ impl DeepSea {
             files: 1,
             ..CreationCharge::default()
         };
-        let file = self.create_retrying(
+        let (file, nodes) = self.create_placed(
             format!("{name}.{attr}{target}"),
             size,
             frag_table,
             &mut charge,
+            self.replicas_for(vid),
         );
         let overhead = self.backend.write_secs(full_size, 1);
         let recompute = self.estimator().estimated_secs(&plan);
@@ -626,6 +643,7 @@ impl DeepSea {
             file,
             size,
             schema: Some(schema),
+            nodes,
         });
         self.obs.counter_add(
             "deepsea_mat_bytes_written_total",

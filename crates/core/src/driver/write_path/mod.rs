@@ -22,11 +22,18 @@ use deepsea_engine::exec::{ExecError, ExecMetrics};
 use deepsea_engine::plan::LogicalPlan;
 use deepsea_obs::DecisionEvent;
 use deepsea_relation::Table;
+use deepsea_storage::FileId;
 
 use crate::durability::{stats_checkpoint, CatalogRecord, CatalogSnapshot};
 
 use super::context::QueryContext;
 use super::{DeepSea, JournalDebt, QueryOutcome};
+
+/// Upper bound on fragment-granularity re-plan rounds within one execution.
+/// Each round removes at least one blocked file from consideration, so the
+/// loop terminates regardless; the cap is belt-and-braces against a
+/// pathological schedule downing nodes faster than re-planning drains them.
+const MAX_DEGRADED_ROUNDS: u32 = 8;
 
 impl DeepSea {
     /// Append one record to the attached journal (no-op without one).
@@ -118,6 +125,7 @@ impl DeepSea {
     pub fn process_query(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
         self.clock += 1;
         let tnow = self.clock;
+        self.readmit_offline(tnow);
 
         if !self.config.partition_policy.materializes() {
             return self.run_baseline(plan);
@@ -193,56 +201,194 @@ impl DeepSea {
     /// the query from base tables within the same call. Base tables are
     /// durable in this model — views only ever accelerate, never gate, an
     /// answer.
+    ///
+    /// Under a sharded FS failures are first patched at **fragment
+    /// granularity**: a file unreachable because every replica is on a down
+    /// node is marked offline (auto re-admitted when the node returns) and a
+    /// file on an all-dead placement has just its fragment evicted — in both
+    /// cases the query is re-planned around the gap and retried, so one bad
+    /// fragment never costs the whole view. Without a cluster this loop is
+    /// the exact PR-2 behaviour: first failure → whole-view quarantine →
+    /// base-table fallback.
     fn stage_execute(
         &mut self,
         plan: &LogicalPlan,
         ctx: &mut QueryContext,
     ) -> Result<(Table, ExecMetrics), ExecError> {
-        match self.backend.execute(&ctx.qbest, &self.catalog, &self.fs) {
-            Ok((result, metrics)) => {
-                ctx.trace.recovery.retries += metrics.retries as u32;
-                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
-                ctx.query_secs = self.backend.elapsed_secs(&metrics);
-                ctx.trace.execution.query_secs = ctx.query_secs;
-                Ok((result, metrics))
-            }
-            Err(e) => {
-                if matches!(e, ExecError::CorruptIo(_)) {
-                    ctx.trace.recovery.corrupt_fragments += 1;
+        // Simulated time burned on failed attempts (exhausted retries,
+        // backoff) accumulates across rounds and is charged to the query.
+        let mut debt_retries = 0u64;
+        let mut debt_secs = 0.0f64;
+        let mut rounds = 0u32;
+        loop {
+            match self.backend.execute(&ctx.qbest, &self.catalog, &self.fs) {
+                Ok((result, mut metrics)) => {
+                    metrics.retries += debt_retries;
+                    metrics.penalty_secs += debt_secs;
+                    ctx.trace.recovery.retries += metrics.retries as u32;
+                    ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
+                    ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                    ctx.trace.execution.query_secs = ctx.query_secs;
+                    return Ok((result, metrics));
                 }
-                // Whatever retries the backend burned on the doomed attempt
-                // still cost simulated time — collect the debt.
-                let (debt_retries, debt_secs) = self.backend.drain_retry_debt();
-                // Attribute the failure to a view: the file the error names,
-                // or failing that the view the rewriting chose to read.
-                let vid = e
-                    .file()
-                    .and_then(|f| self.registry.view_owning_file(f))
-                    .or_else(|| {
-                        ctx.used_view
-                            .as_deref()
-                            .and_then(|name| self.registry.by_name(name))
-                    });
-                let Some(vid) = vid else {
-                    // No view involved — the base plan itself failed, which
-                    // this model cannot recover from.
-                    return Err(e);
-                };
-                self.quarantine_into_ctx(vid, ctx);
-                ctx.trace.recovery.base_table_fallbacks += 1;
-                ctx.used_view = None;
-                ctx.qbest = plan.clone();
-                // The original plan reads only durable base tables, so this
-                // cannot hit another fragment fault.
-                let (result, mut metrics) = self.backend.execute(plan, &self.catalog, &self.fs)?;
-                metrics.retries += debt_retries;
-                metrics.penalty_secs += debt_secs;
-                ctx.trace.recovery.retries += metrics.retries as u32;
-                ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
-                ctx.query_secs = self.backend.elapsed_secs(&metrics);
-                ctx.trace.execution.query_secs = ctx.query_secs;
-                Ok((result, metrics))
+                Err(e) => {
+                    let (r, s) = self.backend.drain_retry_debt();
+                    debt_retries += r;
+                    debt_secs += s;
+
+                    // Fragment-granularity patching, sharded FS only.
+                    if self.fs.cluster().is_some() && rounds < MAX_DEGRADED_ROUNDS {
+                        let patched = match (&e, e.file()) {
+                            (ExecError::TransientIo(_), Some(f)) if self.fs.outage_blocked(f) => {
+                                self.mark_fragment_offline(f, ctx);
+                                true
+                            }
+                            (ExecError::PermanentIo(_), Some(f)) => {
+                                self.evict_lost_fragment(f, ctx)
+                            }
+                            _ => false,
+                        };
+                        if patched {
+                            rounds += 1;
+                            // Re-plan around the gap: matching now routes
+                            // around offline/evicted fragments, falling back
+                            // to base tables only for the affected region.
+                            ctx.used_view = None;
+                            ctx.qbest = plan.clone();
+                            self.read_view().compute_rewritings(plan, ctx);
+                            self.read_view().select_rewriting(plan, ctx);
+                            continue;
+                        }
+                    }
+
+                    if matches!(e, ExecError::CorruptIo(_)) {
+                        ctx.trace.recovery.corrupt_fragments += 1;
+                    }
+                    // Attribute the failure to a view: the file the error
+                    // names, or failing that the view the rewriting chose.
+                    let vid = e
+                        .file()
+                        .and_then(|f| self.registry.view_owning_file(f))
+                        .or_else(|| {
+                            ctx.used_view
+                                .as_deref()
+                                .and_then(|name| self.registry.by_name(name))
+                        });
+                    let Some(vid) = vid else {
+                        // No view involved — the base plan itself failed,
+                        // which this model cannot recover from.
+                        return Err(e);
+                    };
+                    self.quarantine_into_ctx(vid, ctx);
+                    ctx.trace.recovery.base_table_fallbacks += 1;
+                    ctx.used_view = None;
+                    ctx.qbest = plan.clone();
+                    // The original plan reads only durable base tables, so
+                    // this cannot hit another fragment fault.
+                    let (result, mut metrics) =
+                        self.backend.execute(plan, &self.catalog, &self.fs)?;
+                    metrics.retries += debt_retries;
+                    metrics.penalty_secs += debt_secs;
+                    ctx.trace.recovery.retries += metrics.retries as u32;
+                    ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
+                    ctx.query_secs = self.backend.elapsed_secs(&metrics);
+                    ctx.trace.execution.query_secs = ctx.query_secs;
+                    return Ok((result, metrics));
+                }
             }
+        }
+    }
+
+    /// Record a file as offline (every replica on a down node): a temporary,
+    /// fragment-granularity quarantine. The catalog is untouched — routing
+    /// skips the file via the cluster map — so re-admission on node return
+    /// is free.
+    fn mark_fragment_offline(&mut self, file: FileId, ctx: &mut QueryContext) {
+        if !self.offline.insert(file) {
+            return;
+        }
+        self.obs.counter_inc("deepsea_fragment_outages_total", None);
+        let view = self
+            .registry
+            .view_owning_file(file)
+            .map(|vid| self.registry.view(vid).name.clone());
+        self.obs.event(
+            ctx.tnow,
+            DecisionEvent::FragmentOutage { file: file.0, view },
+        );
+    }
+
+    /// Evict exactly the fragment backed by a permanently lost file (all
+    /// replicas dead), leaving the rest of the view serving. Returns `false`
+    /// when the file backs a whole-view copy or no fragment — the caller
+    /// then takes the whole-view quarantine path.
+    fn evict_lost_fragment(&mut self, file: FileId, ctx: &mut QueryContext) -> bool {
+        let Some(vid) = self.registry.view_owning_file(file) else {
+            return false;
+        };
+        let (key, name) = {
+            let v = self.registry.view(vid);
+            if v.whole_file == Some(file) {
+                return false;
+            }
+            (v.key.clone(), v.name.clone())
+        };
+        let mut hit = None;
+        {
+            let v = self.registry.view_mut(vid);
+            'outer: for ps in v.partitions.values_mut() {
+                for frag in ps.fragments.iter_mut() {
+                    if frag.file == Some(file) {
+                        frag.file = None;
+                        hit = Some((ps.attr.clone(), frag.interval, frag.size));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((attr, interval, size)) = hit else {
+            return false;
+        };
+        let _ = self.pool.release(size);
+        self.offline.remove(&file);
+        self.journal_emit(CatalogRecord::FragmentEvicted {
+            view: key,
+            attr,
+            interval,
+        });
+        ctx.trace.recovery.quarantined_bytes += size;
+        self.obs.counter_inc("deepsea_fragment_losses_total", None);
+        self.obs.event(
+            ctx.tnow,
+            DecisionEvent::Quarantine {
+                view: name,
+                files: 1,
+                bytes: size,
+                fragments: 1,
+            },
+        );
+        true
+    }
+
+    /// Re-admit offline fragments whose nodes have returned, auditing each.
+    /// Polled at the top of every `process_query` — the logical analogue of
+    /// the namenode's block reports.
+    fn readmit_offline(&mut self, tnow: crate::stats::LogicalTime) {
+        if self.offline.is_empty() {
+            return;
+        }
+        let back: Vec<FileId> = self
+            .offline
+            .iter()
+            .copied()
+            .filter(|f| !self.fs.outage_blocked(*f))
+            .collect();
+        for f in back {
+            self.offline.remove(&f);
+            self.obs
+                .counter_inc("deepsea_fragment_readmissions_total", None);
+            self.obs
+                .event(tnow, DecisionEvent::FragmentReadmitted { file: f.0 });
         }
     }
 }

@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use deepsea_relation::Table;
-use deepsea_storage::{FileId, IoError};
+use deepsea_storage::{placement_key, FileId, IoError};
 
 use crate::durability::{CatalogRecord, FsckReport};
 use crate::filter_tree::ViewId;
@@ -87,6 +87,76 @@ impl DeepSea {
                 }
             }
         }
+    }
+
+    /// The replication factor a new file of view `vid` should be placed at:
+    /// `hot_replication` once the view's recorded benefit events cross the
+    /// cluster's heat threshold, else the base factor. 1 without a cluster.
+    /// Heat is read from statistics updated *before* execution, so a faulted
+    /// and a zero-fault run of the same workload place identically.
+    pub(crate) fn replicas_for(&self, vid: ViewId) -> u32 {
+        match self.fs.cluster() {
+            Some(cluster) => {
+                let cfg = cluster.config();
+                if self.registry.view(vid).stats.events.len() as u64 >= cfg.hot_threshold {
+                    cfg.hot_replication
+                } else {
+                    cfg.replication
+                }
+            }
+            None => 1,
+        }
+    }
+
+    /// [`DeepSea::create_retrying`] with cluster placement: the file is
+    /// assigned `replicas` datanodes by hashing its name (deterministic per
+    /// view/fragment — the name encodes `(view, attr, interval)`), and the
+    /// surplus replica bytes are added to `charge.write_bytes` so
+    /// replication I/O is priced through the same `CostWeights` as any other
+    /// write. Callers still add the base size themselves. Returns the file
+    /// and its placement, empty without a cluster.
+    pub(crate) fn create_placed(
+        &self,
+        name: String,
+        sim_bytes: u64,
+        payload: Table,
+        charge: &mut CreationCharge,
+        replicas: u32,
+    ) -> (FileId, Vec<u32>) {
+        let Some(cluster) = self.fs.cluster() else {
+            let id = self.create_retrying(name, sim_bytes, payload, charge);
+            return (id, Vec::new());
+        };
+        let nodes = cluster.placement_for(placement_key(name.as_bytes()), replicas);
+        let policy = self.config.retry;
+        let mut attempts = 0u32;
+        let id = loop {
+            match self
+                .fs
+                .try_create_placed(name.clone(), sim_bytes, payload.clone(), &nodes)
+            {
+                Ok(out) => {
+                    charge.retries += attempts;
+                    charge.penalty_secs += out.spike_secs;
+                    break out.value;
+                }
+                Err(IoError::TransientWrite) if attempts < policy.max_retries => {
+                    charge.penalty_secs += policy.backoff_secs(attempts);
+                    attempts += 1;
+                }
+                Err(_) => {
+                    // Budget exhausted (e.g. the whole placement is down):
+                    // force the write through and record the placement — the
+                    // queued write lands once the nodes return.
+                    charge.retries += attempts;
+                    let (id, _) = self.fs.create(name, sim_bytes, payload);
+                    self.fs.place(id, &nodes);
+                    break id;
+                }
+            }
+        };
+        charge.write_bytes += sim_bytes * (nodes.len() as u64 - 1);
+        (id, nodes.iter().map(|n| n.0).collect())
     }
 
     /// Quarantine a view: mark its data lost in the registry (releasing its

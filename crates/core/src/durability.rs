@@ -119,6 +119,10 @@ pub enum CatalogRecord {
         overhead: f64,
         /// Output schema.
         schema: Schema,
+        /// Datanodes the file was placed on (primary first). Empty when the
+        /// FS is not sharded. Replayed into the cluster map by
+        /// `DeepSea::recover` so routing survives a crash.
+        nodes: Vec<u32>,
     },
     /// A fragment was materialized into `file` — the per-fragment commit
     /// point of partitioned materialization and repartitioning.
@@ -135,6 +139,9 @@ pub enum CatalogRecord {
         size: u64,
         /// Output schema, carried until the view has one.
         schema: Option<Schema>,
+        /// Datanodes the file was placed on (primary first). Empty when the
+        /// FS is not sharded.
+        nodes: Vec<u32>,
     },
     /// A view's measured statistics replaced its estimates (the end of a
     /// partitioned materialization).
@@ -293,6 +300,9 @@ fn apply_record(registry: &mut ViewRegistry, clock: &mut LogicalTime, record: &C
             cost,
             overhead,
             schema,
+            // Placement is namenode state, not catalog state: `recover`
+            // replays it into the cluster map, never into the registry.
+            nodes: _,
         } => {
             if let Some(vid) = registry.by_key(view) {
                 let v = registry.view_mut(vid);
@@ -309,6 +319,7 @@ fn apply_record(registry: &mut ViewRegistry, clock: &mut LogicalTime, record: &C
             file,
             size,
             schema,
+            nodes: _,
         } => {
             if let Some(vid) = registry.by_key(view) {
                 let v = registry.view_mut(vid);
@@ -477,6 +488,7 @@ mod tests {
             file: FileId(3),
             size: 480,
             schema: None,
+            nodes: vec![1, 2],
         })
         .unwrap();
         j.append(CatalogRecord::QueryCommitted { tnow: 1 }).unwrap();
@@ -514,6 +526,7 @@ mod tests {
             cost: 11.0,
             overhead: 3.0,
             schema: Schema::new(vec![]),
+            nodes: Vec::new(),
         })
         .unwrap();
         j.append(CatalogRecord::ViewEvicted { view: key.clone() })

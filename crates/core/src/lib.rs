@@ -64,5 +64,5 @@ pub use driver::{DeepSea, QueryOutcome, QueryTrace, RecoveryTrace};
 pub use durability::{CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};
-pub use server::{ClientRecord, ServeReport, ServerConfig, ViewServer};
+pub use server::{ClientRecord, NodeAction, ServeReport, ServerConfig, ViewServer};
 pub use snapshot::{ReadSnapshot, SnapshotAnswer};

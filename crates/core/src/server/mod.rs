@@ -52,9 +52,26 @@ use deepsea_engine::plan::LogicalPlan;
 use crate::driver::DeepSea;
 use crate::snapshot::ReadSnapshot;
 
-/// Scheduler parameters: how many logical clients, and the seed and mean
-/// inter-arrival gap driving the open-loop arrival process.
-#[derive(Debug, Clone, Copy)]
+/// A node-lifecycle action the scheduler applies deterministically as part
+/// of a [`ServerConfig::node_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeAction {
+    /// Take the node down: reads of files whose every replica lives on down
+    /// nodes fail over to fragment-level base-table patching until the node
+    /// returns.
+    Down,
+    /// Bring the node back up; fragments quarantined by the outage are
+    /// re-admitted before the next commit.
+    Up,
+    /// Kill the node permanently: unreplicated data on it is lost and its
+    /// fragments are evicted on next touch.
+    Kill,
+}
+
+/// Scheduler parameters: how many logical clients, the seed and mean
+/// inter-arrival gap driving the open-loop arrival process, and an optional
+/// deterministic node-failure schedule.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of logical clients issuing queries (≥ 1).
     pub clients: usize,
@@ -64,6 +81,13 @@ pub struct ServerConfig {
     /// Mean inter-arrival gap in simulated seconds; actual gaps are
     /// `mean_gap_secs * (0.5 + u)` with `u` uniform in `[0, 1)`.
     pub mean_gap_secs: f64,
+    /// Node-lifecycle events `(ticket, node, action)`, applied immediately
+    /// before commit `ticket` starts (after that ticket's read). Because
+    /// commits are serialized in ticket order, the schedule lands at the
+    /// same logical point of the state trajectory for every client count.
+    /// Empty (the default) means no injected node events; entries naming a
+    /// node outside the cluster (or on an unsharded FS) are ignored.
+    pub node_schedule: Vec<(usize, u32, NodeAction)>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +96,7 @@ impl Default for ServerConfig {
             clients: 2,
             seed: 1,
             mean_gap_secs: 30.0,
+            node_schedule: Vec::new(),
         }
     }
 }
@@ -133,6 +158,10 @@ pub struct ClientRecord {
     /// (stale snapshot: a view materialized/evicted after the read's epoch
     /// changed the chosen rewriting).
     pub divergent: bool,
+    /// True when the read was served in degraded mode: a node outage forced
+    /// fragment-level or whole-query base-table fallback. Degraded reads
+    /// still return the exact result; only their cost differs.
+    pub degraded: bool,
 }
 
 /// The outcome of serving one workload: per-ticket records plus the
@@ -145,6 +174,11 @@ pub struct ServeReport {
     pub state_digest: u64,
     /// Number of reads whose cost diverged from the committed execution.
     pub divergent_reads: u32,
+    /// Number of reads served in degraded mode (node outage forced a
+    /// fragment-level or whole-query base-table fallback). These tickets
+    /// are counted in [`ServeReport::latencies_secs`] like any other —
+    /// degradation shows up as latency, never as a missing record.
+    pub degraded_reads: u64,
     /// Largest `ticket − read_epoch` over all reads.
     pub max_epoch_lag: u64,
     /// Simulated completion time of the whole schedule.
@@ -232,6 +266,7 @@ impl ViewServer {
             .publish_snapshot()
             .expect("invariant: forkability is checked in ViewServer::new");
         let obs = self.ds.observer().clone();
+        let schedule = self.cfg.node_schedule.clone();
 
         let mut client_free = vec![0.0f64; clients];
         let mut records: Vec<ClientRecord> = Vec::with_capacity(n);
@@ -239,6 +274,7 @@ impl ViewServer {
         let mut next_commit = 0usize; // next ticket to commit
         let mut writer_free = 0.0f64;
         let mut divergent_reads = 0u32;
+        let mut degraded_reads = 0u64;
         let mut max_epoch_lag = 0u64;
 
         while next_commit < n {
@@ -271,6 +307,14 @@ impl ViewServer {
                 let start =
                     commit_ev.expect("invariant: do_commit implies an eligible commit event");
                 let ticket = next_commit;
+                // Scheduled node events land at commit boundaries: the same
+                // logical point of the state trajectory for every client
+                // count, so the committed series stays schedule-determined.
+                for &(when, node, action) in &schedule {
+                    if when == ticket {
+                        self.apply_node_action(node, action, &obs);
+                    }
+                }
                 let outcome = self.ds.process_query(&plans[ticket])?;
                 // Publish-at-apply: the new epoch is visible from commit
                 // start; creation overhead occupies the writer afterwards.
@@ -299,6 +343,16 @@ impl ViewServer {
                     read_ev.expect("invariant: commits pending implies a read event exists");
                 let ticket = next_read;
                 let ans = snapshot.answer(&plans[ticket])?;
+                // Degraded reads (node outage forced fragment patching or a
+                // whole-query base fallback) return the exact result and are
+                // recorded like any other ticket — their latency includes the
+                // fallback cost instead of the ticket being dropped.
+                let degraded = ans.trace.recovery.fragment_fallbacks > 0
+                    || ans.trace.recovery.base_table_fallbacks > 0;
+                if degraded {
+                    degraded_reads += 1;
+                    obs.counter_inc("deepsea_degraded_reads_total", None);
+                }
                 let done = start + ans.query_secs;
                 client_free[k] = done;
                 // Commits can't outrun reads (commit i needs read i done),
@@ -332,6 +386,7 @@ impl ViewServer {
                     read_used_view: ans.used_view,
                     committed_used_view: None,
                     divergent: false,
+                    degraded,
                 });
                 next_read += 1;
             }
@@ -347,8 +402,32 @@ impl ViewServer {
             state_digest: self.ds.registry().state_digest(),
             records,
             divergent_reads,
+            degraded_reads,
             max_epoch_lag,
             makespan_secs,
         })
+    }
+
+    /// Apply one scheduled node-lifecycle action through the shared FS and
+    /// record it as a typed decision event. Silently ignored on an unsharded
+    /// FS or for a node id outside the cluster — a schedule written for a
+    /// 4-node sweep stays valid when replayed against a smaller topology.
+    fn apply_node_action(&self, node: u32, action: NodeAction, obs: &deepsea_obs::Observer) {
+        use deepsea_storage::NodeId;
+        let tnow = self.ds.clock();
+        let applied = match action {
+            NodeAction::Down => self.ds.fs().set_node_down(NodeId(node)),
+            NodeAction::Up => self.ds.fs().set_node_up(NodeId(node)),
+            NodeAction::Kill => self.ds.fs().kill_node(NodeId(node)),
+        };
+        if applied {
+            let label = format!("node{node}");
+            let event = match action {
+                NodeAction::Down => deepsea_obs::DecisionEvent::NodeDown { node: label },
+                NodeAction::Up => deepsea_obs::DecisionEvent::NodeUp { node: label },
+                NodeAction::Kill => deepsea_obs::DecisionEvent::NodeKilled { node: label },
+            };
+            obs.event(tnow, event);
+        }
     }
 }

@@ -154,7 +154,18 @@ impl<B: ExecutionBackend> ExecutionBackend for RetryingBackend<B> {
                     m.penalty_secs += backoff;
                     return Ok((table, m));
                 }
-                Err(e) if e.is_transient() && attempts < self.policy.max_retries => {
+                // Don't burn the retry budget against a whole-node outage:
+                // when every replica of the failing file is down, the
+                // namenode already knows a retry cannot succeed until a node
+                // returns, so the error propagates immediately and the
+                // driver's degraded path takes over. Only ever true on a
+                // cluster-sharded FS, so plain fault schedules keep their
+                // exact retry timings.
+                Err(e)
+                    if e.is_transient()
+                        && attempts < self.policy.max_retries
+                        && !e.file().is_some_and(|f| fs.outage_blocked(f)) =>
+                {
                     backoff += self.policy.backoff_secs(attempts);
                     attempts += 1;
                 }
@@ -383,6 +394,47 @@ mod tests {
             (0, 0.0),
             "drain resets the debt"
         );
+    }
+
+    #[test]
+    fn retrying_backend_short_circuits_node_outages() {
+        use deepsea_storage::{NodeConfig, NodeId, NodeSet};
+        let catalog = Catalog::new();
+        let fs = SimFs::with_cluster(
+            BlockConfig::default(),
+            CostWeights::default(),
+            FaultInjector::disabled(),
+            NodeSet::new(NodeConfig::new(2, 1)),
+        );
+        let schema = Schema::new(vec![Field::new("v.a", DataType::Int)]);
+        let frag = Table::new(schema.clone(), vec![vec![Value::Int(1)]], 500);
+        let out = fs
+            .try_create_placed("frag", frag.sim_bytes(), frag, &[NodeId(0)])
+            .expect("no faults");
+        let id = out.value;
+        let plan = LogicalPlan::ViewScan(crate::plan::ViewScanInfo {
+            view_name: "v".into(),
+            files: vec![id],
+            schema,
+        });
+        fs.set_node_down(NodeId(0));
+        let backend = RetryingBackend::new(SimBackend::paper_default(), RetryPolicy::default());
+        let err = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(
+            err.is_transient(),
+            "an outage is transient (node may return)"
+        );
+        assert_eq!(err.file(), Some(id));
+        assert_eq!(
+            backend.drain_retry_debt(),
+            (0, 0.0),
+            "no retry budget burned against a whole-node outage"
+        );
+        // Once the node returns, the same plan executes cleanly.
+        fs.set_node_up(NodeId(0));
+        let (t, m) = backend.execute(&plan, &catalog, &fs).expect("node is back");
+        assert_eq!(t.len(), 1);
+        assert_eq!(m.retries, 0);
     }
 
     #[test]

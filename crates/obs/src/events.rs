@@ -151,6 +151,36 @@ pub enum DecisionEvent {
         /// Records appended since the previous snapshot.
         appended_since_last: u64,
     },
+    /// A cluster node went down (temporary outage).
+    NodeDown {
+        /// The node, as `node<N>`.
+        node: String,
+    },
+    /// A cluster node returned from an outage.
+    NodeUp {
+        /// The node, as `node<N>`.
+        node: String,
+    },
+    /// A cluster node was permanently killed.
+    NodeKilled {
+        /// The node, as `node<N>`.
+        node: String,
+    },
+    /// A fragment became unreachable (every replica down) and was
+    /// temporarily quarantined at fragment granularity; queries patch the
+    /// gap from base tables until the node returns.
+    FragmentOutage {
+        /// The unreachable backing file id.
+        file: u64,
+        /// Owning view, when known.
+        view: Option<String>,
+    },
+    /// A previously-offline fragment's node returned; the fragment serves
+    /// reads again with no rebuild.
+    FragmentReadmitted {
+        /// The backing file id.
+        file: u64,
+    },
 }
 
 impl DecisionEvent {
@@ -166,6 +196,11 @@ impl DecisionEvent {
             DecisionEvent::Fsck { .. } => "fsck",
             DecisionEvent::MleFit { .. } => "mle_fit",
             DecisionEvent::JournalSnapshot { .. } => "journal_snapshot",
+            DecisionEvent::NodeDown { .. } => "node_down",
+            DecisionEvent::NodeUp { .. } => "node_up",
+            DecisionEvent::NodeKilled { .. } => "node_killed",
+            DecisionEvent::FragmentOutage { .. } => "fragment_outage",
+            DecisionEvent::FragmentReadmitted { .. } => "fragment_readmitted",
         }
     }
 }
@@ -277,6 +312,14 @@ impl Serialize for DecisionEvent {
             DecisionEvent::JournalSnapshot {
                 appended_since_last,
             } => b.field("appended_since_last", *appended_since_last).build(),
+            DecisionEvent::NodeDown { node }
+            | DecisionEvent::NodeUp { node }
+            | DecisionEvent::NodeKilled { node } => b.field("node", node).build(),
+            DecisionEvent::FragmentOutage { file, view } => b
+                .field("file", *file)
+                .field("view", view.as_deref())
+                .build(),
+            DecisionEvent::FragmentReadmitted { file } => b.field("file", *file).build(),
         }
     }
 }

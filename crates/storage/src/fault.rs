@@ -54,6 +54,15 @@ pub struct FaultConfig {
     /// Probability a read discovers the file corrupt (payload intact,
     /// checksum mismatch). Corruption is sticky: the file stays corrupt.
     pub corruption_rate: f64,
+    /// Probability a consulted operation takes a whole node down
+    /// (temporarily); the victim is derived from the same draw. Only
+    /// consulted when the file system has a cluster attached.
+    pub node_down_rate: f64,
+    /// Probability a consulted operation kills a whole node permanently.
+    pub node_kill_rate: f64,
+    /// Consulted operations after which an injector-downed node returns
+    /// (the repair countdown; see `NodeSet::tick_repairs`).
+    pub node_repair_ops: u64,
 }
 
 impl FaultConfig {
@@ -67,6 +76,9 @@ impl FaultConfig {
             latency_spike_rate: 0.0,
             latency_spike_secs: 0.0,
             corruption_rate: 0.0,
+            node_down_rate: 0.0,
+            node_kill_rate: 0.0,
+            node_repair_ops: 0,
         }
     }
 
@@ -110,13 +122,36 @@ impl FaultConfig {
         self
     }
 
-    /// Whether any failure mode has a non-zero rate.
+    /// Set the node-outage rate and the repair countdown (consulted
+    /// operations until an injector-downed node returns).
+    pub fn with_node_downs(mut self, rate: f64, repair_ops: u64) -> Self {
+        self.node_down_rate = rate;
+        self.node_repair_ops = repair_ops;
+        self
+    }
+
+    /// Set the permanent node-kill rate.
+    pub fn with_node_kills(mut self, rate: f64) -> Self {
+        self.node_kill_rate = rate;
+        self
+    }
+
+    /// Whether any per-file failure mode has a non-zero rate. Node-scoped
+    /// rates are deliberately excluded: they gate their own draw (consulted
+    /// only when a cluster is attached), so configs without node rates keep
+    /// exactly the per-file fault schedule they had before node faults
+    /// existed.
     pub fn enabled(&self) -> bool {
         self.transient_read_rate > 0.0
             || self.permanent_loss_rate > 0.0
             || self.transient_write_rate > 0.0
             || self.latency_spike_rate > 0.0
             || self.corruption_rate > 0.0
+    }
+
+    /// Whether node-scoped fault events are active.
+    pub fn node_enabled(&self) -> bool {
+        self.node_down_rate > 0.0 || self.node_kill_rate > 0.0
     }
 }
 
@@ -139,6 +174,12 @@ pub struct FaultStats {
     pub latency_spikes: u64,
     /// Reads that discovered a corrupt file (checksum mismatch).
     pub corruptions: u64,
+    /// Whole nodes taken down (temporarily).
+    pub node_downs: u64,
+    /// Whole nodes restored after an outage.
+    pub node_ups: u64,
+    /// Whole nodes permanently killed.
+    pub node_kills: u64,
 }
 
 /// Verdict for a single read operation.
@@ -165,6 +206,17 @@ pub(crate) enum WriteFault {
     Transient,
     /// Succeed, but charge extra seconds.
     Spike(f64),
+}
+
+/// Node-scoped fault event for one consulted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeFault {
+    /// No node event.
+    None,
+    /// Take the given node down; it returns after `FaultConfig::node_repair_ops`.
+    Down(u32),
+    /// Permanently kill the given node.
+    Kill(u32),
 }
 
 /// A deterministic, seed-driven source of injected I/O faults.
@@ -246,6 +298,33 @@ impl FaultInjector {
             return ReadFault::Spike(c.latency_spike_secs);
         }
         ReadFault::None
+    }
+
+    /// Decide whether a whole-node fault event fires for this consulted
+    /// operation, and which of `nodes` it hits. Consumes one draw from the
+    /// same seeded stream as the per-file modes — but only when a node rate
+    /// is set (otherwise zero draws, preserving existing schedules). The
+    /// victim is derived by scaling the draw within the fired band, so one
+    /// uniform decides both the event and the node.
+    pub(crate) fn decide_node(&self, nodes: u32) -> NodeFault {
+        if !self.cfg.node_enabled() || nodes == 0 {
+            return NodeFault::None;
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let u: f64 = st.rng.random();
+        let c = &self.cfg;
+        let pick = |u0: f64, width: f64| -> u32 {
+            let frac = (u0 / width).clamp(0.0, 1.0 - f64::EPSILON);
+            (frac * nodes as f64) as u32
+        };
+        if u < c.node_kill_rate {
+            return NodeFault::Kill(pick(u, c.node_kill_rate));
+        }
+        let edge = c.node_kill_rate + c.node_down_rate;
+        if u < edge {
+            return NodeFault::Down(pick(u - c.node_kill_rate, c.node_down_rate));
+        }
+        NodeFault::None
     }
 
     /// Decide the fate of a write. Disabled injectors consume no draws.
@@ -399,6 +478,53 @@ mod tests {
         assert_eq!(IoError::TransientWrite.file(), None);
         assert!(IoError::PermanentLoss(f).to_string().contains("lost"));
         assert!(IoError::Corrupt(f).to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn node_faults_draw_nothing_unless_configured() {
+        // Per-file modes active, node rates zero: decide_node must not
+        // consume a draw, so the read schedule is identical with and
+        // without interleaved decide_node calls.
+        let cfg = FaultConfig::seeded(42).with_transient_reads(0.3);
+        let plain = FaultInjector::new(cfg);
+        let mixed = FaultInjector::new(cfg);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..32 {
+            a.push(plain.decide_read());
+            assert_eq!(mixed.decide_node(4), NodeFault::None);
+            b.push(mixed.decide_read());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn node_faults_fire_deterministically_and_pick_in_range() {
+        let cfg = FaultConfig::seeded(9)
+            .with_node_downs(0.3, 5)
+            .with_node_kills(0.05);
+        assert!(cfg.node_enabled());
+        assert!(!cfg.enabled(), "node rates alone leave per-file modes off");
+        let run = || {
+            let inj = FaultInjector::new(cfg);
+            (0..256).map(|_| inj.decide_node(4)).collect::<Vec<_>>()
+        };
+        let events = run();
+        assert_eq!(events, run(), "same seed, same node schedule");
+        let downs = events
+            .iter()
+            .filter(|e| matches!(e, NodeFault::Down(_)))
+            .count();
+        let kills = events
+            .iter()
+            .filter(|e| matches!(e, NodeFault::Kill(_)))
+            .count();
+        assert!(downs > 0 && kills > 0);
+        for e in &events {
+            if let NodeFault::Down(n) | NodeFault::Kill(n) = e {
+                assert!(*n < 4, "victim index scaled into the topology");
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! module. Every stored file carries a checksum verified on read, so corrupt
 //! data is detected rather than served.
 //!
+//! The FS can further be sharded over a simulated cluster ([`NodeSet`], see
+//! the [`node`] module): files are placed on datanodes by a deterministic
+//! partition-aware hash, reads fail over to the first live replica, and
+//! whole-node outages — manual or drawn from the injector's seeded stream —
+//! make un-replicated files fail as transient (node down) or convert them to
+//! permanent loss (node dead).
+//!
 //! For crash-restart durability the crate provides an append-only,
 //! snapshot-truncated [`Journal`] with monotonic LSNs and an armable crash
 //! latch ([`SimulatedCrash`]); DeepSea journals catalog mutations through it
@@ -36,6 +43,7 @@ pub mod file;
 pub mod fs;
 pub mod journal;
 pub mod ledger;
+pub mod node;
 pub mod pool;
 pub mod sync;
 pub mod weights;
@@ -43,9 +51,10 @@ pub mod weights;
 pub use block::BlockConfig;
 pub use fault::{FaultConfig, FaultInjector, FaultStats, IoError, IoOutcome};
 pub use file::{FileId, StoredFile};
-pub use fs::SimFs;
+pub use fs::{ShardedFs, SimFs};
 pub use journal::{Journal, JournalStats, Lsn, ReplayedLog, SimulatedCrash};
 pub use ledger::CostLedger;
+pub use node::{placement_key, NodeConfig, NodeId, NodeSet, NodeState, NodeStats, Route};
 pub use pool::{PoolAccountant, PoolError};
 pub use sync::EpochCell;
 pub use weights::CostWeights;

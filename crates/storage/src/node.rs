@@ -1,0 +1,465 @@
+//! Simulated cluster topology: nodes, deterministic placement, replication,
+//! and whole-node outages.
+//!
+//! DeepSea's fragments live on an HDFS-like cluster of datanodes. This module
+//! models the minimum the serving stack needs to survive node loss:
+//!
+//! * **Deterministic partition-aware placement** — every file is assigned to
+//!   a primary node by hashing its placement key (the fragment's
+//!   `(attr, interval)` or the view's name) modulo the node count, with
+//!   replicas on the consecutive ring successors. Placement is a pure
+//!   function of `(key, replicas, node count)` — it never depends on which
+//!   nodes happen to be up, so a faulted run and a zero-fault run place every
+//!   file identically (the bit-identity invariant of `tests/node_chaos.rs`
+//!   depends on this).
+//! * **Replica failover** — a read routes to the first *live* node in the
+//!   file's placement list: the primary first, then the replicas in
+//!   ascending node id. Failover is metadata-only (the namenode redirects the
+//!   client), so a read costs the same whichever replica serves it.
+//! * **Whole-node outages** — a node can be [`NodeState::Down`] (temporary:
+//!   its files fail as transient until it returns) or [`NodeState::Dead`]
+//!   (permanent: files with every replica dead are converted to permanent
+//!   loss on next access).
+//!
+//! The cluster keeps its own transition counters so the harness can assert
+//! on injected-vs-manual outages uniformly; [`crate::fs::SimFs`] merges them
+//! into [`crate::fault::FaultStats`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard};
+
+use crate::file::FileId;
+
+/// Identifier of a simulated cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Static cluster parameters: topology size and replication policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Number of datanodes in the cluster (≥ 1).
+    pub nodes: u32,
+    /// Base replication factor for every placed file (≥ 1).
+    pub replication: u32,
+    /// Replication factor for *hot* fragments (≥ `replication`): views whose
+    /// access statistics cross the driver's heat threshold get this many
+    /// replicas instead.
+    pub hot_replication: u32,
+    /// Number of recorded benefit events after which a view's fragments
+    /// count as hot and are placed at `hot_replication`.
+    pub hot_threshold: u64,
+}
+
+impl NodeConfig {
+    /// A cluster of `nodes` datanodes with uniform replication `replication`
+    /// (hot fragments identical; raise via [`NodeConfig::with_hot`]).
+    pub fn new(nodes: u32, replication: u32) -> Self {
+        let nodes = nodes.max(1);
+        Self {
+            nodes,
+            replication: replication.clamp(1, nodes),
+            hot_replication: replication.clamp(1, nodes),
+            hot_threshold: u64::MAX,
+        }
+    }
+
+    /// Enable hot-fragment replication: views with at least `threshold`
+    /// recorded benefit events are placed at `hot_replication` replicas.
+    pub fn with_hot(mut self, hot_replication: u32, threshold: u64) -> Self {
+        self.hot_replication = hot_replication.clamp(self.replication, self.nodes);
+        self.hot_threshold = threshold;
+        self
+    }
+}
+
+/// Liveness of a single node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Serving reads and writes.
+    Up,
+    /// Temporarily unreachable; its files fail as transient until it
+    /// returns.
+    Down,
+    /// Permanently failed; files with every replica dead are lost.
+    Dead,
+}
+
+/// Routing verdict for one file under the current node states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// A live replica can serve the file (failover order: primary first,
+    /// then replicas ascending by node id).
+    Live(NodeId),
+    /// Every replica is on a down (but repairable) node: fail transient.
+    Outage,
+    /// Every replica is on a dead node: the file is permanently lost.
+    Lost,
+}
+
+/// Cluster transition counters (injected and manual alike).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Nodes taken down (temporarily).
+    pub node_downs: u64,
+    /// Nodes restored.
+    pub node_ups: u64,
+    /// Nodes permanently killed.
+    pub node_kills: u64,
+}
+
+#[derive(Debug)]
+struct ClusterState {
+    states: Vec<NodeState>,
+    /// Remaining consulted-op countdowns for injector-downed nodes; the node
+    /// comes back up when its countdown reaches zero.
+    repair_in: Vec<u64>,
+    placement: BTreeMap<FileId, Vec<NodeId>>,
+    stats: NodeStats,
+}
+
+/// A set of simulated datanodes with placement and liveness tracking.
+///
+/// Thread-safe for the same reason [`crate::fs::SimFs`] is: the serving
+/// layer may consult it from snapshot readers while the writer mutates it.
+#[derive(Debug)]
+pub struct NodeSet {
+    cfg: NodeConfig,
+    state: Mutex<ClusterState>,
+}
+
+impl NodeSet {
+    /// Build a cluster with every node up and nothing placed.
+    pub fn new(cfg: NodeConfig) -> Self {
+        Self {
+            state: Mutex::new(ClusterState {
+                states: vec![NodeState::Up; cfg.nodes as usize],
+                repair_in: vec![0; cfg.nodes as usize],
+                placement: BTreeMap::new(),
+                stats: NodeStats::default(),
+            }),
+            cfg,
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, ClusterState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The static cluster parameters.
+    pub fn config(&self) -> NodeConfig {
+        self.cfg
+    }
+
+    /// Number of nodes in the topology.
+    pub fn num_nodes(&self) -> u32 {
+        self.cfg.nodes
+    }
+
+    /// Deterministic placement for a key: primary at `key mod nodes`, then
+    /// `replicas - 1` ring successors, the tail sorted ascending by node id
+    /// (the failover order). Pure in `(key, replicas, nodes)` — node
+    /// liveness never influences placement.
+    pub fn placement_for(&self, key: u64, replicas: u32) -> Vec<NodeId> {
+        let n = self.cfg.nodes as u64;
+        let r = replicas.clamp(1, self.cfg.nodes) as u64;
+        let primary = key % n;
+        let mut tail: Vec<NodeId> = (1..r).map(|i| NodeId(((primary + i) % n) as u32)).collect();
+        tail.sort();
+        let mut nodes = Vec::with_capacity(r as usize);
+        nodes.push(NodeId(primary as u32));
+        nodes.extend(tail);
+        nodes
+    }
+
+    /// Record where a file lives. Idempotent: re-placing with the same list
+    /// (journal replay during recovery) is a no-op; re-placing with a
+    /// different list overwrites (re-replication).
+    pub fn place(&self, file: FileId, nodes: &[NodeId]) {
+        if nodes.is_empty() {
+            return;
+        }
+        self.locked().placement.insert(file, nodes.to_vec());
+    }
+
+    /// The recorded placement of a file, if any.
+    pub fn placement(&self, file: FileId) -> Option<Vec<NodeId>> {
+        self.locked().placement.get(&file).cloned()
+    }
+
+    /// Forget a deleted file's placement.
+    pub fn forget(&self, file: FileId) {
+        self.locked().placement.remove(&file);
+    }
+
+    /// Route a read/write for `file`. Files without a recorded placement are
+    /// node-agnostic (namenode-resident metadata) and always route live.
+    pub fn route(&self, file: FileId) -> Route {
+        let st = self.locked();
+        let Some(nodes) = st.placement.get(&file) else {
+            return Route::Live(NodeId(0));
+        };
+        let mut any_down = false;
+        for &n in nodes {
+            match st.states[n.0 as usize] {
+                NodeState::Up => return Route::Live(n),
+                NodeState::Down => any_down = true,
+                NodeState::Dead => {}
+            }
+        }
+        if any_down {
+            Route::Outage
+        } else {
+            Route::Lost
+        }
+    }
+
+    /// Whether every replica of the file is currently unavailable (down or
+    /// dead). Metadata probe: no draws, no cost.
+    pub fn outage_blocked(&self, file: FileId) -> bool {
+        !matches!(self.route(file), Route::Live(_))
+    }
+
+    /// The state of one node (`None` for an out-of-range id).
+    pub fn node_state(&self, node: NodeId) -> Option<NodeState> {
+        self.locked().states.get(node.0 as usize).copied()
+    }
+
+    /// Take a node down (temporary outage). Returns whether the state
+    /// changed (dead nodes stay dead).
+    pub fn set_node_down(&self, node: NodeId) -> bool {
+        let mut st = self.locked();
+        match st.states.get(node.0 as usize).copied() {
+            Some(NodeState::Up) => {
+                st.states[node.0 as usize] = NodeState::Down;
+                st.stats.node_downs += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Like [`NodeSet::set_node_down`] with an automatic repair countdown:
+    /// the node returns after `repair_ops` further consulted operations
+    /// (see [`NodeSet::tick_repairs`]).
+    pub fn set_node_down_for(&self, node: NodeId, repair_ops: u64) -> bool {
+        let changed = self.set_node_down(node);
+        if changed {
+            self.locked().repair_in[node.0 as usize] = repair_ops;
+        }
+        changed
+    }
+
+    /// Restore a down node. Returns whether the state changed.
+    pub fn set_node_up(&self, node: NodeId) -> bool {
+        let mut st = self.locked();
+        match st.states.get(node.0 as usize).copied() {
+            Some(NodeState::Down) => {
+                st.states[node.0 as usize] = NodeState::Up;
+                st.repair_in[node.0 as usize] = 0;
+                st.stats.node_ups += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Permanently fail a node. Returns whether the state changed.
+    pub fn kill_node(&self, node: NodeId) -> bool {
+        let mut st = self.locked();
+        match st.states.get(node.0 as usize).copied() {
+            Some(NodeState::Up) | Some(NodeState::Down) => {
+                st.states[node.0 as usize] = NodeState::Dead;
+                st.repair_in[node.0 as usize] = 0;
+                st.stats.node_kills += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Advance every pending repair countdown by one consulted operation,
+    /// restoring nodes whose countdown expires. Returns the restored nodes
+    /// in ascending id order.
+    pub fn tick_repairs(&self) -> Vec<NodeId> {
+        let mut st = self.locked();
+        let mut restored = Vec::new();
+        for i in 0..st.states.len() {
+            if st.states[i] == NodeState::Down && st.repair_in[i] > 0 {
+                st.repair_in[i] -= 1;
+                if st.repair_in[i] == 0 {
+                    st.states[i] = NodeState::Up;
+                    st.stats.node_ups += 1;
+                    restored.push(NodeId(i as u32));
+                }
+            }
+        }
+        restored
+    }
+
+    /// Snapshot of the cluster transition counters.
+    pub fn stats(&self) -> NodeStats {
+        self.locked().stats
+    }
+
+    /// Nodes currently down (temporarily), ascending.
+    pub fn down_nodes(&self) -> Vec<NodeId> {
+        let st = self.locked();
+        st.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == NodeState::Down)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// FNV-1a over a byte stream: the placement hash. Stable across platforms
+/// and runs — placement keys must never depend on ambient state.
+pub fn placement_key(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(nodes: u32, replication: u32) -> NodeSet {
+        NodeSet::new(NodeConfig::new(nodes, replication))
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_ring_shaped() {
+        let c = cluster(5, 3);
+        let p = c.placement_for(7, 3);
+        assert_eq!(p[0], NodeId(2), "primary = key mod nodes");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p, c.placement_for(7, 3), "pure function of the key");
+        // Replicas are ring successors, tail sorted ascending.
+        assert_eq!(p[1..], [NodeId(3), NodeId(4)]);
+        // Wrap-around keeps the tail sorted by id, not ring order.
+        let q = c.placement_for(4, 3);
+        assert_eq!(q[0], NodeId(4));
+        assert_eq!(q[1..], [NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn placement_ignores_liveness() {
+        let c = cluster(4, 2);
+        let before = c.placement_for(10, 2);
+        c.set_node_down(NodeId(2));
+        c.kill_node(NodeId(3));
+        assert_eq!(c.placement_for(10, 2), before);
+    }
+
+    #[test]
+    fn route_fails_over_to_first_live_replica() {
+        let c = cluster(4, 2);
+        let f = FileId(1);
+        c.place(f, &[NodeId(1), NodeId(2)]);
+        assert_eq!(c.route(f), Route::Live(NodeId(1)));
+        c.set_node_down(NodeId(1));
+        assert_eq!(c.route(f), Route::Live(NodeId(2)), "failover to replica");
+        c.set_node_down(NodeId(2));
+        assert_eq!(c.route(f), Route::Outage);
+        assert!(c.outage_blocked(f));
+        c.set_node_up(NodeId(2));
+        assert_eq!(c.route(f), Route::Live(NodeId(2)));
+        assert!(!c.outage_blocked(f));
+    }
+
+    #[test]
+    fn dead_replicas_convert_to_lost_only_when_all_dead() {
+        let c = cluster(3, 2);
+        let f = FileId(0);
+        c.place(f, &[NodeId(0), NodeId(1)]);
+        c.kill_node(NodeId(0));
+        assert_eq!(c.route(f), Route::Live(NodeId(1)));
+        c.set_node_down(NodeId(1));
+        assert_eq!(c.route(f), Route::Outage, "down beats dead: repairable");
+        c.kill_node(NodeId(1));
+        assert_eq!(c.route(f), Route::Lost);
+    }
+
+    #[test]
+    fn unplaced_files_always_route_live() {
+        let c = cluster(2, 1);
+        c.set_node_down(NodeId(0));
+        c.set_node_down(NodeId(1));
+        assert_eq!(c.route(FileId(9)), Route::Live(NodeId(0)));
+        assert!(!c.outage_blocked(FileId(9)));
+    }
+
+    #[test]
+    fn repair_countdown_restores_node() {
+        let c = cluster(2, 1);
+        assert!(c.set_node_down_for(NodeId(1), 2));
+        assert_eq!(c.node_state(NodeId(1)), Some(NodeState::Down));
+        assert!(c.tick_repairs().is_empty());
+        assert_eq!(c.tick_repairs(), vec![NodeId(1)]);
+        assert_eq!(c.node_state(NodeId(1)), Some(NodeState::Up));
+        let s = c.stats();
+        assert_eq!((s.node_downs, s.node_ups), (1, 1));
+    }
+
+    #[test]
+    fn transition_counters_and_idempotence() {
+        let c = cluster(3, 1);
+        assert!(c.set_node_down(NodeId(0)));
+        assert!(!c.set_node_down(NodeId(0)), "already down");
+        assert!(c.set_node_up(NodeId(0)));
+        assert!(!c.set_node_up(NodeId(0)), "already up");
+        assert!(c.kill_node(NodeId(0)));
+        assert!(!c.set_node_down(NodeId(0)), "dead nodes stay dead");
+        assert!(!c.set_node_up(NodeId(0)), "dead nodes never return");
+        assert!(!c.kill_node(NodeId(0)), "already dead");
+        let s = c.stats();
+        assert_eq!((s.node_downs, s.node_ups, s.node_kills), (1, 1, 1));
+        assert_eq!(c.down_nodes(), vec![]);
+    }
+
+    #[test]
+    fn place_is_idempotent_and_forgettable() {
+        let c = cluster(4, 2);
+        let f = FileId(3);
+        c.place(f, &[NodeId(0), NodeId(1)]);
+        c.place(f, &[NodeId(0), NodeId(1)]);
+        assert_eq!(c.placement(f), Some(vec![NodeId(0), NodeId(1)]));
+        c.place(f, &[NodeId(2)]);
+        assert_eq!(c.placement(f), Some(vec![NodeId(2)]), "re-replication");
+        c.forget(f);
+        assert_eq!(c.placement(f), None);
+    }
+
+    #[test]
+    fn placement_key_is_stable() {
+        assert_eq!(placement_key(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(placement_key(b"ra[0,10)"), placement_key(b"ra[0,10)"));
+        assert_ne!(placement_key(b"ra[0,10)"), placement_key(b"ra[10,20)"));
+    }
+
+    #[test]
+    fn config_clamps_replication_to_topology() {
+        let cfg = NodeConfig::new(3, 9);
+        assert_eq!(cfg.replication, 3);
+        let hot = NodeConfig::new(4, 2).with_hot(9, 5);
+        assert_eq!(hot.hot_replication, 4);
+        assert_eq!(hot.hot_threshold, 5);
+        let cold = NodeConfig::new(4, 3).with_hot(1, 2);
+        assert_eq!(
+            cold.hot_replication, 3,
+            "hot replication never below base replication"
+        );
+    }
+}

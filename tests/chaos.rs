@@ -19,7 +19,10 @@ use deepsea::bench::harness::run_workload;
 use deepsea::core::baselines;
 use deepsea::core::{CatalogJournal, DeepSea, DeepSeaConfig};
 use deepsea::engine::{Catalog, ClusterSim, LogicalPlan, RetryPolicy, RetryingBackend, SimBackend};
-use deepsea::storage::{BlockConfig, FaultConfig, FaultInjector, Lsn, SimFs, SimulatedCrash};
+use deepsea::storage::{
+    BlockConfig, FaultConfig, FaultInjector, Lsn, NodeConfig, NodeId, NodeSet, SimFs,
+    SimulatedCrash,
+};
 use proptest::prelude::*;
 
 /// The DS variant of the golden scenario (progressive partitioning, φ bound).
@@ -390,6 +393,144 @@ fn crash_restart_replay_is_bit_identical_and_recovery_idempotent() {
             "seed {seed}: journal crash counter disagrees with the harness"
         );
     }
+}
+
+/// Crash × node failure: the driver crashes mid-query while a node is
+/// down, on an unreplicated 4-node cluster (so the outage genuinely blocks
+/// fragments). Asserts:
+///
+/// - recovery works with the node still down (fsck verifies checksums, not
+///   liveness, so the outage cannot fake data loss),
+/// - double recovery from the same journal is idempotent (same digest,
+///   second fsck clean),
+/// - answers stay bit-identical to the fault-free golden run throughout,
+/// - once the node returns, the run finishes clean and no fragment stays
+///   quarantined.
+#[test]
+fn crash_during_node_outage_recovers_and_readmits() {
+    silence_simulated_crashes();
+    let golden = fault_free_fingerprints();
+    let (catalog, plans) = setup();
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::with_cluster(
+        BlockConfig::default(),
+        cluster.weights,
+        FaultInjector::disabled(),
+        NodeSet::new(NodeConfig::new(4, 1)),
+    ));
+    let journal = Arc::new(CatalogJournal::new());
+    let policy = RetryPolicy::default();
+    let mut ds = DeepSea::with_backend(
+        Arc::clone(catalog),
+        Arc::clone(&fs),
+        Box::new(RetryingBackend::new(SimBackend::new(cluster), policy)),
+        chaos_config().with_retry(policy),
+    )
+    .with_journal(Arc::clone(&journal));
+
+    let check = |ds: &DeepSea, i: usize, fp: &[String]| {
+        assert_eq!(fp, golden[i], "query {i}: answer diverged");
+        assert_eq!(
+            fs.total_bytes(),
+            ds.pool_bytes(),
+            "query {i}: pool accounting must match the file system"
+        );
+        assert_eq!(
+            ds.pool_accountant().violations(),
+            0,
+            "query {i}: pool over-release"
+        );
+    };
+
+    // Phase 1: healthy prefix — views materialize, placements journal.
+    for (i, plan) in plans.iter().enumerate().take(10) {
+        let o = ds.process_query(plan).expect("healthy prefix");
+        check(&ds, i, &o.result.fingerprint());
+    }
+
+    // Phase 2: node 1 goes down; serving continues (degraded where the
+    // outage blocks fragments), then the crash lands mid-query with the
+    // node still down.
+    fs.set_node_down(NodeId(1));
+    journal.arm_crash(Lsn(journal.next_lsn().0 + 3));
+    let mut crashes = 0u32;
+    let mut i = 10;
+    while i < 20 {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ds.process_query(&plans[i])))
+        {
+            Ok(res) => {
+                let o = res.unwrap_or_else(|e| panic!("query {i} failed under outage: {e}"));
+                check(&ds, i, &o.result.fingerprint());
+                i += 1;
+            }
+            Err(payload) => {
+                payload.downcast::<SimulatedCrash>().unwrap_or_else(|p| {
+                    std::panic::resume_unwind(p);
+                });
+                crashes += 1;
+                // Recover twice from the same journal, node still down: the
+                // restarts must converge and the second fsck must be clean —
+                // an outage is not data loss, so fsck must not quarantine.
+                let (first, _) = DeepSea::recover(
+                    Arc::clone(catalog),
+                    Arc::clone(&fs),
+                    Box::new(RetryingBackend::new(
+                        SimBackend::new(ClusterSim::paper_default()),
+                        policy,
+                    )),
+                    chaos_config().with_retry(policy),
+                    Arc::clone(&journal),
+                );
+                let (second, refsck) = DeepSea::recover(
+                    Arc::clone(catalog),
+                    Arc::clone(&fs),
+                    Box::new(RetryingBackend::new(
+                        SimBackend::new(ClusterSim::paper_default()),
+                        policy,
+                    )),
+                    chaos_config().with_retry(policy),
+                    Arc::clone(&journal),
+                );
+                assert_eq!(
+                    first.registry().state_digest(),
+                    second.registry().state_digest(),
+                    "crash {crashes}: recovery under outage is not idempotent"
+                );
+                assert_eq!(
+                    (
+                        refsck.orphan_files,
+                        refsck.missing_files,
+                        refsck.corrupt_files,
+                        refsck.quarantined_views,
+                    ),
+                    (0, 0, 0, 0),
+                    "crash {crashes}: second fsck under outage found repairs: {refsck:?}"
+                );
+                ds = second;
+                if crashes < 2 {
+                    journal.arm_crash(Lsn(journal.next_lsn().0 + 10));
+                }
+            }
+        }
+    }
+    assert!(
+        crashes >= 1,
+        "the schedule never crashed the driver during the outage"
+    );
+
+    // Phase 3: the node returns; the rest of the run is clean and every
+    // fragment the outage quarantined is re-admitted.
+    fs.set_node_up(NodeId(1));
+    for (i, plan) in plans.iter().enumerate().skip(20) {
+        let o = ds
+            .process_query(plan)
+            .unwrap_or_else(|e| panic!("query {i} failed after the node returned: {e}"));
+        check(&ds, i, &o.result.fingerprint());
+    }
+    assert!(
+        ds.offline_fragments().is_empty(),
+        "fragments stayed quarantined after the node returned"
+    );
 }
 
 /// A journaled run that never crashes must be bit-transparent: attaching the

@@ -134,6 +134,7 @@ fn concurrent_commits_bit_identical_to_serial() {
                     clients,
                     seed,
                     mean_gap_secs: 30.0,
+                    node_schedule: Vec::new(),
                 },
                 ds_serial().fingerprints.len(),
             );
@@ -153,6 +154,7 @@ fn single_client_schedule_matches_serial_too() {
                 clients: 1,
                 seed,
                 mean_gap_secs: 30.0,
+                node_schedule: Vec::new(),
             },
             ds_serial().fingerprints.len(),
         );
@@ -166,9 +168,10 @@ fn same_seed_replays_bit_identically() {
         clients: 3,
         seed: 7,
         mean_gap_secs: 30.0,
+        node_schedule: Vec::new(),
     };
     let n = ds_serial().fingerprints.len();
-    let a = serve(ds_config(), cfg, n);
+    let a = serve(ds_config(), cfg.clone(), n);
     let b = serve(ds_config(), cfg, n);
     assert_eq!(a.records.len(), b.records.len());
     for (ra, rb) in a.records.iter().zip(&b.records) {
@@ -218,6 +221,7 @@ fn interleavings_actually_overlap_and_lag() {
             clients: 4,
             seed: 42,
             mean_gap_secs: 5.0,
+            node_schedule: Vec::new(),
         },
         ds_serial().fingerprints.len(),
     );
@@ -238,6 +242,7 @@ fn interleavings_actually_overlap_and_lag() {
             clients: 4,
             seed: 43,
             mean_gap_secs: 5.0,
+            node_schedule: Vec::new(),
         },
         ds_serial().fingerprints.len(),
     );
@@ -264,6 +269,7 @@ fn eviction_pressure_under_concurrency_stays_canonical() {
             clients: 3,
             seed: 7,
             mean_gap_secs: 10.0,
+            node_schedule: Vec::new(),
         },
         plans.len(),
     );
@@ -299,7 +305,12 @@ proptest! {
         let serial = serial_baseline(ds_config(), prefix);
         let report = serve(
             ds_config(),
-            ServerConfig { clients, seed, mean_gap_secs: mean_gap },
+            ServerConfig {
+                clients,
+                seed,
+                mean_gap_secs: mean_gap,
+                node_schedule: Vec::new(),
+            },
             prefix,
         );
         prop_assert_eq!(report.records.len(), prefix);
@@ -342,6 +353,7 @@ fn real_threads_commits_bit_identical_to_serial() {
                 clients,
                 seed: 7,
                 mean_gap_secs: 30.0,
+                node_schedule: Vec::new(),
             },
         );
         let report = srv.run_threaded(plans).expect("fault-free run");
