@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--metrics-out PATH] [--events-out PATH]
-//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations|pressure|node-failure]...
+//!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations|pressure|node-failure|overload]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` scales workloads
@@ -17,7 +17,10 @@
 //! percentiles under concurrency) is written to `BENCH_pressure.json`, and
 //! whenever `node-failure` runs, the rolling-outage serving scenario's
 //! summary (latency percentiles and degraded-read rate at replication 1
-//! and 2) is written to `BENCH_node_failure.json`.
+//! and 2) is written to `BENCH_node_failure.json`, and whenever `overload`
+//! runs, the tail-tolerance scenario's summary (latency percentiles, shed
+//! rate and hedge counters under rolling gray slowness, hedging off vs on)
+//! is written to `BENCH_overload.json`.
 
 use std::io::Write;
 
@@ -66,6 +69,13 @@ fn main() {
         *node_failure_run = Some(run);
         report
     };
+    let mut overload_run: Option<PressureRun> = None;
+    let run_overload = |overload_run: &mut Option<PressureRun>| -> ExperimentReport {
+        let run = pressure::overload(scale);
+        let report = run.report.clone();
+        *overload_run = Some(run);
+        report
+    };
 
     let everything = wanted.is_empty() || wanted.iter().any(|w| *w == "all");
     let reports: Vec<ExperimentReport> = if everything {
@@ -84,6 +94,7 @@ fn main() {
             experiments::ablations(scale),
             run_pressure(&mut pressure_run),
             run_node_failure(&mut node_failure_run),
+            run_overload(&mut overload_run),
         ]
     } else {
         wanted
@@ -103,6 +114,7 @@ fn main() {
                 "ablations" => experiments::ablations(scale),
                 "pressure" => run_pressure(&mut pressure_run),
                 "node-failure" => run_node_failure(&mut node_failure_run),
+                "overload" => run_overload(&mut overload_run),
                 other => {
                     eprintln!("unknown experiment {other:?}");
                     std::process::exit(2);
@@ -145,5 +157,11 @@ fn main() {
         std::fs::write("BENCH_node_failure.json", format!("{}\n", run.bench_json))
             .expect("write BENCH_node_failure.json");
         eprintln!("wrote BENCH_node_failure.json");
+    }
+
+    if let Some(run) = &overload_run {
+        std::fs::write("BENCH_overload.json", format!("{}\n", run.bench_json))
+            .expect("write BENCH_overload.json");
+        eprintln!("wrote BENCH_overload.json");
     }
 }

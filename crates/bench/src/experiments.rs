@@ -138,6 +138,12 @@ pub fn fig5a(scale: Scale) -> ExperimentReport {
     fig5a_observed(scale).report
 }
 
+/// Pool cap for the `DS-tight` fig5a companion run, as a divisor of the
+/// base-table bytes. Tight enough that the Φ-ranked knapsack (§7.3) must
+/// evict under decay as the SDSS access pattern shifts — the same squeeze
+/// the `pressure` serving scenario applies.
+const FIG5A_TIGHT_DIVISOR: u64 = 40;
+
 /// [`fig5a`] with the observer and `BENCH.json` document exposed.
 pub fn fig5a_observed(scale: Scale) -> Fig5aRun {
     let catalog = sdss_catalog(scale.instance());
@@ -159,6 +165,17 @@ pub fn fig5a_observed(scale: Scale) -> Fig5aRun {
         &plans,
         obs.clone(),
     );
+    // The §7.3 companion: the identical workload under a pool cap so tight
+    // that Φ-ranked, decay-driven eviction must fire. Its stage totals ride
+    // along in `BENCH.json` so the eviction path is tracked release to
+    // release alongside the unlimited-pool headline.
+    let smax = catalog.total_base_bytes() / FIG5A_TIGHT_DIVISOR;
+    let ds_tight_run = run_workload(
+        "DS-tight",
+        &catalog,
+        baselines::deepsea().with_phi(0.05).with_smax(smax),
+        &plans,
+    );
     let runs = [&baselines_runs[0], &baselines_runs[1], &ds_run];
     let items: Vec<(String, f64)> = runs
         .iter()
@@ -177,6 +194,15 @@ pub fn fig5a_observed(scale: Scale) -> Fig5aRun {
     // Where DS spent its time and effort, stage by stage.
     body.push('\n');
     body.push_str(&stage_breakdown(&ds_run.label, &ds_run.stage_totals()));
+    let tight_totals = ds_tight_run.stage_totals();
+    body.push_str(&format!(
+        "\nDS-tight (Smax = base/{FIG5A_TIGHT_DIVISOR}): total {}, \
+         evictions {} selected + {} forced, pool high-water {} B\n",
+        secs(ds_tight_run.total_secs()),
+        tight_totals.evictions_selected,
+        tight_totals.evictions_forced,
+        ds_tight_run.pool_high_water,
+    ));
     // The views DS leaned on hardest, straight from the metrics registry.
     let hot = obs
         .metrics_snapshot()
@@ -185,7 +211,7 @@ pub fn fig5a_observed(scale: Scale) -> Fig5aRun {
         body.push('\n');
         body.push_str(&top_n_table("hottest views (DS)", "hits", &hot));
     }
-    let bench_json = fig5a_bench_json(scale, &runs, &ds_run);
+    let bench_json = fig5a_bench_json(scale, &runs, &ds_run, &ds_tight_run, smax);
     let report = ExperimentReport::new(
         "fig5a",
         &format!(
@@ -203,9 +229,16 @@ pub fn fig5a_observed(scale: Scale) -> Fig5aRun {
 }
 
 /// Render the `BENCH.json` document for a fig5a run: one deterministic JSON
-/// object with the variant totals, the query count, and the DS run's stage
-/// totals plus pool high-water mark.
-fn fig5a_bench_json(scale: Scale, runs: &[&RunResult], ds: &RunResult) -> String {
+/// object with the variant totals, the query count, the DS run's stage
+/// totals plus pool high-water mark, and the pool-constrained `DS-tight`
+/// companion's eviction profile.
+fn fig5a_bench_json(
+    scale: Scale,
+    runs: &[&RunResult],
+    ds: &RunResult,
+    ds_tight: &RunResult,
+    tight_smax: u64,
+) -> String {
     let mut variants = ObjectBuilder::new();
     for r in runs {
         variants = variants.field(&r.label, r.total_secs());
@@ -214,6 +247,7 @@ fn fig5a_bench_json(scale: Scale, runs: &[&RunResult], ds: &RunResult) -> String
     for (name, v) in ds.stage_totals().fields() {
         totals = totals.field(name, v);
     }
+    let tight = ds_tight.stage_totals();
     ObjectBuilder::new()
         .field("experiment", "fig5a")
         .field(
@@ -232,6 +266,18 @@ fn fig5a_bench_json(scale: Scale, runs: &[&RunResult], ds: &RunResult) -> String
                 .field("final_pool_bytes", ds.final_pool_bytes)
                 .field("pool_high_water_bytes", ds.pool_high_water)
                 .field("stage_totals", totals.build())
+                .build(),
+        )
+        .field(
+            "ds_tight",
+            ObjectBuilder::new()
+                .field("smax_bytes", tight_smax)
+                .field("total_secs", ds_tight.total_secs())
+                .field("final_pool_bytes", ds_tight.final_pool_bytes)
+                .field("pool_high_water_bytes", ds_tight.pool_high_water)
+                .field("evictions_selected", tight.evictions_selected)
+                .field("evictions_forced", tight.evictions_forced)
+                .field("planned_evictions", tight.planned_evictions)
                 .build(),
         )
         .build()
@@ -732,12 +778,44 @@ mod tests {
     }
 
     #[test]
+    fn fig5a_tight_companion_actually_evicts() {
+        let run = fig5a_observed(Scale::Quick);
+        // The DS-tight arm must hit the pool cap and run the Φ-ranked
+        // eviction path; a cap nobody hits would silently stop guarding it.
+        assert!(
+            run.bench_json.contains("\"ds_tight\""),
+            "missing ds_tight in:\n{}",
+            run.bench_json
+        );
+        let evictions: u64 = run
+            .bench_json
+            .split("\"evictions_selected\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .expect("evictions_selected present");
+        assert!(
+            evictions > 0,
+            "tight Smax should evict:\n{}",
+            run.bench_json
+        );
+        assert!(run.report.body.contains("DS-tight"));
+    }
+
+    #[test]
     fn fig5a_bench_json_has_expected_shape() {
         let catalog = uniform_catalog(InstanceSize::Gb100);
         let plans = fig6_workload(SEED);
         let h = run_workload("H", &catalog, baselines::hive(), &plans);
         let ds = run_workload("DS", &catalog, baselines::deepsea(), &plans);
-        let json = fig5a_bench_json(Scale::Quick, &[&h, &ds], &ds);
+        let smax = catalog.total_base_bytes() / FIG5A_TIGHT_DIVISOR;
+        let tight = run_workload(
+            "DS-tight",
+            &catalog,
+            baselines::deepsea().with_smax(smax),
+            &plans,
+        );
+        let json = fig5a_bench_json(Scale::Quick, &[&h, &ds], &ds, &tight, smax);
         for key in [
             "\"experiment\":\"fig5a\"",
             "\"scale\":\"quick\"",
@@ -747,6 +825,9 @@ mod tests {
             "\"stage_totals\"",
             "\"matching.roots\"",
             "\"durability.snapshots\"",
+            "\"ds_tight\"",
+            "\"smax_bytes\"",
+            "\"evictions_selected\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

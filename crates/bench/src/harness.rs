@@ -96,6 +96,9 @@ pub struct StageTotals {
     /// Fragment reads that failed checksum verification (detected, never
     /// served).
     pub corrupt_fragments: u64,
+    /// Rewritings skipped because an open circuit breaker guarded the chosen
+    /// view (served straight from base tables).
+    pub breaker_short_circuits: u64,
     /// Catalog-journal records appended.
     pub journal_appends: u64,
     /// Transient journal-write failures retried.
@@ -144,6 +147,7 @@ impl StageTotals {
             base_table_fallbacks,
             fragment_fallbacks,
             corrupt_fragments,
+            breaker_short_circuits,
             journal_appends,
             journal_retries,
             journal_penalty_secs,
@@ -185,6 +189,10 @@ impl StageTotals {
             ("recovery.base_table_fallbacks", base_table_fallbacks as f64),
             ("recovery.fragment_fallbacks", fragment_fallbacks as f64),
             ("recovery.corrupt_fragments", corrupt_fragments as f64),
+            (
+                "recovery.breaker_short_circuits",
+                breaker_short_circuits as f64,
+            ),
             ("durability.journal_appends", journal_appends as f64),
             ("durability.journal_retries", journal_retries as f64),
             ("durability.journal_penalty_secs", journal_penalty_secs),
@@ -272,6 +280,7 @@ impl RunResult {
             t.base_table_fallbacks += tr.recovery.base_table_fallbacks as u64;
             t.fragment_fallbacks += tr.recovery.fragment_fallbacks as u64;
             t.corrupt_fragments += tr.recovery.corrupt_fragments as u64;
+            t.breaker_short_circuits += tr.recovery.breaker_short_circuits as u64;
             t.journal_appends += tr.durability.journal_appends as u64;
             t.journal_retries += tr.durability.journal_retries as u64;
             t.journal_penalty_secs += tr.durability.journal_penalty_secs;

@@ -14,9 +14,11 @@
 
 use std::sync::Arc;
 
-use deepsea_core::{baselines, DeepSea, NodeAction, ObsConfig, Observer, ServerConfig, ViewServer};
+use deepsea_core::{
+    baselines, DeepSea, NodeAction, ObsConfig, Observer, ServerConfig, ShedPolicy, ViewServer,
+};
 use deepsea_engine::ClusterSim;
-use deepsea_storage::{BlockConfig, FaultInjector, NodeConfig, NodeSet, SimFs};
+use deepsea_storage::{BlockConfig, FaultInjector, HedgeConfig, NodeConfig, NodeSet, SimFs};
 use serde::ObjectBuilder;
 
 use crate::experiments::{sdss_catalog, ExperimentReport, Scale, SEED};
@@ -67,7 +69,7 @@ pub fn pressure(scale: Scale) -> PressureRun {
             clients: PRESSURE_CLIENTS,
             seed: PRESSURE_SEED,
             mean_gap_secs: PRESSURE_GAP_SECS,
-            node_schedule: Vec::new(),
+            ..ServerConfig::default()
         },
     );
     let served = server
@@ -228,6 +230,7 @@ fn node_failure_at(replication: u32, scale: Scale) -> NodeFailureOutcome {
             seed: PRESSURE_SEED,
             mean_gap_secs: PRESSURE_GAP_SECS,
             node_schedule: rolling_outage(plans.len()),
+            ..ServerConfig::default()
         },
     );
     let served = server
@@ -332,6 +335,260 @@ pub fn node_failure(scale: Scale) -> PressureRun {
     }
 }
 
+/// Commits each gray-slow window lasts in the overload scenario (the
+/// slowness hops to the next node every window, like the rolling outage).
+const OVERLOAD_SLOW_WINDOW: usize = 5;
+
+/// Latency multiplier a gray-failed node serves reads at.
+const OVERLOAD_SLOW_MULT: f64 = 8.0;
+
+/// Mean client think time between queries in the overload scenario. Wider
+/// than the eviction-pressure gap so the scenario sits at moderate overload
+/// — enough queueing that deadlines bite, not so much that nearly every
+/// ticket sheds.
+const OVERLOAD_GAP_SECS: f64 = 30.0;
+
+/// Mean per-ticket deadline (simulated seconds after arrival) for the
+/// deadline-aware shedder. Calibrated so gray-failure-amplified reads blow
+/// their deadlines (the hedging-off arm sheds heavily) while hedged reads
+/// comfortably make them — the headline is that hedging turns deadline
+/// misses back into served answers.
+const OVERLOAD_DEADLINE_SECS: f64 = 400.0;
+
+/// Bounded admission queue depth for the overload scenario.
+const OVERLOAD_QUEUE: usize = 6;
+
+/// Hedge threshold: a primary view read projected past this many simulated
+/// seconds races the next live replica. Sits above a healthy per-file read
+/// but far below one amplified [`OVERLOAD_SLOW_MULT`]×, so hedges fire on
+/// gray-failed nodes and stay bit-transparent on healthy ones.
+const OVERLOAD_HEDGE_AFTER_SECS: f64 = 1.0;
+
+/// Exact (nearest-rank) p50/p95/p99 over a latency series — used where the
+/// observer's power-of-two histogram buckets are too coarse.
+fn exact_percentiles(mut xs: Vec<f64>) -> (f64, f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    xs.sort_by(f64::total_cmp);
+    let pick = |p: f64| xs[((xs.len() - 1) as f64 * p).round() as usize];
+    (pick(0.50), pick(0.95), pick(0.99))
+}
+
+/// The rolling gray failure: node `w % NODES` serves reads at
+/// [`OVERLOAD_SLOW_MULT`]× from commit `w * WINDOW`, recovering at the next
+/// boundary when the slowness hops to the next node. Clears precede opens
+/// so exactly one node is slow at any instant; every node stays live and
+/// serving throughout.
+fn rolling_slowness(n: usize) -> Vec<(usize, u32, f64)> {
+    let mut schedule = Vec::new();
+    for w in 0..n.div_ceil(OVERLOAD_SLOW_WINDOW) {
+        let node = (w % NODE_FAILURE_NODES as usize) as u32;
+        if w > 0 {
+            let prev = ((w - 1) % NODE_FAILURE_NODES as usize) as u32;
+            schedule.push((w * OVERLOAD_SLOW_WINDOW, prev, 1.0));
+        }
+        schedule.push((w * OVERLOAD_SLOW_WINDOW, node, OVERLOAD_SLOW_MULT));
+    }
+    schedule
+}
+
+/// One arm of the overload scenario: hedging on or off, everything else
+/// (workload, schedule, seed, shedding policy) held identical.
+struct OverloadOutcome {
+    hedging: bool,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    shed_reads: u64,
+    shed_rate: f64,
+    hedges_issued: u64,
+    hedges_won: u64,
+    hedges_cancelled: u64,
+    hedge_extra_secs: f64,
+    incorrect_answers: u64,
+    commits: u64,
+    makespan_secs: f64,
+    state_digest: u64,
+    observer: Observer,
+}
+
+fn overload_at(hedging: bool, scale: Scale) -> OverloadOutcome {
+    let catalog = sdss_catalog(scale.instance());
+    let plans = deepsea_workload::sequences::fig5_workload(scale.fig5_queries(), SEED);
+    // Unlimited pool: the more reads are view-backed, the more surface the
+    // rolling gray slowness (and therefore hedging) actually touches.
+    let config = baselines::deepsea().with_phi(0.05);
+
+    let obs = Observer::new(ObsConfig::on());
+    let cluster = ClusterSim::paper_default();
+    let fs = Arc::new(SimFs::with_cluster(
+        BlockConfig::default(),
+        cluster.weights,
+        FaultInjector::disabled(),
+        NodeSet::new(NodeConfig::new(NODE_FAILURE_NODES, 2)),
+    ));
+    if hedging {
+        fs.set_hedge(Some(HedgeConfig::after_secs(OVERLOAD_HEDGE_AFTER_SECS)));
+    }
+    let ds = DeepSea::with_parts(Arc::clone(&catalog), Arc::clone(&fs), cluster, config)
+        .with_observer(obs.clone());
+    let mut server = ViewServer::new(
+        ds,
+        ServerConfig {
+            clients: PRESSURE_CLIENTS,
+            seed: PRESSURE_SEED,
+            mean_gap_secs: OVERLOAD_GAP_SECS,
+            slow_schedule: rolling_slowness(plans.len()),
+            deadline_secs: Some(OVERLOAD_DEADLINE_SECS),
+            max_queue: Some(OVERLOAD_QUEUE),
+            shed_policy: ShedPolicy::ServeStale,
+            ..ServerConfig::default()
+        },
+    );
+    let served = server
+        .run(&plans)
+        .unwrap_or_else(|e| panic!("overload scenario failed: {e}"));
+
+    // Correctness audit: every answer actually handed to a client (served
+    // or stale-shed; rejects hand back nothing) must equal the committed
+    // one. Rewritings, hedged replica reads and degraded modes are all
+    // semantically transparent, so this count must be zero.
+    let incorrect_answers = served
+        .records
+        .iter()
+        .filter(|r| !r.read_fingerprint.is_empty() && r.read_fingerprint != r.committed_fingerprint)
+        .count() as u64;
+
+    let snap = obs.metrics_snapshot();
+    // Exact percentiles over every client-visible latency (shed tickets
+    // included — a rejection is an answer too). The observer's histogram is
+    // bucket-quantized, too coarse to resolve the hedging-on tail cut.
+    let (p50, p95, p99) = exact_percentiles(served.latencies_secs());
+    let stats = fs.fault_stats();
+    OverloadOutcome {
+        hedging,
+        p50,
+        p95,
+        p99,
+        shed_reads: served.shed_reads,
+        shed_rate: served.shed_reads as f64 / plans.len() as f64,
+        hedges_issued: stats.hedges_issued,
+        hedges_won: stats.hedges_won,
+        hedges_cancelled: stats.hedges_cancelled,
+        hedge_extra_secs: fs.hedge_extra_secs(),
+        incorrect_answers,
+        commits: snap.counter("deepsea_server_commits_total", None),
+        makespan_secs: served.makespan_secs,
+        state_digest: served.state_digest,
+        observer: obs,
+    }
+}
+
+/// Run the overload serving scenario: the pressure workload on a 4-node
+/// sharded FS (replication 2) under a rolling gray failure — one node at a
+/// time serving reads [`OVERLOAD_SLOW_MULT`]× slower — with per-ticket
+/// deadlines, a bounded admission queue, and stale-serving load shedding.
+/// Runs once with hedged replica reads off and once on; everything else is
+/// bit-identical. `BENCH_overload.json` carries latency percentiles, the
+/// shed rate, hedge counters and the incorrect-answer audit (always zero)
+/// for both arms — the headline being hedging's simulated p99 cut.
+pub fn overload(scale: Scale) -> PressureRun {
+    let off = overload_at(false, scale);
+    let on = overload_at(true, scale);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut arms_json = ObjectBuilder::new();
+    for o in [&off, &on] {
+        rows.push(vec![
+            if o.hedging {
+                "hedging on"
+            } else {
+                "hedging off"
+            }
+            .to_string(),
+            secs(o.p50),
+            secs(o.p95),
+            secs(o.p99),
+            format!("{:.1}%", o.shed_rate * 100.0),
+            o.hedges_won.to_string(),
+        ]);
+        arms_json = arms_json.field(
+            if o.hedging {
+                "hedging_on"
+            } else {
+                "hedging_off"
+            },
+            ObjectBuilder::new()
+                .field("p50_secs", o.p50)
+                .field("p95_secs", o.p95)
+                .field("p99_secs", o.p99)
+                .field("shed_reads", o.shed_reads)
+                .field("shed_rate", o.shed_rate)
+                .field("hedges_issued", o.hedges_issued)
+                .field("hedges_won", o.hedges_won)
+                .field("hedges_cancelled", o.hedges_cancelled)
+                .field("hedge_extra_secs", o.hedge_extra_secs)
+                .field("incorrect_answers", o.incorrect_answers)
+                .field("commits", o.commits)
+                .field("makespan_secs", o.makespan_secs)
+                .field("state_digest", o.state_digest)
+                .build(),
+        );
+    }
+
+    let mut body = table(&["arm", "p50", "p95", "p99", "shed", "hedge wins"], &rows);
+    body.push_str(&format!(
+        "\nrolling {OVERLOAD_SLOW_MULT}x gray slowness every {OVERLOAD_SLOW_WINDOW} commits \
+         ({NODE_FAILURE_NODES} nodes, replication 2); deadline {OVERLOAD_DEADLINE_SECS}s, \
+         queue {OVERLOAD_QUEUE}, serve-stale shedding; {PRESSURE_CLIENTS} clients, \
+         mean gap {OVERLOAD_GAP_SECS}s, seed {PRESSURE_SEED}\n\
+         p99 hedging off: {}  on: {}   incorrect answers: {}\n",
+        secs(off.p99),
+        secs(on.p99),
+        off.incorrect_answers + on.incorrect_answers,
+    ));
+
+    let bench_json = ObjectBuilder::new()
+        .field("experiment", "overload")
+        .field(
+            "scale",
+            match scale {
+                Scale::Quick => "quick",
+                Scale::Paper => "paper",
+            },
+        )
+        .field("queries", off.commits)
+        .field("nodes", NODE_FAILURE_NODES as u64)
+        .field("replication", 2u64)
+        .field("slow_window", OVERLOAD_SLOW_WINDOW as u64)
+        .field("slow_multiplier", OVERLOAD_SLOW_MULT)
+        .field("deadline_secs", OVERLOAD_DEADLINE_SECS)
+        .field("max_queue", OVERLOAD_QUEUE as u64)
+        .field("shed_policy", "serve_stale")
+        .field("hedge_after_secs", OVERLOAD_HEDGE_AFTER_SECS)
+        .field("clients", PRESSURE_CLIENTS as u64)
+        .field("seed", PRESSURE_SEED)
+        .field("mean_gap_secs", OVERLOAD_GAP_SECS)
+        .field("by_hedging", arms_json.build())
+        .build()
+        .to_json();
+
+    let report = ExperimentReport::new(
+        "overload",
+        &format!(
+            "Serving under rolling gray slowness ({NODE_FAILURE_NODES} nodes, \
+             {OVERLOAD_SLOW_MULT}x, deadline shedding, hedging off vs on)"
+        ),
+        body,
+    );
+    PressureRun {
+        report,
+        bench_json,
+        observer: on.observer,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +661,64 @@ mod tests {
     fn node_failure_is_deterministic() {
         let a = node_failure(Scale::Quick);
         let b = node_failure(Scale::Quick);
+        assert_eq!(a.bench_json, b.bench_json);
+    }
+
+    #[test]
+    fn rolling_slowness_keeps_one_node_slow() {
+        let schedule = rolling_slowness(60);
+        let mut slow: Vec<u32> = Vec::new();
+        let mut boundary = 0usize;
+        for &(when, node, mult) in &schedule {
+            assert!(when >= boundary, "schedule must be in ticket order");
+            boundary = when;
+            if mult > 1.0 {
+                slow.push(node);
+                assert_eq!(slow.len(), 1, "exactly one node slow at a time");
+            } else {
+                slow.retain(|&n| n != node);
+            }
+        }
+    }
+
+    #[test]
+    fn overload_quick_hedging_cuts_p99_without_wrong_answers() {
+        let off = overload_at(false, Scale::Quick);
+        let on = overload_at(true, Scale::Quick);
+        assert_eq!(off.commits, 60);
+        assert_eq!(on.commits, 60);
+        // Gray slowness never changes an answer, with or without hedging.
+        assert_eq!(off.incorrect_answers, 0);
+        assert_eq!(on.incorrect_answers, 0);
+        // Both arms commit the identical state trajectory: slowness and
+        // hedging shape cost, never catalog decisions.
+        assert_eq!(off.state_digest, on.state_digest);
+        // The shedder fires deterministically where the gray tail bites —
+        // and hedging wins back deadline misses, so it never sheds more.
+        assert!(off.shed_reads > 0, "overload must shed without hedging");
+        assert!(
+            on.shed_reads <= off.shed_reads,
+            "hedging must not increase sheds: on {} > off {}",
+            on.shed_reads,
+            off.shed_reads
+        );
+        // Hedging actually fires and actually wins against the slow node…
+        assert!(on.hedges_issued > 0, "slow reads must trigger hedges");
+        assert!(on.hedges_won > 0, "some hedge must beat the slow primary");
+        assert_eq!(off.hedges_issued, 0, "hedging off must not hedge");
+        // …and the tail comes down for it.
+        assert!(
+            on.p99 < off.p99,
+            "hedging must cut the simulated p99: on {} >= off {}",
+            on.p99,
+            off.p99
+        );
+    }
+
+    #[test]
+    fn overload_is_deterministic() {
+        let a = overload(Scale::Quick);
+        let b = overload(Scale::Quick);
         assert_eq!(a.bench_json, b.bench_json);
     }
 }

@@ -142,13 +142,14 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
             "recovery".into(),
             format!(
                 "{} retries, {} quarantined ({}), {} base-table fallbacks, \
-                 {} fragment fallbacks, {} corrupt",
+                 {} fragment fallbacks, {} corrupt, {} breaker short-circuits",
                 t.retries,
                 t.quarantined_views,
                 bytes(t.quarantined_bytes),
                 t.base_table_fallbacks,
                 t.fragment_fallbacks,
-                t.corrupt_fragments
+                t.corrupt_fragments,
+                t.breaker_short_circuits
             ),
             secs(t.retry_penalty_secs),
         ],
@@ -266,6 +267,7 @@ mod tests {
             base_table_fallbacks: 1,
             fragment_fallbacks: 0,
             corrupt_fragments: 2,
+            breaker_short_circuits: 4,
             journal_appends: 120,
             journal_retries: 3,
             journal_penalty_secs: 1.5,
@@ -294,7 +296,7 @@ mod tests {
         assert!(s.contains("40 considered, 4 creations, 2 evictions planned"));
         assert!(s.contains(
             "9 retries, 1 quarantined (3.0 MB), 1 base-table fallbacks, \
-             0 fragment fallbacks, 2 corrupt"
+             0 fragment fallbacks, 2 corrupt, 4 breaker short-circuits"
         ));
         assert!(s.contains("120 journal records, 2 snapshots, 3 retries"));
     }
@@ -335,6 +337,7 @@ mod tests {
             base_table_fallbacks: 153,
             fragment_fallbacks: 154,
             corrupt_fragments: 155,
+            breaker_short_circuits: 156,
             journal_appends: 157,
             journal_retries: 159,
             journal_penalty_secs: 161.5,

@@ -1,0 +1,394 @@
+//! Per-(view, node) circuit breakers for the read path.
+//!
+//! A breaker guards repeated use of a materialized view whose fragments keep
+//! failing (or keep straggling past a latency threshold): instead of burning
+//! retry budget on a view that a gray-failed or dead node has made useless,
+//! the read path *short-circuits* straight to the replica-or-base-table
+//! fallback it would have reached anyway — paying the fallback cost once,
+//! not the fallback cost plus a full retry ladder.
+//!
+//! The state machine is the classic three-state breaker, made deterministic
+//! for the simulation:
+//!
+//! ```text
+//! Closed --(failure_threshold consecutive failures)--> Open
+//! Open   --(probe_after subsequent accesses)---------> HalfOpen
+//! HalfOpen --(probe succeeds)--> Closed
+//! HalfOpen --(probe fails)-----> Open
+//! ```
+//!
+//! There is no wall clock anywhere: Open→HalfOpen triggers on the *Nth
+//! subsequent access* (a consulted-operation countdown, like node repair in
+//! `deepsea-storage`), so a replay of the same operation sequence reproduces
+//! the same transitions bit-for-bit. Breakers are keyed by `(view, node)` —
+//! the node a failure was traced to, or [`NODE_UNKNOWN`] for failures with
+//! no placement (latency trips, unclustered file systems).
+//!
+//! State lives outside the registry and is deliberately *not* journaled:
+//! breaker state is a health cache, not catalog truth, so
+//! `DeepSea::recover` starts with every breaker closed (fail-safe: the
+//! first post-restart failures re-open them).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Sentinel node id for failures that cannot be traced to a cluster node.
+pub const NODE_UNKNOWN: u32 = u32::MAX;
+
+/// Thresholds governing [`BreakerSet`]. Disabled by default
+/// (`failure_threshold == 0`), which keeps every existing schedule
+/// bit-identical: a disabled set never opens, never counts, never consults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive recorded failures after which a breaker opens.
+    /// `0` disables breakers entirely.
+    pub failure_threshold: u32,
+    /// While open, the Nth subsequent access to the guarded view becomes
+    /// the deterministic half-open probe (1 = the very next access).
+    pub probe_after: u32,
+    /// Optional latency trip: a *successful* view read slower than this
+    /// many simulated seconds counts as a failure (gray-failure detection).
+    pub latency_trip_secs: Option<f64>,
+}
+
+impl BreakerConfig {
+    /// Breakers off: never opens, never consults, bit-transparent.
+    pub fn disabled() -> Self {
+        Self {
+            failure_threshold: 0,
+            probe_after: 0,
+            latency_trip_secs: None,
+        }
+    }
+
+    /// Open after `failures` consecutive failures; probe on the
+    /// `probe_after`th access while open.
+    pub fn after_failures(failures: u32, probe_after: u32) -> Self {
+        Self {
+            failure_threshold: failures,
+            probe_after: probe_after.max(1),
+            latency_trip_secs: None,
+        }
+    }
+
+    /// Also count successful-but-slow reads (above `secs` simulated
+    /// seconds) as failures.
+    pub fn with_latency_trip(mut self, secs: f64) -> Self {
+        self.latency_trip_secs = Some(secs);
+        self
+    }
+
+    /// Whether breakers are active at all.
+    pub fn enabled(&self) -> bool {
+        self.failure_threshold > 0
+    }
+
+    /// Whether a successful read of the given simulated latency should be
+    /// recorded as a failure under the latency trip.
+    pub fn trips_on_latency(&self, secs: f64) -> bool {
+        self.enabled() && self.latency_trip_secs.is_some_and(|t| secs > t)
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// One breaker's state. `Closed` counts consecutive failures; `Open` counts
+/// subsequent accesses toward the half-open probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { consecutive: u32 },
+    Open { accesses: u32 },
+    HalfOpen,
+}
+
+impl State {
+    fn name(&self) -> &'static str {
+        match self {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Verdict for one guarded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// No open breaker: use the view normally.
+    Allow,
+    /// An open breaker guards this view: skip it and fall back immediately,
+    /// without spending retries on it.
+    ShortCircuit,
+    /// This access is the deterministic half-open probe: use the view, and
+    /// let its outcome close or re-open the breaker.
+    Probe,
+}
+
+/// A state transition, reported so the caller can journal it as a typed
+/// decision event (this crate layer may talk to `deepsea-obs`; storage may
+/// not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// The guarded view.
+    pub view: String,
+    /// The node the breaker is keyed to ([`NODE_UNKNOWN`] when untraced).
+    pub node: u32,
+    /// State before, as its canonical name.
+    pub from: &'static str,
+    /// State after.
+    pub to: &'static str,
+}
+
+/// All breakers of one DeepSea instance, keyed by `(view, node)`.
+///
+/// Deterministic by construction: `BTreeMap` iteration order, access-count
+/// (not time) probes, and no randomness.
+#[derive(Debug)]
+pub struct BreakerSet {
+    cfg: BreakerConfig,
+    state: Mutex<BTreeMap<(String, u32), State>>,
+}
+
+impl BreakerSet {
+    /// An empty set (every breaker closed).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A set that never opens.
+    pub fn disabled() -> Self {
+        Self::new(BreakerConfig::disabled())
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    fn locked(&self) -> MutexGuard<'_, BTreeMap<(String, u32), State>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consult the breakers guarding `view` before using it. Open breakers
+    /// advance their probe countdown (the Nth access while open *is* the
+    /// probe); the first open breaker in key order drives the decision.
+    pub fn check(&self, view: &str) -> (BreakerDecision, Vec<BreakerTransition>) {
+        if !self.cfg.enabled() {
+            return (BreakerDecision::Allow, Vec::new());
+        }
+        let mut st = self.locked();
+        let mut transitions = Vec::new();
+        let mut decision = BreakerDecision::Allow;
+        for ((v, node), entry) in st.range_mut((view.to_string(), 0)..=(view.to_string(), u32::MAX))
+        {
+            debug_assert_eq!(v, view);
+            match entry {
+                State::Closed { .. } => {}
+                State::HalfOpen => {
+                    if decision == BreakerDecision::Allow {
+                        decision = BreakerDecision::Probe;
+                    }
+                }
+                State::Open { accesses } => {
+                    *accesses += 1;
+                    if *accesses >= self.cfg.probe_after {
+                        transitions.push(BreakerTransition {
+                            view: view.to_string(),
+                            node: *node,
+                            from: entry.name(),
+                            to: "half_open",
+                        });
+                        *entry = State::HalfOpen;
+                        if decision == BreakerDecision::Allow {
+                            decision = BreakerDecision::Probe;
+                        }
+                    } else if decision != BreakerDecision::ShortCircuit {
+                        decision = BreakerDecision::ShortCircuit;
+                    }
+                }
+            }
+        }
+        (decision, transitions)
+    }
+
+    /// Record a successful (and fast-enough) use of `view`: half-open
+    /// probes close, and closed breakers forget their failure streaks.
+    /// Open breakers stay open — a success served around them proves
+    /// nothing about the node they guard.
+    pub fn record_success(&self, view: &str) -> Vec<BreakerTransition> {
+        if !self.cfg.enabled() {
+            return Vec::new();
+        }
+        let mut st = self.locked();
+        let mut transitions = Vec::new();
+        for ((_, node), entry) in st.range_mut((view.to_string(), 0)..=(view.to_string(), u32::MAX))
+        {
+            match entry {
+                State::Closed { consecutive } => *consecutive = 0,
+                State::HalfOpen => {
+                    transitions.push(BreakerTransition {
+                        view: view.to_string(),
+                        node: *node,
+                        from: entry.name(),
+                        to: "closed",
+                    });
+                    *entry = State::Closed { consecutive: 0 };
+                }
+                State::Open { .. } => {}
+            }
+        }
+        transitions
+    }
+
+    /// Record a failed (or latency-tripped) use of `view`, traced to
+    /// `node` ([`NODE_UNKNOWN`] when untraceable). Closed breakers count
+    /// toward the threshold; a failed half-open probe re-opens.
+    pub fn record_failure(&self, view: &str, node: u32) -> Vec<BreakerTransition> {
+        if !self.cfg.enabled() {
+            return Vec::new();
+        }
+        let mut st = self.locked();
+        let entry = st
+            .entry((view.to_string(), node))
+            .or_insert(State::Closed { consecutive: 0 });
+        let mut transitions = Vec::new();
+        match entry {
+            State::Closed { consecutive } => {
+                *consecutive += 1;
+                if *consecutive >= self.cfg.failure_threshold {
+                    transitions.push(BreakerTransition {
+                        view: view.to_string(),
+                        node,
+                        from: entry.name(),
+                        to: "open",
+                    });
+                    *entry = State::Open { accesses: 0 };
+                }
+            }
+            State::HalfOpen => {
+                transitions.push(BreakerTransition {
+                    view: view.to_string(),
+                    node,
+                    from: entry.name(),
+                    to: "open",
+                });
+                *entry = State::Open { accesses: 0 };
+            }
+            State::Open { .. } => {}
+        }
+        transitions
+    }
+
+    /// Canonical snapshot of every non-closed breaker, for tests and
+    /// digests: `(view, node, state name)` in key order.
+    pub fn open_breakers(&self) -> Vec<(String, u32, &'static str)> {
+        self.locked()
+            .iter()
+            .filter(|(_, s)| !matches!(s, State::Closed { .. }))
+            .map(|((v, n), s)| (v.clone(), *n, s.name()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(failures: u32, probe_after: u32) -> BreakerSet {
+        BreakerSet::new(BreakerConfig::after_failures(failures, probe_after))
+    }
+
+    #[test]
+    fn disabled_breakers_are_inert() {
+        let b = BreakerSet::disabled();
+        for _ in 0..10 {
+            assert!(b.record_failure("v", 0).is_empty());
+        }
+        assert_eq!(b.check("v").0, BreakerDecision::Allow);
+        assert!(b.open_breakers().is_empty());
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_and_probes_deterministically() {
+        let b = set(3, 2);
+        assert!(b.record_failure("v", 1).is_empty());
+        assert!(b.record_failure("v", 1).is_empty());
+        let t = b.record_failure("v", 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!((t[0].from, t[0].to), ("closed", "open"));
+        assert_eq!(t[0].node, 1);
+
+        // First access while open short-circuits; the second is the probe.
+        let (d, t) = b.check("v");
+        assert_eq!(d, BreakerDecision::ShortCircuit);
+        assert!(t.is_empty());
+        let (d, t) = b.check("v");
+        assert_eq!(d, BreakerDecision::Probe);
+        assert_eq!((t[0].from, t[0].to), ("open", "half_open"));
+
+        // Probe success closes; streaks reset.
+        let t = b.record_success("v");
+        assert_eq!((t[0].from, t[0].to), ("half_open", "closed"));
+        assert!(b.open_breakers().is_empty());
+        assert_eq!(b.check("v").0, BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = set(1, 1);
+        b.record_failure("v", NODE_UNKNOWN);
+        let (d, _) = b.check("v");
+        assert_eq!(
+            d,
+            BreakerDecision::Probe,
+            "probe_after=1: next access probes"
+        );
+        let t = b.record_failure("v", NODE_UNKNOWN);
+        assert_eq!((t[0].from, t[0].to), ("half_open", "open"));
+        assert_eq!(
+            b.open_breakers(),
+            vec![("v".to_string(), NODE_UNKNOWN, "open")]
+        );
+    }
+
+    #[test]
+    fn success_resets_closed_streaks() {
+        let b = set(2, 1);
+        b.record_failure("v", 0);
+        b.record_success("v");
+        b.record_failure("v", 0);
+        assert!(
+            b.record_failure("v", 0).iter().any(|t| t.to == "open"),
+            "threshold counts only consecutive failures"
+        );
+    }
+
+    #[test]
+    fn breakers_are_scoped_per_view_and_node() {
+        let b = set(1, 1);
+        b.record_failure("a", 0);
+        assert_eq!(b.check("b").0, BreakerDecision::Allow, "other view clear");
+        b.record_failure("b", 7);
+        let open = b.open_breakers();
+        assert_eq!(open.len(), 2);
+        assert_eq!(open[0].0, "a");
+        assert_eq!(open[1], ("b".to_string(), 7, "open"));
+    }
+
+    #[test]
+    fn latency_trip_threshold() {
+        let cfg = BreakerConfig::after_failures(2, 1).with_latency_trip(10.0);
+        assert!(cfg.trips_on_latency(10.5));
+        assert!(!cfg.trips_on_latency(9.5));
+        assert!(!BreakerConfig::disabled().trips_on_latency(1e9));
+        let plain = BreakerConfig::after_failures(2, 1);
+        assert!(!plain.trips_on_latency(1e9), "no trip configured");
+    }
+}

@@ -40,6 +40,15 @@ pub struct DeepSeaConfig {
     /// When a catalog journal is attached, install a full-state snapshot
     /// (truncating the record log) every this many queries.
     pub journal_snapshot_every: LogicalTime,
+    /// Per-query retry budget in simulated seconds, shared across every
+    /// operation of the query (a token bucket armed on the backend at query
+    /// start). `None` = legacy unbudgeted behaviour; only the retry policy's
+    /// per-op bounds apply.
+    pub retry_budget_secs: Option<f64>,
+    /// Per-(view, node) circuit-breaker thresholds for the read path.
+    /// Disabled by default (`failure_threshold: 0`), which keeps every
+    /// existing fault schedule bit-identical.
+    pub breaker: crate::breaker::BreakerConfig,
 }
 
 impl Default for DeepSeaConfig {
@@ -57,6 +66,8 @@ impl Default for DeepSeaConfig {
             retry: RetryPolicy::default(),
             journal_checkpoint_every: 10,
             journal_snapshot_every: 25,
+            retry_budget_secs: None,
+            breaker: crate::breaker::BreakerConfig::disabled(),
         }
     }
 }
@@ -111,6 +122,18 @@ impl DeepSeaConfig {
         self
     }
 
+    /// Builder-style: arm a per-query retry budget (simulated seconds).
+    pub fn with_retry_budget(mut self, secs: f64) -> Self {
+        self.retry_budget_secs = Some(secs);
+        self
+    }
+
+    /// Builder-style: set the read-path circuit-breaker thresholds.
+    pub fn with_breaker(mut self, breaker: crate::breaker::BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// Builder-style: set the journal checkpoint and snapshot cadence
     /// (in queries).
     pub fn with_journal_cadence(
@@ -145,6 +168,7 @@ mod tests {
             max_retries: 5,
             base_backoff_secs: 0.1,
             backoff_multiplier: 3.0,
+            max_total_backoff_secs: 120.0,
         };
         let c = DeepSeaConfig::default()
             .with_smax(1_000)

@@ -114,6 +114,9 @@ pub struct RecoveryTrace {
     /// Fragment reads that failed checksum verification (corruption detected
     /// on read, never served). Each routes through the quarantine path.
     pub corrupt_fragments: u32,
+    /// Rewritings skipped because an open circuit breaker guarded the chosen
+    /// view; the query went straight to base tables without burning retries.
+    pub breaker_short_circuits: u32,
 }
 
 /// Counters from catalog journaling. All zero when no journal is attached —
@@ -217,6 +220,7 @@ impl QueryTrace {
                     base_table_fallbacks,
                     fragment_fallbacks,
                     corrupt_fragments,
+                    breaker_short_circuits,
                 },
             durability:
                 DurabilityTrace {
@@ -262,6 +266,10 @@ impl QueryTrace {
             ("recovery.base_table_fallbacks", base_table_fallbacks as f64),
             ("recovery.fragment_fallbacks", fragment_fallbacks as f64),
             ("recovery.corrupt_fragments", corrupt_fragments as f64),
+            (
+                "recovery.breaker_short_circuits",
+                breaker_short_circuits as f64,
+            ),
             ("durability.journal_appends", journal_appends as f64),
             ("durability.journal_retries", journal_retries as f64),
             ("durability.journal_penalty_secs", journal_penalty_secs),
@@ -351,6 +359,7 @@ impl Serialize for RecoveryTrace {
             .field("base_table_fallbacks", self.base_table_fallbacks)
             .field("fragment_fallbacks", self.fragment_fallbacks)
             .field("corrupt_fragments", self.corrupt_fragments)
+            .field("breaker_short_circuits", self.breaker_short_circuits)
             .build()
     }
 }
@@ -504,7 +513,7 @@ mod tests {
             set_field_by_index(&mut trace, i, (i + 1) as f64);
         }
         let flat = trace.fields();
-        assert_eq!(flat.len(), 33);
+        assert_eq!(flat.len(), 34);
         // Names are unique and values survived the round trip.
         let mut names: Vec<&str> = flat.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
@@ -557,10 +566,11 @@ mod tests {
             26 => t.recovery.base_table_fallbacks = v as u32,
             27 => t.recovery.fragment_fallbacks = v as u32,
             28 => t.recovery.corrupt_fragments = v as u32,
-            29 => t.durability.journal_appends = v as u32,
-            30 => t.durability.journal_retries = v as u32,
-            31 => t.durability.journal_penalty_secs = v,
-            32 => t.durability.snapshots = v as u32,
+            29 => t.recovery.breaker_short_circuits = v as u32,
+            30 => t.durability.journal_appends = v as u32,
+            31 => t.durability.journal_retries = v as u32,
+            32 => t.durability.journal_penalty_secs = v,
+            33 => t.durability.snapshots = v as u32,
             _ => panic!("fields() grew without extending set_field_by_index"),
         }
     }

@@ -118,6 +118,12 @@ pub struct DeepSea {
     /// Fault counters at the last `observe_query`, so per-kind deltas can be
     /// surfaced as `deepsea_faults_total{kind=...}` without double counting.
     pub(crate) last_fault_stats: FaultStats,
+    /// Per-(view, node) circuit breakers guarding the read path. Shared with
+    /// every published snapshot (`Arc`): a failure observed by any reader
+    /// protects all of them. Deliberately *not* journaled — breaker state is
+    /// a health cache, so [`DeepSea::recover`] starts with every breaker
+    /// closed (fail-safe).
+    pub(crate) breakers: Arc<crate::breaker::BreakerSet>,
 }
 
 impl DeepSea {
@@ -146,6 +152,7 @@ impl DeepSea {
         backend: Box<dyn ExecutionBackend>,
         config: DeepSeaConfig,
     ) -> Self {
+        let breakers = Arc::new(crate::breaker::BreakerSet::new(config.breaker));
         Self {
             config,
             catalog,
@@ -161,6 +168,7 @@ impl DeepSea {
             appends_since_snapshot: 0,
             offline: BTreeSet::new(),
             last_fault_stats: FaultStats::default(),
+            breakers,
         }
     }
 
@@ -333,6 +341,11 @@ impl DeepSea {
         self.offline.iter().copied().collect()
     }
 
+    /// The read-path circuit breakers (shared with every published snapshot).
+    pub fn breakers(&self) -> &crate::breaker::BreakerSet {
+        &self.breakers
+    }
+
     /// A cost estimator over the backend's cluster model.
     pub(crate) fn estimator(&self) -> CostEstimator<'_> {
         CostEstimator::new(&self.catalog, &self.fs, self.backend.cluster())
@@ -405,7 +418,7 @@ impl DeepSea {
         let now = self.fs.fault_stats();
         let last = self.last_fault_stats;
         self.last_fault_stats = now;
-        let kinds: [(&str, u64, u64); 8] = [
+        let kinds: [(&str, u64, u64); 12] = [
             ("transient_read", now.transient_reads, last.transient_reads),
             (
                 "permanent_loss",
@@ -422,6 +435,14 @@ impl DeepSea {
             ("node_down", now.node_downs, last.node_downs),
             ("node_up", now.node_ups, last.node_ups),
             ("node_kill", now.node_kills, last.node_kills),
+            ("node_slow", now.node_slows, last.node_slows),
+            ("hedge_issued", now.hedges_issued, last.hedges_issued),
+            ("hedge_won", now.hedges_won, last.hedges_won),
+            (
+                "hedge_cancelled",
+                now.hedges_cancelled,
+                last.hedges_cancelled,
+            ),
         ];
         for (kind, now, last) in kinds {
             let delta = now.saturating_sub(last);

@@ -24,12 +24,14 @@ use deepsea_engine::cost::CostEstimator;
 use deepsea_engine::exec::{ExecError, ExecMetrics};
 use deepsea_engine::plan::LogicalPlan;
 use deepsea_engine::ExecutionBackend;
-use deepsea_obs::Observer;
+use deepsea_obs::{DecisionEvent, Observer};
 use deepsea_relation::Table;
 use deepsea_storage::SimFs;
 
+use crate::breaker::{BreakerDecision, BreakerSet, BreakerTransition, NODE_UNKNOWN};
 use crate::interval::Interval;
 use crate::registry::ViewRegistry;
+use crate::stats::LogicalTime;
 
 use super::context::QueryContext;
 use super::DeepSea;
@@ -47,6 +49,7 @@ pub(crate) struct ReadView<'a> {
     pub(crate) fs: &'a SimFs<Table>,
     pub(crate) backend: &'a dyn ExecutionBackend,
     pub(crate) obs: &'a Observer,
+    pub(crate) breakers: &'a BreakerSet,
 }
 
 impl DeepSea {
@@ -58,6 +61,7 @@ impl DeepSea {
             fs: &self.fs,
             backend: self.backend.as_ref(),
             obs: &self.obs,
+            breakers: &self.breakers,
         }
     }
 }
@@ -95,13 +99,16 @@ impl<'a> ReadView<'a> {
     ) -> Result<(Table, ExecMetrics), ExecError> {
         self.compute_rewritings(plan, ctx);
         self.select_rewriting(plan, ctx);
+        self.breaker_guard(plan, ctx);
         match self.backend.execute(&ctx.qbest, self.catalog, self.fs) {
             Ok((result, metrics)) => {
                 ctx.query_secs = self.backend.elapsed_secs(&metrics);
                 ctx.trace.execution.query_secs = ctx.query_secs;
+                self.breaker_record_success(ctx);
                 Ok((result, metrics))
             }
-            Err(_) if ctx.used_view.is_some() => {
+            Err(e) if ctx.used_view.is_some() => {
+                self.breaker_record_failure(&e, ctx);
                 let (debt_retries, debt_secs) = self.backend.drain_retry_debt();
                 ctx.trace.recovery.base_table_fallbacks += 1;
                 ctx.used_view = None;
@@ -114,6 +121,83 @@ impl<'a> ReadView<'a> {
                 Ok((result, metrics))
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Consult the circuit breakers guarding the rewriting's chosen view.
+    /// An open breaker rewrites the decision *before* any I/O is spent: the
+    /// query is reset to its base plan (the exact fallback a failure would
+    /// have reached), the skip is traced, and no retry budget is burned on a
+    /// view a sick node has made useless. Disabled breakers make this a
+    /// no-op, keeping every pre-breaker schedule bit-identical.
+    pub(crate) fn breaker_guard(&self, plan: &LogicalPlan, ctx: &mut QueryContext) {
+        let Some(view) = ctx.used_view.clone() else {
+            return;
+        };
+        let (decision, transitions) = self.breakers.check(&view);
+        self.emit_breaker_transitions(ctx.tnow, transitions);
+        if decision == BreakerDecision::ShortCircuit {
+            ctx.trace.recovery.breaker_short_circuits += 1;
+            ctx.used_view = None;
+            ctx.qbest = plan.clone();
+            self.obs
+                .event(ctx.tnow, DecisionEvent::BreakerShortCircuit { view });
+        }
+    }
+
+    /// Feed a successful view-backed execution to the breakers: closes a
+    /// half-open probe, resets failure streaks — unless the read was slow
+    /// enough to trip the latency threshold, in which case the success
+    /// *counts as a failure* (gray-failure detection; untraceable to a node,
+    /// so keyed to [`NODE_UNKNOWN`]).
+    pub(crate) fn breaker_record_success(&self, ctx: &QueryContext) {
+        let Some(view) = ctx.used_view.as_deref() else {
+            return;
+        };
+        let transitions = if self.breakers.config().trips_on_latency(ctx.query_secs) {
+            self.breakers.record_failure(view, NODE_UNKNOWN)
+        } else {
+            self.breakers.record_success(view)
+        };
+        self.emit_breaker_transitions(ctx.tnow, transitions);
+    }
+
+    /// Feed a failed view-backed execution to the breakers, traced to the
+    /// primary replica of the file the error names (the node whose fault the
+    /// failure most plausibly is), or [`NODE_UNKNOWN`] when the error names
+    /// no file or no cluster is attached.
+    pub(crate) fn breaker_record_failure(&self, e: &ExecError, ctx: &QueryContext) {
+        let Some(view) = ctx.used_view.as_deref() else {
+            return;
+        };
+        if !self.breakers.config().enabled() {
+            return;
+        }
+        let node = e
+            .file()
+            .and_then(|f| self.fs.cluster().and_then(|c| c.placement(f)))
+            .and_then(|nodes| nodes.first().copied())
+            .map_or(NODE_UNKNOWN, |n| n.0);
+        let transitions = self.breakers.record_failure(view, node);
+        self.emit_breaker_transitions(ctx.tnow, transitions);
+    }
+
+    /// Surface breaker state changes as typed decision events (the journal of
+    /// record for the tail-chaos replay tests).
+    fn emit_breaker_transitions(&self, tnow: LogicalTime, transitions: Vec<BreakerTransition>) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for t in transitions {
+            self.obs.event(
+                tnow,
+                DecisionEvent::BreakerTransition {
+                    view: t.view,
+                    node: t.node as u64,
+                    from: t.from,
+                    to: t.to,
+                },
+            );
         }
     }
 }

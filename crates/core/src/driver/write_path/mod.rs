@@ -125,6 +125,11 @@ impl DeepSea {
     pub fn process_query(&mut self, plan: &LogicalPlan) -> Result<QueryOutcome, ExecError> {
         self.clock += 1;
         let tnow = self.clock;
+        // Arm the per-query retry budget: a fresh token bucket per query,
+        // shared across every operation the query performs. `None` (the
+        // default) disarms it — only the per-op retry policy applies.
+        self.backend
+            .reset_retry_budget(self.config.retry_budget_secs);
         self.readmit_offline(tnow);
 
         if !self.config.partition_policy.materializes() {
@@ -221,6 +226,9 @@ impl DeepSea {
         let mut debt_secs = 0.0f64;
         let mut rounds = 0u32;
         loop {
+            // An open breaker rewrites the decision before any I/O: straight
+            // to the base plan, no retries burned on the guarded view.
+            self.read_view().breaker_guard(plan, ctx);
             match self.backend.execute(&ctx.qbest, &self.catalog, &self.fs) {
                 Ok((result, mut metrics)) => {
                     metrics.retries += debt_retries;
@@ -229,9 +237,11 @@ impl DeepSea {
                     ctx.trace.recovery.penalty_secs += metrics.penalty_secs;
                     ctx.query_secs = self.backend.elapsed_secs(&metrics);
                     ctx.trace.execution.query_secs = ctx.query_secs;
+                    self.read_view().breaker_record_success(ctx);
                     return Ok((result, metrics));
                 }
                 Err(e) => {
+                    self.read_view().breaker_record_failure(&e, ctx);
                     let (r, s) = self.backend.drain_retry_debt();
                     debt_retries += r;
                     debt_secs += s;

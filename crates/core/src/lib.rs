@@ -41,6 +41,7 @@
 //!   `std::thread` workers behind `--features real-threads`.
 
 pub mod baselines;
+pub mod breaker;
 pub mod candidates;
 pub mod config;
 pub mod driver;
@@ -58,11 +59,12 @@ pub mod server;
 pub mod snapshot;
 pub mod stats;
 
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerTransition};
 pub use config::DeepSeaConfig;
 pub use deepsea_obs::{DecisionEvent, EventRecord, ObsConfig, Observer, PhiBreakdown};
 pub use driver::{DeepSea, QueryOutcome, QueryTrace, RecoveryTrace};
 pub use durability::{CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};
-pub use server::{ClientRecord, NodeAction, ServeReport, ServerConfig, ViewServer};
+pub use server::{ClientRecord, NodeAction, ServeReport, ServerConfig, ShedPolicy, ViewServer};
 pub use snapshot::{ReadSnapshot, SnapshotAnswer};

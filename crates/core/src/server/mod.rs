@@ -68,9 +68,40 @@ pub enum NodeAction {
     Kill,
 }
 
+/// What the scheduler does with a ticket it decides to shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Refuse the read outright: no execution, no cost, an explicit
+    /// rejection record. The ticket's serialized commit still runs — the
+    /// writer's state trajectory never depends on shedding.
+    #[default]
+    Reject,
+    /// Serve the answer the stale snapshot can produce by the deadline: the
+    /// result is still exact (rewritings are semantically transparent), the
+    /// client-visible latency is capped at the deadline, and the execution
+    /// cost still occupies the client slot — the work is real and charged.
+    ServeStale,
+    /// Degrade to the base tables: answer the unrewritten plan directly,
+    /// skipping view matching entirely (and with it any view a sick node
+    /// has made slow). Exact answer, full cost.
+    DegradeBase,
+}
+
+impl ShedPolicy {
+    /// Canonical name, used in decision events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::Reject => "reject",
+            ShedPolicy::ServeStale => "serve_stale",
+            ShedPolicy::DegradeBase => "degrade_base",
+        }
+    }
+}
+
 /// Scheduler parameters: how many logical clients, the seed and mean
-/// inter-arrival gap driving the open-loop arrival process, and an optional
-/// deterministic node-failure schedule.
+/// inter-arrival gap driving the open-loop arrival process, optional
+/// deterministic node-failure and slow-node schedules, and the
+/// deadline-aware load-shedding knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of logical clients issuing queries (≥ 1).
@@ -88,6 +119,23 @@ pub struct ServerConfig {
     /// Empty (the default) means no injected node events; entries naming a
     /// node outside the cluster (or on an unsharded FS) are ignored.
     pub node_schedule: Vec<(usize, u32, NodeAction)>,
+    /// Gray-failure events `(ticket, node, latency multiplier)`, applied at
+    /// the same commit boundaries as [`ServerConfig::node_schedule`]. A
+    /// multiplier > 1.0 makes every read served by that node proportionally
+    /// slower (the node stays live and keeps serving); ≤ 1.0 clears the
+    /// slowdown. Ignored on an unsharded FS.
+    pub slow_schedule: Vec<(usize, u32, f64)>,
+    /// Mean per-ticket deadline in simulated seconds after arrival; each
+    /// ticket draws `deadline = arrival + deadline_secs * (0.5 + u)` from
+    /// the same LCG (after all arrival draws, so arrivals are unchanged by
+    /// arming deadlines). `None` disables deadline-based shedding.
+    pub deadline_secs: Option<f64>,
+    /// Bounded admission queue: when more than this many later tickets have
+    /// already arrived and are still waiting at a read's start, the read is
+    /// shed with reason `queue_full`. `None` = unbounded.
+    pub max_queue: Option<usize>,
+    /// What to do with a shed ticket.
+    pub shed_policy: ShedPolicy,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +145,10 @@ impl Default for ServerConfig {
             seed: 1,
             mean_gap_secs: 30.0,
             node_schedule: Vec::new(),
+            slow_schedule: Vec::new(),
+            deadline_secs: None,
+            max_queue: None,
+            shed_policy: ShedPolicy::Reject,
         }
     }
 }
@@ -162,6 +214,13 @@ pub struct ClientRecord {
     /// fragment-level or whole-query base-table fallback. Degraded reads
     /// still return the exact result; only their cost differs.
     pub degraded: bool,
+    /// This ticket's deadline (simulated seconds), when deadlines are armed.
+    pub deadline_secs: Option<f64>,
+    /// Shed verdict: `Some((policy, reason))` when the scheduler shed this
+    /// read — policy is what was done (`reject` / `serve_stale` /
+    /// `degrade_base`), reason is why (`deadline_passed` / `queue_full` /
+    /// `projected_overrun`). `None` for normally served reads.
+    pub shed: Option<(&'static str, &'static str)>,
 }
 
 /// The outcome of serving one workload: per-ticket records plus the
@@ -183,6 +242,9 @@ pub struct ServeReport {
     pub max_epoch_lag: u64,
     /// Simulated completion time of the whole schedule.
     pub makespan_secs: f64,
+    /// Reads shed by the admission/deadline policy (every one carries a
+    /// `shed` verdict on its record; rejected tickets still commit).
+    pub shed_reads: u64,
 }
 
 impl ServeReport {
@@ -261,12 +323,22 @@ impl ViewServer {
             arrivals.push(t);
         }
 
+        // Per-ticket deadlines draw *after* every arrival draw, so arming
+        // deadlines never perturbs the arrival schedule itself.
+        let deadlines: Option<Vec<f64>> = self.cfg.deadline_secs.map(|d| {
+            arrivals
+                .iter()
+                .map(|&a| a + d * (0.5 + lcg.next_f64()))
+                .collect()
+        });
+
         let mut snapshot: ReadSnapshot = self
             .ds
             .publish_snapshot()
             .expect("invariant: forkability is checked in ViewServer::new");
         let obs = self.ds.observer().clone();
         let schedule = self.cfg.node_schedule.clone();
+        let slow_schedule = self.cfg.slow_schedule.clone();
 
         let mut client_free = vec![0.0f64; clients];
         let mut records: Vec<ClientRecord> = Vec::with_capacity(n);
@@ -276,6 +348,11 @@ impl ViewServer {
         let mut divergent_reads = 0u32;
         let mut degraded_reads = 0u64;
         let mut max_epoch_lag = 0u64;
+        let mut shed_reads = 0u64;
+        // Running mean of served read costs, feeding the projected-overrun
+        // shed check. Deterministic: simulated seconds only.
+        let mut served_secs_sum = 0.0f64;
+        let mut served_count = 0u64;
 
         while next_commit < n {
             // Earliest possible read start: the next ticket, on whichever
@@ -315,6 +392,11 @@ impl ViewServer {
                         self.apply_node_action(node, action, &obs);
                     }
                 }
+                for &(when, node, multiplier) in &slow_schedule {
+                    if when == ticket {
+                        self.apply_slow_action(node, multiplier, &obs);
+                    }
+                }
                 let outcome = self.ds.process_query(&plans[ticket])?;
                 // Publish-at-apply: the new epoch is visible from commit
                 // start; creation overhead occupies the writer afterwards.
@@ -330,8 +412,12 @@ impl ViewServer {
                 rec.committed_query_secs = outcome.query_secs;
                 rec.committed_creation_secs = outcome.creation_secs;
                 rec.committed_used_view = outcome.used_view.clone();
-                rec.divergent = rec.read_query_secs.to_bits() != outcome.query_secs.to_bits()
-                    || rec.read_used_view != outcome.used_view;
+                // Shed reads are deliberately not the canonical execution —
+                // comparing their cost to the committed one would just count
+                // the shed again, so divergence tracks served reads only.
+                rec.divergent = rec.shed.is_none()
+                    && (rec.read_query_secs.to_bits() != outcome.query_secs.to_bits()
+                        || rec.read_used_view != outcome.used_view);
                 if rec.divergent {
                     divergent_reads += 1;
                     obs.counter_inc("deepsea_server_divergent_reads_total", None);
@@ -342,32 +428,123 @@ impl ViewServer {
                 let (start, k) =
                     read_ev.expect("invariant: commits pending implies a read event exists");
                 let ticket = next_read;
-                let ans = snapshot.answer(&plans[ticket])?;
+                let deadline = deadlines.as_ref().map(|d| d[ticket]);
+
+                // ── Admission / deadline shed decision ───────────────────
+                // Checked in severity order; all inputs are schedule-derived
+                // simulated quantities, so the verdict replays bit-for-bit.
+                let mut shed_reason: Option<&'static str> = None;
+                if deadline.is_some_and(|d| start > d) {
+                    shed_reason = Some("deadline_passed");
+                }
+                if shed_reason.is_none() {
+                    if let Some(q) = self.cfg.max_queue {
+                        let waiting = arrivals[ticket + 1..]
+                            .iter()
+                            .filter(|&&a| a <= start)
+                            .count();
+                        if waiting > q {
+                            shed_reason = Some("queue_full");
+                        }
+                    }
+                }
+                if shed_reason.is_none() && served_count > 0 {
+                    let projected = served_secs_sum / served_count as f64;
+                    if deadline.is_some_and(|d| start + projected > d) {
+                        shed_reason = Some("projected_overrun");
+                    }
+                }
+
+                let policy = self.cfg.shed_policy;
+                let shed = shed_reason.map(|reason| (policy.name(), reason));
+                if let Some(reason) = shed_reason {
+                    shed_reads += 1;
+                    obs.counter_inc("deepsea_shed_reads_total", None);
+                    obs.counter_inc("deepsea_shed_reads_total", Some(reason));
+                    obs.event(
+                        ticket as u64 + 1,
+                        deepsea_obs::DecisionEvent::Shed {
+                            ticket: ticket as u64,
+                            policy: policy.name(),
+                            reason,
+                            deadline_secs: deadline.unwrap_or(0.0),
+                        },
+                    );
+                }
+
+                // Hedge accounting is scoped to this read by differencing the
+                // shared FS counters around the execution.
+                let hedges_before = self.ds.fs().fault_stats();
+                let ans = match (shed_reason, policy) {
+                    (Some(_), ShedPolicy::Reject) => None,
+                    (Some(_), ShedPolicy::DegradeBase) => {
+                        Some(snapshot.answer_base(&plans[ticket])?)
+                    }
+                    _ => Some(snapshot.answer(&plans[ticket])?),
+                };
+                if let Some(a) = &ans {
+                    let after = self.ds.fs().fault_stats();
+                    let issued = after.hedges_issued - hedges_before.hedges_issued;
+                    if issued > 0 {
+                        obs.event(
+                            ticket as u64 + 1,
+                            deepsea_obs::DecisionEvent::HedgedRead {
+                                ticket: ticket as u64,
+                                issued,
+                                won: after.hedges_won - hedges_before.hedges_won,
+                                cancelled: after.hedges_cancelled - hedges_before.hedges_cancelled,
+                            },
+                        );
+                    }
+                    let _ = a;
+                }
+
                 // Degraded reads (node outage forced fragment patching or a
                 // whole-query base fallback) return the exact result and are
                 // recorded like any other ticket — their latency includes the
                 // fallback cost instead of the ticket being dropped.
-                let degraded = ans.trace.recovery.fragment_fallbacks > 0
-                    || ans.trace.recovery.base_table_fallbacks > 0;
+                let degraded = ans.as_ref().is_some_and(|a| {
+                    a.trace.recovery.fragment_fallbacks > 0
+                        || a.trace.recovery.base_table_fallbacks > 0
+                });
                 if degraded {
                     degraded_reads += 1;
                     obs.counter_inc("deepsea_degraded_reads_total", None);
                 }
-                let done = start + ans.query_secs;
+                let query_secs = ans.as_ref().map_or(0.0, |a| a.query_secs);
+                let done = start + query_secs;
                 client_free[k] = done;
                 // Commits can't outrun reads (commit i needs read i done),
                 // so epoch ≤ ticket; the lag is how many commits this read
                 // missed relative to the serial order.
-                let lag = (ticket as u64).saturating_sub(ans.epoch);
+                let epoch = ans.as_ref().map_or_else(|| snapshot.epoch(), |a| a.epoch);
+                let lag = (ticket as u64).saturating_sub(epoch);
                 max_epoch_lag = max_epoch_lag.max(lag);
-                let latency = done - arrivals[ticket];
+                // A stale-served read is handed back at its deadline (the
+                // exact answer its stale epoch could produce in time); a
+                // rejected one learns its fate the moment it is scheduled.
+                let latency = match (shed_reason, policy) {
+                    (Some(_), ShedPolicy::Reject) => start - arrivals[ticket],
+                    (Some(_), ShedPolicy::ServeStale) => {
+                        deadline.map_or(done, |d| done.min(d)) - arrivals[ticket]
+                    }
+                    _ => done - arrivals[ticket],
+                };
 
-                obs.observe("deepsea_client_latency_secs", None, latency);
-                let label = format!("client{k}");
-                obs.observe("deepsea_client_latency_secs", Some(&label), latency);
-                obs.observe("deepsea_snapshot_epoch_lag", None, lag as f64);
-                obs.span(ticket as u64 + 1, "client_read", Some(&label), start, done);
+                if shed_reason.is_none() {
+                    served_secs_sum += query_secs;
+                    served_count += 1;
+                    obs.observe("deepsea_client_latency_secs", None, latency);
+                    let label = format!("client{k}");
+                    obs.observe("deepsea_client_latency_secs", Some(&label), latency);
+                    obs.observe("deepsea_snapshot_epoch_lag", None, lag as f64);
+                    obs.span(ticket as u64 + 1, "client_read", Some(&label), start, done);
+                }
 
+                let (read_fingerprint, read_query_secs, read_used_view) = match ans {
+                    Some(a) => (a.result.fingerprint(), a.query_secs, a.used_view),
+                    None => (Vec::new(), 0.0, None),
+                };
                 records.push(ClientRecord {
                     ticket,
                     client: k,
@@ -376,17 +553,19 @@ impl ViewServer {
                     read_done_secs: done,
                     commit_done_secs: 0.0,
                     latency_secs: latency,
-                    read_epoch: ans.epoch,
+                    read_epoch: epoch,
                     epoch_lag: lag,
-                    read_fingerprint: ans.result.fingerprint(),
+                    read_fingerprint,
                     committed_fingerprint: Vec::new(),
-                    read_query_secs: ans.query_secs,
+                    read_query_secs,
                     committed_query_secs: 0.0,
                     committed_creation_secs: 0.0,
-                    read_used_view: ans.used_view,
+                    read_used_view,
                     committed_used_view: None,
                     divergent: false,
                     degraded,
+                    deadline_secs: deadline,
+                    shed,
                 });
                 next_read += 1;
             }
@@ -405,7 +584,34 @@ impl ViewServer {
             degraded_reads,
             max_epoch_lag,
             makespan_secs,
+            shed_reads,
         })
+    }
+
+    /// Apply one scheduled gray-failure action: a multiplier > 1.0 opens (or
+    /// widens) a slow window on the node, ≤ 1.0 clears it. The node keeps
+    /// serving throughout — slowness is orthogonal to liveness. Ignored on
+    /// an unsharded FS or for unknown node ids, like node actions.
+    fn apply_slow_action(&self, node: u32, multiplier: f64, obs: &deepsea_obs::Observer) {
+        use deepsea_storage::NodeId;
+        let tnow = self.ds.clock();
+        let label = format!("node{node}");
+        if multiplier > 1.0 {
+            if self.ds.fs().set_node_slow(NodeId(node), multiplier) {
+                obs.event(
+                    tnow,
+                    deepsea_obs::DecisionEvent::NodeSlow {
+                        node: label,
+                        multiplier,
+                    },
+                );
+            }
+        } else if self.ds.fs().clear_node_slow(NodeId(node)) {
+            obs.event(
+                tnow,
+                deepsea_obs::DecisionEvent::NodeSlowCleared { node: label },
+            );
+        }
     }
 
     /// Apply one scheduled node-lifecycle action through the shared FS and

@@ -24,6 +24,7 @@ use deepsea_obs::Observer;
 use deepsea_relation::Table;
 use deepsea_storage::SimFs;
 
+use crate::breaker::BreakerSet;
 use crate::config::DeepSeaConfig;
 use crate::driver::read_path::ReadView;
 use crate::driver::{DeepSea, QueryTrace};
@@ -43,6 +44,10 @@ pub struct ReadSnapshot {
     backend: Box<dyn ExecutionBackend>,
     config: DeepSeaConfig,
     obs: Observer,
+    /// Shared with the writer (`Arc`), not frozen: breaker state is a live
+    /// health cache, so a failure observed through any snapshot immediately
+    /// protects every other reader and the writer itself.
+    breakers: Arc<BreakerSet>,
 }
 
 /// The result of answering one query from a snapshot: no catalog mutation,
@@ -79,6 +84,7 @@ impl DeepSea {
             backend: self.backend.fork_reader()?,
             config: self.config,
             obs: self.obs.clone(),
+            breakers: Arc::clone(&self.breakers),
         })
     }
 }
@@ -112,6 +118,7 @@ impl ReadSnapshot {
             fs: &self.fs,
             backend: self.backend.as_ref(),
             obs: &self.obs,
+            breakers: &self.breakers,
         }
     }
 
@@ -120,12 +127,36 @@ impl ReadSnapshot {
     /// mutation. Many readers may call this concurrently on clones of the
     /// same snapshot.
     pub fn answer(&self, plan: &LogicalPlan) -> Result<SnapshotAnswer, ExecError> {
+        self.backend
+            .reset_retry_budget(self.config.retry_budget_secs);
         let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock);
         let (result, metrics) = self.read_view().answer(plan, &mut ctx)?;
         Ok(SnapshotAnswer {
             result,
             query_secs: ctx.query_secs,
             used_view: ctx.used_view,
+            metrics,
+            trace: ctx.trace,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Answer one query straight from durable base tables, skipping view
+    /// matching and rewriting entirely — the degraded serving mode the load
+    /// shedder falls back to. Exact answer (the base plan *defines* the
+    /// answer), typically at a higher execution cost, never touching a
+    /// materialized view a sick node could be gating.
+    pub fn answer_base(&self, plan: &LogicalPlan) -> Result<SnapshotAnswer, ExecError> {
+        self.backend
+            .reset_retry_budget(self.config.retry_budget_secs);
+        let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock);
+        let (result, metrics) = self.backend.execute(plan, &self.catalog, &self.fs)?;
+        ctx.query_secs = self.backend.elapsed_secs(&metrics);
+        ctx.trace.execution.query_secs = ctx.query_secs;
+        Ok(SnapshotAnswer {
+            result,
+            query_secs: ctx.query_secs,
+            used_view: None,
             metrics,
             trace: ctx.trace,
             epoch: self.epoch,
@@ -147,6 +178,7 @@ impl Clone for ReadSnapshot {
                 .expect("invariant: a backend that forked once forks again"),
             config: self.config,
             obs: self.obs.clone(),
+            breakers: Arc::clone(&self.breakers),
         }
     }
 }

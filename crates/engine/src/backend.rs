@@ -65,6 +65,14 @@ pub trait ExecutionBackend: Send + Sync {
     fn fork_reader(&self) -> Option<Box<dyn ExecutionBackend>> {
         None
     }
+
+    /// Arm (or disarm, with `None`) a per-query retry *budget*: a token
+    /// bucket of simulated backoff seconds shared across every operation of
+    /// the query. While armed, a retry is only taken if its backoff still
+    /// fits in the remaining budget, so retry debt cannot amplify under
+    /// overload. The driver calls this at the start of each query;
+    /// non-retrying backends ignore it.
+    fn reset_retry_budget(&self, _budget_secs: Option<f64>) {}
 }
 
 /// Retry budget and exponential-backoff schedule for transient I/O failures.
@@ -80,6 +88,12 @@ pub struct RetryPolicy {
     pub base_backoff_secs: f64,
     /// Multiplier applied to the backoff after each failed attempt.
     pub backoff_multiplier: f64,
+    /// Hard cap on the *total* simulated backoff one operation may accrue,
+    /// whatever `max_retries` says. Exponential backoff is unbounded in the
+    /// retry count; this bounds it in seconds, so a pathological policy (or
+    /// a permanently failing op under a generous retry count) cannot charge
+    /// more than the cap to elapsed time or retry debt.
+    pub max_total_backoff_secs: f64,
 }
 
 impl RetryPolicy {
@@ -95,6 +109,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             base_backoff_secs: 0.5,
             backoff_multiplier: 2.0,
+            max_total_backoff_secs: 600.0,
         }
     }
 }
@@ -115,6 +130,10 @@ pub struct RetryingBackend<B> {
     policy: RetryPolicy,
     /// `(retries, backoff_secs)` spent on executions that ultimately failed.
     debt: Mutex<(u64, f64)>,
+    /// Remaining per-query retry budget in simulated seconds, when armed
+    /// (see [`ExecutionBackend::reset_retry_budget`]). `None` = unbudgeted:
+    /// only `max_retries` and `max_total_backoff_secs` bound retries.
+    budget: Mutex<Option<f64>>,
 }
 
 impl<B> RetryingBackend<B> {
@@ -124,6 +143,7 @@ impl<B> RetryingBackend<B> {
             inner,
             policy,
             debt: Mutex::new((0, 0.0)),
+            budget: Mutex::new(None),
         }
     }
 
@@ -135,6 +155,30 @@ impl<B> RetryingBackend<B> {
     /// The wrapped backend.
     pub fn inner(&self) -> &B {
         &self.inner
+    }
+
+    /// Remaining simulated seconds in the armed retry budget, if any.
+    pub fn retry_budget_remaining(&self) -> Option<f64> {
+        *self.budget.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether the next retry's backoff fits both the per-op cap and the
+    /// per-query budget; deducts from the budget when it does. `spent` is
+    /// the backoff already accrued by this operation.
+    fn take_backoff_token(&self, spent: f64, attempt: u32) -> bool {
+        let next = self.policy.backoff_secs(attempt);
+        if spent + next > self.policy.max_total_backoff_secs {
+            return false;
+        }
+        let mut budget = self.budget.lock().unwrap_or_else(|p| p.into_inner());
+        match budget.as_mut() {
+            None => true,
+            Some(remaining) if next <= *remaining => {
+                *remaining -= next;
+                true
+            }
+            Some(_) => false,
+        }
     }
 }
 
@@ -164,7 +208,8 @@ impl<B: ExecutionBackend> ExecutionBackend for RetryingBackend<B> {
                 Err(e)
                     if e.is_transient()
                         && attempts < self.policy.max_retries
-                        && !e.file().is_some_and(|f| fs.outage_blocked(f)) =>
+                        && !e.file().is_some_and(|f| fs.outage_blocked(f))
+                        && self.take_backoff_token(backoff, attempts) =>
                 {
                     backoff += self.policy.backoff_secs(attempts);
                     attempts += 1;
@@ -200,6 +245,57 @@ impl<B: ExecutionBackend> ExecutionBackend for RetryingBackend<B> {
     fn drain_retry_debt(&self) -> (u64, f64) {
         let mut debt = self.debt.lock().unwrap_or_else(|p| p.into_inner());
         std::mem::take(&mut *debt)
+    }
+
+    fn reset_retry_budget(&self, budget_secs: Option<f64>) {
+        *self.budget.lock().unwrap_or_else(|p| p.into_inner()) = budget_secs;
+    }
+
+    fn fork_reader(&self) -> Option<Box<dyn ExecutionBackend>> {
+        // A forked reader retries under the same policy but owns *fresh*
+        // debt and budget cells: retry cost stays attributed to the reader
+        // that paid it, and one reader's budget can never starve another's.
+        let inner = self.inner.fork_reader()?;
+        Some(Box::new(RetryingBackend::new(inner, self.policy)))
+    }
+}
+
+impl ExecutionBackend for Box<dyn ExecutionBackend> {
+    fn execute(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        fs: &SimFs<Table>,
+    ) -> Result<(Table, ExecMetrics), ExecError> {
+        (**self).execute(plan, catalog, fs)
+    }
+
+    fn elapsed_secs(&self, metrics: &ExecMetrics) -> f64 {
+        (**self).elapsed_secs(metrics)
+    }
+
+    fn scan_secs(&self, bytes: u64, block_bytes: u64) -> f64 {
+        (**self).scan_secs(bytes, block_bytes)
+    }
+
+    fn write_secs(&self, bytes: u64, files: u64) -> f64 {
+        (**self).write_secs(bytes, files)
+    }
+
+    fn cluster(&self) -> &ClusterSim {
+        (**self).cluster()
+    }
+
+    fn drain_retry_debt(&self) -> (u64, f64) {
+        (**self).drain_retry_debt()
+    }
+
+    fn fork_reader(&self) -> Option<Box<dyn ExecutionBackend>> {
+        (**self).fork_reader()
+    }
+
+    fn reset_retry_budget(&self, budget_secs: Option<f64>) {
+        (**self).reset_retry_budget(budget_secs)
     }
 }
 
@@ -435,6 +531,66 @@ mod tests {
         let (t, m) = backend.execute(&plan, &catalog, &fs).expect("node is back");
         assert_eq!(t.len(), 1);
         assert_eq!(m.retries, 0);
+    }
+
+    #[test]
+    fn total_backoff_is_capped_even_outside_budget_mode() {
+        // Regression: a permanently-failing op under a pathological policy
+        // (deep retry count, no budget armed) must not accrue more backoff
+        // than `max_total_backoff_secs` in simulated seconds.
+        let cfg = FaultConfig::seeded(1).with_transient_reads(1.0);
+        let (catalog, fs, plan, _) = faulty_view_world(cfg);
+        let policy = RetryPolicy {
+            max_retries: 64,
+            max_total_backoff_secs: 100.0,
+            ..RetryPolicy::default()
+        };
+        let backend = RetryingBackend::new(SimBackend::paper_default(), policy);
+        let err = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(err.is_transient());
+        let (retries, secs) = backend.drain_retry_debt();
+        assert!(secs <= 100.0, "debt capped at the policy ceiling: {secs}");
+        // 0.5 * (2^8 - 1) = 127.5 > 100 > 63.5: exactly 7 retries fit.
+        assert_eq!(retries, 7);
+        let expected: f64 = (0..7).map(|a| policy.backoff_secs(a)).sum();
+        assert_eq!(secs.to_bits(), expected.to_bits());
+        assert_eq!(backend.drain_retry_debt(), (0, 0.0), "drain resets");
+    }
+
+    #[test]
+    fn retry_budget_bounds_backoff_across_ops_of_a_query() {
+        let cfg = FaultConfig::seeded(1).with_transient_reads(1.0);
+        let (catalog, fs, plan, _) = faulty_view_world(cfg);
+        let policy = RetryPolicy {
+            max_retries: 16,
+            ..RetryPolicy::default()
+        };
+        let backend = RetryingBackend::new(SimBackend::paper_default(), policy);
+        // Budget of 2.0 simulated seconds: backoffs 0.5 + 1.0 fit, the next
+        // (2.0 > 0.5 remaining) does not — two retries, then give up.
+        backend.reset_retry_budget(Some(2.0));
+        let err = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(err.is_transient());
+        let (retries, secs) = backend.drain_retry_debt();
+        assert_eq!(retries, 2);
+        assert_eq!(secs.to_bits(), 1.5f64.to_bits());
+        // The budget is shared across ops: a second failing op of the same
+        // query finds the bucket nearly empty and takes a single retry.
+        let err = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(err.is_transient());
+        let (retries, secs) = backend.drain_retry_debt();
+        assert_eq!(retries, 1);
+        assert_eq!(secs.to_bits(), 0.5f64.to_bits());
+        assert_eq!(backend.retry_budget_remaining(), Some(0.0));
+        // Re-arming restores the full bucket; disarming removes the bound.
+        backend.reset_retry_budget(Some(2.0));
+        assert_eq!(backend.retry_budget_remaining(), Some(2.0));
+        backend.reset_retry_budget(None);
+        let _ = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        let (retries, _) = backend.drain_retry_debt();
+        // Unbudgeted again: only the per-op cap binds now. With the default
+        // 600 s ceiling and 0.5 · 2^n backoff, 10 retries fit (511.5 s).
+        assert_eq!(retries, 10, "unbudgeted again, capped per-op");
     }
 
     #[test]

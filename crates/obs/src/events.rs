@@ -181,6 +181,59 @@ pub enum DecisionEvent {
         /// The backing file id.
         file: u64,
     },
+    /// A cluster node entered a gray-failure window: alive but serving
+    /// reads at a latency multiplier.
+    NodeSlow {
+        /// The node, as `node<N>`.
+        node: String,
+        /// The latency multiplier in force.
+        multiplier: f64,
+    },
+    /// A cluster node's gray-failure window was cleared.
+    NodeSlowCleared {
+        /// The node, as `node<N>`.
+        node: String,
+    },
+    /// A circuit breaker changed state.
+    BreakerTransition {
+        /// The guarded view.
+        view: String,
+        /// The node the breaker is keyed to (`u32::MAX` = untraced).
+        node: u64,
+        /// State before (`closed` / `open` / `half_open`).
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
+    /// The read path short-circuited an open breaker's view straight to
+    /// its fallback.
+    BreakerShortCircuit {
+        /// The guarded view that was skipped.
+        view: String,
+    },
+    /// Hedged-read activity attributed to one served request (deltas of
+    /// the file-system counters across the read).
+    HedgedRead {
+        /// Serving ticket (arrival order).
+        ticket: u64,
+        /// Hedges issued during this read.
+        issued: u64,
+        /// Hedges that beat the primary.
+        won: u64,
+        /// Hedges cancelled because the primary won.
+        cancelled: u64,
+    },
+    /// The server shed a request instead of serving it in full.
+    Shed {
+        /// Shed ticket (arrival order).
+        ticket: u64,
+        /// The policy applied: `reject`, `serve_stale`, or `degrade_base`.
+        policy: &'static str,
+        /// Why: `deadline_passed`, `queue_full`, or `projected_overrun`.
+        reason: &'static str,
+        /// The ticket's deadline in simulated seconds.
+        deadline_secs: f64,
+    },
 }
 
 impl DecisionEvent {
@@ -201,6 +254,12 @@ impl DecisionEvent {
             DecisionEvent::NodeKilled { .. } => "node_killed",
             DecisionEvent::FragmentOutage { .. } => "fragment_outage",
             DecisionEvent::FragmentReadmitted { .. } => "fragment_readmitted",
+            DecisionEvent::NodeSlow { .. } => "node_slow",
+            DecisionEvent::NodeSlowCleared { .. } => "node_slow_cleared",
+            DecisionEvent::BreakerTransition { .. } => "breaker_transition",
+            DecisionEvent::BreakerShortCircuit { .. } => "breaker_short_circuit",
+            DecisionEvent::HedgedRead { .. } => "hedged_read",
+            DecisionEvent::Shed { .. } => "shed",
         }
     }
 }
@@ -320,6 +379,45 @@ impl Serialize for DecisionEvent {
                 .field("view", view.as_deref())
                 .build(),
             DecisionEvent::FragmentReadmitted { file } => b.field("file", *file).build(),
+            DecisionEvent::NodeSlow { node, multiplier } => b
+                .field("node", node)
+                .field("multiplier", *multiplier)
+                .build(),
+            DecisionEvent::NodeSlowCleared { node } => b.field("node", node).build(),
+            DecisionEvent::BreakerTransition {
+                view,
+                node,
+                from,
+                to,
+            } => b
+                .field("view", view)
+                .field("node", *node)
+                .field("from", *from)
+                .field("to", *to)
+                .build(),
+            DecisionEvent::BreakerShortCircuit { view } => b.field("view", view).build(),
+            DecisionEvent::HedgedRead {
+                ticket,
+                issued,
+                won,
+                cancelled,
+            } => b
+                .field("ticket", *ticket)
+                .field("issued", *issued)
+                .field("won", *won)
+                .field("cancelled", *cancelled)
+                .build(),
+            DecisionEvent::Shed {
+                ticket,
+                policy,
+                reason,
+                deadline_secs,
+            } => b
+                .field("ticket", *ticket)
+                .field("policy", *policy)
+                .field("reason", *reason)
+                .field("deadline_secs", *deadline_secs)
+                .build(),
         }
     }
 }
@@ -437,6 +535,84 @@ mod tests {
         };
         assert_eq!(ev.kind(), "fsck");
         assert!(serde::to_string(&ev).starts_with("{\"kind\":\"fsck\""));
+    }
+
+    #[test]
+    fn tail_tolerance_events_serialize() {
+        let cases: Vec<(DecisionEvent, &[&str])> = vec![
+            (
+                DecisionEvent::NodeSlow {
+                    node: "node2".into(),
+                    multiplier: 8.0,
+                },
+                &[
+                    "\"kind\":\"node_slow\"",
+                    "\"node\":\"node2\"",
+                    "\"multiplier\":8",
+                ],
+            ),
+            (
+                DecisionEvent::NodeSlowCleared {
+                    node: "node2".into(),
+                },
+                &["\"kind\":\"node_slow_cleared\""],
+            ),
+            (
+                DecisionEvent::BreakerTransition {
+                    view: "V1".into(),
+                    node: 3,
+                    from: "closed",
+                    to: "open",
+                },
+                &[
+                    "\"kind\":\"breaker_transition\"",
+                    "\"view\":\"V1\"",
+                    "\"node\":3",
+                    "\"from\":\"closed\"",
+                    "\"to\":\"open\"",
+                ],
+            ),
+            (
+                DecisionEvent::BreakerShortCircuit { view: "V1".into() },
+                &["\"kind\":\"breaker_short_circuit\"", "\"view\":\"V1\""],
+            ),
+            (
+                DecisionEvent::HedgedRead {
+                    ticket: 7,
+                    issued: 2,
+                    won: 1,
+                    cancelled: 1,
+                },
+                &[
+                    "\"kind\":\"hedged_read\"",
+                    "\"ticket\":7",
+                    "\"issued\":2",
+                    "\"won\":1",
+                    "\"cancelled\":1",
+                ],
+            ),
+            (
+                DecisionEvent::Shed {
+                    ticket: 11,
+                    policy: "serve_stale",
+                    reason: "projected_overrun",
+                    deadline_secs: 42.5,
+                },
+                &[
+                    "\"kind\":\"shed\"",
+                    "\"ticket\":11",
+                    "\"policy\":\"serve_stale\"",
+                    "\"reason\":\"projected_overrun\"",
+                    "\"deadline_secs\":42.5",
+                ],
+            ),
+        ];
+        for (ev, needles) in cases {
+            let line = serde::to_string(&ev);
+            for needle in needles {
+                assert!(line.contains(needle), "missing {needle} in {line}");
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub struct FaultConfig {
     /// Consulted operations after which an injector-downed node returns
     /// (the repair countdown; see `NodeSet::tick_repairs`).
     pub node_repair_ops: u64,
+    /// Probability a consulted operation opens a *gray-failure* window on a
+    /// whole node: the node stays up but every read it serves costs
+    /// `node_slow_factor ×` its base simulated seconds. The victim is
+    /// derived from the same draw, like `node_down_rate`.
+    pub node_slow_rate: f64,
+    /// Latency multiplier applied while a slow-node window is open (> 1).
+    pub node_slow_factor: f64,
+    /// Consulted operations after which an injector-slowed node recovers
+    /// (the window length; ticked by `NodeSet::tick_repairs`).
+    pub node_slow_ops: u64,
 }
 
 impl FaultConfig {
@@ -79,6 +89,9 @@ impl FaultConfig {
             node_down_rate: 0.0,
             node_kill_rate: 0.0,
             node_repair_ops: 0,
+            node_slow_rate: 0.0,
+            node_slow_factor: 1.0,
+            node_slow_ops: 0,
         }
     }
 
@@ -136,6 +149,15 @@ impl FaultConfig {
         self
     }
 
+    /// Set the gray-failure (slow-node) rate, latency multiplier, and window
+    /// length in consulted operations.
+    pub fn with_node_slow(mut self, rate: f64, factor: f64, slow_ops: u64) -> Self {
+        self.node_slow_rate = rate;
+        self.node_slow_factor = factor;
+        self.node_slow_ops = slow_ops;
+        self
+    }
+
     /// Whether any per-file failure mode has a non-zero rate. Node-scoped
     /// rates are deliberately excluded: they gate their own draw (consulted
     /// only when a cluster is attached), so configs without node rates keep
@@ -151,7 +173,7 @@ impl FaultConfig {
 
     /// Whether node-scoped fault events are active.
     pub fn node_enabled(&self) -> bool {
-        self.node_down_rate > 0.0 || self.node_kill_rate > 0.0
+        self.node_down_rate > 0.0 || self.node_kill_rate > 0.0 || self.node_slow_rate > 0.0
     }
 }
 
@@ -180,6 +202,15 @@ pub struct FaultStats {
     pub node_ups: u64,
     /// Whole nodes permanently killed.
     pub node_kills: u64,
+    /// Slow-node (gray failure) windows opened.
+    pub node_slows: u64,
+    /// Hedged reads issued (primary exceeded the hedge threshold with a
+    /// second live replica available).
+    pub hedges_issued: u64,
+    /// Hedges where the replica finished first (the hedge paid off).
+    pub hedges_won: u64,
+    /// Hedges cancelled because the primary finished first anyway.
+    pub hedges_cancelled: u64,
 }
 
 /// Verdict for a single read operation.
@@ -217,6 +248,10 @@ pub(crate) enum NodeFault {
     Down(u32),
     /// Permanently kill the given node.
     Kill(u32),
+    /// Open a gray-failure window on the given node: latency multiplier
+    /// `FaultConfig::node_slow_factor` for `FaultConfig::node_slow_ops`
+    /// consulted operations.
+    Slow(u32),
 }
 
 /// A deterministic, seed-driven source of injected I/O faults.
@@ -320,9 +355,14 @@ impl FaultInjector {
         if u < c.node_kill_rate {
             return NodeFault::Kill(pick(u, c.node_kill_rate));
         }
-        let edge = c.node_kill_rate + c.node_down_rate;
+        let mut edge = c.node_kill_rate + c.node_down_rate;
         if u < edge {
             return NodeFault::Down(pick(u - c.node_kill_rate, c.node_down_rate));
+        }
+        let prev = edge;
+        edge += c.node_slow_rate;
+        if u < edge {
+            return NodeFault::Slow(pick(u - prev, c.node_slow_rate));
         }
         NodeFault::None
     }
@@ -525,6 +565,41 @@ mod tests {
                 assert!(*n < 4, "victim index scaled into the topology");
             }
         }
+    }
+
+    #[test]
+    fn slow_band_stacks_after_down_and_kill() {
+        // Adding a slow rate must not move the kill/down bands: every event
+        // fired without the slow rate fires identically with it; only
+        // previous `None`s may become `Slow`.
+        let base = FaultConfig::seeded(9)
+            .with_node_downs(0.3, 5)
+            .with_node_kills(0.05);
+        let slow = base.with_node_slow(0.25, 8.0, 6);
+        assert!(slow.node_enabled());
+        assert!(!slow.enabled(), "slow is node-scoped, not per-file");
+        let run = |cfg: FaultConfig| {
+            let inj = FaultInjector::new(cfg);
+            (0..256).map(|_| inj.decide_node(4)).collect::<Vec<_>>()
+        };
+        let without = run(base);
+        let with = run(slow);
+        assert_eq!(with, run(slow), "same seed, same schedule");
+        let mut slows = 0usize;
+        for (a, b) in without.iter().zip(&with) {
+            match a {
+                NodeFault::None => {
+                    if let NodeFault::Slow(n) = b {
+                        slows += 1;
+                        assert!(*n < 4, "victim index scaled into the topology");
+                    } else {
+                        assert_eq!(a, b);
+                    }
+                }
+                _ => assert_eq!(a, b, "kill/down band unchanged by slow rate"),
+            }
+        }
+        assert!(slows > 0, "slow band fires");
     }
 
     #[test]

@@ -28,12 +28,52 @@ use crate::weights::CostWeights;
 /// node makes its un-replicated files fail as transient, and a dead node
 /// converts them to permanent loss. Without a cluster every behaviour is
 /// bit-identical to before the cluster layer existed.
+///
+/// **Gray failure and hedging.** A cluster node can also be *slow* (alive
+/// but degraded, [`NodeSet::set_node_slow`]): reads it serves cost its
+/// latency multiplier times their base simulated seconds, folded into
+/// `spike_secs`. When a [`HedgeConfig`] is set, a read whose serving replica
+/// would exceed the hedge threshold issues a *hedged read* to the next live
+/// replica and takes the faster result — deterministically, with no extra
+/// random draws (the replica's cost is the same base cost scaled by *its*
+/// multiplier). Both ops' work is accounted honestly: the winner's latency
+/// lands in the returned `IoOutcome`, the loser's cancelled work accumulates
+/// in [`SimFs::hedge_extra_secs`].
 pub struct SimFs<P> {
     inner: Mutex<Inner<P>>,
     block: BlockConfig,
     weights: CostWeights,
     faults: FaultInjector,
     cluster: Option<NodeSet>,
+    hedge: Mutex<Option<HedgeConfig>>,
+    hedge_stats: Mutex<HedgeCounters>,
+}
+
+/// Hedged-read policy: when a read's serving replica would exceed
+/// `threshold_secs` of simulated latency, hedge to the next live replica and
+/// take the faster result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Simulated seconds after which a read is hedged to the next replica.
+    pub threshold_secs: f64,
+}
+
+impl HedgeConfig {
+    /// Hedge reads slower than `threshold_secs` simulated seconds.
+    pub fn after_secs(threshold_secs: f64) -> Self {
+        Self { threshold_secs }
+    }
+}
+
+/// Hedged-read accounting, kept outside [`FaultStats`] because the wasted
+/// work is an `f64` (FaultStats stays `Eq`); the integer counters are merged
+/// into [`SimFs::fault_stats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct HedgeCounters {
+    issued: u64,
+    won: u64,
+    cancelled: u64,
+    extra_secs: f64,
 }
 
 /// A cluster-attached [`SimFs`]: same type, sharded semantics. Build one
@@ -74,6 +114,8 @@ impl<P> SimFs<P> {
             weights,
             faults,
             cluster: None,
+            hedge: Mutex::new(None),
+            hedge_stats: Mutex::new(HedgeCounters::default()),
         }
     }
 
@@ -159,9 +201,9 @@ impl<P> SimFs<P> {
         // Cluster routing: failover to the first live replica is free
         // (metadata-only), an outage fails transient without consuming a
         // per-file draw, and total replica death removes the file.
-        if let Some(cluster) = &self.cluster {
+        let serving = if let Some(cluster) = &self.cluster {
             match cluster.route(id) {
-                Route::Live(_) => {}
+                Route::Live(n) => Some(n),
                 Route::Outage => return Err(IoError::TransientRead(id)),
                 Route::Lost => {
                     inner.files.remove(&id);
@@ -169,7 +211,9 @@ impl<P> SimFs<P> {
                     return Err(IoError::PermanentLoss(id));
                 }
             }
-        }
+        } else {
+            None
+        };
         let spike_secs = match self.faults.decide_read() {
             ReadFault::None => 0.0,
             ReadFault::Transient => return Err(IoError::TransientRead(id)),
@@ -189,12 +233,72 @@ impl<P> SimFs<P> {
         let bytes = file.sim_bytes;
         let payload = Arc::clone(&file.payload);
         inner.ledger.record_read(bytes);
+        let cost_secs = self.weights.read_cost(bytes);
+        let spike_secs = self.shaped_spike_secs(id, serving, cost_secs, spike_secs);
         Ok(IoOutcome {
             value: payload,
             sim_bytes: bytes,
-            cost_secs: self.weights.read_cost(bytes),
+            cost_secs,
             spike_secs,
         })
+    }
+
+    /// Apply gray-failure shaping to a successful read: scale by the serving
+    /// replica's latency multiplier, then hedge to the next live replica when
+    /// the total exceeds the hedge threshold. Returns the final `spike_secs`
+    /// (total latency minus base cost). Bit-identical passthrough when the
+    /// serving node is healthy and no hedge fires — the multiplier `1.0`
+    /// path performs no float arithmetic on `spike`.
+    fn shaped_spike_secs(
+        &self,
+        id: FileId,
+        serving: Option<NodeId>,
+        base_secs: f64,
+        spike: f64,
+    ) -> f64 {
+        let (Some(cluster), Some(node)) = (&self.cluster, serving) else {
+            return spike;
+        };
+        let mut spike = spike;
+        let mult = cluster.latency_multiplier(node);
+        if mult > 1.0 {
+            spike += base_secs * (mult - 1.0);
+        }
+        let hedge = *self.hedge.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(hedge) = hedge else { return spike };
+        let primary_total = base_secs + spike;
+        if primary_total <= hedge.threshold_secs {
+            return spike;
+        }
+        // Next live replica in failover order (the serving node is the
+        // first); no replica, no hedge.
+        let Some(replica) = cluster.placement(id).and_then(|nodes| {
+            nodes
+                .into_iter()
+                .find(|&n| n != node && cluster.node_state(n) == Some(NodeState::Up))
+        }) else {
+            return spike;
+        };
+        // The hedge launches at the threshold and costs the same base read
+        // scaled by the *replica's* multiplier — no extra random draws, so
+        // "faster" is a pure function of cluster state.
+        let replica_total = hedge.threshold_secs + base_secs * cluster.latency_multiplier(replica);
+        let mut hs = self.hedge_stats.lock().unwrap_or_else(|e| e.into_inner());
+        hs.issued += 1;
+        if replica_total < primary_total {
+            // Hedge won: the primary is cancelled at the winner's finish
+            // line; everything it burned until then is wasted work.
+            hs.won += 1;
+            hs.extra_secs += replica_total;
+            replica_total - base_secs
+        } else {
+            // Primary won: the hedge is cancelled after running from the
+            // threshold to the primary's finish. Latency is untouched —
+            // the primary's path stays bit-identical to hedging off.
+            hs.cancelled += 1;
+            hs.extra_secs += primary_total - hedge.threshold_secs;
+            spike
+        }
     }
 
     /// Write a new file through the fault injector.
@@ -282,6 +386,13 @@ impl<P> SimFs<P> {
             NodeFault::Kill(i) => {
                 cluster.kill_node(NodeId(i));
             }
+            NodeFault::Slow(i) => {
+                cluster.set_node_slow_for(
+                    NodeId(i),
+                    cfg.node_slow_factor,
+                    cfg.node_slow_ops.max(1),
+                );
+            }
         }
     }
 
@@ -317,8 +428,47 @@ impl<P> SimFs<P> {
         self.cluster.as_ref().is_some_and(|c| c.kill_node(node))
     }
 
+    /// Open (or widen) a gray-failure window on a node: reads it serves cost
+    /// `multiplier ×` their base seconds until cleared. `multiplier <= 1.0`
+    /// clears the window. Returns whether a new window opened. No-op
+    /// without a cluster.
+    pub fn set_node_slow(&self, node: NodeId, multiplier: f64) -> bool {
+        self.cluster
+            .as_ref()
+            .is_some_and(|c| c.set_node_slow(node, multiplier))
+    }
+
+    /// Clear a node's gray-failure window. Returns whether one was open.
+    pub fn clear_node_slow(&self, node: NodeId) -> bool {
+        self.cluster
+            .as_ref()
+            .is_some_and(|c| c.clear_node_slow(node))
+    }
+
+    /// Install (or remove, with `None`) the hedged-read policy. Hedging only
+    /// has an effect on a cluster-attached file system with replicated
+    /// placements.
+    pub fn set_hedge(&self, hedge: Option<HedgeConfig>) {
+        *self.hedge.lock().unwrap_or_else(|e| e.into_inner()) = hedge;
+    }
+
+    /// The hedged-read policy in force, if any.
+    pub fn hedge_config(&self) -> Option<HedgeConfig> {
+        *self.hedge.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Simulated seconds of cancelled (wasted) work across all hedged reads:
+    /// the loser's burn, charged honestly but off the latency path.
+    pub fn hedge_extra_secs(&self) -> f64 {
+        self.hedge_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extra_secs
+    }
+
     /// Snapshot of the faults injected so far; with a cluster attached the
-    /// node-transition counters (manual and injected alike) are merged in.
+    /// node-transition counters (manual and injected alike) are merged in,
+    /// as are the hedged-read counters.
     pub fn fault_stats(&self) -> FaultStats {
         let mut stats = self.faults.stats();
         if let Some(cluster) = &self.cluster {
@@ -326,7 +476,12 @@ impl<P> SimFs<P> {
             stats.node_downs = n.node_downs;
             stats.node_ups = n.node_ups;
             stats.node_kills = n.node_kills;
+            stats.node_slows = n.node_slows;
         }
+        let hs = *self.hedge_stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.hedges_issued = hs.issued;
+        stats.hedges_won = hs.won;
+        stats.hedges_cancelled = hs.cancelled;
         stats
     }
 
@@ -743,6 +898,114 @@ mod tests {
         assert!(s.node_downs >= 1, "seeded stream must down the node");
         assert!(s.node_ups >= 1, "repair countdown must restore the node");
         assert!(blocked >= 1 && served >= 1, "reads both block and heal");
+    }
+
+    #[test]
+    fn slow_replica_scales_read_latency_not_base_cost() {
+        let fs = sharded(3, 1);
+        let out = fs
+            .try_create_placed("frag", 250, vec![7], &[NodeId(1)])
+            .expect("no faults");
+        let id = out.value;
+        let healthy = fs.try_read(id).expect("up");
+        assert_eq!(healthy.spike_secs, 0.0);
+        assert!(fs.set_node_slow(NodeId(1), 4.0));
+        let slow = fs.try_read(id).expect("slow is not down");
+        assert_eq!(
+            slow.cost_secs.to_bits(),
+            healthy.cost_secs.to_bits(),
+            "base cost untouched; slowness is a latency effect"
+        );
+        assert_eq!(slow.spike_secs, healthy.cost_secs * 3.0, "4x total");
+        assert_eq!(fs.fault_stats().node_slows, 1);
+        assert!(fs.clear_node_slow(NodeId(1)));
+        let again = fs.try_read(id).expect("healthy again");
+        assert_eq!(again.spike_secs, 0.0);
+        // Other nodes' windows don't touch this file.
+        fs.set_node_slow(NodeId(0), 9.0);
+        assert_eq!(fs.try_read(id).expect("up").spike_secs, 0.0);
+    }
+
+    #[test]
+    fn hedged_read_takes_faster_replica_and_counts_waste() {
+        let fs = sharded(3, 2);
+        let nodes = [NodeId(0), NodeId(1)];
+        let out = fs
+            .try_create_placed("frag", 250, vec![7], &nodes)
+            .expect("no faults");
+        let id = out.value;
+        let base = fs.try_read(id).expect("healthy").cost_secs;
+
+        // Slow primary, healthy replica, threshold below the slow total:
+        // the hedge wins and caps latency at threshold + replica cost.
+        fs.set_node_slow(NodeId(0), 8.0);
+        let threshold = base * 2.0;
+        fs.set_hedge(Some(HedgeConfig::after_secs(threshold)));
+        let hedged = fs.try_read(id).expect("hedge serves");
+        // Mirror the implementation's arithmetic exactly for bit equality.
+        let replica_total = threshold + base * 1.0;
+        let expect_spike = replica_total - base;
+        assert_eq!(hedged.cost_secs.to_bits(), base.to_bits());
+        assert_eq!(hedged.spike_secs.to_bits(), expect_spike.to_bits());
+        assert!(
+            hedged.spike_secs < base * 7.0,
+            "hedging beats the slow primary"
+        );
+        let s = fs.fault_stats();
+        assert_eq!(
+            (s.hedges_issued, s.hedges_won, s.hedges_cancelled),
+            (1, 1, 0)
+        );
+        assert_eq!(
+            fs.hedge_extra_secs().to_bits(),
+            replica_total.to_bits(),
+            "cancelled primary burned until the winner finished"
+        );
+
+        // Slow replica too (worse than the primary): the hedge is issued
+        // but cancelled, and latency stays the primary's, bit-identical to
+        // hedging off.
+        fs.set_node_slow(NodeId(1), 16.0);
+        let cancelled = fs.try_read(id).expect("primary serves");
+        assert_eq!(cancelled.spike_secs.to_bits(), (base * 7.0).to_bits());
+        let s = fs.fault_stats();
+        assert_eq!(
+            (s.hedges_issued, s.hedges_won, s.hedges_cancelled),
+            (2, 1, 1)
+        );
+
+        // Below the threshold: no hedge at all.
+        fs.clear_node_slow(NodeId(0));
+        fs.clear_node_slow(NodeId(1));
+        let quiet = fs.try_read(id).expect("healthy");
+        assert_eq!(quiet.spike_secs, 0.0);
+        assert_eq!(fs.fault_stats().hedges_issued, 2);
+
+        // Hedging off again: bit-identical to the plain path.
+        fs.set_hedge(None);
+        assert!(fs.hedge_config().is_none());
+    }
+
+    #[test]
+    fn hedge_without_live_replica_does_nothing() {
+        let fs = sharded(2, 2);
+        let nodes = [NodeId(0), NodeId(1)];
+        let out = fs
+            .try_create_placed("frag", 250, vec![7], &nodes)
+            .expect("no faults");
+        let id = out.value;
+        let base = fs.try_read(id).expect("healthy").cost_secs;
+        fs.set_hedge(Some(HedgeConfig::after_secs(base * 2.0)));
+        fs.set_node_slow(NodeId(0), 8.0);
+        fs.set_node_down(NodeId(1));
+        let out = fs.try_read(id).expect("slow primary still serves");
+        assert_eq!(
+            out.spike_secs.to_bits(),
+            (base * 7.0).to_bits(),
+            "no live second replica: the slow primary runs to completion"
+        );
+        assert_eq!(fs.fault_stats().hedges_issued, 0);
+        assert_eq!(fs.hedge_extra_secs(), 0.0);
     }
 
     #[test]

@@ -112,6 +112,8 @@ pub struct NodeStats {
     pub node_ups: u64,
     /// Nodes permanently killed.
     pub node_kills: u64,
+    /// Slow-node windows opened (gray failure: degraded but alive).
+    pub node_slows: u64,
 }
 
 #[derive(Debug)]
@@ -120,6 +122,13 @@ struct ClusterState {
     /// Remaining consulted-op countdowns for injector-downed nodes; the node
     /// comes back up when its countdown reaches zero.
     repair_in: Vec<u64>,
+    /// Per-node latency multiplier (gray failure). `1.0` = healthy; reads
+    /// served by a node with multiplier `m > 1` cost `m×` their base
+    /// simulated seconds. Orthogonal to liveness: a slow node is still Up.
+    slow: Vec<f64>,
+    /// Remaining consulted-op countdowns for injector-slowed nodes; the
+    /// multiplier resets to `1.0` when the countdown reaches zero.
+    slow_in: Vec<u64>,
     placement: BTreeMap<FileId, Vec<NodeId>>,
     stats: NodeStats,
 }
@@ -141,6 +150,8 @@ impl NodeSet {
             state: Mutex::new(ClusterState {
                 states: vec![NodeState::Up; cfg.nodes as usize],
                 repair_in: vec![0; cfg.nodes as usize],
+                slow: vec![1.0; cfg.nodes as usize],
+                slow_in: vec![0; cfg.nodes as usize],
                 placement: BTreeMap::new(),
                 stats: NodeStats::default(),
             }),
@@ -284,9 +295,78 @@ impl NodeSet {
         }
     }
 
+    /// Mark a node as slow: reads it serves cost `multiplier ×` their base
+    /// simulated seconds until cleared. Returns whether a new slow window
+    /// opened (`multiplier > 1` on a live node that was healthy).
+    pub fn set_node_slow(&self, node: NodeId, multiplier: f64) -> bool {
+        if multiplier <= 1.0 {
+            self.clear_node_slow(node);
+            return false;
+        }
+        let mut st = self.locked();
+        match st.states.get(node.0 as usize).copied() {
+            Some(NodeState::Up) | Some(NodeState::Down) => {
+                let opened = st.slow[node.0 as usize] <= 1.0;
+                st.slow[node.0 as usize] = multiplier;
+                if opened {
+                    st.stats.node_slows += 1;
+                }
+                opened
+            }
+            _ => false,
+        }
+    }
+
+    /// Like [`NodeSet::set_node_slow`] with an automatic recovery countdown:
+    /// the multiplier resets to `1.0` after `slow_ops` further consulted
+    /// operations (see [`NodeSet::tick_repairs`]).
+    pub fn set_node_slow_for(&self, node: NodeId, multiplier: f64, slow_ops: u64) -> bool {
+        let opened = self.set_node_slow(node, multiplier);
+        if opened {
+            self.locked().slow_in[node.0 as usize] = slow_ops;
+        }
+        opened
+    }
+
+    /// Clear a node's slow window (multiplier back to `1.0`). Returns
+    /// whether a window was actually open.
+    pub fn clear_node_slow(&self, node: NodeId) -> bool {
+        let mut st = self.locked();
+        match st.slow.get(node.0 as usize).copied() {
+            Some(m) if m > 1.0 => {
+                st.slow[node.0 as usize] = 1.0;
+                st.slow_in[node.0 as usize] = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The current latency multiplier of a node (`1.0` for healthy or
+    /// out-of-range ids). Metadata probe: no draws, no cost.
+    pub fn latency_multiplier(&self, node: NodeId) -> f64 {
+        self.locked()
+            .slow
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Nodes currently slow (multiplier above `1.0`), ascending.
+    pub fn slow_nodes(&self) -> Vec<(NodeId, f64)> {
+        let st = self.locked();
+        st.slow
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| **m > 1.0)
+            .map(|(i, m)| (NodeId(i as u32), *m))
+            .collect()
+    }
+
     /// Advance every pending repair countdown by one consulted operation,
     /// restoring nodes whose countdown expires. Returns the restored nodes
-    /// in ascending id order.
+    /// in ascending id order. Slow-window countdowns tick on the same
+    /// consulted-op clock; expired windows silently reset to `1.0`.
     pub fn tick_repairs(&self) -> Vec<NodeId> {
         let mut st = self.locked();
         let mut restored = Vec::new();
@@ -297,6 +377,12 @@ impl NodeSet {
                     st.states[i] = NodeState::Up;
                     st.stats.node_ups += 1;
                     restored.push(NodeId(i as u32));
+                }
+            }
+            if st.slow[i] > 1.0 && st.slow_in[i] > 0 {
+                st.slow_in[i] -= 1;
+                if st.slow_in[i] == 0 {
+                    st.slow[i] = 1.0;
                 }
             }
         }
@@ -440,6 +526,53 @@ mod tests {
         assert_eq!(c.placement(f), Some(vec![NodeId(2)]), "re-replication");
         c.forget(f);
         assert_eq!(c.placement(f), None);
+    }
+
+    #[test]
+    fn slow_windows_track_multiplier_and_expire() {
+        let c = cluster(3, 1);
+        assert_eq!(c.latency_multiplier(NodeId(0)), 1.0);
+        assert!(c.set_node_slow(NodeId(0), 4.0));
+        assert!(!c.set_node_slow(NodeId(0), 8.0), "re-slow widens in place");
+        assert_eq!(c.latency_multiplier(NodeId(0)), 8.0);
+        assert_eq!(c.slow_nodes(), vec![(NodeId(0), 8.0)]);
+        assert!(c.clear_node_slow(NodeId(0)));
+        assert!(!c.clear_node_slow(NodeId(0)), "already healthy");
+        assert_eq!(c.latency_multiplier(NodeId(0)), 1.0);
+        assert_eq!(c.stats().node_slows, 1);
+
+        // Countdown variant: expires on the consulted-op clock.
+        assert!(c.set_node_slow_for(NodeId(1), 3.0, 2));
+        c.tick_repairs();
+        assert_eq!(c.latency_multiplier(NodeId(1)), 3.0);
+        c.tick_repairs();
+        assert_eq!(c.latency_multiplier(NodeId(1)), 1.0, "window expired");
+        assert!(c.slow_nodes().is_empty());
+
+        // multiplier <= 1.0 is a clear, not a window.
+        assert!(c.set_node_slow(NodeId(2), 2.0));
+        assert!(!c.set_node_slow(NodeId(2), 1.0));
+        assert_eq!(c.latency_multiplier(NodeId(2)), 1.0);
+
+        // Dead nodes cannot be slowed; out-of-range is a no-op.
+        c.kill_node(NodeId(0));
+        assert!(!c.set_node_slow(NodeId(0), 5.0));
+        assert!(!c.set_node_slow(NodeId(9), 5.0));
+        assert_eq!(c.latency_multiplier(NodeId(9)), 1.0);
+    }
+
+    #[test]
+    fn slow_windows_do_not_affect_routing() {
+        let c = cluster(2, 2);
+        let f = FileId(1);
+        c.place(f, &[NodeId(0), NodeId(1)]);
+        c.set_node_slow(NodeId(0), 16.0);
+        assert_eq!(
+            c.route(f),
+            Route::Live(NodeId(0)),
+            "slow is not down: the primary still serves"
+        );
+        assert!(!c.outage_blocked(f));
     }
 
     #[test]

@@ -134,7 +134,7 @@ fn concurrent_commits_bit_identical_to_serial() {
                     clients,
                     seed,
                     mean_gap_secs: 30.0,
-                    node_schedule: Vec::new(),
+                    ..ServerConfig::default()
                 },
                 ds_serial().fingerprints.len(),
             );
@@ -154,7 +154,7 @@ fn single_client_schedule_matches_serial_too() {
                 clients: 1,
                 seed,
                 mean_gap_secs: 30.0,
-                node_schedule: Vec::new(),
+                ..ServerConfig::default()
             },
             ds_serial().fingerprints.len(),
         );
@@ -168,7 +168,7 @@ fn same_seed_replays_bit_identically() {
         clients: 3,
         seed: 7,
         mean_gap_secs: 30.0,
-        node_schedule: Vec::new(),
+        ..ServerConfig::default()
     };
     let n = ds_serial().fingerprints.len();
     let a = serve(ds_config(), cfg.clone(), n);
@@ -221,7 +221,7 @@ fn interleavings_actually_overlap_and_lag() {
             clients: 4,
             seed: 42,
             mean_gap_secs: 5.0,
-            node_schedule: Vec::new(),
+            ..ServerConfig::default()
         },
         ds_serial().fingerprints.len(),
     );
@@ -242,7 +242,7 @@ fn interleavings_actually_overlap_and_lag() {
             clients: 4,
             seed: 43,
             mean_gap_secs: 5.0,
-            node_schedule: Vec::new(),
+            ..ServerConfig::default()
         },
         ds_serial().fingerprints.len(),
     );
@@ -269,7 +269,7 @@ fn eviction_pressure_under_concurrency_stays_canonical() {
             clients: 3,
             seed: 7,
             mean_gap_secs: 10.0,
-            node_schedule: Vec::new(),
+            ..ServerConfig::default()
         },
         plans.len(),
     );
@@ -308,8 +308,7 @@ proptest! {
             ServerConfig {
                 clients,
                 seed,
-                mean_gap_secs: mean_gap,
-                node_schedule: Vec::new(),
+                mean_gap_secs: mean_gap,                ..ServerConfig::default()
             },
             prefix,
         );
@@ -353,7 +352,7 @@ fn real_threads_commits_bit_identical_to_serial() {
                 clients,
                 seed: 7,
                 mean_gap_secs: 30.0,
-                node_schedule: Vec::new(),
+                ..ServerConfig::default()
             },
         );
         let report = srv.run_threaded(plans).expect("fault-free run");
