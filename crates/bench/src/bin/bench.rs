@@ -1,0 +1,112 @@
+//! The bench-trajectory gate.
+//!
+//! ```text
+//! bench report [--check] [--threshold PCT] [--dir PATH]
+//! ```
+//!
+//! `report` regenerates the quick-scale benchmark snapshots (fig5a,
+//! node-failure, overload — the ones checked into the repository) and
+//! diffs each against its checked-in `BENCH*.json` in `--dir` (default:
+//! the current directory). Missing baselines are skipped with a note, so
+//! the gate works on partial checkouts.
+//!
+//! The simulator is deterministic: on an unchanged tree every metric is
+//! bit-identical and the diff is empty. `--check` turns regressions into a
+//! nonzero exit: any *cost-like* metric (simulated seconds, latency
+//! percentiles, shed/eviction/fallback counts) that grew more than
+//! `--threshold` percent (default 2%) over its checked-in baseline fails
+//! the gate. Improvements and non-cost changes are reported but pass —
+//! refresh the snapshots with `experiments --quick` when they are
+//! intentional.
+
+use deepsea_bench::experiments::{self, Scale};
+use deepsea_bench::gate::compare_snapshots;
+use deepsea_bench::pressure;
+
+/// Default regression threshold, percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 2.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("report") {
+        eprintln!("usage: bench report [--check] [--threshold PCT] [--dir PATH]");
+        std::process::exit(2);
+    }
+    let check = args.iter().any(|a| a == "--check");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let threshold_pct = flag_value("--threshold")
+        .map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("--threshold wants a number (percent), got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(DEFAULT_THRESHOLD_PCT);
+    let threshold = threshold_pct / 100.0;
+    let dir = flag_value("--dir").unwrap_or_else(|| ".".to_string());
+
+    // (snapshot file, fresh quick-scale regeneration) — the experiments the
+    // repository pins. BENCH_pressure.json is a side product, not a pinned
+    // baseline, so it is not gated here.
+    let snapshots: Vec<(&str, String)> = vec![
+        (
+            "BENCH.json",
+            experiments::fig5a_observed(Scale::Quick).bench_json,
+        ),
+        (
+            "BENCH_node_failure.json",
+            pressure::node_failure(Scale::Quick).bench_json,
+        ),
+        (
+            "BENCH_overload.json",
+            pressure::overload(Scale::Quick).bench_json,
+        ),
+    ];
+
+    let mut failed = false;
+    for (file, fresh) in &snapshots {
+        let path = format!("{dir}/{file}");
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                println!("{file}: no baseline at {path}, skipped");
+                continue;
+            }
+        };
+        let report = match compare_snapshots(&baseline, fresh) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{file}: FAILED to diff: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let regressions = report.regressions(threshold);
+        if report.changed().is_empty() && report.missing.is_empty() && report.added.is_empty() {
+            println!("{file}: unchanged ({} metrics)", report.deltas.len());
+        } else {
+            println!("{file}:");
+            print!("{}", report.render(threshold));
+        }
+        if !regressions.is_empty() {
+            println!(
+                "{file}: {} regression(s) past {threshold_pct}% threshold",
+                regressions.len()
+            );
+            failed = true;
+        }
+    }
+
+    if failed && check {
+        eprintln!("bench gate FAILED");
+        std::process::exit(1);
+    }
+    if failed {
+        eprintln!("regressions found (informational; use --check to fail)");
+    }
+}

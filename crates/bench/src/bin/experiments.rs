@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--metrics-out PATH] [--events-out PATH]
+//! experiments [--quick] [--metrics-out PATH] [--events-out PATH] [--trace-out PATH]
 //!             [all|fig1|fig2|table1|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|fig10|ablations|pressure|node-failure|overload]...
 //! ```
 //!
@@ -21,6 +21,12 @@
 //! runs, the tail-tolerance scenario's summary (latency percentiles, shed
 //! rate and hedge counters under rolling gray slowness, hedging off vs on)
 //! is written to `BENCH_overload.json`.
+//!
+//! `--trace-out PATH` writes the causal span log of the richest traced run
+//! (overload if it ran, else pressure, node-failure, or fig5a) as
+//! deterministic Chrome-trace-event JSON — loadable in Perfetto or
+//! `chrome://tracing` — and prints a text top-down critical-path profile of
+//! the slowest tickets to stdout.
 
 use std::io::Write;
 
@@ -39,7 +45,8 @@ fn main() {
     };
     let metrics_out = flag_value("--metrics-out");
     let events_out = flag_value("--events-out");
-    let flag_values: Vec<&String> = [&metrics_out, &events_out]
+    let trace_out = flag_value("--trace-out");
+    let flag_values: Vec<&String> = [&metrics_out, &events_out, &trace_out]
         .iter()
         .filter_map(|o| o.as_ref())
         .collect();
@@ -163,5 +170,27 @@ fn main() {
         std::fs::write("BENCH_overload.json", format!("{}\n", run.bench_json))
             .expect("write BENCH_overload.json");
         eprintln!("wrote BENCH_overload.json");
+    }
+
+    if let Some(path) = &trace_out {
+        let observer = overload_run
+            .as_ref()
+            .map(|r| &r.observer)
+            .or(pressure_run.as_ref().map(|r| &r.observer))
+            .or(node_failure_run.as_ref().map(|r| &r.observer))
+            .or(fig5a_run.as_ref().map(|r| &r.observer));
+        let Some(obs) = observer else {
+            eprintln!(
+                "--trace-out requires a traced experiment (fig5a, pressure, \
+                 node-failure or overload) to run"
+            );
+            std::process::exit(2);
+        };
+        let spans = obs.spans_snapshot();
+        std::fs::write(path, deepsea_obs::chrome_trace_json(&spans)).expect("write trace");
+        let forest = deepsea_obs::TraceForest::from_spans(&spans);
+        let tickets: Vec<u64> = forest.trace_ids().into_iter().filter(|&t| t != 0).collect();
+        println!("{}", deepsea_obs::render_text_profile(&forest, &tickets, 5));
+        eprintln!("wrote {path}");
     }
 }

@@ -8,6 +8,7 @@
 //! binary and the criterion benches.
 
 pub mod experiments;
+pub mod gate;
 pub mod golden;
 pub mod harness;
 pub mod pressure;

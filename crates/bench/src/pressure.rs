@@ -15,7 +15,8 @@
 use std::sync::Arc;
 
 use deepsea_core::{
-    baselines, DeepSea, NodeAction, ObsConfig, Observer, ServerConfig, ShedPolicy, ViewServer,
+    baselines, DeepSea, NodeAction, ObsConfig, Observer, ServeReport, ServerConfig, ShedPolicy,
+    ViewServer,
 };
 use deepsea_engine::ClusterSim;
 use deepsea_storage::{BlockConfig, FaultInjector, HedgeConfig, NodeConfig, NodeSet, SimFs};
@@ -110,15 +111,23 @@ pub fn pressure(scale: Scale) -> PressureRun {
 
     let commits = snap.counter("deepsea_server_commits_total", None);
     let divergent = snap.counter("deepsea_server_divergent_reads_total", None);
+    let p99_ex = served
+        .percentile_exemplar(0.99)
+        .expect("invariant: pressure run serves at least one ticket");
+    let tail_buckets = served.latency_exemplars().len() as u64;
 
     let mut body = table(&["client", "p50", "p95", "p99"], &rows);
     body.push_str(&format!(
         "\npool limit Smax = base/{TIGHT_SMAX_DIVISOR}; {PRESSURE_CLIENTS} clients, \
          mean gap {PRESSURE_GAP_SECS}s, seed {PRESSURE_SEED}\n\
          commits: {commits}   divergent reads: {divergent}   \
-         max epoch lag: {}   makespan: {}\n",
+         max epoch lag: {}   makespan: {}\n\
+         p99 exemplar: ticket {} (trace {}, {}); {tail_buckets} occupied latency buckets\n",
         served.max_epoch_lag,
         secs(served.makespan_secs),
+        p99_ex.ticket,
+        p99_ex.ticket as u64 + 1,
+        secs(p99_ex.latency_secs),
     ));
 
     let bench_json = ObjectBuilder::new()
@@ -149,6 +158,15 @@ pub fn pressure(scale: Scale) -> PressureRun {
         .field("max_epoch_lag", served.max_epoch_lag)
         .field("makespan_secs", served.makespan_secs)
         .field("state_digest", served.state_digest)
+        .field(
+            "p99_exemplar",
+            ObjectBuilder::new()
+                .field("ticket", p99_ex.ticket as u64)
+                .field("trace_id", p99_ex.ticket as u64 + 1)
+                .field("latency_secs", p99_ex.latency_secs)
+                .build(),
+        )
+        .field("tail_buckets", tail_buckets)
         .build()
         .to_json();
 
@@ -411,6 +429,9 @@ struct OverloadOutcome {
     makespan_secs: f64,
     state_digest: u64,
     observer: Observer,
+    /// The full serve report — per-ticket records for exemplar linkage and
+    /// the causal-trace acceptance tests.
+    served: ServeReport,
 }
 
 fn overload_at(hedging: bool, scale: Scale) -> OverloadOutcome {
@@ -482,6 +503,7 @@ fn overload_at(hedging: bool, scale: Scale) -> OverloadOutcome {
         makespan_secs: served.makespan_secs,
         state_digest: served.state_digest,
         observer: obs,
+        served,
     }
 }
 
@@ -496,10 +518,24 @@ fn overload_at(hedging: bool, scale: Scale) -> OverloadOutcome {
 pub fn overload(scale: Scale) -> PressureRun {
     let off = overload_at(false, scale);
     let on = overload_at(true, scale);
+    let off_ex = off
+        .served
+        .percentile_exemplar(0.99)
+        .expect("invariant: overload run serves at least one ticket")
+        .clone();
+    let on_ex = on
+        .served
+        .percentile_exemplar(0.99)
+        .expect("invariant: overload run serves at least one ticket")
+        .clone();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut arms_json = ObjectBuilder::new();
     for o in [&off, &on] {
+        let p99_ex = o
+            .served
+            .percentile_exemplar(0.99)
+            .expect("invariant: overload run serves at least one ticket");
         rows.push(vec![
             if o.hedging {
                 "hedging on"
@@ -533,6 +569,15 @@ pub fn overload(scale: Scale) -> PressureRun {
                 .field("commits", o.commits)
                 .field("makespan_secs", o.makespan_secs)
                 .field("state_digest", o.state_digest)
+                .field(
+                    "p99_exemplar",
+                    ObjectBuilder::new()
+                        .field("ticket", p99_ex.ticket as u64)
+                        .field("trace_id", p99_ex.ticket as u64 + 1)
+                        .field("latency_secs", p99_ex.latency_secs)
+                        .build(),
+                )
+                .field("tail_buckets", o.served.latency_exemplars().len() as u64)
                 .build(),
         );
     }
@@ -543,10 +588,15 @@ pub fn overload(scale: Scale) -> PressureRun {
          ({NODE_FAILURE_NODES} nodes, replication 2); deadline {OVERLOAD_DEADLINE_SECS}s, \
          queue {OVERLOAD_QUEUE}, serve-stale shedding; {PRESSURE_CLIENTS} clients, \
          mean gap {OVERLOAD_GAP_SECS}s, seed {PRESSURE_SEED}\n\
-         p99 hedging off: {}  on: {}   incorrect answers: {}\n",
+         p99 hedging off: {}  on: {}   incorrect answers: {}\n\
+         p99 exemplar off: ticket {} (trace {})  on: ticket {} (trace {})\n",
         secs(off.p99),
         secs(on.p99),
         off.incorrect_answers + on.incorrect_answers,
+        off_ex.ticket,
+        off_ex.ticket as u64 + 1,
+        on_ex.ticket,
+        on_ex.ticket as u64 + 1,
     ));
 
     let bench_json = ObjectBuilder::new()
@@ -592,6 +642,7 @@ pub fn overload(scale: Scale) -> PressureRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use deepsea_obs::{chrome_trace_json, parse_prometheus, TraceForest};
 
     #[test]
     fn pressure_quick_reports_percentiles_and_pressure() {
@@ -720,5 +771,224 @@ mod tests {
         let a = overload(Scale::Quick);
         let b = overload(Scale::Quick);
         assert_eq!(a.bench_json, b.bench_json);
+    }
+
+    /// Assert the causal-trace contract over one overload arm: every shed
+    /// or hedged ticket's spans hang off its ticket root, and the critical
+    /// path's self times telescope to exactly the reported latency.
+    /// Returns `(shed_checked, hedged_checked)`.
+    fn check_arm_traces(o: &OverloadOutcome) -> (usize, usize) {
+        let spans = o.observer.spans_snapshot();
+        let forest = TraceForest::from_spans(&spans);
+        let (mut shed_checked, mut hedged_checked) = (0, 0);
+        for r in &o.served.records {
+            let tid = r.ticket as u64 + 1;
+            let hedged = spans
+                .iter()
+                .any(|s| s.trace_id == tid && s.name.starts_with("hedge_"));
+            if r.shed.is_none() && !hedged {
+                continue;
+            }
+            shed_checked += usize::from(r.shed.is_some());
+            hedged_checked += usize::from(hedged);
+            assert!(
+                forest.all_reachable_from_root(tid),
+                "ticket {}: orphaned spans in its trace",
+                r.ticket
+            );
+            let path = forest.critical_path(tid);
+            let root = path
+                .first()
+                .unwrap_or_else(|| panic!("ticket {}: trace has no root span", r.ticket));
+            assert_eq!(root.name, "ticket");
+            let total: f64 = path.iter().map(|s| s.self_secs).sum();
+            assert!(
+                (total - r.latency_secs).abs() < 1e-6,
+                "ticket {}: critical-path self times {} != latency {}",
+                r.ticket,
+                total,
+                r.latency_secs
+            );
+        }
+        (shed_checked, hedged_checked)
+    }
+
+    #[test]
+    fn overload_traces_link_shed_and_hedged_tickets() {
+        let off = overload_at(false, Scale::Quick);
+        let on = overload_at(true, Scale::Quick);
+        let (off_shed, _) = check_arm_traces(&off);
+        let (_, on_hedged) = check_arm_traces(&on);
+        assert!(off_shed > 0, "hedging-off arm must shed traced tickets");
+        assert!(on_hedged > 0, "hedging-on arm must hedge traced tickets");
+        // The span stream renders as valid, deterministic Chrome trace
+        // events — one complete event per span.
+        let spans = on.observer.spans_snapshot();
+        let json = chrome_trace_json(&spans);
+        let v = serde::from_str(&json).expect("chrome trace renders valid JSON");
+        match v.get("traceEvents") {
+            Some(serde::Value::Array(events)) => assert_eq!(events.len(), spans.len()),
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_p99_exemplar_links_to_its_trace_and_metrics_are_pinned() {
+        let on = overload_at(true, Scale::Quick);
+        let ex = on
+            .served
+            .percentile_exemplar(0.99)
+            .expect("overload serves tickets");
+        // Same nearest-rank math as the bench percentiles.
+        assert_eq!(ex.latency_secs, on.p99);
+        assert_eq!(on.served.latency_percentile(0.99), on.p99);
+        // The exemplar links to a real, rooted trace whose root span *is*
+        // the reported latency.
+        let forest = TraceForest::from_spans(&on.observer.spans_snapshot());
+        let tid = ex.ticket as u64 + 1;
+        assert!(forest.all_reachable_from_root(tid));
+        let root = forest.root(tid).expect("exemplar trace has a root");
+        assert!((root.duration_secs() - ex.latency_secs).abs() < 1e-9);
+        // Bucket exemplars cover every ticket exactly once, ascending.
+        let exs = on.served.latency_exemplars();
+        let total: u64 = exs.iter().map(|e| e.count).sum();
+        assert_eq!(total as usize, on.served.records.len());
+        assert!(exs.windows(2).all(|w| w[0].le_secs < w[1].le_secs));
+        for e in &exs {
+            assert_eq!(e.trace_id, e.ticket as u64 + 1);
+            assert!(e.latency_secs <= e.le_secs);
+        }
+        // Tail-layer counters export under pinned Prometheus names/labels.
+        let samples =
+            parse_prometheus(&on.observer.render_prometheus()).expect("prometheus output parses");
+        let val = |name: &str, label: Option<&str>| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && match label {
+                            Some(l) => s.labels.iter().any(|(k, v)| k == "view" && v == l),
+                            None => s.labels.is_empty(),
+                        }
+                })
+                .map(|s| s.value)
+        };
+        // The metric scopes hedges to served reads (commit-side hedges are
+        // the writer's business), so it is bounded by the FS-wide counters.
+        let issued = val("deepsea_hedges_total", Some("issued")).expect("issued series present");
+        assert!(issued > 0.0 && issued <= on.hedges_issued as f64);
+        let won = val("deepsea_hedges_total", Some("won")).expect("won series present");
+        assert!(won > 0.0 && won <= on.hedges_won as f64);
+        let cancelled =
+            val("deepsea_hedges_total", Some("cancelled")).expect("cancelled series present");
+        assert!(cancelled <= on.hedges_cancelled as f64);
+        if on.shed_reads > 0 {
+            assert_eq!(
+                val("deepsea_shed_reads_total", None),
+                Some(on.shed_reads as f64)
+            );
+        }
+    }
+
+    /// A synthetic record with everything but ticket and latency zeroed —
+    /// enough for the percentile/exemplar math, which reads nothing else.
+    fn rec(ticket: usize, latency: f64) -> deepsea_core::ClientRecord {
+        deepsea_core::ClientRecord {
+            ticket,
+            client: 0,
+            arrival_secs: 0.0,
+            read_start_secs: 0.0,
+            read_done_secs: latency,
+            commit_done_secs: latency,
+            latency_secs: latency,
+            read_epoch: 0,
+            epoch_lag: 0,
+            read_fingerprint: Vec::new(),
+            committed_fingerprint: Vec::new(),
+            read_query_secs: latency,
+            committed_query_secs: latency,
+            committed_creation_secs: 0.0,
+            read_used_view: None,
+            committed_used_view: None,
+            divergent: false,
+            degraded: false,
+            deadline_secs: None,
+            shed: None,
+        }
+    }
+
+    fn synth_report(latencies: &[f64]) -> ServeReport {
+        ServeReport {
+            records: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| rec(i, l))
+                .collect(),
+            state_digest: 0,
+            divergent_reads: 0,
+            degraded_reads: 0,
+            max_epoch_lag: 0,
+            makespan_secs: 0.0,
+            shed_reads: 0,
+        }
+    }
+
+    #[test]
+    fn serve_report_percentiles_match_exact_nearest_rank() {
+        // 50 distinct latencies, shuffled by a multiplicative permutation.
+        let lat: Vec<f64> = (0..50).map(|i| ((i * 17) % 50) as f64 + 1.0).collect();
+        let report = synth_report(&lat);
+        let (p50, p95, p99) = exact_percentiles(lat.clone());
+        assert_eq!(report.latency_percentile(0.50), p50);
+        assert_eq!(report.latency_percentile(0.95), p95);
+        assert_eq!(report.latency_percentile(0.99), p99);
+        // With 50 tickets, nearest-rank p99 rounds to the last order
+        // statistic: the exemplar provably *is* the slowest ticket.
+        let slowest = lat
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let ex = report.percentile_exemplar(0.99).expect("non-empty");
+        assert_eq!(ex.ticket, slowest);
+        assert_eq!(ex.latency_secs, 50.0);
+    }
+
+    #[test]
+    fn percentile_exemplar_breaks_ties_deterministically() {
+        // Tickets 0 and 1 tie at the median value; the exemplar must be the
+        // lower ticket, every run.
+        let report = synth_report(&[5.0, 5.0, 1.0]);
+        let ex = report.percentile_exemplar(0.50).expect("non-empty");
+        assert_eq!(ex.ticket, 0);
+        assert_eq!(ex.latency_secs, 5.0);
+        assert!(report.percentile_exemplar(0.0).expect("non-empty").ticket == 2);
+    }
+
+    #[test]
+    fn latency_exemplars_pick_slowest_ticket_per_bucket() {
+        use deepsea_obs::metrics::bucket_of;
+        let lat = [0.3, 0.4, 3.0, 2.5, 40.0];
+        let report = synth_report(&lat);
+        let exs = report.latency_exemplars();
+        let total: u64 = exs.iter().map(|e| e.count).sum();
+        assert_eq!(total as usize, lat.len());
+        for e in &exs {
+            // The exemplar is the slowest latency among its bucket's members.
+            let bucket_max = lat
+                .iter()
+                .copied()
+                .filter(|&l| bucket_of(l) == bucket_of(e.latency_secs))
+                .fold(0.0_f64, f64::max);
+            assert_eq!(e.latency_secs, bucket_max);
+            assert_eq!(e.trace_id, e.ticket as u64 + 1);
+        }
+        // 0.3 and 0.4 share a bucket: count 2, exemplar ticket 1 (0.4).
+        let shared = exs
+            .iter()
+            .find(|e| e.count == 2)
+            .expect("0.3 and 0.4 share a log2 bucket");
+        assert_eq!(shared.ticket, 1);
     }
 }

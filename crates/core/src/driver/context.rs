@@ -452,6 +452,13 @@ pub(crate) struct QueryContext {
     pub(crate) quarantined: Vec<String>,
     /// Per-stage instrumentation, exposed on the outcome.
     pub(crate) trace: QueryTrace,
+    /// Causal span parent this query's read-path spans attach under.
+    /// [`deepsea_obs::SpanCtx::NONE`] (the default) keeps the read path
+    /// span-free — exactly the pre-tracing behaviour.
+    pub(crate) span: deepsea_obs::SpanCtx,
+    /// Cumulative sim-seconds (on the *caller's* timeline — the server's
+    /// schedule or the driver's span clock) this query's spans anchor at.
+    pub(crate) span_anchor_secs: f64,
 }
 
 impl QueryContext {
@@ -470,7 +477,17 @@ impl QueryContext {
             evicted: Vec::new(),
             quarantined: Vec::new(),
             trace: QueryTrace::default(),
+            span: deepsea_obs::SpanCtx::NONE,
+            span_anchor_secs: 0.0,
         }
+    }
+
+    /// Attach this query to a causal trace: read-path spans become children
+    /// of `parent`, anchored at `anchor_secs` on the caller's timeline.
+    pub(crate) fn in_span(mut self, parent: deepsea_obs::SpanCtx, anchor_secs: f64) -> Self {
+        self.span = parent;
+        self.span_anchor_secs = anchor_secs;
+        self
     }
 }
 

@@ -26,10 +26,10 @@ use std::sync::Arc;
 use deepsea_engine::catalog::Catalog;
 use deepsea_engine::cost::CostEstimator;
 use deepsea_engine::exec::ExecMetrics;
-use deepsea_engine::{ClusterSim, ExecutionBackend, SimBackend};
-use deepsea_obs::{DecisionEvent, Observer};
+use deepsea_engine::{ClusterSim, ExecutionBackend, RetryAttempt, SimBackend};
+use deepsea_obs::{DecisionEvent, Observer, SpanCtx};
 use deepsea_relation::Table;
-use deepsea_storage::{BlockConfig, FaultStats, FileId, NodeId, PoolAccountant, SimFs};
+use deepsea_storage::{BlockConfig, FaultStats, FileId, HedgeTrace, NodeId, PoolAccountant, SimFs};
 
 use crate::config::DeepSeaConfig;
 use crate::durability::{
@@ -124,6 +124,12 @@ pub struct DeepSea {
     /// a health cache, so [`DeepSea::recover`] starts with every breaker
     /// closed (fail-safe).
     pub(crate) breakers: Arc<crate::breaker::BreakerSet>,
+    /// Parent span + anchor the *next* `process_query` attaches its
+    /// write-path spans under — armed by [`DeepSea::begin_ticket_span`] so
+    /// the serving layer can pull a commit into its ticket's causal trace.
+    /// Consumed (taken) by `observe_query`; `None` means the query starts
+    /// its own trace on the driver's span clock.
+    pub(crate) pending_span: Option<(SpanCtx, f64)>,
 }
 
 impl DeepSea {
@@ -169,14 +175,32 @@ impl DeepSea {
             offline: BTreeSet::new(),
             last_fault_stats: FaultStats::default(),
             breakers,
+            pending_span: None,
         }
     }
 
     /// Builder-style: attach an observability handle. The disabled handle
     /// (`Observer::off()`) keeps every instrumentation site a no-op.
+    ///
+    /// When the handle records spans, the storage/engine detail buffers
+    /// (hedge-race and retry-ladder traces) are switched on so the driver
+    /// can convert them into causal spans. The buffers are record-only:
+    /// enabling them is bit-transparent to every decision and cost, pinned
+    /// by tests in `deepsea-storage` and `deepsea-engine`.
     pub fn with_observer(mut self, obs: Observer) -> Self {
+        let trace = obs.spans_enabled();
+        self.fs.set_io_trace(trace);
+        self.backend.set_attempt_trace(trace);
         self.obs = obs;
         self
+    }
+
+    /// Arm the causal parent for the next `process_query`: its write-path
+    /// spans (commit, materialize, journal) are attached under `parent`,
+    /// anchored at `anchor_secs` on the caller's timeline. One-shot —
+    /// consumed by the next processed query.
+    pub fn begin_ticket_span(&mut self, parent: SpanCtx, anchor_secs: f64) {
+        self.pending_span = Some((parent, anchor_secs));
     }
 
     /// The attached observability handle.
@@ -257,8 +281,8 @@ impl DeepSea {
         journal: Arc<CatalogJournal>,
         obs: Observer,
     ) -> (Self, FsckReport) {
-        let (mut ds, report) = Self::recover(catalog, fs, backend, config, journal);
-        ds.obs = obs;
+        let (ds, report) = Self::recover(catalog, fs, backend, config, journal);
+        let ds = ds.with_observer(obs);
         ds.observe_fsck(&report);
         (ds, report)
     }
@@ -356,8 +380,10 @@ impl DeepSea {
     pub(crate) fn observe_query(&mut self, outcome: &QueryOutcome) {
         let start = self.sim_elapsed;
         // Advance the span clock even when disabled, so enabling observation
-        // mid-run cannot shift later span timestamps.
+        // mid-run cannot shift later span timestamps. The armed ticket span
+        // is one-shot either way.
         self.sim_elapsed += outcome.elapsed_secs;
+        let pending = self.pending_span.take();
         if !self.obs.enabled() {
             return;
         }
@@ -365,23 +391,81 @@ impl DeepSea {
         self.obs.counter_inc("deepsea_queries_total", None);
         self.obs
             .observe("deepsea_query_secs", None, outcome.query_secs);
-        self.obs.span(
-            tnow,
-            "execute",
-            outcome.used_view.as_deref(),
-            start,
-            start + outcome.query_secs,
-        );
         if outcome.creation_secs > 0.0 {
             self.obs
                 .observe("deepsea_creation_secs", None, outcome.creation_secs);
-            self.obs.span(
-                tnow,
-                "materialize",
-                None,
-                start + outcome.query_secs,
-                start + outcome.elapsed_secs,
-            );
+        }
+        // Scope the I/O detail buffers to this query regardless of what gets
+        // emitted: an undrained buffer would misattribute this query's
+        // retries/hedges to a later traced query.
+        let attempts = self.backend.drain_retry_attempts();
+        let hedges = self.fs.drain_hedge_traces();
+        match pending {
+            // A serving-layer commit: attach the write path to its ticket's
+            // trace. Only the writer-occupying work (creation + journal) is
+            // spanned — the canonical re-execution's cost is client-invisible
+            // (the read already carries the execute spans).
+            Some((parent, anchor)) => {
+                let end = anchor + outcome.creation_secs;
+                let commit = self.obs.record_span(
+                    tnow,
+                    "commit",
+                    outcome.used_view.as_deref(),
+                    parent,
+                    anchor,
+                    end,
+                );
+                let journal_secs = outcome.trace.durability.journal_penalty_secs;
+                let mat_end = end - journal_secs;
+                if mat_end > anchor {
+                    self.obs
+                        .record_span(tnow, "materialize", None, commit, anchor, mat_end);
+                }
+                if journal_secs > 0.0 {
+                    self.obs
+                        .record_span(tnow, "journal", None, commit, mat_end, end);
+                }
+            }
+            // The serial path: the query roots its own trace on the driver's
+            // span clock, with execute/materialize (and the drained I/O
+            // detail) as causal children.
+            None => {
+                let root = self.obs.record_span(
+                    tnow,
+                    "query",
+                    None,
+                    SpanCtx::root(tnow),
+                    start,
+                    start + outcome.elapsed_secs,
+                );
+                let exec = self.obs.record_span(
+                    tnow,
+                    "execute",
+                    outcome.used_view.as_deref(),
+                    root,
+                    start,
+                    start + outcome.query_secs,
+                );
+                emit_io_detail_spans(
+                    &self.obs,
+                    tnow,
+                    exec,
+                    start,
+                    start + outcome.query_secs,
+                    &attempts,
+                    &hedges,
+                );
+                if outcome.creation_secs > 0.0 {
+                    self.obs.record_span(
+                        tnow,
+                        "materialize",
+                        None,
+                        root,
+                        start + outcome.query_secs,
+                        start + outcome.elapsed_secs,
+                    );
+                }
+            }
         }
         if let Some(view) = &outcome.used_view {
             self.obs.counter_inc("deepsea_view_hits_total", Some(view));
@@ -451,6 +535,82 @@ impl DeepSea {
                     .counter_add("deepsea_faults_total", Some(kind), delta);
             }
         }
+    }
+}
+
+/// Lay the drained I/O detail — retry-ladder waits and hedge races — as
+/// children of an `execute` span covering `[start, end]`.
+///
+/// The simulator prices an execution as one analytic total, so the detail
+/// offsets are deterministic *reconstructions*: events are laid end to end
+/// from the execute start (retries first, then each hedge race), clamped so
+/// a child never escapes its parent. Within one hedge race both arms start
+/// at the primary read; the replica arm is issued after the hedge threshold
+/// and both arms end when the winner returns (the loser is cancelled at
+/// that instant), so winner/loser and the node each arm read from are
+/// visible on the trace.
+pub(crate) fn emit_io_detail_spans(
+    obs: &Observer,
+    tnow: LogicalTime,
+    exec: SpanCtx,
+    start: f64,
+    end: f64,
+    attempts: &[RetryAttempt],
+    hedges: &[HedgeTrace],
+) {
+    if exec.is_none() || (attempts.is_empty() && hedges.is_empty()) {
+        return;
+    }
+    let clamp = |v: f64| v.min(end).max(start);
+    let mut cursor = start;
+    for a in attempts {
+        let label = match a.file {
+            Some(f) => format!("attempt{} file{}", a.attempt, f.0),
+            None => format!("attempt{}", a.attempt),
+        };
+        obs.record_span(
+            tnow,
+            "retry_wait",
+            Some(&label),
+            exec,
+            clamp(cursor),
+            clamp(cursor + a.backoff_secs),
+        );
+        cursor += a.backoff_secs;
+    }
+    for h in hedges {
+        let total = if h.winner_replica {
+            h.replica_secs
+        } else {
+            h.primary_secs
+        };
+        let primary_label = format!(
+            "node{} {}",
+            h.primary.0,
+            if h.winner_replica { "cancelled" } else { "win" }
+        );
+        let replica_label = format!(
+            "node{} {}",
+            h.replica.0,
+            if h.winner_replica { "win" } else { "cancelled" }
+        );
+        obs.record_span(
+            tnow,
+            "hedge_primary",
+            Some(&primary_label),
+            exec,
+            clamp(cursor),
+            clamp(cursor + total),
+        );
+        obs.record_span(
+            tnow,
+            "hedge_replica",
+            Some(&replica_label),
+            exec,
+            clamp(cursor + h.threshold_secs.min(total)),
+            clamp(cursor + total),
+        );
+        cursor += total;
     }
 }
 

@@ -99,12 +99,14 @@ impl<'a> ReadView<'a> {
     ) -> Result<(Table, ExecMetrics), ExecError> {
         self.compute_rewritings(plan, ctx);
         self.select_rewriting(plan, ctx);
+        self.trace_plan_stages(ctx);
         self.breaker_guard(plan, ctx);
         match self.backend.execute(&ctx.qbest, self.catalog, self.fs) {
             Ok((result, metrics)) => {
                 ctx.query_secs = self.backend.elapsed_secs(&metrics);
                 ctx.trace.execution.query_secs = ctx.query_secs;
                 self.breaker_record_success(ctx);
+                self.trace_execute_span(ctx, None);
                 Ok((result, metrics))
             }
             Err(e) if ctx.used_view.is_some() => {
@@ -118,10 +120,70 @@ impl<'a> ReadView<'a> {
                 metrics.penalty_secs += debt_secs;
                 ctx.query_secs = self.backend.elapsed_secs(&metrics);
                 ctx.trace.execution.query_secs = ctx.query_secs;
+                self.trace_execute_span(ctx, Some("base_fallback"));
                 Ok((result, metrics))
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Emit the pre-execution read-path stages (matching, rewriting) as
+    /// zero-width children of the query's span context. Both stages are
+    /// costless in the simulator — the spans document *causality* (what was
+    /// matched, which rewriting won), not duration.
+    fn trace_plan_stages(&self, ctx: &QueryContext) {
+        if ctx.span.is_none() {
+            return;
+        }
+        let t = ctx.span_anchor_secs;
+        let hits = format!("hits{}", ctx.trace.matching.hits);
+        self.obs
+            .record_span(ctx.tnow, "match", Some(&hits), ctx.span, t, t);
+        self.obs.record_span(
+            ctx.tnow,
+            "rewrite",
+            ctx.used_view.as_deref(),
+            ctx.span,
+            t,
+            t,
+        );
+    }
+
+    /// Emit the execution span `[anchor, anchor + query_secs]` with the
+    /// drained I/O detail (retry-ladder waits, hedge races) as children, plus
+    /// zero-width markers for any fallback the execution absorbed.
+    ///
+    /// The detail buffers are drained even when the query carries no span
+    /// context, so a traced neighbour can never inherit this execution's
+    /// retries or hedges — the drain is the scoping mechanism.
+    pub(crate) fn trace_execute_span(&self, ctx: &QueryContext, fallback: Option<&'static str>) {
+        let attempts = self.backend.drain_retry_attempts();
+        let hedges = self.fs.drain_hedge_traces();
+        if ctx.span.is_none() {
+            return;
+        }
+        let start = ctx.span_anchor_secs;
+        let end = start + ctx.query_secs;
+        if let Some(marker) = fallback {
+            self.obs
+                .record_span(ctx.tnow, marker, None, ctx.span, start, start);
+        }
+        if ctx.trace.recovery.fragment_fallbacks > 0 {
+            let label = format!("x{}", ctx.trace.recovery.fragment_fallbacks);
+            self.obs.record_span(
+                ctx.tnow,
+                "fragment_fallback",
+                Some(&label),
+                ctx.span,
+                start,
+                start,
+            );
+        }
+        let label = ctx.used_view.as_deref().unwrap_or("base");
+        let exec = self
+            .obs
+            .record_span(ctx.tnow, "execute", Some(label), ctx.span, start, end);
+        super::emit_io_detail_spans(self.obs, ctx.tnow, exec, start, end, &attempts, &hedges);
     }
 
     /// Consult the circuit breakers guarding the rewriting's chosen view.
@@ -136,6 +198,16 @@ impl<'a> ReadView<'a> {
         };
         let (decision, transitions) = self.breakers.check(&view);
         self.emit_breaker_transitions(ctx.tnow, transitions);
+        if !ctx.span.is_none() {
+            let verdict = if decision == BreakerDecision::ShortCircuit {
+                "short_circuit"
+            } else {
+                "pass"
+            };
+            let t = ctx.span_anchor_secs;
+            self.obs
+                .record_span(ctx.tnow, "breaker_check", Some(verdict), ctx.span, t, t);
+        }
         if decision == BreakerDecision::ShortCircuit {
             ctx.trace.recovery.breaker_short_circuits += 1;
             ctx.used_view = None;
@@ -189,6 +261,8 @@ impl<'a> ReadView<'a> {
             return;
         }
         for t in transitions {
+            self.obs
+                .counter_inc("deepsea_breaker_transitions_total", Some(t.to));
             self.obs.event(
                 tnow,
                 DecisionEvent::BreakerTransition {

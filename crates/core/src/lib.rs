@@ -61,10 +61,12 @@ pub mod stats;
 
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerSet, BreakerTransition};
 pub use config::DeepSeaConfig;
-pub use deepsea_obs::{DecisionEvent, EventRecord, ObsConfig, Observer, PhiBreakdown};
+pub use deepsea_obs::{DecisionEvent, EventRecord, ObsConfig, Observer, PhiBreakdown, SpanCtx};
 pub use driver::{DeepSea, QueryOutcome, QueryTrace, RecoveryTrace};
 pub use durability::{CatalogJournal, CatalogRecord, CatalogSnapshot, FsckReport};
 pub use interval::Interval;
 pub use policy::{PartitionPolicy, ValueModel};
-pub use server::{ClientRecord, NodeAction, ServeReport, ServerConfig, ShedPolicy, ViewServer};
+pub use server::{
+    ClientRecord, LatencyExemplar, NodeAction, ServeReport, ServerConfig, ShedPolicy, ViewServer,
+};
 pub use snapshot::{ReadSnapshot, SnapshotAnswer};

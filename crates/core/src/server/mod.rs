@@ -48,6 +48,7 @@ pub use workers::ThreadedReport;
 
 use deepsea_engine::exec::ExecError;
 use deepsea_engine::plan::LogicalPlan;
+use deepsea_obs::SpanCtx;
 
 use crate::driver::DeepSea;
 use crate::snapshot::ReadSnapshot;
@@ -269,6 +270,77 @@ impl ServeReport {
     pub fn latencies_secs(&self) -> Vec<f64> {
         self.records.iter().map(|r| r.latency_secs).collect()
     }
+
+    /// Exact (nearest-rank, index-rounding) latency percentile over all
+    /// tickets. `p` is a fraction in `[0, 1]` — `0.99` for p99. Zero for an
+    /// empty report.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        self.percentile_exemplar(p).map_or(0.0, |r| r.latency_secs)
+    }
+
+    /// The concrete ticket *behind* a latency percentile: the record whose
+    /// latency is the nearest-rank value at `p` (ties break to the lower
+    /// ticket, so the exemplar is deterministic). This is what turns "p99 =
+    /// 413 s" into "go look at ticket 37's trace".
+    pub fn percentile_exemplar(&self, p: f64) -> Option<&ClientRecord> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.records[a]
+                .latency_secs
+                .total_cmp(&self.records[b].latency_secs)
+                .then(a.cmp(&b))
+        });
+        let idx = ((order.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        Some(&self.records[order[idx]])
+    }
+
+    /// Tail exemplars: one entry per occupied latency-histogram bucket
+    /// (the observer's log₂ buckets), each linking the bucket to the
+    /// slowest concrete ticket that landed in it — and through
+    /// `trace_id` to that ticket's causal trace. Ordered by bucket bound.
+    pub fn latency_exemplars(&self) -> Vec<LatencyExemplar> {
+        use deepsea_obs::metrics::{bucket_of, bucket_upper_bound};
+        let mut buckets: std::collections::BTreeMap<usize, LatencyExemplar> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            let b = bucket_of(r.latency_secs);
+            let e = buckets.entry(b).or_insert(LatencyExemplar {
+                le_secs: bucket_upper_bound(b),
+                count: 0,
+                ticket: r.ticket,
+                trace_id: r.ticket as u64 + 1,
+                latency_secs: r.latency_secs,
+            });
+            e.count += 1;
+            if r.latency_secs > e.latency_secs {
+                e.ticket = r.ticket;
+                e.trace_id = r.ticket as u64 + 1;
+                e.latency_secs = r.latency_secs;
+            }
+        }
+        buckets.into_values().collect()
+    }
+}
+
+/// One latency-histogram bucket tied back to a concrete ticket: the
+/// slowest ticket that landed in the bucket, with the trace id of its
+/// causal span tree — so a tail bucket in a report links straight to a
+/// replayable trace instead of an anonymous aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyExemplar {
+    /// Upper bound of the bucket (`+∞` for the overflow bucket).
+    pub le_secs: f64,
+    /// Tickets whose latency landed in this bucket.
+    pub count: u64,
+    /// The slowest such ticket (ties keep the earliest).
+    pub ticket: usize,
+    /// Its causal trace id (`ticket + 1`).
+    pub trace_id: u64,
+    /// Its recorded latency.
+    pub latency_secs: f64,
 }
 
 /// A DeepSea instance wrapped in the multi-client serving layer.
@@ -337,8 +409,13 @@ impl ViewServer {
             .publish_snapshot()
             .expect("invariant: forkability is checked in ViewServer::new");
         let obs = self.ds.observer().clone();
+        let spans_on = obs.spans_enabled();
         let schedule = self.cfg.node_schedule.clone();
         let slow_schedule = self.cfg.slow_schedule.clone();
+        // Per-ticket causal roots (trace id = ticket + 1), so the serialized
+        // commit — which lands much later in the event loop — can attach its
+        // write-path spans to the right trace.
+        let mut trace_roots: Vec<SpanCtx> = Vec::with_capacity(n);
 
         let mut client_free = vec![0.0f64; clients];
         let mut records: Vec<ClientRecord> = Vec::with_capacity(n);
@@ -396,6 +473,10 @@ impl ViewServer {
                     if when == ticket {
                         self.apply_slow_action(node, multiplier, &obs);
                     }
+                }
+                // Attach the commit's write-path spans to the ticket trace.
+                if spans_on {
+                    self.ds.begin_ticket_span(trace_roots[ticket], start);
                 }
                 let outcome = self.ds.process_query(&plans[ticket])?;
                 // Publish-at-apply: the new epoch is visible from commit
@@ -472,31 +553,58 @@ impl ViewServer {
                     );
                 }
 
+                // Causal identities are fixed *before* the read runs so the
+                // read path can attach its spans; the spans themselves are
+                // completed post hoc once the latency is known.
+                let tn = ticket as u64 + 1;
+                let trace_root = if spans_on {
+                    obs.alloc_span(SpanCtx::root(tn))
+                } else {
+                    SpanCtx::NONE
+                };
+                let executes = !matches!((shed_reason, policy), (Some(_), ShedPolicy::Reject));
+                let read_ctx = if spans_on && executes {
+                    obs.alloc_span(trace_root)
+                } else {
+                    SpanCtx::NONE
+                };
+
                 // Hedge accounting is scoped to this read by differencing the
                 // shared FS counters around the execution.
                 let hedges_before = self.ds.fs().fault_stats();
                 let ans = match (shed_reason, policy) {
                     (Some(_), ShedPolicy::Reject) => None,
                     (Some(_), ShedPolicy::DegradeBase) => {
-                        Some(snapshot.answer_base(&plans[ticket])?)
+                        Some(snapshot.answer_base_in_span(&plans[ticket], read_ctx, start)?)
                     }
-                    _ => Some(snapshot.answer(&plans[ticket])?),
+                    _ => Some(snapshot.answer_in_span(&plans[ticket], read_ctx, start)?),
                 };
                 if let Some(a) = &ans {
                     let after = self.ds.fs().fault_stats();
                     let issued = after.hedges_issued - hedges_before.hedges_issued;
                     if issued > 0 {
+                        let won = after.hedges_won - hedges_before.hedges_won;
+                        let cancelled = after.hedges_cancelled - hedges_before.hedges_cancelled;
+                        obs.counter_add("deepsea_hedges_total", Some("issued"), issued);
+                        obs.counter_add("deepsea_hedges_total", Some("won"), won);
+                        obs.counter_add("deepsea_hedges_total", Some("cancelled"), cancelled);
                         obs.event(
-                            ticket as u64 + 1,
+                            tn,
                             deepsea_obs::DecisionEvent::HedgedRead {
                                 ticket: ticket as u64,
                                 issued,
-                                won: after.hedges_won - hedges_before.hedges_won,
-                                cancelled: after.hedges_cancelled - hedges_before.hedges_cancelled,
+                                won,
+                                cancelled,
                             },
                         );
                     }
-                    let _ = a;
+                    if a.trace.recovery.fragment_fallbacks > 0 {
+                        obs.counter_add(
+                            "deepsea_fragment_fallbacks_total",
+                            None,
+                            a.trace.recovery.fragment_fallbacks as u64,
+                        );
+                    }
                 }
 
                 // Degraded reads (node outage forced fragment patching or a
@@ -538,13 +646,47 @@ impl ViewServer {
                     let label = format!("client{k}");
                     obs.observe("deepsea_client_latency_secs", Some(&label), latency);
                     obs.observe("deepsea_snapshot_epoch_lag", None, lag as f64);
-                    obs.span(ticket as u64 + 1, "client_read", Some(&label), start, done);
                 }
 
                 let (read_fingerprint, read_query_secs, read_used_view) = match ans {
                     Some(a) => (a.result.fingerprint(), a.query_secs, a.used_view),
                     None => (Vec::new(), 0.0, None),
                 };
+
+                // Complete the ticket's causal tree post hoc — every duration
+                // is analytically known now. The root covers arrival →
+                // client-visible completion, so the critical path's self
+                // times telescope to exactly the reported latency.
+                if spans_on {
+                    let arrival = arrivals[ticket];
+                    let label = format!("client{k}");
+                    obs.record_span_at(
+                        trace_root,
+                        tn,
+                        "ticket",
+                        Some(&label),
+                        SpanCtx::root(tn),
+                        arrival,
+                        arrival + latency,
+                    );
+                    if start > arrival {
+                        obs.record_span(tn, "queue_wait", None, trace_root, arrival, start);
+                    }
+                    if let Some((policy_name, reason)) = shed {
+                        let verdict = format!("{policy_name}:{reason}");
+                        obs.record_span(tn, "shed", Some(&verdict), trace_root, start, start);
+                    }
+                    obs.record_span_at(
+                        read_ctx,
+                        tn,
+                        "read",
+                        read_used_view.as_deref(),
+                        trace_root,
+                        start,
+                        done,
+                    );
+                }
+                trace_roots.push(trace_root);
                 records.push(ClientRecord {
                     ticket,
                     client: k,

@@ -20,7 +20,7 @@ use deepsea_engine::catalog::Catalog;
 use deepsea_engine::exec::{ExecError, ExecMetrics};
 use deepsea_engine::plan::LogicalPlan;
 use deepsea_engine::ExecutionBackend;
-use deepsea_obs::Observer;
+use deepsea_obs::{Observer, SpanCtx};
 use deepsea_relation::Table;
 use deepsea_storage::SimFs;
 
@@ -127,9 +127,27 @@ impl ReadSnapshot {
     /// mutation. Many readers may call this concurrently on clones of the
     /// same snapshot.
     pub fn answer(&self, plan: &LogicalPlan) -> Result<SnapshotAnswer, ExecError> {
+        self.answer_in_span(plan, SpanCtx::NONE, 0.0)
+    }
+
+    /// [`ReadSnapshot::answer`] with the read attached to a causal trace:
+    /// every read-path span — matching, rewriting, breaker verdict,
+    /// execution, retry waits, hedge arms — is recorded as a child of
+    /// `parent`, anchored at `anchor_secs` on the caller's simulated
+    /// timeline. A [`SpanCtx::NONE`] parent records nothing; reader-side
+    /// spans are never orphaned because the forked backend and the shared
+    /// file system carry their detail-trace gates across
+    /// [`ExecutionBackend::fork_reader`].
+    pub fn answer_in_span(
+        &self,
+        plan: &LogicalPlan,
+        parent: SpanCtx,
+        anchor_secs: f64,
+    ) -> Result<SnapshotAnswer, ExecError> {
         self.backend
             .reset_retry_budget(self.config.retry_budget_secs);
-        let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock);
+        let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock)
+            .in_span(parent, anchor_secs);
         let (result, metrics) = self.read_view().answer(plan, &mut ctx)?;
         Ok(SnapshotAnswer {
             result,
@@ -147,12 +165,25 @@ impl ReadSnapshot {
     /// answer), typically at a higher execution cost, never touching a
     /// materialized view a sick node could be gating.
     pub fn answer_base(&self, plan: &LogicalPlan) -> Result<SnapshotAnswer, ExecError> {
+        self.answer_base_in_span(plan, SpanCtx::NONE, 0.0)
+    }
+
+    /// [`ReadSnapshot::answer_base`] attached to a causal trace, like
+    /// [`ReadSnapshot::answer_in_span`].
+    pub fn answer_base_in_span(
+        &self,
+        plan: &LogicalPlan,
+        parent: SpanCtx,
+        anchor_secs: f64,
+    ) -> Result<SnapshotAnswer, ExecError> {
         self.backend
             .reset_retry_budget(self.config.retry_budget_secs);
-        let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock);
+        let mut ctx = crate::driver::context::QueryContext::new(plan, self.clock)
+            .in_span(parent, anchor_secs);
         let (result, metrics) = self.backend.execute(plan, &self.catalog, &self.fs)?;
         ctx.query_secs = self.backend.elapsed_secs(&metrics);
         ctx.trace.execution.query_secs = ctx.query_secs;
+        self.read_view().trace_execute_span(&ctx, None);
         Ok(SnapshotAnswer {
             result,
             query_secs: ctx.query_secs,

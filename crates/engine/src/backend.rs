@@ -12,7 +12,7 @@
 use std::sync::Mutex;
 
 use deepsea_relation::Table;
-use deepsea_storage::SimFs;
+use deepsea_storage::{FileId, SimFs};
 
 use crate::catalog::Catalog;
 use crate::cluster::ClusterSim;
@@ -73,6 +73,32 @@ pub trait ExecutionBackend: Send + Sync {
     /// overload. The driver calls this at the start of each query;
     /// non-retrying backends ignore it.
     fn reset_retry_budget(&self, _budget_secs: Option<f64>) {}
+
+    /// Enable or disable the drainable retry-attempt trace (see
+    /// [`RetryAttempt`]). Off by default; enabling it records metadata only
+    /// and never changes a retry decision, a backoff charge, or a result.
+    /// Non-retrying backends ignore it.
+    fn set_attempt_trace(&self, _enabled: bool) {}
+
+    /// Drain the retry-ladder steps recorded since the last drain (always
+    /// empty unless [`ExecutionBackend::set_attempt_trace`] enabled the
+    /// trace). The tracing layer above converts these into spans.
+    fn drain_retry_attempts(&self) -> Vec<RetryAttempt> {
+        Vec::new()
+    }
+}
+
+/// One step of a retry ladder, recorded by the attempt trace so the
+/// observability layer can render each backoff wait as a span. Purely
+/// descriptive: the retry decision was already made when this is recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryAttempt {
+    /// 0-based retry index within its ladder.
+    pub attempt: u32,
+    /// Simulated seconds this step waited before re-running.
+    pub backoff_secs: f64,
+    /// The file whose transient failure triggered the retry, if known.
+    pub file: Option<FileId>,
 }
 
 /// Retry budget and exponential-backoff schedule for transient I/O failures.
@@ -134,6 +160,8 @@ pub struct RetryingBackend<B> {
     /// (see [`ExecutionBackend::reset_retry_budget`]). `None` = unbudgeted:
     /// only `max_retries` and `max_total_backoff_secs` bound retries.
     budget: Mutex<Option<f64>>,
+    /// Drainable retry-ladder steps; `None` = attempt trace disabled.
+    attempts_log: Mutex<Option<Vec<RetryAttempt>>>,
 }
 
 impl<B> RetryingBackend<B> {
@@ -144,6 +172,7 @@ impl<B> RetryingBackend<B> {
             policy,
             debt: Mutex::new((0, 0.0)),
             budget: Mutex::new(None),
+            attempts_log: Mutex::new(None),
         }
     }
 
@@ -211,7 +240,17 @@ impl<B: ExecutionBackend> ExecutionBackend for RetryingBackend<B> {
                         && !e.file().is_some_and(|f| fs.outage_blocked(f))
                         && self.take_backoff_token(backoff, attempts) =>
                 {
-                    backoff += self.policy.backoff_secs(attempts);
+                    let wait = self.policy.backoff_secs(attempts);
+                    let mut log = self.attempts_log.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(log) = log.as_mut() {
+                        log.push(RetryAttempt {
+                            attempt: attempts,
+                            backoff_secs: wait,
+                            file: e.file(),
+                        });
+                    }
+                    drop(log);
+                    backoff += wait;
                     attempts += 1;
                 }
                 Err(e) => {
@@ -255,8 +294,33 @@ impl<B: ExecutionBackend> ExecutionBackend for RetryingBackend<B> {
         // A forked reader retries under the same policy but owns *fresh*
         // debt and budget cells: retry cost stays attributed to the reader
         // that paid it, and one reader's budget can never starve another's.
+        // The attempt-trace gate is inherited so reader-side retry ladders
+        // keep tracing (their spans are no longer orphaned).
         let inner = self.inner.fork_reader()?;
-        Some(Box::new(RetryingBackend::new(inner, self.policy)))
+        let fork = RetryingBackend::new(inner, self.policy);
+        if self
+            .attempts_log
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
+        {
+            fork.set_attempt_trace(true);
+        }
+        Some(Box::new(fork))
+    }
+
+    fn set_attempt_trace(&self, enabled: bool) {
+        *self.attempts_log.lock().unwrap_or_else(|p| p.into_inner()) =
+            if enabled { Some(Vec::new()) } else { None };
+    }
+
+    fn drain_retry_attempts(&self) -> Vec<RetryAttempt> {
+        self.attempts_log
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 }
 
@@ -296,6 +360,14 @@ impl ExecutionBackend for Box<dyn ExecutionBackend> {
 
     fn reset_retry_budget(&self, budget_secs: Option<f64>) {
         (**self).reset_retry_budget(budget_secs)
+    }
+
+    fn set_attempt_trace(&self, enabled: bool) {
+        (**self).set_attempt_trace(enabled)
+    }
+
+    fn drain_retry_attempts(&self) -> Vec<RetryAttempt> {
+        (**self).drain_retry_attempts()
     }
 }
 
@@ -591,6 +663,44 @@ mod tests {
         // Unbudgeted again: only the per-op cap binds now. With the default
         // 600 s ceiling and 0.5 · 2^n backoff, 10 retries fit (511.5 s).
         assert_eq!(retries, 10, "unbudgeted again, capped per-op");
+    }
+
+    #[test]
+    fn attempt_trace_records_ladder_steps_without_changing_decisions() {
+        let cfg = FaultConfig::seeded(1).with_transient_reads(1.0);
+        let (catalog, fs, plan, id) = faulty_view_world(cfg);
+        let policy = RetryPolicy::default();
+        let backend = RetryingBackend::new(SimBackend::paper_default(), policy);
+        // Trace off (the default): the ladder runs, nothing is recorded.
+        let _ = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(backend.drain_retry_attempts().is_empty());
+        let (untraced_retries, untraced_secs) = backend.drain_retry_debt();
+        // Trace on: identical ladder, every step recorded.
+        backend.set_attempt_trace(true);
+        let _ = backend.execute(&plan, &catalog, &fs).unwrap_err();
+        let steps = backend.drain_retry_attempts();
+        assert_eq!(steps.len(), untraced_retries as usize);
+        let total: f64 = steps.iter().map(|s| s.backoff_secs).sum();
+        assert_eq!(total.to_bits(), untraced_secs.to_bits());
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.attempt, i as u32);
+            assert_eq!(s.file, Some(id));
+            assert_eq!(
+                s.backoff_secs.to_bits(),
+                policy.backoff_secs(s.attempt).to_bits()
+            );
+        }
+        assert!(backend.drain_retry_attempts().is_empty(), "drain resets");
+        // A forked reader inherits the gate.
+        let fork = backend.fork_reader().expect("sim backend forks");
+        let _ = fork.execute(&plan, &catalog, &fs).unwrap_err();
+        assert!(!fork.drain_retry_attempts().is_empty());
+        backend.set_attempt_trace(false);
+        assert!(backend
+            .fork_reader()
+            .expect("forks")
+            .drain_retry_attempts()
+            .is_empty());
     }
 
     #[test]

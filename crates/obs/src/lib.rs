@@ -27,11 +27,15 @@ pub mod events;
 pub mod metrics;
 pub mod prometheus;
 pub mod span;
+pub mod trace;
 
 pub use events::{DecisionEvent, EventLog, EventRecord, PhiBreakdown};
 pub use metrics::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS, OVERFLOW_LABEL};
 pub use prometheus::{parse_prometheus, render_prometheus, PromSample};
-pub use span::{SpanLog, SpanRecord};
+pub use span::{SpanCtx, SpanLog, SpanRecord};
+pub use trace::{
+    chrome_trace_json, render_text_profile, CriticalPathStep, ProfileRow, TraceForest,
+};
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -47,6 +51,11 @@ pub struct ObsConfig {
     /// Per-metric label cardinality budget (see
     /// [`metrics::MetricsRegistry`]).
     pub max_label_cardinality: usize,
+    /// Retain at most this many spans (`0` = unbounded). The cap bounds
+    /// storage only: span ids keep advancing and drops are counted in
+    /// [`Observer::spans_dropped`], so capping never perturbs the causal
+    /// structure of the retained spans — let alone any engine decision.
+    pub max_spans: usize,
 }
 
 impl ObsConfig {
@@ -57,17 +66,26 @@ impl ObsConfig {
             spans: false,
             events: false,
             max_label_cardinality: 0,
+            max_spans: 0,
         }
     }
 
-    /// Collect everything, with a budget of 256 labels per metric.
+    /// Collect everything, with a budget of 256 labels per metric and an
+    /// unbounded span log.
     pub fn on() -> Self {
         Self {
             metrics: true,
             spans: true,
             events: true,
             max_label_cardinality: 256,
+            max_spans: 0,
         }
+    }
+
+    /// Cap span retention at `max_spans` (`0` = unbounded).
+    pub fn with_span_cap(mut self, max_spans: usize) -> Self {
+        self.max_spans = max_spans;
+        self
     }
 
     /// True when at least one collector is enabled.
@@ -118,7 +136,7 @@ impl Observer {
                 config,
                 state: Mutex::new(State {
                     metrics: MetricsRegistry::new(config.max_label_cardinality.max(1)),
-                    spans: SpanLog::default(),
+                    spans: SpanLog::with_cap(config.max_spans),
                     events: EventLog::default(),
                 }),
             })),
@@ -140,6 +158,13 @@ impl Observer {
     /// True when decision events are being recorded.
     pub fn events_enabled(&self) -> bool {
         self.inner.as_ref().is_some_and(|i| i.config.events)
+    }
+
+    /// True when spans are being recorded. Instrumentation uses this to
+    /// skip label formatting (and to gate the engine-side detail buffers
+    /// that feed span conversion) when nobody is tracing.
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.config.spans)
     }
 
     fn lock(&self) -> Option<(MutexGuard<'_, State>, ObsConfig)> {
@@ -197,6 +222,86 @@ impl Observer {
                     .record(tnow, name, label, start_sim_secs, end_sim_secs);
             }
         }
+    }
+
+    /// Record a completed span as a child of `parent` (use
+    /// [`SpanCtx::root`] to start a new trace) and return the new span's
+    /// context for recording its children. The disabled observer returns
+    /// [`SpanCtx::NONE`] without touching any state.
+    pub fn record_span(
+        &self,
+        tnow: u64,
+        name: &'static str,
+        label: Option<&str>,
+        parent: SpanCtx,
+        start_sim_secs: f64,
+        end_sim_secs: f64,
+    ) -> SpanCtx {
+        if let Some((mut s, c)) = self.lock() {
+            if c.spans {
+                return s.spans.record_span(
+                    tnow,
+                    name,
+                    label,
+                    parent,
+                    start_sim_secs,
+                    end_sim_secs,
+                );
+            }
+        }
+        SpanCtx::NONE
+    }
+
+    /// Pre-allocate a span context under `parent` for a span whose duration
+    /// is only known after its children complete (e.g. a ticket root).
+    /// Children can attach to the returned context immediately; complete the
+    /// span itself with [`Observer::record_span_at`]. Returns
+    /// [`SpanCtx::NONE`] when disabled.
+    pub fn alloc_span(&self, parent: SpanCtx) -> SpanCtx {
+        if let Some((mut s, c)) = self.lock() {
+            if c.spans {
+                return s.spans.alloc_span(parent);
+            }
+        }
+        SpanCtx::NONE
+    }
+
+    /// Record a span whose context was pre-allocated with
+    /// [`Observer::alloc_span`]. A [`SpanCtx::NONE`] context is a no-op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_at(
+        &self,
+        ctx: SpanCtx,
+        tnow: u64,
+        name: &'static str,
+        label: Option<&str>,
+        parent: SpanCtx,
+        start_sim_secs: f64,
+        end_sim_secs: f64,
+    ) {
+        if ctx.is_none() {
+            return;
+        }
+        if let Some((mut s, c)) = self.lock() {
+            if c.spans {
+                s.spans.record_allocated(
+                    ctx,
+                    tnow,
+                    name,
+                    label,
+                    parent,
+                    start_sim_secs,
+                    end_sim_secs,
+                );
+            }
+        }
+    }
+
+    /// Spans dropped by the retention cap (`0` when disabled or uncapped).
+    pub fn spans_dropped(&self) -> u64 {
+        self.lock()
+            .map(|(s, _)| s.spans.spans_dropped())
+            .unwrap_or(0)
     }
 
     /// Record a decision event.
@@ -305,6 +410,7 @@ mod tests {
             spans: false,
             events: false,
             max_label_cardinality: 8,
+            max_spans: 0,
         };
         let obs = Observer::new(cfg);
         assert!(obs.enabled());

@@ -1,11 +1,54 @@
-//! Span-based tracing driven by the **simulated** clock.
+//! Causal span tracing driven by the **simulated** clock.
 //!
-//! A span is a named region of work with a start/end in simulated seconds
-//! plus a monotonic sequence number. Wall-clock never appears: replaying the
-//! same workload produces byte-identical span logs, which is what makes the
-//! traces diffable across runs and PRs.
+//! A span is a named region of work with a start/end in simulated seconds,
+//! a monotonic sequence number, and — since the causal upgrade — a trace id
+//! (one per ticket / query) plus span and parent ids forming a tree.
+//! Wall-clock never appears: replaying the same workload produces
+//! byte-identical span logs, which is what makes the traces diffable across
+//! runs and PRs.
+//!
+//! Spans are emitted *post hoc*: every duration in the simulator is known
+//! analytically when the work completes, so a parent span is recorded
+//! before its children and the returned [`SpanCtx`] is handed down as the
+//! children's parent handle. `SpanCtx` is a plain `Copy` pair of ids — the
+//! disabled observer hands out [`SpanCtx::NONE`] and drops everything, so
+//! threading a context through the read/write paths costs nothing when
+//! tracing is off.
 
 use serde::{ObjectBuilder, Serialize, Value};
+
+/// A causal handle: the trace (ticket) a span belongs to plus the span's
+/// own id, used as the parent id of its children. `{0, 0}` is the null
+/// context ([`SpanCtx::NONE`]) handed out by a disabled observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanCtx {
+    /// Trace (ticket) id; `0` means "no trace".
+    pub trace_id: u64,
+    /// Span id within the log; `0` means "no parent" (a root span).
+    pub span_id: u64,
+}
+
+impl SpanCtx {
+    /// The null context: no trace, no parent. Recording under it with a
+    /// nonzero trace id starts a new root.
+    pub const NONE: SpanCtx = SpanCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// A parent handle for starting a root span of trace `trace_id`.
+    pub fn root(trace_id: u64) -> SpanCtx {
+        SpanCtx {
+            trace_id,
+            span_id: 0,
+        }
+    }
+
+    /// True for the null context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0 && self.span_id == 0
+    }
+}
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,9 +57,15 @@ pub struct SpanRecord {
     pub seq: u64,
     /// Logical time (query sequence number) the span belongs to.
     pub tnow: u64,
+    /// Trace (ticket) id grouping the causal tree; `0` = untraced.
+    pub trace_id: u64,
+    /// This span's id (unique within the log, allocated from 1).
+    pub span_id: u64,
+    /// Parent span id; `0` = root of its trace.
+    pub parent_id: u64,
     /// Stage / operation name.
     pub name: &'static str,
-    /// Optional view/fragment label.
+    /// Optional view/fragment/node label.
     pub label: Option<String>,
     /// Start offset in simulated seconds (cumulative sim time of the run).
     pub start_sim_secs: f64,
@@ -36,6 +85,9 @@ impl Serialize for SpanRecord {
         ObjectBuilder::new()
             .field("seq", self.seq)
             .field("t", self.tnow)
+            .field("trace", self.trace_id)
+            .field("span", self.span_id)
+            .field("parent", self.parent_id)
             .field("name", self.name)
             .field("label", self.label.as_deref())
             .field("start_sim_secs", self.start_sim_secs)
@@ -44,15 +96,118 @@ impl Serialize for SpanRecord {
     }
 }
 
-/// Append-only log of completed spans.
+/// Append-only log of completed spans with an optional retention cap.
+///
+/// The cap bounds *storage*, never *identity*: sequence numbers and span
+/// ids keep advancing past the cap (dropped spans are counted in
+/// [`SpanLog::spans_dropped`]), so enabling a cap cannot perturb the ids —
+/// and therefore the causal structure — of the spans that are retained.
 #[derive(Debug, Default, Clone)]
 pub struct SpanLog {
     spans: Vec<SpanRecord>,
     next_seq: u64,
+    next_span_id: u64,
+    /// Retain at most this many spans; `0` = unbounded.
+    max_spans: usize,
+    spans_dropped: u64,
 }
 
 impl SpanLog {
-    /// Record a completed span; assigns the next sequence number.
+    /// Build with a retention cap (`0` = unbounded).
+    pub fn with_cap(max_spans: usize) -> Self {
+        Self {
+            max_spans,
+            ..Self::default()
+        }
+    }
+
+    /// Record a completed span as a child of `parent` (use
+    /// [`SpanCtx::root`] to start a new trace root). Returns the new span's
+    /// context for recording its own children.
+    pub fn record_span(
+        &mut self,
+        tnow: u64,
+        name: &'static str,
+        label: Option<&str>,
+        parent: SpanCtx,
+        start_sim_secs: f64,
+        end_sim_secs: f64,
+    ) -> SpanCtx {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.next_span_id += 1;
+        let span_id = self.next_span_id;
+        if self.max_spans != 0 && self.spans.len() >= self.max_spans {
+            self.spans_dropped += 1;
+        } else {
+            self.spans.push(SpanRecord {
+                seq,
+                tnow,
+                trace_id: parent.trace_id,
+                span_id,
+                parent_id: parent.span_id,
+                name,
+                label: label.map(String::from),
+                start_sim_secs,
+                end_sim_secs,
+            });
+        }
+        SpanCtx {
+            trace_id: parent.trace_id,
+            span_id,
+        }
+    }
+
+    /// Allocate a span id under `parent` *without* recording anything — for
+    /// a parent (e.g. a ticket root) whose duration is only known after its
+    /// children have completed. Children may immediately use the returned
+    /// context as their parent; the caller completes the span later with
+    /// [`SpanLog::record_allocated`]. Ids advance the same counter as
+    /// [`SpanLog::record_span`], so *allocation* order — not completion
+    /// order — fixes them deterministically.
+    pub fn alloc_span(&mut self, parent: SpanCtx) -> SpanCtx {
+        self.next_span_id += 1;
+        SpanCtx {
+            trace_id: parent.trace_id,
+            span_id: self.next_span_id,
+        }
+    }
+
+    /// Record a span whose context was pre-allocated with
+    /// [`SpanLog::alloc_span`]. The sequence number is assigned now
+    /// (completion order); the identity was fixed at allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_allocated(
+        &mut self,
+        ctx: SpanCtx,
+        tnow: u64,
+        name: &'static str,
+        label: Option<&str>,
+        parent: SpanCtx,
+        start_sim_secs: f64,
+        end_sim_secs: f64,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.max_spans != 0 && self.spans.len() >= self.max_spans {
+            self.spans_dropped += 1;
+        } else {
+            self.spans.push(SpanRecord {
+                seq,
+                tnow,
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                parent_id: parent.span_id,
+                name,
+                label: label.map(String::from),
+                start_sim_secs,
+                end_sim_secs,
+            });
+        }
+    }
+
+    /// Record a flat (untraced, root) span; assigns the next sequence
+    /// number. Kept for call sites that don't participate in a trace.
     pub fn record(
         &mut self,
         tnow: u64,
@@ -61,21 +216,24 @@ impl SpanLog {
         start_sim_secs: f64,
         end_sim_secs: f64,
     ) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.spans.push(SpanRecord {
-            seq,
+        self.record_span(
             tnow,
             name,
-            label: label.map(String::from),
+            label,
+            SpanCtx::root(tnow),
             start_sim_secs,
             end_sim_secs,
-        });
+        );
     }
 
-    /// All spans in emission order.
+    /// All retained spans in emission order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
+    }
+
+    /// Spans dropped by the retention cap.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
     }
 
     /// Render as JSONL, one span per line.
@@ -105,6 +263,69 @@ mod tests {
     }
 
     #[test]
+    fn record_span_builds_a_parent_child_tree() {
+        let mut log = SpanLog::default();
+        let root = log.record_span(7, "ticket", None, SpanCtx::root(7), 0.0, 10.0);
+        assert_eq!(
+            root,
+            SpanCtx {
+                trace_id: 7,
+                span_id: 1
+            }
+        );
+        let read = log.record_span(7, "read", None, root, 2.0, 10.0);
+        let exec = log.record_span(7, "execute", Some("V1"), read, 2.0, 9.0);
+        assert_eq!(exec.trace_id, 7);
+        let spans = log.spans();
+        assert_eq!(spans[0].parent_id, 0);
+        assert_eq!(spans[1].parent_id, root.span_id);
+        assert_eq!(spans[2].parent_id, read.span_id);
+        assert!(spans.iter().all(|s| s.trace_id == 7));
+    }
+
+    #[test]
+    fn cap_drops_spans_but_never_ids() {
+        let mut log = SpanLog::with_cap(2);
+        let a = log.record_span(1, "a", None, SpanCtx::root(1), 0.0, 1.0);
+        let b = log.record_span(1, "b", None, a, 0.0, 1.0);
+        let c = log.record_span(1, "c", None, b, 0.0, 1.0);
+        // Storage is capped…
+        assert_eq!(log.spans().len(), 2);
+        assert_eq!(log.spans_dropped(), 1);
+        // …but ids advance exactly as they would uncapped.
+        assert_eq!((a.span_id, b.span_id, c.span_id), (1, 2, 3));
+    }
+
+    #[test]
+    fn alloc_then_record_keeps_children_attached() {
+        let mut log = SpanLog::default();
+        // The root's duration is unknown until its children finish: allocate
+        // its identity up front, attach children, complete it last.
+        let root = log.alloc_span(SpanCtx::root(5));
+        let child = log.record_span(5, "execute", None, root, 1.0, 4.0);
+        log.record_allocated(
+            root,
+            5,
+            "ticket",
+            Some("client0"),
+            SpanCtx::root(5),
+            0.0,
+            4.0,
+        );
+        assert_eq!(root.span_id, 1);
+        assert_eq!(child.span_id, 2);
+        let spans = log.spans();
+        // Completion order: the child was recorded first…
+        assert_eq!(spans[0].name, "execute");
+        assert_eq!(spans[0].parent_id, root.span_id);
+        // …but the root keeps its pre-allocated id and root parentage.
+        assert_eq!(spans[1].name, "ticket");
+        assert_eq!(spans[1].span_id, root.span_id);
+        assert_eq!(spans[1].parent_id, 0);
+        assert_eq!((spans[0].seq, spans[1].seq), (0, 1));
+    }
+
+    #[test]
     fn jsonl_is_one_valid_object_per_line() {
         let mut log = SpanLog::default();
         log.record(3, "execute", Some("V2"), 1.0, 2.0);
@@ -112,7 +333,8 @@ mod tests {
         assert_eq!(out.lines().count(), 1);
         assert_eq!(
             out.trim(),
-            "{\"seq\":0,\"t\":3,\"name\":\"execute\",\"label\":\"V2\",\
+            "{\"seq\":0,\"t\":3,\"trace\":3,\"span\":1,\"parent\":0,\
+             \"name\":\"execute\",\"label\":\"V2\",\
              \"start_sim_secs\":1,\"end_sim_secs\":2}"
         );
     }

@@ -1,0 +1,416 @@
+//! Causal-trace analysis: per-ticket span trees, critical-path extraction
+//! with self-time attribution, aggregated profiles, and renderers
+//! (deterministic Chrome-trace-event JSON plus a text top-down profile).
+//!
+//! ## Critical path
+//!
+//! The critical path of a trace is the longest causal chain through its
+//! span tree: starting from the root's end time, repeatedly pick the
+//! last-finishing child that ends at or before the current cursor (ties
+//! broken by lower sequence number — deterministic), recurse into it, then
+//! continue leftwards from that child's start. Each step's **self time**
+//! is its duration minus the durations of its chosen children, so the self
+//! times of all steps telescope back to exactly the root's duration (up to
+//! f64 rounding of the simulated clock) — gaps between children are
+//! attributed to the parent that contained them.
+//!
+//! ## Determinism
+//!
+//! Everything here is a pure function of the span log, which is itself a
+//! deterministic function of the workload (sim clock + monotonic sequence
+//! numbers). Maps are `BTreeMap`s; ordering rules are total. Two replays
+//! render byte-identical JSON and text.
+
+use std::collections::BTreeMap;
+
+use serde::{ObjectBuilder, Value};
+
+use crate::span::SpanRecord;
+
+/// Tolerance for "ends at or before" comparisons on the simulated clock:
+/// spans laid out analytically can carry f64 rounding dust.
+const EPS_SECS: f64 = 1e-9;
+
+/// One step of a critical path, in root-to-leaf order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathStep {
+    /// Depth below the trace root (root = 0).
+    pub depth: usize,
+    /// Stage name of the span.
+    pub name: &'static str,
+    /// Span label (view / node / outcome), if any.
+    pub label: Option<String>,
+    /// Span start, cumulative sim-seconds.
+    pub start_sim_secs: f64,
+    /// Span end, cumulative sim-seconds.
+    pub end_sim_secs: f64,
+    /// Span duration minus the durations of its on-path children.
+    pub self_secs: f64,
+}
+
+impl CriticalPathStep {
+    /// `name` or `name[label]` — the aggregation key for profiles.
+    pub fn stage(&self) -> String {
+        match &self.label {
+            Some(l) => format!("{}[{}]", self.name, l),
+            None => self.name.to_string(),
+        }
+    }
+}
+
+/// One row of an aggregated critical-path profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Aggregation key: `name` or `name[label]`.
+    pub stage: String,
+    /// Total self time attributed to this stage across the profiled traces.
+    pub self_secs: f64,
+    /// Share of the summed root durations (0..=1).
+    pub share: f64,
+    /// Number of critical-path steps aggregated into this row.
+    pub steps: u64,
+}
+
+/// An index over a span log: spans grouped into traces, each a tree.
+#[derive(Debug, Default)]
+pub struct TraceForest {
+    spans: Vec<SpanRecord>,
+    /// span_id → index into `spans`.
+    by_id: BTreeMap<u64, usize>,
+    /// parent span_id → child indexes (emission order).
+    children: BTreeMap<u64, Vec<usize>>,
+    /// trace_id → root span indexes (almost always exactly one).
+    roots: BTreeMap<u64, Vec<usize>>,
+}
+
+impl TraceForest {
+    /// Index a span log. Spans with `trace_id == 0` (untraced) are kept in
+    /// the forest but form their own degenerate single-span traces only if
+    /// they are roots.
+    pub fn from_spans(spans: &[SpanRecord]) -> Self {
+        let mut forest = TraceForest {
+            spans: spans.to_vec(),
+            ..TraceForest::default()
+        };
+        for (i, s) in forest.spans.iter().enumerate() {
+            forest.by_id.insert(s.span_id, i);
+        }
+        for (i, s) in forest.spans.iter().enumerate() {
+            if s.parent_id != 0 && forest.by_id.contains_key(&s.parent_id) {
+                forest.children.entry(s.parent_id).or_default().push(i);
+            } else {
+                forest.roots.entry(s.trace_id).or_default().push(i);
+            }
+        }
+        forest
+    }
+
+    /// All trace ids that have at least one root, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.roots.keys().copied().collect()
+    }
+
+    /// The root span of a trace (the first-emitted root if several).
+    pub fn root(&self, trace_id: u64) -> Option<&SpanRecord> {
+        self.roots
+            .get(&trace_id)
+            .and_then(|r| r.first())
+            .map(|&i| &self.spans[i])
+    }
+
+    /// Number of spans recorded under a trace id.
+    pub fn span_count(&self, trace_id: u64) -> usize {
+        self.spans.iter().filter(|s| s.trace_id == trace_id).count()
+    }
+
+    /// True when every span of the trace is reachable from its root by
+    /// parent links — i.e. no orphaned spans.
+    pub fn all_reachable_from_root(&self, trace_id: u64) -> bool {
+        let Some(root) = self.root(trace_id) else {
+            return false;
+        };
+        let mut reach = 0usize;
+        let mut stack = vec![root.span_id];
+        while let Some(id) = stack.pop() {
+            reach += 1;
+            if let Some(kids) = self.children.get(&id) {
+                stack.extend(kids.iter().map(|&i| self.spans[i].span_id));
+            }
+        }
+        reach == self.span_count(trace_id)
+    }
+
+    /// Children of a span, sorted for the critical-path walk: by end time
+    /// descending, ties by sequence number ascending.
+    fn sorted_children(&self, span_id: u64) -> Vec<usize> {
+        let mut kids = self.children.get(&span_id).cloned().unwrap_or_default();
+        kids.sort_by(|&a, &b| {
+            let (sa, sb) = (&self.spans[a], &self.spans[b]);
+            sb.end_sim_secs
+                .total_cmp(&sa.end_sim_secs)
+                .then(sa.seq.cmp(&sb.seq))
+        });
+        kids
+    }
+
+    /// Extract the critical path of a trace, root first. Empty when the
+    /// trace has no root.
+    pub fn critical_path(&self, trace_id: u64) -> Vec<CriticalPathStep> {
+        let Some(roots) = self.roots.get(&trace_id) else {
+            return Vec::new();
+        };
+        let Some(&root) = roots.first() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.walk_critical(root, 0, &mut out);
+        out
+    }
+
+    /// Append the critical steps of span `idx` (at `depth`) to `out`:
+    /// the span itself (self time filled in later), then recursively the
+    /// chain of last-finishing non-overlapping children.
+    fn walk_critical(&self, idx: usize, depth: usize, out: &mut Vec<CriticalPathStep>) {
+        let s = &self.spans[idx];
+        let slot = out.len();
+        out.push(CriticalPathStep {
+            depth,
+            name: s.name,
+            label: s.label.clone(),
+            start_sim_secs: s.start_sim_secs,
+            end_sim_secs: s.end_sim_secs,
+            self_secs: 0.0,
+        });
+        // Choose the non-overlapping chain of children, scanning from the
+        // span's end backwards.
+        let kids = self.sorted_children(s.span_id);
+        let mut cursor = s.end_sim_secs;
+        let mut chain: Vec<usize> = Vec::new();
+        for &k in &kids {
+            let kid = &self.spans[k];
+            if kid.end_sim_secs <= cursor + EPS_SECS {
+                chain.push(k);
+                cursor = kid.start_sim_secs.min(cursor);
+            }
+        }
+        // `chain` is in reverse time order; recurse in forward order.
+        chain.reverse();
+        let mut kids_secs = 0.0;
+        for k in chain {
+            kids_secs += self.spans[k].duration_secs();
+            self.walk_critical(k, depth + 1, out);
+        }
+        out[slot].self_secs = s.duration_secs() - kids_secs;
+    }
+
+    /// Aggregate the critical paths of `trace_ids` into a profile table,
+    /// rows sorted by self time descending (ties by stage name ascending).
+    /// Shares are fractions of the summed root durations.
+    pub fn profile(&self, trace_ids: &[u64]) -> Vec<ProfileRow> {
+        let mut by_stage: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+        let mut total = 0.0;
+        for &tid in trace_ids {
+            let path = self.critical_path(tid);
+            if let Some(root) = path.first() {
+                total += root.end_sim_secs - root.start_sim_secs;
+            }
+            for step in path {
+                let e = by_stage.entry(step.stage()).or_insert((0.0, 0));
+                e.0 += step.self_secs;
+                e.1 += 1;
+            }
+        }
+        let mut rows: Vec<ProfileRow> = by_stage
+            .into_iter()
+            .map(|(stage, (self_secs, steps))| ProfileRow {
+                stage,
+                self_secs,
+                share: if total > 0.0 { self_secs / total } else { 0.0 },
+                steps,
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.self_secs
+                .total_cmp(&a.self_secs)
+                .then_with(|| a.stage.cmp(&b.stage))
+        });
+        rows
+    }
+}
+
+/// Render spans as deterministic Chrome-trace-event JSON (the Trace Event
+/// Format's `traceEvents` array of `"ph":"X"` complete events, loadable by
+/// Perfetto / `chrome://tracing`). Timestamps and durations are the sim
+/// clock scaled to integer microseconds; `pid` is the trace id so each
+/// ticket renders as its own process track.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let usecs = |s: f64| (s * 1e6).round() as u64;
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            let mut args = ObjectBuilder::new()
+                .field("seq", s.seq)
+                .field("span", s.span_id)
+                .field("parent", s.parent_id);
+            if let Some(l) = &s.label {
+                args = args.field("label", l.as_str());
+            }
+            ObjectBuilder::new()
+                .field("name", s.name)
+                .field("ph", "X")
+                .field("ts", usecs(s.start_sim_secs))
+                .field("dur", usecs(s.duration_secs().max(0.0)))
+                .field("pid", s.trace_id)
+                .field("tid", s.span_id)
+                .field("args", args.build())
+                .build()
+        })
+        .collect();
+    ObjectBuilder::new()
+        .field("displayTimeUnit", "ms")
+        .field("traceEvents", events)
+        .build()
+        .to_json()
+}
+
+/// Render a text top-down profile: the slowest `top` traces' critical
+/// paths (indented, with self-time per step) followed by the aggregated
+/// profile table over all listed traces.
+pub fn render_text_profile(forest: &TraceForest, trace_ids: &[u64], top: usize) -> String {
+    let mut out = String::new();
+    // Slowest traces by root duration, ties by trace id ascending.
+    let mut by_dur: Vec<(f64, u64)> = trace_ids
+        .iter()
+        .filter_map(|&tid| forest.root(tid).map(|r| (r.duration_secs(), tid)))
+        .collect();
+    by_dur.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(dur, tid) in by_dur.iter().take(top) {
+        out.push_str(&format!("trace {tid}  ({dur:.3}s)\n"));
+        for step in forest.critical_path(tid) {
+            out.push_str(&format!(
+                "{:indent$}{}  {:.3}s (self {:.3}s)\n",
+                "",
+                step.stage(),
+                step.end_sim_secs - step.start_sim_secs,
+                step.self_secs,
+                indent = 2 * (step.depth + 1),
+            ));
+        }
+    }
+    out.push_str("\ncritical-path profile (self time)\n");
+    for row in forest.profile(trace_ids) {
+        out.push_str(&format!(
+            "  {:6.1}%  {:10.3}s  x{:<5} {}\n",
+            row.share * 100.0,
+            row.self_secs,
+            row.steps,
+            row.stage
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanCtx, SpanLog};
+
+    /// A small two-ticket log: ticket 1 with a nested read/execute plus an
+    /// overlapping hedge pair, ticket 2 a bare root.
+    fn sample_log() -> SpanLog {
+        let mut log = SpanLog::default();
+        let t1 = log.record_span(1, "ticket", None, SpanCtx::root(1), 0.0, 10.0);
+        let _q = log.record_span(1, "queue_wait", None, t1, 0.0, 2.0);
+        let read = log.record_span(1, "read", None, t1, 2.0, 10.0);
+        let exec = log.record_span(1, "execute", Some("V1"), read, 2.0, 9.0);
+        // Hedge race: both arms overlap; the replica wins.
+        log.record_span(1, "hedge_primary", Some("node0 lose"), exec, 2.0, 8.5);
+        log.record_span(1, "hedge_replica", Some("node1 win"), exec, 3.0, 6.0);
+        log.record_span(2, "ticket", None, SpanCtx::root(2), 4.0, 5.0);
+        log
+    }
+
+    #[test]
+    fn forest_indexes_roots_and_reachability() {
+        let log = sample_log();
+        let forest = TraceForest::from_spans(log.spans());
+        assert_eq!(forest.trace_ids(), vec![1, 2]);
+        assert_eq!(forest.span_count(1), 6);
+        assert!(forest.all_reachable_from_root(1));
+        assert!(forest.all_reachable_from_root(2));
+    }
+
+    #[test]
+    fn critical_path_self_times_sum_to_root_duration() {
+        let log = sample_log();
+        let forest = TraceForest::from_spans(log.spans());
+        let path = forest.critical_path(1);
+        // ticket → (queue_wait, read) → execute → hedge arm.
+        assert_eq!(path[0].name, "ticket");
+        assert!(path.iter().any(|s| s.name == "read"));
+        assert!(path.iter().any(|s| s.name == "execute"));
+        let total: f64 = path.iter().map(|s| s.self_secs).sum();
+        let root_dur = path[0].end_sim_secs - path[0].start_sim_secs;
+        assert!(
+            (total - root_dur).abs() < 1e-9,
+            "self times must telescope to the root duration: {total} vs {root_dur}"
+        );
+    }
+
+    #[test]
+    fn critical_path_prefers_last_finishing_child() {
+        let log = sample_log();
+        let forest = TraceForest::from_spans(log.spans());
+        let path = forest.critical_path(1);
+        // Under `execute`, the primary arm ends later (8.5 vs 6.0), so it —
+        // not the winning replica — sits on the critical path.
+        let arm = path
+            .iter()
+            .find(|s| s.name.starts_with("hedge"))
+            .expect("a hedge arm is on the path");
+        assert_eq!(arm.name, "hedge_primary");
+    }
+
+    #[test]
+    fn profile_aggregates_and_orders_by_self_time() {
+        let log = sample_log();
+        let forest = TraceForest::from_spans(log.spans());
+        let rows = forest.profile(&forest.trace_ids());
+        let total_share: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+        for pair in rows.windows(2) {
+            assert!(pair[0].self_secs >= pair[1].self_secs);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_json_is_valid_and_deterministic() {
+        let log = sample_log();
+        let json = chrome_trace_json(log.spans());
+        let v = serde::from_str(&json).expect("chrome trace renders valid JSON");
+        let events = match v.get("traceEvents") {
+            Some(serde::Value::Array(items)) => items.clone(),
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        assert_eq!(events.len(), log.spans().len());
+        for ev in &events {
+            assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+            assert!(ev.get("name").is_some());
+            assert!(ev.get("ts").and_then(|t| t.as_f64()).is_some());
+            assert!(ev.get("dur").and_then(|d| d.as_f64()).is_some());
+            assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+        }
+        assert_eq!(json, chrome_trace_json(log.spans()));
+    }
+
+    #[test]
+    fn text_profile_lists_slowest_traces_first() {
+        let log = sample_log();
+        let forest = TraceForest::from_spans(log.spans());
+        let text = render_text_profile(&forest, &forest.trace_ids(), 2);
+        let t1 = text.find("trace 1").expect("trace 1 listed");
+        let t2 = text.find("trace 2").expect("trace 2 listed");
+        assert!(t1 < t2, "the 10s trace renders before the 1s trace");
+        assert!(text.contains("critical-path profile"));
+    }
+}

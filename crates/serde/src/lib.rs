@@ -136,6 +136,245 @@ fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Parse a JSON document into a [`Value`]. Inverse of [`Value::to_json`]:
+/// integers without a fraction or exponent come back as `U64`/`I64` (never
+/// routed through `f64`), object field order is preserved, and trailing
+/// garbage after the document is an error. Errors carry a byte offset.
+pub fn from_str(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_lit(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.expect_lit("null", Value::Null),
+            Some(b't') => self.expect_lit("true", Value::Bool(true)),
+            Some(b'f') => self.expect_lit("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(format!("expected `:` at byte {}", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(format!("expected string at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| format!("unterminated string at byte {}", self.pos))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("dangling escape at byte {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following `\uDC00..` low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let code =
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                    char::from_u32(code)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| {
+                                format!("invalid \\u escape ending at byte {}", self.pos)
+                            })?);
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at the byte we
+                    // just consumed (the input is a &str, so it is valid).
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("invalid utf-8 at byte {start}"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(format!("truncated \\u escape at byte {}", self.pos));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
 /// Types that can serialize themselves into a [`Value`].
 pub trait Serialize {
     /// Convert to the JSON value model.
@@ -313,6 +552,55 @@ mod tests {
             ObjectBuilder::new().field("k", vec![1u64, 2]).build(),
         ]);
         assert_eq!(v.to_json(), "[1,{\"k\":[1,2]}]");
+    }
+
+    #[test]
+    fn from_str_round_trips_rendered_values() {
+        let v = ObjectBuilder::new()
+            .field("u", u64::MAX)
+            .field("i", i64::MIN)
+            .field("f", 1.25f64)
+            .field("s", "a\"b\\c\nd\u{1}é")
+            .field("b", true)
+            .field("n", Value::Null)
+            .field("a", vec![1u64, 2, 3])
+            .field("o", ObjectBuilder::new().field("z", 9u64).build())
+            .build();
+        assert_eq!(from_str(&v.to_json()), Ok(v));
+    }
+
+    #[test]
+    fn from_str_preserves_integer_types_and_order() {
+        let v =
+            from_str(" {\"z\" : 18446744073709551615, \"a\": -2, \"f\": 2.0} ").expect("parses");
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("z".into(), Value::U64(u64::MAX)),
+                ("a".into(), Value::I64(-2)),
+                ("f".into(), Value::F64(2.0)),
+            ])
+        );
+    }
+
+    #[test]
+    fn from_str_handles_escapes_and_surrogates() {
+        assert_eq!(
+            from_str("\"\\u0041\\u00e9\\ud83d\\ude00\\t\""),
+            Ok(Value::Str("Aé😀\t".into()))
+        );
+        assert_eq!(from_str("[]"), Ok(Value::Array(vec![])));
+        assert_eq!(from_str("{}"), Ok(Value::Object(vec![])));
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"a\":1,}").is_err());
+        assert!(from_str("[1 2]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
     }
 
     #[test]

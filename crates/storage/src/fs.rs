@@ -47,6 +47,39 @@ pub struct SimFs<P> {
     cluster: Option<NodeSet>,
     hedge: Mutex<Option<HedgeConfig>>,
     hedge_stats: Mutex<HedgeCounters>,
+    io_trace: Mutex<IoTraceState>,
+}
+
+/// Drainable per-race hedge details, recorded only when the I/O trace is
+/// enabled (see [`SimFs::set_io_trace`]). The storage layer cannot see the
+/// observer, so the tracing layer above drains these and converts them to
+/// spans — the same pattern as the retry-debt drain in the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeTrace {
+    /// The file whose read hedged.
+    pub file: FileId,
+    /// The replica that was serving the read (the slow arm's node).
+    pub primary: NodeId,
+    /// The replica the hedge raced against it.
+    pub replica: NodeId,
+    /// The primary arm's uncancelled finish line, seconds from read start.
+    pub primary_secs: f64,
+    /// The hedge arm's finish line (launched at the threshold), seconds
+    /// from read start.
+    pub replica_secs: f64,
+    /// The hedge launch offset, seconds from read start.
+    pub threshold_secs: f64,
+    /// True when the hedge (replica) arm won the race.
+    pub winner_replica: bool,
+}
+
+/// Gate plus buffer for the drainable I/O trace. Disabled (the default) it
+/// is a single `bool` check per hedge — no allocation, no recording — so
+/// untraced runs stay bit-and-cost identical.
+#[derive(Debug, Default)]
+struct IoTraceState {
+    enabled: bool,
+    hedges: Vec<HedgeTrace>,
 }
 
 /// Hedged-read policy: when a read's serving replica would exceed
@@ -116,6 +149,7 @@ impl<P> SimFs<P> {
             cluster: None,
             hedge: Mutex::new(None),
             hedge_stats: Mutex::new(HedgeCounters::default()),
+            io_trace: Mutex::new(IoTraceState::default()),
         }
     }
 
@@ -283,6 +317,20 @@ impl<P> SimFs<P> {
         // scaled by the *replica's* multiplier — no extra random draws, so
         // "faster" is a pure function of cluster state.
         let replica_total = hedge.threshold_secs + base_secs * cluster.latency_multiplier(replica);
+        {
+            let mut tr = self.io_trace.lock().unwrap_or_else(|e| e.into_inner());
+            if tr.enabled {
+                tr.hedges.push(HedgeTrace {
+                    file: id,
+                    primary: node,
+                    replica,
+                    primary_secs: primary_total,
+                    replica_secs: replica_total,
+                    threshold_secs: hedge.threshold_secs,
+                    winner_replica: replica_total < primary_total,
+                });
+            }
+        }
         let mut hs = self.hedge_stats.lock().unwrap_or_else(|e| e.into_inner());
         hs.issued += 1;
         if replica_total < primary_total {
@@ -455,6 +503,37 @@ impl<P> SimFs<P> {
     /// The hedged-read policy in force, if any.
     pub fn hedge_config(&self) -> Option<HedgeConfig> {
         *self.hedge.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enable or disable the drainable I/O trace (per-race hedge details).
+    /// Off by default; enabling it records metadata only and never changes
+    /// an outcome, a cost, or a random draw.
+    pub fn set_io_trace(&self, enabled: bool) {
+        let mut tr = self.io_trace.lock().unwrap_or_else(|e| e.into_inner());
+        tr.enabled = enabled;
+        if !enabled {
+            tr.hedges.clear();
+        }
+    }
+
+    /// True when the drainable I/O trace is recording.
+    pub fn io_trace_enabled(&self) -> bool {
+        self.io_trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .enabled
+    }
+
+    /// Drain the hedge races recorded since the last drain (empty unless
+    /// [`SimFs::set_io_trace`] enabled tracing).
+    pub fn drain_hedge_traces(&self) -> Vec<HedgeTrace> {
+        std::mem::take(
+            &mut self
+                .io_trace
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .hedges,
+        )
     }
 
     /// Simulated seconds of cancelled (wasted) work across all hedged reads:
@@ -984,6 +1063,43 @@ mod tests {
         // Hedging off again: bit-identical to the plain path.
         fs.set_hedge(None);
         assert!(fs.hedge_config().is_none());
+    }
+
+    #[test]
+    fn io_trace_records_hedge_races_only_when_enabled() {
+        let fs = sharded(3, 2);
+        let nodes = [NodeId(0), NodeId(1)];
+        let out = fs
+            .try_create_placed("frag", 250, vec![7], &nodes)
+            .expect("no faults");
+        let id = out.value;
+        let base = fs.try_read(id).expect("healthy").cost_secs;
+        fs.set_node_slow(NodeId(0), 8.0);
+        let threshold = base * 2.0;
+        fs.set_hedge(Some(HedgeConfig::after_secs(threshold)));
+
+        // Trace off (the default): the hedge fires but records nothing.
+        let untraced = fs.try_read(id).expect("hedge serves");
+        assert!(fs.drain_hedge_traces().is_empty());
+
+        // Trace on: the identical read records one race, bit-identical.
+        fs.set_io_trace(true);
+        assert!(fs.io_trace_enabled());
+        let traced = fs.try_read(id).expect("hedge serves");
+        assert_eq!(traced.spike_secs.to_bits(), untraced.spike_secs.to_bits());
+        let races = fs.drain_hedge_traces();
+        assert_eq!(races.len(), 1);
+        let r = races[0];
+        assert_eq!((r.file, r.primary, r.replica), (id, NodeId(0), NodeId(1)));
+        assert!(r.winner_replica, "healthy replica beats the 8x primary");
+        assert_eq!(r.threshold_secs.to_bits(), threshold.to_bits());
+        assert_eq!(r.primary_secs.to_bits(), (base * 8.0).to_bits());
+        assert_eq!(r.replica_secs.to_bits(), (threshold + base).to_bits());
+        // Draining empties the buffer; disabling clears any residue.
+        assert!(fs.drain_hedge_traces().is_empty());
+        fs.try_read(id).expect("hedge serves");
+        fs.set_io_trace(false);
+        assert!(fs.drain_hedge_traces().is_empty());
     }
 
     #[test]

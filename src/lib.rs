@@ -13,6 +13,8 @@
 //!   candidates, Algorithm 2 matching, decay/Φ statistics, MLE fragment
 //!   model, Φ-ranked selection, baselines),
 //! - [`workload`] — BigBench-like schema/templates and SDSS-like traces,
+//! - [`obs`] — observability: metrics, decision events, causal span traces
+//!   with critical-path analysis and Chrome-trace rendering,
 //! - [`mod@bench`] — the experiment harness regenerating every figure.
 //!
 //! ## Quickstart
@@ -31,6 +33,7 @@
 pub use deepsea_bench as bench;
 pub use deepsea_core as core;
 pub use deepsea_engine as engine;
+pub use deepsea_obs as obs;
 pub use deepsea_relation as relation;
 pub use deepsea_storage as storage;
 pub use deepsea_workload as workload;

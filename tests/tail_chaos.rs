@@ -399,12 +399,16 @@ fn breaker_opens_short_circuits_and_recloses_around_an_outage() {
     drop(probe);
     let trip = healthy_max * 4.0;
 
-    let (mut ds, fs) = build_sharded(
+    let (ds, fs) = build_sharded(
         1,
         FaultInjector::disabled(),
         chaos_config().with_breaker(BreakerConfig::after_failures(2, 2).with_latency_trip(trip)),
         None,
     );
+    // Watch the run so the breaker's state changes land on the exported
+    // transition counter (pinned below) as well as the event journal.
+    let obs = Observer::new(ObsConfig::on());
+    let mut ds = ds.with_observer(obs.clone());
     // Materialize views through the writer, then freeze an epoch.
     for (i, plan) in plans.iter().enumerate() {
         ds.process_query(plan)
@@ -470,6 +474,22 @@ fn breaker_opens_short_circuits_and_recloses_around_an_outage() {
         "breakers stayed open after the slowness cleared and probes succeeded: {:?}",
         ds.breakers().open_breakers()
     );
+
+    // The full open -> half_open -> closed cycle is exported under the
+    // pinned Prometheus name, one series per target state.
+    let samples =
+        deepsea::obs::parse_prometheus(&obs.render_prometheus()).expect("prometheus output parses");
+    for state in ["open", "half_open", "closed"] {
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == "deepsea_breaker_transitions_total"
+                    && s.labels.iter().any(|(k, v)| k == "view" && v == state)
+            })
+            .map(|s| s.value)
+            .unwrap_or_else(|| panic!("missing breaker transition series for {state:?}"));
+        assert!(count > 0.0, "no transitions into {state:?} recorded");
+    }
 }
 
 /// The combined-schedule crash test: node outage + seeded I/O faults + a
