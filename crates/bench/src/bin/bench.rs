@@ -22,6 +22,36 @@
 use deepsea_bench::experiments::{self, Scale};
 use deepsea_bench::gate::compare_snapshots;
 use deepsea_bench::pressure;
+use serde::ObjectBuilder;
+
+/// Run `deepsea-lint` over the workspace and snapshot its wall time and
+/// per-rule hit counts, so linter slowdowns and rule regressions ride the
+/// same trajectory gate as the simulator metrics (`violations.*` keys are
+/// cost-like; `wall_ms` is informational — it is nondeterministic).
+#[allow(clippy::disallowed_methods, clippy::disallowed_types)]
+fn lint_snapshot() -> Option<String> {
+    let cwd = std::env::current_dir().ok()?;
+    let root = deepsea_lint::find_workspace_root(&cwd)?;
+    // deepsea-lint: allow(wall_clock) -- measures the linter's own wall time
+    // for the trajectory snapshot; feeds no simulated cost or decision.
+    let start = std::time::Instant::now();
+    let run = deepsea_lint::lint_workspace(&root).ok()?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut by_rule = ObjectBuilder::new();
+    for rule in deepsea_lint::RuleId::all() {
+        let n = run.violations.iter().filter(|v| v.rule == rule).count() as u64;
+        by_rule = by_rule.field(rule.code(), n);
+    }
+    let obj = ObjectBuilder::new()
+        .field("experiment", "lint")
+        .field("scale", "quick")
+        .field("files_scanned", run.files.len() as u64)
+        .field("wall_ms", wall_ms)
+        .field("violations_total", run.violations.len() as u64)
+        .field("violations", by_rule.build())
+        .build();
+    Some(serde::to_string(&obj))
+}
 
 /// Default regression threshold, percent.
 const DEFAULT_THRESHOLD_PCT: f64 = 2.0;
@@ -53,7 +83,7 @@ fn main() {
     // (snapshot file, fresh quick-scale regeneration) — the experiments the
     // repository pins. BENCH_pressure.json is a side product, not a pinned
     // baseline, so it is not gated here.
-    let snapshots: Vec<(&str, String)> = vec![
+    let mut snapshots: Vec<(&str, String)> = vec![
         (
             "BENCH.json",
             experiments::fig5a_observed(Scale::Quick).bench_json,
@@ -67,6 +97,10 @@ fn main() {
             pressure::overload(Scale::Quick).bench_json,
         ),
     ];
+    match lint_snapshot() {
+        Some(json) => snapshots.push(("BENCH_lint.json", json)),
+        None => println!("BENCH_lint.json: no workspace root found, lint snapshot skipped"),
+    }
 
     let mut failed = false;
     for (file, fresh) in &snapshots {

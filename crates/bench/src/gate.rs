@@ -44,8 +44,13 @@ impl MetricDelta {
     }
 
     /// True when this key measures a cost (larger = worse): simulated
-    /// seconds, latency percentiles, or a degradation counter.
+    /// seconds, latency percentiles, a degradation counter, or a lint
+    /// rule-hit count (`violations.R3` etc. — the lint snapshot rides the
+    /// same ratchet).
     pub fn is_cost_like(&self) -> bool {
+        if self.key.contains("violations") {
+            return true;
+        }
         let last = self.key.rsplit('.').next().unwrap_or(&self.key);
         last.ends_with("_secs")
             || matches!(last, "p50" | "p95" | "p99")
@@ -246,6 +251,18 @@ mod tests {
         assert!(report.regressions(0.0).is_empty());
         assert_eq!(report.changed().len(), 2);
         assert!(report.render(0.0).contains("improved"));
+    }
+
+    #[test]
+    fn lint_rule_hit_counts_are_cost_like() {
+        let base = r#"{"scale":"quick","violations":{"P1":9,"R3":0},"wall_ms":12.0}"#;
+        let fresh = r#"{"scale":"quick","violations":{"P1":9,"R3":1},"wall_ms":90.0}"#;
+        let report = compare_snapshots(base, fresh).expect("parses");
+        // A new rule hit regresses even off a zero baseline; wall time is
+        // informational (nondeterministic), never a regression.
+        let regs = report.regressions(0.5);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "violations.R3");
     }
 
     #[test]

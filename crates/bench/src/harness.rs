@@ -79,6 +79,9 @@ pub struct StageTotals {
     pub evictions_selected: u64,
     /// Evictions forced afterwards to enforce `Smax`.
     pub evictions_forced: u64,
+    /// Simulated seconds deleting evicted files (zero under default
+    /// weights, where deletes are metadata-only).
+    pub eviction_delete_secs: f64,
     /// Transient-failure retries absorbed across execution and
     /// materialization.
     pub retries: u64,
@@ -140,6 +143,7 @@ impl StageTotals {
             fragments_covered,
             evictions_selected,
             evictions_forced,
+            eviction_delete_secs,
             retries,
             retry_penalty_secs,
             quarantined_views,
@@ -182,6 +186,7 @@ impl StageTotals {
             ("materialization.creation_secs", creation_secs),
             ("eviction.selected", evictions_selected as f64),
             ("eviction.limit_forced", evictions_forced as f64),
+            ("eviction.delete_secs", eviction_delete_secs),
             ("recovery.retries", retries as f64),
             ("recovery.penalty_secs", retry_penalty_secs),
             ("recovery.quarantined_views", quarantined_views as f64),
@@ -273,6 +278,7 @@ impl RunResult {
             t.fragments_covered += tr.materialization.fragments_covered;
             t.evictions_selected += tr.eviction.selected as u64;
             t.evictions_forced += tr.eviction.limit_forced as u64;
+            t.eviction_delete_secs += tr.eviction.delete_secs;
             t.retries += tr.recovery.retries as u64;
             t.retry_penalty_secs += tr.recovery.penalty_secs;
             t.quarantined_views += tr.recovery.quarantined_views as u64;

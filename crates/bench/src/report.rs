@@ -136,7 +136,7 @@ pub fn stage_breakdown(label: &str, t: &StageTotals) -> String {
                 "{} selected, {} forced by Smax",
                 t.evictions_selected, t.evictions_forced
             ),
-            "-".into(),
+            secs(t.eviction_delete_secs),
         ],
         vec![
             "recovery".into(),
@@ -260,6 +260,7 @@ mod tests {
             fragments_covered: 2,
             evictions_selected: 1,
             evictions_forced: 0,
+            eviction_delete_secs: 0.25,
             retries: 9,
             retry_penalty_secs: 4.5,
             quarantined_views: 1,
@@ -330,6 +331,7 @@ mod tests {
             creation_secs: 139.5,
             evictions_selected: 141,
             evictions_forced: 143,
+            eviction_delete_secs: 144.5,
             retries: 145,
             retry_penalty_secs: 147.5,
             quarantined_views: 149,

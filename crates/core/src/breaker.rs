@@ -30,6 +30,7 @@
 //! first post-restart failures re-open them).
 
 use std::collections::BTreeMap;
+// deepsea-lint: allow(lock_discipline) -- interior-mutability breaker cells shared with the server loop; guards never cross a call
 use std::sync::{Mutex, MutexGuard};
 
 /// Sentinel node id for failures that cannot be traced to a cluster node.

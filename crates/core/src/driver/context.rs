@@ -90,6 +90,9 @@ pub struct EvictionTrace {
     /// Additional evictions forced by `enforce_limit` (actual sizes exceeded
     /// the estimates selection planned with).
     pub limit_forced: u32,
+    /// Simulated seconds charged for deleting the evicted files (zero under
+    /// the default cost weights, where deletes are metadata-only).
+    pub delete_secs: f64,
 }
 
 /// Counters from fault recovery: retries absorbed, views quarantined after
@@ -210,6 +213,7 @@ impl QueryTrace {
                 EvictionTrace {
                     selected,
                     limit_forced,
+                    delete_secs,
                 },
             recovery:
                 RecoveryTrace {
@@ -259,6 +263,7 @@ impl QueryTrace {
             ("materialization.creation_secs", creation_secs),
             ("eviction.selected", selected as f64),
             ("eviction.limit_forced", limit_forced as f64),
+            ("eviction.delete_secs", delete_secs),
             ("recovery.retries", retries as f64),
             ("recovery.penalty_secs", penalty_secs),
             ("recovery.quarantined_views", quarantined_views as f64),
@@ -345,6 +350,7 @@ impl Serialize for EvictionTrace {
         ObjectBuilder::new()
             .field("selected", self.selected)
             .field("limit_forced", self.limit_forced)
+            .field("delete_secs", self.delete_secs)
             .build()
     }
 }
@@ -404,7 +410,8 @@ pub(crate) struct CreationCharge {
     pub(crate) cover_reads: u64,
     /// Transient-failure retries absorbed by materialization I/O.
     pub(crate) retries: u32,
-    /// Simulated backoff/spike seconds those retries cost (charged into
+    /// Simulated backoff/spike seconds those retries cost, plus the delete
+    /// cost of source fragments dropped during refinement (charged into
     /// `creation_secs`).
     pub(crate) penalty_secs: f64,
 }
@@ -530,7 +537,7 @@ mod tests {
             set_field_by_index(&mut trace, i, (i + 1) as f64);
         }
         let flat = trace.fields();
-        assert_eq!(flat.len(), 34);
+        assert_eq!(flat.len(), 35);
         // Names are unique and values survived the round trip.
         let mut names: Vec<&str> = flat.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
@@ -576,18 +583,19 @@ mod tests {
             19 => t.materialization.creation_secs = v,
             20 => t.eviction.selected = v as u32,
             21 => t.eviction.limit_forced = v as u32,
-            22 => t.recovery.retries = v as u32,
-            23 => t.recovery.penalty_secs = v,
-            24 => t.recovery.quarantined_views = v as u32,
-            25 => t.recovery.quarantined_bytes = v as u64,
-            26 => t.recovery.base_table_fallbacks = v as u32,
-            27 => t.recovery.fragment_fallbacks = v as u32,
-            28 => t.recovery.corrupt_fragments = v as u32,
-            29 => t.recovery.breaker_short_circuits = v as u32,
-            30 => t.durability.journal_appends = v as u32,
-            31 => t.durability.journal_retries = v as u32,
-            32 => t.durability.journal_penalty_secs = v,
-            33 => t.durability.snapshots = v as u32,
+            22 => t.eviction.delete_secs = v,
+            23 => t.recovery.retries = v as u32,
+            24 => t.recovery.penalty_secs = v,
+            25 => t.recovery.quarantined_views = v as u32,
+            26 => t.recovery.quarantined_bytes = v as u64,
+            27 => t.recovery.base_table_fallbacks = v as u32,
+            28 => t.recovery.fragment_fallbacks = v as u32,
+            29 => t.recovery.corrupt_fragments = v as u32,
+            30 => t.recovery.breaker_short_circuits = v as u32,
+            31 => t.durability.journal_appends = v as u32,
+            32 => t.durability.journal_retries = v as u32,
+            33 => t.durability.journal_penalty_secs = v,
+            34 => t.durability.snapshots = v as u32,
             _ => panic!("fields() grew without extending set_field_by_index"),
         }
     }

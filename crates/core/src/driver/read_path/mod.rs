@@ -212,8 +212,10 @@ impl<'a> ReadView<'a> {
             ctx.trace.recovery.breaker_short_circuits += 1;
             ctx.used_view = None;
             ctx.qbest = plan.clone();
-            self.obs
-                .event(ctx.tnow, DecisionEvent::BreakerShortCircuit { view });
+            if self.obs.events_enabled() {
+                self.obs
+                    .event(ctx.tnow, DecisionEvent::BreakerShortCircuit { view });
+            }
         }
     }
 

@@ -37,7 +37,8 @@ impl DeepSea {
                 .obs
                 .events_enabled()
                 .then(|| self.phi_breakdown(&item.kind, item.phi, ctx.tnow));
-            if let Some(desc) = self.evict(&item.kind) {
+            if let Some((desc, delete_secs)) = self.evict(&item.kind) {
+                ctx.trace.eviction.delete_secs += delete_secs;
                 if let Some(breakdown) = breakdown {
                     self.obs.event(
                         ctx.tnow,
@@ -137,12 +138,15 @@ impl DeepSea {
 
     /// Stage 7: evict lowest-value items until the pool fits `Smax` again.
     pub(crate) fn stage_enforce_limit(&mut self, ctx: &mut QueryContext) {
-        let forced = self.enforce_limit(ctx.tnow);
+        let (forced, delete_secs) = self.enforce_limit(ctx.tnow);
         ctx.trace.eviction.limit_forced = forced.len() as u32;
+        ctx.trace.eviction.delete_secs += delete_secs;
         ctx.evicted.extend(forced);
     }
 
-    fn evict(&mut self, kind: &CandidateKind) -> Option<String> {
+    /// Evict one item, returning its description and the simulated seconds
+    /// the file delete cost (flows into `EvictionTrace::delete_secs`).
+    fn evict(&mut self, kind: &CandidateKind) -> Option<(String, f64)> {
         match kind {
             CandidateKind::WholeView(vid) => {
                 let view = self.registry.view_mut(*vid);
@@ -150,10 +154,10 @@ impl DeepSea {
                 let size = view.stats.size;
                 let key = view.key.clone();
                 let name = view.name.clone();
-                self.fs.delete(file);
+                let secs = self.fs.delete_costed(file).map_or(0.0, |(_, s)| s);
                 let _ = self.pool.release(size);
                 self.journal_emit(CatalogRecord::ViewEvicted { view: key });
-                Some(name)
+                Some((name, secs))
             }
             CandidateKind::Fragment(vid, attr, fid) => {
                 let view = self.registry.view_mut(*vid);
@@ -164,24 +168,26 @@ impl DeepSea {
                 let file = frag.file.take()?;
                 let iv = frag.interval;
                 let size = frag.size;
-                self.fs.delete(file);
+                let secs = self.fs.delete_costed(file).map_or(0.0, |(_, s)| s);
                 let _ = self.pool.release(size);
                 self.journal_emit(CatalogRecord::FragmentEvicted {
                     view: key,
                     attr: attr.clone(),
                     interval: iv,
                 });
-                Some(format!("{name}.{attr}{iv}"))
+                Some((format!("{name}.{attr}{iv}"), secs))
             }
         }
     }
 
     /// Evict lowest-value items until the pool fits `Smax` (actual
     /// materialized sizes can exceed the estimates selection planned with).
-    fn enforce_limit(&mut self, tnow: LogicalTime) -> Vec<String> {
+    /// Returns the victims and the simulated delete seconds charged.
+    fn enforce_limit(&mut self, tnow: LogicalTime) -> (Vec<String>, f64) {
         let Some(smax) = self.config.smax else {
-            return Vec::new();
+            return (Vec::new(), 0.0);
         };
+        let mut delete_secs = 0.0;
         let mut evicted = Vec::new();
         while self.pool_bytes() > smax {
             let items: Vec<RankedItem> = self
@@ -204,7 +210,8 @@ impl DeepSea {
                 None
             };
             match self.evict(&worst.kind) {
-                Some(d) => {
+                Some((d, secs)) => {
+                    delete_secs += secs;
                     if let Some((breakdown, runner_up)) = audit {
                         self.obs.event(
                             tnow,
@@ -222,7 +229,7 @@ impl DeepSea {
                 None => break,
             }
         }
-        evicted
+        (evicted, delete_secs)
     }
 
     /// Maintenance pass implementing the §11 extension: merge consecutive
@@ -322,7 +329,7 @@ impl DeepSea {
                     if let Some(f) = ps.frag_mut(id) {
                         hits.extend(f.stats.hits.iter().copied());
                         if let Some(file) = f.file.take() {
-                            self.fs.delete(file);
+                            secs += self.fs.delete_costed(file).map_or(0.0, |(_, s)| s);
                             dropped.push((f.interval, f.size));
                         }
                     }
@@ -352,15 +359,17 @@ impl DeepSea {
                 schema: None,
                 nodes: new_nodes,
             });
-            self.obs.event(
-                tnow,
-                DecisionEvent::FragmentMerge {
-                    view: name.clone(),
-                    attr: attr.clone(),
-                    merged: cand.merged.to_string(),
-                    bytes: size,
-                },
-            );
+            if self.obs.events_enabled() {
+                self.obs.event(
+                    tnow,
+                    DecisionEvent::FragmentMerge {
+                        view: name.clone(),
+                        attr: attr.clone(),
+                        merged: cand.merged.to_string(),
+                        bytes: size,
+                    },
+                );
+            }
             merged.push(format!("{name}.{attr}{}", cand.merged));
         }
         let debt = self.drain_journal_debt();

@@ -407,7 +407,7 @@ impl DeepSea {
 
         // Audit the refinement decision: in overlapping mode the sources
         // stay; in horizontal mode they are split and rewritten.
-        if overlapping_mode {
+        if overlapping_mode && self.obs.events_enabled() {
             self.obs.event(
                 self.clock,
                 DecisionEvent::OverlapKept {
@@ -458,7 +458,7 @@ impl DeepSea {
             }
             dropped.push(*sid);
         }
-        if !overlapping_mode {
+        if !overlapping_mode && self.obs.events_enabled() {
             self.obs.event(
                 self.clock,
                 DecisionEvent::FragmentSplit {
@@ -487,7 +487,9 @@ impl DeepSea {
             for sid in dropped {
                 if let Some(f) = ps.frag_mut(sid) {
                     if let Some(file) = f.file.take() {
-                        self.fs.delete(file);
+                        if let Some((_, secs)) = self.fs.delete_costed(file) {
+                            charge.penalty_secs += secs;
+                        }
                         dropped_meta.push((f.interval, f.size));
                     }
                 }

@@ -318,14 +318,16 @@ impl DeepSea {
             return;
         }
         self.obs.counter_inc("deepsea_fragment_outages_total", None);
-        let view = self
-            .registry
-            .view_owning_file(file)
-            .map(|vid| self.registry.view(vid).name.clone());
-        self.obs.event(
-            ctx.tnow,
-            DecisionEvent::FragmentOutage { file: file.0, view },
-        );
+        if self.obs.events_enabled() {
+            let view = self
+                .registry
+                .view_owning_file(file)
+                .map(|vid| self.registry.view(vid).name.clone());
+            self.obs.event(
+                ctx.tnow,
+                DecisionEvent::FragmentOutage { file: file.0, view },
+            );
+        }
     }
 
     /// Evict exactly the fragment backed by a permanently lost file (all
@@ -368,15 +370,17 @@ impl DeepSea {
         });
         ctx.trace.recovery.quarantined_bytes += size;
         self.obs.counter_inc("deepsea_fragment_losses_total", None);
-        self.obs.event(
-            ctx.tnow,
-            DecisionEvent::Quarantine {
-                view: name,
-                files: 1,
-                bytes: size,
-                fragments: 1,
-            },
-        );
+        if self.obs.events_enabled() {
+            self.obs.event(
+                ctx.tnow,
+                DecisionEvent::Quarantine {
+                    view: name,
+                    files: 1,
+                    bytes: size,
+                    fragments: 1,
+                },
+            );
+        }
         true
     }
 
@@ -397,8 +401,10 @@ impl DeepSea {
             self.offline.remove(&f);
             self.obs
                 .counter_inc("deepsea_fragment_readmissions_total", None);
-            self.obs
-                .event(tnow, DecisionEvent::FragmentReadmitted { file: f.0 });
+            if self.obs.events_enabled() {
+                self.obs
+                    .event(tnow, DecisionEvent::FragmentReadmitted { file: f.0 });
+            }
         }
     }
 }

@@ -172,6 +172,8 @@ impl DeepSea {
         for file in &report.files {
             // The file that triggered the failure is usually already gone
             // from the FS; deleting the survivors is metadata-only.
+            // deepsea-lint: allow(cost_flow) -- quarantine is a failure path, not a
+            // costed query stage; its delete cost is charged nowhere by design.
             self.fs.delete(*file);
         }
         let _ = self.pool.release(report.bytes);
@@ -184,15 +186,17 @@ impl DeepSea {
             let name = self.registry.view(vid).name.clone();
             self.obs
                 .counter_inc("deepsea_quarantined_views_total", Some(&name));
-            self.obs.event(
-                tnow,
-                deepsea_obs::DecisionEvent::Quarantine {
-                    view: name,
-                    files: report.files.len() as u64,
-                    bytes: report.bytes,
-                    fragments: report.fragments as u64,
-                },
-            );
+            if self.obs.events_enabled() {
+                self.obs.event(
+                    tnow,
+                    deepsea_obs::DecisionEvent::Quarantine {
+                        view: name,
+                        files: report.files.len() as u64,
+                        bytes: report.bytes,
+                        fragments: report.fragments as u64,
+                    },
+                );
+            }
         }
         (self.registry.view(vid).name.clone(), report)
     }

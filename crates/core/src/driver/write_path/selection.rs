@@ -55,6 +55,9 @@ impl DeepSea {
         selection: &SelectionResult,
         tnow: LogicalTime,
     ) {
+        if !self.obs.enabled() {
+            return;
+        }
         for item in items {
             let verdict = if selection.to_create.iter().any(|i| i.kind == item.kind) {
                 "create"
@@ -83,6 +86,9 @@ impl DeepSea {
     /// The fit is recomputed here — a pure function of the same statistics
     /// `fragment_values` read — so observation feeds no decision.
     fn observe_mle_fits(&self, tnow: LogicalTime) {
+        if !self.obs.enabled() {
+            return;
+        }
         if !matches!(
             self.config.value_model,
             ValueModel::DeepSea { use_mle: true }

@@ -542,15 +542,17 @@ impl ViewServer {
                     shed_reads += 1;
                     obs.counter_inc("deepsea_shed_reads_total", None);
                     obs.counter_inc("deepsea_shed_reads_total", Some(reason));
-                    obs.event(
-                        ticket as u64 + 1,
-                        deepsea_obs::DecisionEvent::Shed {
-                            ticket: ticket as u64,
-                            policy: policy.name(),
-                            reason,
-                            deadline_secs: deadline.unwrap_or(0.0),
-                        },
-                    );
+                    if obs.events_enabled() {
+                        obs.event(
+                            ticket as u64 + 1,
+                            deepsea_obs::DecisionEvent::Shed {
+                                ticket: ticket as u64,
+                                policy: policy.name(),
+                                reason,
+                                deadline_secs: deadline.unwrap_or(0.0),
+                            },
+                        );
+                    }
                 }
 
                 // Causal identities are fixed *before* the read runs so the
@@ -588,15 +590,17 @@ impl ViewServer {
                         obs.counter_add("deepsea_hedges_total", Some("issued"), issued);
                         obs.counter_add("deepsea_hedges_total", Some("won"), won);
                         obs.counter_add("deepsea_hedges_total", Some("cancelled"), cancelled);
-                        obs.event(
-                            tn,
-                            deepsea_obs::DecisionEvent::HedgedRead {
-                                ticket: ticket as u64,
-                                issued,
-                                won,
-                                cancelled,
-                            },
-                        );
+                        if obs.events_enabled() {
+                            obs.event(
+                                tn,
+                                deepsea_obs::DecisionEvent::HedgedRead {
+                                    ticket: ticket as u64,
+                                    issued,
+                                    won,
+                                    cancelled,
+                                },
+                            );
+                        }
                     }
                     if a.trace.recovery.fragment_fallbacks > 0 {
                         obs.counter_add(
@@ -737,21 +741,24 @@ impl ViewServer {
     fn apply_slow_action(&self, node: u32, multiplier: f64, obs: &deepsea_obs::Observer) {
         use deepsea_storage::NodeId;
         let tnow = self.ds.clock();
-        let label = format!("node{node}");
+        // The FS state change happens regardless of observability; only the
+        // event assembly (label formatting included) is gated.
         if multiplier > 1.0 {
-            if self.ds.fs().set_node_slow(NodeId(node), multiplier) {
+            if self.ds.fs().set_node_slow(NodeId(node), multiplier) && obs.events_enabled() {
                 obs.event(
                     tnow,
                     deepsea_obs::DecisionEvent::NodeSlow {
-                        node: label,
+                        node: format!("node{node}"),
                         multiplier,
                     },
                 );
             }
-        } else if self.ds.fs().clear_node_slow(NodeId(node)) {
+        } else if self.ds.fs().clear_node_slow(NodeId(node)) && obs.events_enabled() {
             obs.event(
                 tnow,
-                deepsea_obs::DecisionEvent::NodeSlowCleared { node: label },
+                deepsea_obs::DecisionEvent::NodeSlowCleared {
+                    node: format!("node{node}"),
+                },
             );
         }
     }
@@ -768,7 +775,7 @@ impl ViewServer {
             NodeAction::Up => self.ds.fs().set_node_up(NodeId(node)),
             NodeAction::Kill => self.ds.fs().kill_node(NodeId(node)),
         };
-        if applied {
+        if applied && obs.events_enabled() {
             let label = format!("node{node}");
             let event = match action {
                 NodeAction::Down => deepsea_obs::DecisionEvent::NodeDown { node: label },

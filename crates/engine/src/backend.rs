@@ -9,6 +9,7 @@
 //! A distributed deployment would implement the same trait against an actual
 //! cluster.
 
+// deepsea-lint: allow(lock_discipline) -- backend instrumentation counter cell; single lock, held for a field update only
 use std::sync::Mutex;
 
 use deepsea_relation::Table;

@@ -247,6 +247,28 @@ impl Lexer {
         let line = self.line;
         let one = self.peek(1);
         let two = self.peek(2);
+        // `'r#async` — raw lifetime. Consume the `r#` prefix so the name
+        // collects as one Lifetime token instead of desyncing into
+        // `'r` `#` `async`.
+        if one == Some('r')
+            && two == Some('#')
+            && matches!(self.peek(3), Some(c) if c.is_alphabetic() || c == '_')
+        {
+            self.bump(); // quote
+            self.bump(); // r
+            self.bump(); // #
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line);
+            return;
+        }
         let is_lifetime =
             matches!(one, Some(c) if c.is_alphabetic() || c == '_') && two != Some('\'');
         self.bump(); // the quote
@@ -334,8 +356,8 @@ impl Lexer {
             }
         }
         match (name.as_str(), self.peek(0)) {
-            ("r" | "br", Some('"' | '#')) => self.raw_string(line),
-            ("b", Some('"')) => self.string_as(line),
+            ("r" | "br" | "cr", Some('"' | '#')) => self.raw_string(line),
+            ("b" | "c", Some('"')) => self.string_as(line),
             ("b", Some('\'')) => {
                 self.char_or_lifetime();
                 // Re-stamp the line of the emitted char token to the prefix.
@@ -424,6 +446,33 @@ mod tests {
     fn raw_identifier_is_an_ident() {
         let toks = kinds("r#type");
         assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn c_strings_and_raw_c_strings() {
+        assert_eq!(kinds(r#"c"xy" z"#)[0], (TokKind::Str, "xy".into()));
+        // The `cr` prefix with a fence: a `"` inside must not desync the
+        // scan into phantom idents.
+        let toks = kinds(r##"cr#"has " quote"# after"##);
+        assert_eq!(toks[0], (TokKind::RawStr, r#"has " quote"#.into()));
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn raw_lifetimes() {
+        let toks = kinds("&'r#async T");
+        assert_eq!(toks[1], (TokKind::Lifetime, "async".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "T".into()));
+    }
+
+    #[test]
+    fn lifetime_after_turbofish_then_char() {
+        // `g::<'a>('b')` — the lifetime inside the turbofish must not
+        // swallow the following char literal (or vice versa).
+        let toks = kinds("g::<'a>('b')");
+        assert_eq!(toks[0], (TokKind::Ident, "g".into()));
+        assert_eq!(toks[4], (TokKind::Lifetime, "a".into()));
+        assert_eq!(toks[7], (TokKind::Char, "b".into()));
     }
 
     #[test]

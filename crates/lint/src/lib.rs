@@ -14,11 +14,14 @@
 //! and DESIGN.md §10 for the rationale tied to each guarantee.
 
 pub mod baseline;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
 pub use baseline::{compare, Baseline, Ratchet};
+pub use graph::CallGraph;
 pub use rules::{lint_source, RuleId, Violation};
 
 use std::io;
@@ -31,6 +34,10 @@ pub struct LintRun {
     pub violations: Vec<Violation>,
     /// Workspace-relative paths scanned, sorted.
     pub files: Vec<String>,
+    /// `(rel, source)` pairs for the scanned files, in scan order. Kept so
+    /// callers can rebuild the call graph (`--graph-out`) without re-reading
+    /// the tree.
+    pub sources: Vec<(String, String)>,
 }
 
 /// Directories scanned by `--workspace`, relative to the workspace root.
@@ -59,11 +66,36 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> io::Result<LintRun> {
         let rel = relative_to(root, path);
         let src = std::fs::read_to_string(path)?;
         run.violations.extend(lint_source(&rel, &src));
-        run.files.push(rel);
+        run.files.push(rel.clone());
+        run.sources.push((rel, src));
+    }
+    // Corpus pass: R1 read-path purity is a reachability property of the
+    // whole call graph, so it runs over the file set, not per file. Allow
+    // markers still apply at the flagged call site.
+    let g = build_graph(&run.sources);
+    let r1 = g.read_path_purity_violations();
+    for (rel, src) in &run.sources {
+        let mut mine: Vec<Violation> = r1.iter().filter(|v| &v.file == rel).cloned().collect();
+        if mine.is_empty() {
+            continue;
+        }
+        rules::apply_markers(rel, src, &mut mine);
+        run.violations.extend(mine);
     }
     run.violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(run)
+}
+
+/// Build the cross-crate call graph over `(rel, source)` pairs. Test-scoped
+/// files and vendored shim crates are excluded from the corpus.
+pub fn build_graph(sources: &[(String, String)]) -> CallGraph {
+    let parsed: Vec<items::FileItems> = sources
+        .iter()
+        .filter(|(rel, _)| rules::in_graph_corpus(rel))
+        .map(|(rel, src)| items::parse_file(rel, src))
+        .collect();
+    CallGraph::build(&parsed)
 }
 
 /// Workspace-relative path with `/` separators (falls back to the full

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! deepsea-lint --workspace [--root DIR] [--baseline FILE] [--json FILE]
-//!              [--write-baseline] [paths…]
+//!              [--graph-out FILE] [--write-baseline] [paths…]
 //! ```
 //!
 //! Exit codes: `0` clean (or all violations grandfathered), `1` new
@@ -18,12 +18,14 @@ struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     json: Option<PathBuf>,
+    graph_out: Option<PathBuf>,
     write_baseline: bool,
     paths: Vec<PathBuf>,
 }
 
 const USAGE: &str = "usage: deepsea-lint [--workspace] [--root DIR] \
-                     [--baseline FILE] [--json FILE] [--write-baseline] [paths...]";
+                     [--baseline FILE] [--json FILE] [--graph-out FILE] \
+                     [--write-baseline] [paths...]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -31,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         baseline: None,
         json: None,
+        graph_out: None,
         write_baseline: false,
         paths: Vec::new(),
     };
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
             "--root" => args.root = Some(path_arg(&mut it)?),
             "--baseline" => args.baseline = Some(path_arg(&mut it)?),
             "--json" => args.json = Some(path_arg(&mut it)?),
+            "--graph-out" => args.graph_out = Some(path_arg(&mut it)?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -136,6 +140,12 @@ fn run() -> Result<bool, String> {
     if let Some(json_path) = &args.json {
         let json = report::render_json(&run.violations, ratchet.as_ref(), run.files.len());
         std::fs::write(json_path, json).map_err(|e| e.to_string())?;
+    }
+
+    if let Some(graph_path) = &args.graph_out {
+        let g = deepsea_lint::build_graph(&run.sources);
+        std::fs::write(graph_path, g.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("wrote call graph to {}", graph_path.display());
     }
 
     let ok = match &ratchet {

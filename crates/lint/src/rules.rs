@@ -18,6 +18,21 @@
 //! - **L1 `layering`** — no `std::fs` / `std::net` / `std::thread` outside
 //!   `crates/storage` and the bench harness: core I/O goes through
 //!   `ExecutionBackend` / `SimFs` only.
+//! - **R1 `read_path_purity`** — (corpus-level, see [`crate::graph`]) no fn
+//!   reachable from a `driver/read_path` entry point or a fn taking
+//!   `&ReadSnapshot` may call `&mut self` methods on registry/catalog/pool
+//!   types, `Journal::append`, or anything in `driver/write_path`.
+//! - **R2 `lock_discipline`** — in the sanctioned concurrency files
+//!   (`server/workers.rs`, `storage/sync.rs`): no nested guard acquisition
+//!   and no backend/journal call under a held guard; `std::sync` primitives
+//!   nowhere else.
+//! - **R3 `cost_flow`** — cost components returned by `try_*` / `*_costed`
+//!   / `drain_retry_*` calls must not be silently dropped (discarded tuple
+//!   components, unconsumed statements, or the cost-dropping
+//!   `SimFs::delete` wrapper in core).
+//! - **R4 `obs_gated`** — Observer derived computation (`DecisionEvent`
+//!   construction, `format!`-built labels feeding sinks) must sit under an
+//!   `enabled()` / `events_enabled()` / span-presence guard.
 //!
 //! Any site may be exempted with a justified marker on the same line or the
 //! line directly above:
@@ -48,6 +63,14 @@ pub enum RuleId {
     Layering,
     /// M0: malformed or unjustified allow-marker.
     Marker,
+    /// R1: read-path reachability into catalog mutation (corpus-level).
+    ReadPurity,
+    /// R2: lock guard shape in sanctioned files; sync primitives elsewhere.
+    LockDiscipline,
+    /// R3: silently dropped simulated-cost components.
+    CostFlow,
+    /// R4: ungated Observer derived computation.
+    ObsGated,
 }
 
 impl RuleId {
@@ -60,6 +83,10 @@ impl RuleId {
             RuleId::Discard => "E1",
             RuleId::Layering => "L1",
             RuleId::Marker => "M0",
+            RuleId::ReadPurity => "R1",
+            RuleId::LockDiscipline => "R2",
+            RuleId::CostFlow => "R3",
+            RuleId::ObsGated => "R4",
         }
     }
 
@@ -72,6 +99,10 @@ impl RuleId {
             RuleId::Discard => "discard",
             RuleId::Layering => "layering",
             RuleId::Marker => "marker",
+            RuleId::ReadPurity => "read_path_purity",
+            RuleId::LockDiscipline => "lock_discipline",
+            RuleId::CostFlow => "cost_flow",
+            RuleId::ObsGated => "obs_gated",
         }
     }
 
@@ -83,12 +114,16 @@ impl RuleId {
             "panic" => Some(RuleId::Panic),
             "discard" => Some(RuleId::Discard),
             "layering" => Some(RuleId::Layering),
+            "read_path_purity" => Some(RuleId::ReadPurity),
+            "lock_discipline" => Some(RuleId::LockDiscipline),
+            "cost_flow" => Some(RuleId::CostFlow),
+            "obs_gated" => Some(RuleId::ObsGated),
             _ => None,
         }
     }
 
     /// Every reportable rule, in code order.
-    pub fn all() -> [RuleId; 6] {
+    pub fn all() -> [RuleId; 10] {
         [
             RuleId::HashIter,
             RuleId::WallClock,
@@ -96,6 +131,10 @@ impl RuleId {
             RuleId::Discard,
             RuleId::Layering,
             RuleId::Marker,
+            RuleId::ReadPurity,
+            RuleId::LockDiscipline,
+            RuleId::CostFlow,
+            RuleId::ObsGated,
         ]
     }
 }
@@ -157,6 +196,36 @@ const LAYERING_MODULES: [&str; 3] = ["fs", "net", "thread"];
 /// design decision, not a convenience.
 const SANCTIONED_CONCURRENCY: [&str; 1] = ["crates/core/src/server/workers.rs"];
 
+/// R2's sanctioned files: the only places allowed to *hold* lock guards,
+/// and therefore the only places whose guard shape is checked instead of
+/// their imports.
+const R2_SANCTIONED: [&str; 2] = [
+    "crates/core/src/server/workers.rs",
+    "crates/storage/src/sync.rs",
+];
+
+/// `std::sync` primitive type/module names R2 bans outside the sanctioned
+/// files (`Arc` is shared ownership, not a lock — allowed; `Atomic*` is
+/// matched by prefix).
+const SYNC_PRIMITIVES: [&str; 9] = [
+    "Mutex", "RwLock", "Condvar", "Barrier", "Once", "OnceLock", "LazyLock", "mpsc", "atomic",
+];
+
+/// Guard-acquiring method names on `std::sync` lock types.
+const LOCK_ACQUIRE_METHODS: [&str; 6] =
+    ["lock", "try_lock", "read", "try_read", "write", "try_write"];
+
+/// Observer sink methods; a `format!`-built label flowing into one of
+/// these is derived computation R4 requires a guard around.
+const OBS_SINKS: [&str; 6] = [
+    "event",
+    "observe",
+    "record_span",
+    "counter_inc",
+    "counter_add",
+    "gauge_set",
+];
+
 /// The crate a workspace-relative path belongs to (`crates/<name>/…`), or a
 /// pseudo-crate for top-level dirs (`src/` → `deepsea`, `tests/` → `tests`).
 fn crate_of(rel: &str) -> &str {
@@ -180,6 +249,13 @@ fn is_test_path(rel: &str) -> bool {
     file == "tests.rs" || file.ends_with("_tests.rs")
 }
 
+/// Should `rel` participate in the cross-crate call-graph corpus (R1)?
+/// Test-scoped files and the vendored shim crates are excluded — shims
+/// re-use common method names and would only add resolver ambiguity.
+pub(crate) fn in_graph_corpus(rel: &str) -> bool {
+    !is_test_path(rel) && !SHIM_CRATES.contains(&crate_of(rel))
+}
+
 /// Does `rule` apply to the file at `rel` at all?
 fn rule_enabled(rule: RuleId, rel: &str) -> bool {
     let c = crate_of(rel);
@@ -190,6 +266,15 @@ fn rule_enabled(rule: RuleId, rel: &str) -> bool {
         RuleId::Panic | RuleId::Discard => PRODUCT_CRATES.contains(&c),
         RuleId::Layering => !matches!(c, "storage" | "bench" | "lint") && !shim,
         RuleId::Marker => true,
+        // R1 is evaluated over the whole corpus (graph reachability), not
+        // per file; this arm only scopes marker applicability.
+        RuleId::ReadPurity => !shim,
+        RuleId::LockDiscipline => matches!(
+            c,
+            "core" | "engine" | "storage" | "workload" | "relation" | "obs"
+        ),
+        RuleId::CostFlow => DECISION_CRATES.contains(&c),
+        RuleId::ObsGated => PRODUCT_CRATES.contains(&c) && c != "obs",
     }
 }
 
@@ -230,6 +315,15 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         rule_panic(rel, t, i, &mut out);
         rule_discard(rel, t, i, &string_idents, &mut out);
         rule_layering(rel, t, i, &mut out);
+    }
+    if rule_enabled(RuleId::LockDiscipline, rel) {
+        rule_lock_discipline(rel, t, &in_test, &mut out);
+    }
+    if rule_enabled(RuleId::CostFlow, rel) {
+        rule_cost_flow(rel, t, &in_test, &mut out);
+    }
+    if rule_enabled(RuleId::ObsGated, rel) {
+        rule_obs_gated(rel, t, &in_test, &mut out);
     }
 
     // Apply markers: a marker suppresses matching violations on its own line
@@ -787,4 +881,570 @@ fn rule_layering(rel: &str, t: &[Token], i: usize, out: &mut Vec<Violation>) {
             }
         }
     }
+}
+
+/// Statement spans `(start, end, terminator)` over the token stream, split
+/// at every `;`, `{` and `}` regardless of nesting. Struct literals and
+/// match arms over-segment under this definition, which is safe for the
+/// pattern checks built on it: adjacency-based matches stay intact, and a
+/// split can only *narrow* what a statement is blamed for.
+fn statements(t: &[Token]) -> Vec<(usize, usize, Option<char>)> {
+    let mut out = Vec::new();
+    let mut s = 0usize;
+    for i in 0..=t.len() {
+        let term = if i == t.len() {
+            None
+        } else if t[i].is_punct(';') {
+            Some(';')
+        } else if t[i].is_punct('{') {
+            Some('{')
+        } else if t[i].is_punct('}') {
+            Some('}')
+        } else {
+            continue;
+        };
+        if i > s {
+            out.push((s, i, term));
+        }
+        s = i + 1;
+    }
+    out
+}
+
+/// Does the statement window contain a `…enabled(…)` guard call?
+fn has_enabled_call(t: &[Token], s: usize, e: usize) -> bool {
+    (s..e).any(|k| {
+        t[k].kind == TokKind::Ident
+            && t[k].text.ends_with("enabled")
+            && t.get(k + 1).is_some_and(|n| n.is_punct('('))
+    })
+}
+
+/// Walk back from `i` to the start of its statement looking for `let`.
+fn stmt_has_let(t: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        let p = &t[k - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            return false;
+        }
+        if p.is_ident("let") {
+            return true;
+        }
+        k -= 1;
+    }
+    false
+}
+
+/// R2 — lock discipline. In the sanctioned concurrency files the *shape*
+/// of guard usage is checked: no acquisition while another guard is held,
+/// and no `execute`/`append` call under a held guard (a lock held across a
+/// backend or journal call serializes the one path that must stay
+/// concurrent, and is the classic deadlock feeder). Everywhere else in the
+/// product crates, naming a `std::sync` primitive at all is the violation —
+/// cross-thread state goes through `deepsea_storage::sync::EpochCell`.
+fn rule_lock_discipline(
+    rel: &str,
+    t: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    if !R2_SANCTIONED.contains(&rel) {
+        for i in 0..t.len() {
+            if in_test(i) || t[i].kind != TokKind::Ident {
+                continue;
+            }
+            let name = t[i].text.as_str();
+            let is_primitive = SYNC_PRIMITIVES.contains(&name) || name.starts_with("Atomic");
+            if !is_primitive {
+                continue;
+            }
+            let qualified = i >= 3
+                && t[i - 1].is_punct(':')
+                && t[i - 2].is_punct(':')
+                && (t[i - 3].is_ident("sync") || t[i - 3].is_ident("atomic"));
+            let imported = in_use_stmt(t, i) && {
+                let mut k = i;
+                let mut saw_sync = false;
+                while k > 0 {
+                    let p = &t[k - 1];
+                    if p.is_punct(';') || p.is_punct('}') {
+                        break;
+                    }
+                    if p.is_ident("sync") {
+                        saw_sync = true;
+                        break;
+                    }
+                    k -= 1;
+                }
+                saw_sync
+            };
+            if qualified || imported {
+                violation(
+                    out,
+                    RuleId::LockDiscipline,
+                    rel,
+                    t[i].line,
+                    format!(
+                        "`{name}` (std::sync primitive) outside the sanctioned \
+                         concurrency files — cross-thread state goes through \
+                         `EpochCell`, locks live in server/workers.rs and \
+                         storage/sync.rs only"
+                    ),
+                );
+            }
+        }
+        return;
+    }
+    // Sanctioned file: guard-shape scan. A `let`-bound guard lives until
+    // its enclosing brace block closes; a temporary guard dies at the
+    // statement's `;`.
+    struct Guard {
+        depth: i32,
+        stmt: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    for i in 0..t.len() {
+        let tok = &t[i];
+        if tok.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if tok.is_punct(';') {
+            guards.retain(|g| !(g.stmt && g.depth >= depth));
+            continue;
+        }
+        if in_test(i) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let after_dot = i >= 1 && t[i - 1].is_punct('.');
+        let called = t.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !(after_dot && called) {
+            continue;
+        }
+        if LOCK_ACQUIRE_METHODS.contains(&tok.text.as_str()) {
+            if !guards.is_empty() {
+                violation(
+                    out,
+                    RuleId::LockDiscipline,
+                    rel,
+                    tok.line,
+                    format!(
+                        "`.{}()` acquires a guard while another lock guard is \
+                         already held — nested acquisition is a deadlock shape",
+                        tok.text
+                    ),
+                );
+            }
+            guards.push(Guard {
+                depth,
+                stmt: !stmt_has_let(t, i),
+            });
+        } else if !guards.is_empty()
+            && matches!(
+                tok.text.as_str(),
+                "execute" | "append" | "append_infallible"
+            )
+        {
+            violation(
+                out,
+                RuleId::LockDiscipline,
+                rel,
+                tok.line,
+                format!(
+                    "`.{}()` called while a lock guard is held — backend and \
+                     journal calls must not run under a guard's brace scope",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// R3 — cost flow. The complement of "every charged simulated second lands
+/// in a trace field": flag the places a cost component is visibly dropped —
+/// a `_` in a tuple `let` binding whose RHS calls a cost source, a bare
+/// statement discarding a cost source's whole result, and (in core) the
+/// cost-dropping `SimFs::delete` convenience wrapper. Flows the scan cannot
+/// follow (closures, re-bindings) are left to the dynamic suites —
+/// conservatism here means no false alarms, not perfect coverage.
+fn rule_cost_flow(
+    rel: &str,
+    t: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    let is_source =
+        |s: &str| s.starts_with("try_") || s.ends_with("_costed") || s.starts_with("drain_retry_");
+    // `self.fs.delete(…)` / `.fs().delete(…)` — the wrapper that maps the
+    // cost away. Core-path callers must use `delete_costed` and account
+    // the seconds.
+    for i in 0..t.len() {
+        if in_test(i) || !t[i].is_ident("delete") {
+            continue;
+        }
+        if !t.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let via_field = i >= 2 && t[i - 1].is_punct('.') && t[i - 2].is_ident("fs");
+        let via_method = i >= 4
+            && t[i - 1].is_punct('.')
+            && t[i - 2].is_punct(')')
+            && t[i - 3].is_punct('(')
+            && t[i - 4].is_ident("fs");
+        if via_field || via_method {
+            violation(
+                out,
+                RuleId::CostFlow,
+                rel,
+                t[i].line,
+                "`SimFs::delete` drops the delete's simulated cost — call \
+                 `delete_costed` and account the seconds in a trace field"
+                    .to_string(),
+            );
+        }
+    }
+    for (s, e, term) in statements(t) {
+        if in_test(s) {
+            continue;
+        }
+        let stmt = &t[s..e];
+        let source_at = |from: usize| {
+            let mut depth = 0i32;
+            for k in from..stmt.len() {
+                let tok = &stmt[k];
+                if tok.is_punct('(') || tok.is_punct('[') {
+                    depth += 1;
+                } else if tok.is_punct(')') || tok.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0
+                    && tok.kind == TokKind::Ident
+                    && is_source(&tok.text)
+                    && stmt.get(k + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    return Some(k);
+                }
+            }
+            None
+        };
+        if stmt.first().is_some_and(|f| f.is_ident("let")) {
+            // Tuple pattern with a discarded component.
+            let Some(eq) = stmt.iter().position(|x| x.is_punct('=')) else {
+                continue;
+            };
+            let pat = &stmt[1..eq];
+            let has_tuple = pat.iter().any(|x| x.is_punct('('));
+            let dropped: Vec<&str> = pat
+                .iter()
+                .filter(|x| x.kind == TokKind::Ident && x.text.starts_with('_'))
+                .map(|x| x.text.as_str())
+                .collect();
+            // Bare `let _ =` is E1's; R3 owns partial tuple discards.
+            if !has_tuple || dropped.is_empty() {
+                continue;
+            }
+            let rhs_off = eq + 1;
+            if let Some(k) = source_at(rhs_off) {
+                let src_name = stmt[k].text.clone();
+                violation(
+                    out,
+                    RuleId::CostFlow,
+                    rel,
+                    stmt[k].line,
+                    format!(
+                        "cost component `{}` from `{src_name}(…)` is discarded — \
+                         flow it into a trace/accountant sink or return it",
+                        dropped.join("`, `"),
+                    ),
+                );
+            }
+        } else {
+            // Bare statement discarding the whole result.
+            if term != Some(';') {
+                continue;
+            }
+            let first = stmt.first().map(|x| x.text.as_str()).unwrap_or("");
+            if matches!(
+                first,
+                "if" | "else" | "match" | "while" | "for" | "return" | "break" | "continue"
+            ) {
+                continue;
+            }
+            // Assignments and `?`-propagation consume the value.
+            let mut depth = 0i32;
+            let mut consumed = false;
+            for x in stmt.iter() {
+                if x.is_punct('(') || x.is_punct('[') {
+                    depth += 1;
+                } else if x.is_punct(')') || x.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && (x.is_punct('=') || x.is_punct('?')) {
+                    consumed = true;
+                }
+            }
+            if consumed {
+                continue;
+            }
+            if let Some(k) = source_at(0) {
+                violation(
+                    out,
+                    RuleId::CostFlow,
+                    rel,
+                    stmt[k].line,
+                    format!(
+                        "result of `{}(…)` carries simulated cost but this \
+                         statement discards it",
+                        stmt[k].text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R4 — obs gating. Flags derived observability computation that runs even
+/// when observability is off: `DecisionEvent` construction and
+/// `format!`-built labels feeding Observer sinks, unless dominated by an
+/// `enabled()`-family guard. Guard recognition covers the codebase's
+/// idioms: early-return blocks (`if !obs.enabled() { return; }`),
+/// guard-positive blocks (`if obs.events_enabled() { … }`), span-presence
+/// checks (`.is_none()` / `.is_some()`), guard-local booleans
+/// (`let spans_on = obs.spans_enabled();`), and statements that contain
+/// the guard call themselves (`events_enabled().then(|| …)`).
+fn rule_obs_gated(
+    rel: &str,
+    t: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Violation>,
+) {
+    // Pass 1: guard-local idents, to a fixpoint (a binding whose statement
+    // contains a guard call — or another guard-local — is itself a guard).
+    let stmts = statements(t);
+    let mut guard_locals: Vec<String> = Vec::new();
+    loop {
+        let mut changed = false;
+        for &(s, e, _) in &stmts {
+            if !t[s].is_ident("let") {
+                continue;
+            }
+            let guardish = has_enabled_call(t, s, e)
+                || (s..e).any(|k| {
+                    t[k].kind == TokKind::Ident && guard_locals.iter().any(|g| g == &t[k].text)
+                });
+            if !guardish {
+                continue;
+            }
+            let Some(eq) = (s..e).position(|k| t[k].is_punct('=')) else {
+                continue;
+            };
+            for tok in &t[s + 1..s + eq] {
+                if tok.kind == TokKind::Ident
+                    && !matches!(tok.text.as_str(), "mut" | "Some" | "Ok" | "None" | "ref")
+                    && !guard_locals.contains(&tok.text)
+                {
+                    guard_locals.push(tok.text.clone());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let stmt_guard = |s: usize, e: usize| {
+        has_enabled_call(t, s, e)
+            || (s..e).any(|k| {
+                let tok = &t[k];
+                (tok.kind == TokKind::Ident && guard_locals.iter().any(|g| g == &tok.text))
+                    || ((tok.is_ident("is_none") || tok.is_ident("is_some"))
+                        && k >= 1
+                        && t[k - 1].is_punct('.')
+                        && t.get(k + 1).is_some_and(|n| n.is_punct('(')))
+            })
+    };
+    let stmt_negated_guard = |s: usize, e: usize| {
+        ((s..e).any(|k| t[k].is_punct('!')) && has_enabled_call(t, s, e))
+            || (s..e)
+                .any(|k| t[k].is_ident("is_none") && t.get(k + 1).is_some_and(|n| n.is_punct('(')))
+    };
+
+    // Pass 2: frame-tracked scan.
+    struct Frame {
+        guarded: bool,
+        own_guard: bool,
+        negated_guard: bool,
+        saw_return: bool,
+    }
+    let mut frames = vec![Frame {
+        guarded: false,
+        own_guard: false,
+        negated_guard: false,
+        saw_return: false,
+    }];
+    // `format!`-built labels bound without a guard: (name, frame depth).
+    let mut fmt_bound: Vec<(String, usize)> = Vec::new();
+    let mut stmt_start = 0usize;
+    let mut pending_else_guard = false;
+
+    let mut eval_stmt =
+        |s: usize, e: usize, frames: &Vec<Frame>, fmt_bound: &mut Vec<(String, usize)>| {
+            if s >= e || in_test(s) {
+                return;
+            }
+            let guarded = frames.last().is_some_and(|f| f.guarded) || stmt_guard(s, e);
+            if guarded {
+                return;
+            }
+            for k in s..e {
+                if t[k].is_ident("DecisionEvent")
+                    && t.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                    && t.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    violation(
+                        out,
+                        RuleId::ObsGated,
+                        rel,
+                        t[k].line,
+                        "`DecisionEvent` constructed without an `enabled()`/\
+                     `events_enabled()` guard — event assembly must be free \
+                     when observability is off"
+                            .to_string(),
+                    );
+                }
+            }
+            let fmt_at = (s..e).find(|&k| {
+                t[k].is_ident("format") && t.get(k + 1).is_some_and(|n| n.is_punct('!'))
+            });
+            let sink_at = (s..e).find(|&k| {
+                t[k].kind == TokKind::Ident
+                    && OBS_SINKS.contains(&t[k].text.as_str())
+                    && k >= 1
+                    && t[k - 1].is_punct('.')
+                    && t.get(k + 1).is_some_and(|n| n.is_punct('('))
+            });
+            match (fmt_at, sink_at) {
+                (Some(f), Some(_)) => violation(
+                    out,
+                    RuleId::ObsGated,
+                    rel,
+                    t[f].line,
+                    "`format!` builds an Observer label without an `enabled()` \
+                 guard — label formatting must be free when observability \
+                 is off"
+                        .to_string(),
+                ),
+                (Some(_), None) if t[s].is_ident("let") => {
+                    // Remember the unguarded binding; flag it if it later
+                    // reaches a sink.
+                    let mut k = s + 1;
+                    if t.get(k).is_some_and(|x| x.is_ident("mut")) {
+                        k += 1;
+                    }
+                    if let Some(n) = t.get(k).filter(|x| x.kind == TokKind::Ident) {
+                        fmt_bound.push((n.text.clone(), frames.len()));
+                    }
+                }
+                (None, Some(sk)) => {
+                    if let Some((name, _)) = fmt_bound
+                        .iter()
+                        .find(|(n, _)| (s..e).any(|k| t[k].is_ident(n)))
+                    {
+                        violation(
+                            out,
+                            RuleId::ObsGated,
+                            rel,
+                            t[sk].line,
+                            format!(
+                                "Observer sink consumes label `{name}` built by an \
+                             unguarded `format!` — gate the label computation \
+                             with `enabled()`"
+                            ),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        };
+
+    for i in 0..t.len() {
+        let tok = &t[i];
+        if tok.is_punct('{') {
+            let sg = stmt_guard(stmt_start, i) || pending_else_guard;
+            let neg = {
+                let first = t.get(stmt_start).map(|x| x.text.as_str()).unwrap_or("");
+                matches!(first, "if" | "else" | "while") && stmt_negated_guard(stmt_start, i)
+            };
+            eval_stmt(stmt_start, i, &frames, &mut fmt_bound);
+            let parent = frames.last().is_some_and(|f| f.guarded);
+            frames.push(Frame {
+                guarded: parent || sg,
+                own_guard: sg,
+                negated_guard: neg,
+                saw_return: false,
+            });
+            pending_else_guard = false;
+            stmt_start = i + 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            eval_stmt(stmt_start, i, &frames, &mut fmt_bound);
+            if frames.len() > 1 {
+                let f = frames.pop().expect("invariant: len checked above");
+                if f.negated_guard && f.saw_return {
+                    if let Some(top) = frames.last_mut() {
+                        top.guarded = true;
+                    }
+                }
+                let d = frames.len();
+                fmt_bound.retain(|&(_, fd)| fd <= d);
+                if t.get(i + 1).is_some_and(|n| n.is_ident("else")) {
+                    pending_else_guard = f.own_guard;
+                }
+            }
+            stmt_start = i + 1;
+            continue;
+        }
+        if tok.is_punct(';') {
+            eval_stmt(stmt_start, i, &frames, &mut fmt_bound);
+            stmt_start = i + 1;
+            continue;
+        }
+        if tok.is_ident("return") {
+            if let Some(top) = frames.last_mut() {
+                top.saw_return = true;
+            }
+        }
+    }
+    eval_stmt(stmt_start, t.len(), &frames, &mut fmt_bound);
+}
+
+/// Apply a file's allow-markers to corpus-level violations (R1 runs outside
+/// [`lint_source`], so its results pass through here before reporting).
+/// Marker-rule (M0) diagnostics are `lint_source`'s job and are not
+/// re-evaluated.
+pub(crate) fn apply_markers(rel: &str, src: &str, v: &mut Vec<Violation>) {
+    let all = lex(src);
+    let (src_toks, comments): (Vec<Token>, Vec<Token>) = all
+        .into_iter()
+        .partition(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment));
+    let (markers, _) = collect_markers(rel, &comments);
+    let suppressed = |vi: &Violation| {
+        markers.iter().any(|m| {
+            if !m.rules.contains(&vi.rule) {
+                return false;
+            }
+            if vi.line == m.line {
+                return true;
+            }
+            let next = src_toks.iter().map(|tok| tok.line).find(|&l| l > m.line);
+            next == Some(vi.line)
+        })
+    };
+    v.retain(|vi| vi.rule == RuleId::Marker || !suppressed(vi));
 }

@@ -410,3 +410,271 @@ fn marker_does_not_suppress_other_rules() {
     let got = at(CORE, src);
     assert_eq!(got, vec![(RuleId::Panic, 2)]);
 }
+
+// ---------------------------------------------------------- R2 lock_discipline
+
+#[test]
+fn r2_flags_sync_primitives_outside_sanctioned_files() {
+    // Qualified path form and `use`-import form are both caught.
+    let got = at(CORE, "fn f() { let m = std::sync::Mutex::new(0u32); }\n");
+    assert_eq!(got, vec![(RuleId::LockDiscipline, 1)]);
+    let got = at(CORE, "use std::sync::RwLock;\n");
+    assert_eq!(got, vec![(RuleId::LockDiscipline, 1)]);
+    let got = at(
+        "crates/engine/src/fixture.rs",
+        "use std::sync::atomic::{AtomicU64, Ordering};\n",
+    );
+    assert!(
+        got.iter().all(|&(r, _)| r == RuleId::LockDiscipline) && !got.is_empty(),
+        "atomics are primitives too: {got:?}"
+    );
+}
+
+#[test]
+fn r2_allows_arc_and_nonsync_idents() {
+    // `Arc` is shared ownership, not a lock; a local type that happens to
+    // be named `Mutex` without a sync qualifier/import is out of scope.
+    assert_clean(CORE, "use std::sync::Arc;\n");
+    assert_clean(CORE, "fn f(m: &my::Mutex) { m.poke(); }\n");
+}
+
+#[test]
+fn r2_sanctioned_files_check_guard_shape_not_imports() {
+    const WORKERS: &str = "crates/core/src/server/workers.rs";
+    // Imports are the sanctioned files' whole point.
+    assert_clean(WORKERS, "use std::sync::{Mutex, Condvar};\n");
+    // A single guard, used and dropped, is fine.
+    assert_clean(
+        WORKERS,
+        "fn f(q: &std::sync::Mutex<Vec<u32>>) {\n\
+         \x20   let mut g = q.lock();\n\
+         \x20   g.push(1);\n\
+         }\n",
+    );
+}
+
+#[test]
+fn r2_flags_nested_guard_acquisition() {
+    const WORKERS: &str = "crates/core/src/server/workers.rs";
+    let src = "fn f(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {\n\
+               \x20   let g = a.lock();\n\
+               \x20   let h = b.lock();\n\
+               }\n";
+    assert_eq!(at(WORKERS, src), vec![(RuleId::LockDiscipline, 3)]);
+    // Scoped drop of the first guard clears the shape.
+    let src = "fn f(a: &std::sync::Mutex<u32>, b: &std::sync::Mutex<u32>) {\n\
+               \x20   { let g = a.lock(); }\n\
+               \x20   let h = b.lock();\n\
+               }\n";
+    assert_clean(WORKERS, src);
+}
+
+#[test]
+fn r2_flags_backend_calls_under_guard() {
+    const SYNC: &str = "crates/storage/src/sync.rs";
+    let src = "fn f(&self) {\n\
+               \x20   let g = self.inner.lock();\n\
+               \x20   self.backend.execute(&g);\n\
+               }\n";
+    assert_eq!(at(SYNC, src), vec![(RuleId::LockDiscipline, 3)]);
+    // A temporary guard dies at its own `;` — the next statement is free.
+    let src = "fn f(&self) {\n\
+               \x20   self.inner.lock().poke();\n\
+               \x20   self.journal.append(1);\n\
+               }\n";
+    assert_clean(SYNC, src);
+}
+
+#[test]
+fn r2_allow_marker() {
+    assert_clean(
+        CORE,
+        "// deepsea-lint: allow(lock_discipline) -- fixture: documented hole\n\
+         use std::sync::Mutex;\n",
+    );
+}
+
+// --------------------------------------------------------------- R3 cost_flow
+
+#[test]
+fn r3_flags_tuple_discard_of_cost_component() {
+    let src = "fn f(&mut self, id: u64) {\n\
+               \x20   let (bytes, _secs) = self.fs.delete_costed(id);\n\
+               \x20   self.stats.bytes += bytes;\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::CostFlow, 2)], "{got:?}");
+}
+
+#[test]
+fn r3_flags_bare_discard_of_cost_source() {
+    let src = "fn f(&mut self, n: usize) {\n\
+               \x20   self.pool.try_reserve(n);\n\
+               }\n";
+    let got = at(CORE, src);
+    assert!(
+        got.contains(&(RuleId::CostFlow, 2)),
+        "bare discard not flagged: {got:?}"
+    );
+}
+
+#[test]
+fn r3_flags_simfs_delete_wrapper() {
+    let got = at(CORE, "fn f(&mut self, id: u64) { self.fs.delete(id); }\n");
+    assert!(
+        got.contains(&(RuleId::CostFlow, 1)),
+        "fs.delete wrapper not flagged: {got:?}"
+    );
+    let got = at(
+        CORE,
+        "fn f(&mut self, id: u64) { self.ds.fs().delete(id); }\n",
+    );
+    assert!(
+        got.contains(&(RuleId::CostFlow, 1)),
+        "fs() accessor form not flagged: {got:?}"
+    );
+}
+
+#[test]
+fn r3_consumed_results_are_clean() {
+    // Named tuple components, `?`-propagation, and assignment all consume
+    // the cost; closure-internal flows are out of scope by design.
+    assert_clean(
+        CORE,
+        "fn f(&mut self, id: u64) -> u64 {\n\
+         \x20   let (bytes, secs) = self.fs.delete_costed(id);\n\
+         \x20   self.acct.charge(secs);\n\
+         \x20   bytes\n\
+         }\n",
+    );
+    assert_clean(
+        CORE,
+        "fn f(&mut self, n: usize) -> Result<(), Full> {\n\
+         \x20   self.pool.try_reserve(n)?;\n\
+         \x20   Ok(())\n\
+         }\n",
+    );
+    assert_clean(
+        CORE,
+        "fn f(&mut self) { self.total += self.drain_retry_budget(3); }\n",
+    );
+}
+
+#[test]
+fn r3_allow_marker() {
+    assert_clean(
+        CORE,
+        "// deepsea-lint: allow(cost_flow) -- fixture: failure path, uncharged by design\n\
+         fn f(&mut self, id: u64) { self.fs.delete(id); }\n",
+    );
+}
+
+// --------------------------------------------------------------- R4 obs_gated
+
+#[test]
+fn r4_flags_ungated_decision_event() {
+    let src = "fn f(&self, q: u64) {\n\
+               \x20   self.obs.event(DecisionEvent::Shed { q });\n\
+               }\n";
+    let got = at(CORE, src);
+    assert_eq!(got, vec![(RuleId::ObsGated, 2)], "{got:?}");
+}
+
+#[test]
+fn r4_flags_unguarded_format_label_reaching_a_sink() {
+    // Same-statement flow…
+    let src = "fn f(&self, q: u64) {\n\
+               \x20   self.obs.counter_inc(&format!(\"q{q}\"), 1);\n\
+               }\n";
+    assert_eq!(at(CORE, src), vec![(RuleId::ObsGated, 2)]);
+    // …and the bind-then-sink flow, flagged at the sink.
+    let src = "fn f(&self, q: u64) {\n\
+               \x20   let label = format!(\"q{q}\");\n\
+               \x20   self.obs.counter_inc(&label, 1);\n\
+               }\n";
+    assert_eq!(at(CORE, src), vec![(RuleId::ObsGated, 3)]);
+}
+
+#[test]
+fn r4_guard_idioms_are_clean() {
+    // Guard-positive block.
+    assert_clean(
+        CORE,
+        "fn f(&self, q: u64) {\n\
+         \x20   if self.obs.events_enabled() {\n\
+         \x20       self.obs.event(DecisionEvent::Shed { q });\n\
+         \x20   }\n\
+         }\n",
+    );
+    // Early-return on the negated guard dominates the rest of the fn.
+    assert_clean(
+        CORE,
+        "fn f(&self, q: u64) {\n\
+         \x20   if !self.obs.enabled() {\n\
+         \x20       return;\n\
+         \x20   }\n\
+         \x20   self.obs.event(DecisionEvent::Shed { q });\n\
+         }\n",
+    );
+    // Guard-local boolean.
+    assert_clean(
+        CORE,
+        "fn f(&self, q: u64) {\n\
+         \x20   let on = self.obs.events_enabled();\n\
+         \x20   if on {\n\
+         \x20       self.obs.event(DecisionEvent::Shed { q });\n\
+         \x20   }\n\
+         }\n",
+    );
+    // The statement carries its own guard call.
+    assert_clean(
+        CORE,
+        "fn f(&self, q: u64) {\n\
+         \x20   if self.obs.events_enabled() && q > 0 {\n\
+         \x20       self.obs.event(DecisionEvent::Shed { q });\n\
+         \x20   }\n\
+         }\n",
+    );
+    // Plain-label sinks need no guard — the Observer gates internally.
+    assert_clean(CORE, "fn f(&self) { self.obs.counter_inc(\"shed\", 1); }\n");
+}
+
+#[test]
+fn r4_allow_marker() {
+    assert_clean(
+        CORE,
+        "fn f(&self, q: u64) {\n\
+         \x20   // deepsea-lint: allow(obs_gated) -- fixture: cold error path\n\
+         \x20   self.obs.event(DecisionEvent::Shed { q });\n\
+         }\n",
+    );
+}
+
+// ----------------------------------------------- lexer regression pins (v2)
+
+#[test]
+fn lexer_byte_and_raw_byte_strings_are_opaque() {
+    // Rule-triggering text inside b"…" / br#"…"# literals must not lint:
+    // the v1 lexer treated the `b`/`br` prefix as an ident and lexed the
+    // quote as a string start one byte late.
+    assert_clean(
+        CORE,
+        "fn f() -> &'static [u8] { b\"format!(unwrap) std::thread\" }\n",
+    );
+    assert_clean(
+        CORE,
+        "fn g() -> &'static [u8] { br#\"std::fs::File \"quoted\" panic!\"# }\n",
+    );
+}
+
+#[test]
+fn lexer_lifetimes_and_char_literals_disambiguate() {
+    // `'x'` after a comparison is a char literal, not a lifetime; `'a` in a
+    // turbofish is a lifetime, not an unterminated char. Either confusion
+    // makes the rest of the file lint as string garbage.
+    assert_clean(CORE, "fn f(c: char) -> bool { c < 'x' && c != '\\'' }\n");
+    assert_clean(
+        CORE,
+        "fn g<'a>(xs: &'a [u64]) -> std::slice::Iter::<'a, u64> { xs.iter() }\n",
+    );
+}
